@@ -1,0 +1,33 @@
+//! Baseline cloud filesystems — every data structure the paper's Table 1
+//! analyses, implemented against the same [`swiftsim`] object cloud and the
+//! same [`h2fsapi::CloudFs`] interface as H2Cloud, so one harness measures
+//! them all:
+//!
+//! | module               | Table 1 row                                   |
+//! |----------------------|-----------------------------------------------|
+//! | [`swift_fs`]         | Consistent Hash, and CH + file-path DB (OpenStack Swift) |
+//! | [`dp`]               | Dynamic Partition (the paper's stand-in for Dropbox) |
+//! | [`single_index`]     | Single Index Server (GFS/HDFS namenode)       |
+//! | [`static_partition`] | Static Partition (AFS)                        |
+//! | [`cumulus`]          | Compressed Snapshot (Cumulus)                 |
+//! | [`cas`]              | Content Addressable Storage (multi-layer index) |
+//!
+//! The two-cloud designs (`dp`, `single_index`, `static_partition`) keep
+//! their metadata in a separate in-memory index ([`tree::TreeIndex`]) and
+//! report it via `StoreStats::index_records` — exactly the state H2Cloud
+//! exists to eliminate.
+
+pub mod cas;
+pub mod cumulus;
+pub mod dp;
+pub mod single_index;
+pub mod static_partition;
+pub mod swift_fs;
+pub mod tree;
+
+pub use cas::CasFs;
+pub use cumulus::CumulusFs;
+pub use dp::DpFs;
+pub use single_index::SingleIndexFs;
+pub use static_partition::StaticPartitionFs;
+pub use swift_fs::SwiftFs;

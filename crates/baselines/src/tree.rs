@@ -1,0 +1,451 @@
+//! Shared in-memory directory tree — the metadata index used by the
+//! index-server baselines (Dynamic Partition, Single Index Server, Static
+//! Partition).
+//!
+//! The tree stores directories as inodes with sorted child maps and files as
+//! leaf inodes carrying the object-cloud key of their content. It is pure
+//! data structure: the baselines wrap it with their own cost charging and
+//! partitioning policies.
+
+use std::collections::{BTreeMap, HashMap};
+
+use h2fsapi::{DirEntry, EntryKind, FsPath};
+use h2util::{H2Error, Result};
+
+/// Inode identifier within one tree.
+pub type InodeId = u64;
+
+/// Inode payload.
+#[derive(Debug, Clone)]
+pub enum Node {
+    Dir { children: BTreeMap<String, InodeId> },
+    File { size: u64, object: String },
+}
+
+/// One inode.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    pub id: InodeId,
+    pub node: Node,
+    pub modified_ms: u64,
+}
+
+impl Inode {
+    pub fn is_dir(&self) -> bool {
+        matches!(self.node, Node::Dir { .. })
+    }
+}
+
+/// Result of resolving a path: the inode plus how many parent-to-child hops
+/// the walk took (the paper's `d`).
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedInode {
+    pub id: InodeId,
+    pub hops: usize,
+}
+
+/// An in-memory filesystem tree for one account.
+#[derive(Debug)]
+pub struct TreeIndex {
+    nodes: HashMap<InodeId, Inode>,
+    root: InodeId,
+    next: InodeId,
+}
+
+impl Default for TreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeIndex {
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            0,
+            Inode {
+                id: 0,
+                node: Node::Dir {
+                    children: BTreeMap::new(),
+                },
+                modified_ms: 0,
+            },
+        );
+        TreeIndex {
+            nodes,
+            root: 0,
+            next: 1,
+        }
+    }
+
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    pub fn get(&self, id: InodeId) -> Option<&Inode> {
+        self.nodes.get(&id)
+    }
+
+    /// Total inodes (directories + files) excluding the root — the index
+    /// records a separate metadata service would hold.
+    pub fn record_count(&self) -> u64 {
+        (self.nodes.len() - 1) as u64
+    }
+
+    /// Rough byte footprint of the index (name bytes + fixed per inode).
+    pub fn record_bytes(&self) -> u64 {
+        self.nodes
+            .values()
+            .map(|i| match &i.node {
+                Node::Dir { children } => {
+                    48 + children.keys().map(|k| k.len() as u64 + 16).sum::<u64>()
+                }
+                Node::File { object, .. } => 48 + object.len() as u64,
+            })
+            .sum()
+    }
+
+    /// Walk `path` from the root. Each component costs one hop.
+    pub fn resolve(&self, path: &FsPath) -> Result<ResolvedInode> {
+        let mut id = self.root;
+        let mut hops = 0usize;
+        for comp in path.components() {
+            let inode = &self.nodes[&id];
+            match &inode.node {
+                Node::Dir { children } => {
+                    id = *children
+                        .get(comp)
+                        .ok_or_else(|| H2Error::NotFound(path.to_string()))?;
+                    hops += 1;
+                }
+                Node::File { .. } => return Err(H2Error::NotADirectory(path.to_string())),
+            }
+        }
+        Ok(ResolvedInode { id, hops })
+    }
+
+    /// Resolve the parent directory of `path` and return `(parent_id,
+    /// leaf_name, hops)`.
+    pub fn resolve_parent<'p>(&self, path: &'p FsPath) -> Result<(InodeId, &'p str, usize)> {
+        let name = path
+            .name()
+            .ok_or_else(|| H2Error::InvalidPath("/ has no parent".into()))?;
+        let parent = path.parent().expect("non-root path");
+        let r = self.resolve(&parent)?;
+        if !self.nodes[&r.id].is_dir() {
+            return Err(H2Error::NotADirectory(parent.to_string()));
+        }
+        Ok((r.id, name, r.hops))
+    }
+
+    fn alloc(&mut self, node: Node, ms: u64) -> InodeId {
+        let id = self.next;
+        self.next += 1;
+        self.nodes.insert(
+            id,
+            Inode {
+                id,
+                node,
+                modified_ms: ms,
+            },
+        );
+        id
+    }
+
+    fn dir_children_mut(&mut self, id: InodeId) -> &mut BTreeMap<String, InodeId> {
+        match &mut self.nodes.get_mut(&id).expect("inode exists").node {
+            Node::Dir { children } => children,
+            Node::File { .. } => panic!("inode {id} is not a directory"),
+        }
+    }
+
+    pub fn dir_children(&self, id: InodeId) -> Result<&BTreeMap<String, InodeId>> {
+        match &self.nodes.get(&id).ok_or_else(|| H2Error::NotFound(format!("inode {id}")))?.node
+        {
+            Node::Dir { children } => Ok(children),
+            Node::File { .. } => Err(H2Error::NotADirectory(format!("inode {id}"))),
+        }
+    }
+
+    /// Create a directory under `parent`.
+    pub fn mkdir(&mut self, parent: InodeId, name: &str, ms: u64) -> Result<InodeId> {
+        if self.dir_children(parent)?.contains_key(name) {
+            return Err(H2Error::AlreadyExists(name.to_string()));
+        }
+        let id = self.alloc(
+            Node::Dir {
+                children: BTreeMap::new(),
+            },
+            ms,
+        );
+        self.dir_children_mut(parent).insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Create or overwrite a file entry under `parent`. Returns the
+    /// previous content-object key when overwriting.
+    pub fn put_file(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        size: u64,
+        object: String,
+        ms: u64,
+    ) -> Result<Option<String>> {
+        let existing = self.dir_children(parent)?.get(name).copied();
+        match existing {
+            Some(id) => {
+                let inode = self.nodes.get_mut(&id).expect("child inode");
+                match &mut inode.node {
+                    Node::File {
+                        size: s,
+                        object: o,
+                    } => {
+                        let old = std::mem::replace(o, object);
+                        *s = size;
+                        inode.modified_ms = ms;
+                        Ok(Some(old))
+                    }
+                    Node::Dir { .. } => Err(H2Error::IsADirectory(name.to_string())),
+                }
+            }
+            None => {
+                let id = self.alloc(Node::File { size, object }, ms);
+                self.dir_children_mut(parent).insert(name.to_string(), id);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Detach `name` from `parent` and return the subtree root inode id.
+    pub fn detach(&mut self, parent: InodeId, name: &str) -> Result<InodeId> {
+        let id = self
+            .dir_children_mut(parent)
+            .remove(name)
+            .ok_or_else(|| H2Error::NotFound(name.to_string()))?;
+        Ok(id)
+    }
+
+    /// Attach an existing inode under a (new) parent — the O(1) pointer
+    /// move that makes index-server MOVE constant-time.
+    pub fn attach(&mut self, parent: InodeId, name: &str, id: InodeId, ms: u64) -> Result<()> {
+        if self.dir_children(parent)?.contains_key(name) {
+            return Err(H2Error::AlreadyExists(name.to_string()));
+        }
+        self.dir_children_mut(parent).insert(name.to_string(), id);
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.modified_ms = ms;
+        }
+        Ok(())
+    }
+
+    /// Delete the subtree rooted at `id`, returning the content-object keys
+    /// of every file removed (so the caller can reclaim cloud objects).
+    pub fn remove_subtree(&mut self, id: InodeId) -> Vec<String> {
+        let mut objects = Vec::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if let Some(inode) = self.nodes.remove(&cur) {
+                match inode.node {
+                    Node::Dir { children } => stack.extend(children.into_values()),
+                    Node::File { object, .. } => objects.push(object),
+                }
+            }
+        }
+        objects
+    }
+
+    /// List one directory as [`DirEntry`] rows.
+    pub fn list(&self, id: InodeId) -> Result<Vec<DirEntry>> {
+        let children = self.dir_children(id)?;
+        Ok(children
+            .iter()
+            .map(|(name, cid)| {
+                let inode = &self.nodes[cid];
+                match &inode.node {
+                    Node::Dir { .. } => DirEntry {
+                        name: name.clone(),
+                        kind: EntryKind::Directory,
+                        size: 0,
+                        modified_ms: inode.modified_ms,
+                    },
+                    Node::File { size, .. } => DirEntry {
+                        name: name.clone(),
+                        kind: EntryKind::File,
+                        size: *size,
+                        modified_ms: inode.modified_ms,
+                    },
+                }
+            })
+            .collect())
+    }
+
+    /// All `(relative components, size, object)` files in the subtree at
+    /// `id`, in deterministic order — what COPY iterates.
+    pub fn subtree_files(&self, id: InodeId) -> Vec<(Vec<String>, u64, String)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(InodeId, Vec<String>)> = vec![(id, Vec::new())];
+        while let Some((cur, prefix)) = stack.pop() {
+            match &self.nodes[&cur].node {
+                Node::Dir { children } => {
+                    for (name, cid) in children.iter().rev() {
+                        let mut p = prefix.clone();
+                        p.push(name.clone());
+                        stack.push((*cid, p));
+                    }
+                }
+                Node::File { size, object } => out.push((prefix, *size, object.clone())),
+            }
+        }
+        out
+    }
+
+    /// All directories (relative component paths) in the subtree at `id`,
+    /// parents before children.
+    pub fn subtree_dirs(&self, id: InodeId) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(InodeId, Vec<String>)> = vec![(id, Vec::new())];
+        while let Some((cur, prefix)) = stack.pop() {
+            if let Node::Dir { children } = &self.nodes[&cur].node {
+                if !prefix.is_empty() {
+                    out.push(prefix.clone());
+                }
+                for (name, cid) in children.iter().rev() {
+                    let mut p = prefix.clone();
+                    p.push(name.clone());
+                    stack.push((*cid, p));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Count live inodes in the subtree at `id` (dirs + files).
+    pub fn subtree_size(&self, id: InodeId) -> usize {
+        let mut n = 0usize;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            n += 1;
+            if let Node::Dir { children } = &self.nodes[&cur].node {
+                stack.extend(children.values().copied());
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    fn sample() -> TreeIndex {
+        let mut t = TreeIndex::new();
+        let home = t.mkdir(t.root(), "home", 1).unwrap();
+        let alice = t.mkdir(home, "alice", 2).unwrap();
+        t.put_file(alice, "a.txt", 10, "obj-a".into(), 3).unwrap();
+        t.put_file(alice, "b.txt", 20, "obj-b".into(), 4).unwrap();
+        t.mkdir(alice, "docs", 5).unwrap();
+        t
+    }
+
+    #[test]
+    fn resolve_counts_hops() {
+        let t = sample();
+        assert_eq!(t.resolve(&p("/")).unwrap().hops, 0);
+        assert_eq!(t.resolve(&p("/home/alice/a.txt")).unwrap().hops, 3);
+        assert_eq!(t.resolve(&p("/missing")).unwrap_err().code(), "not-found");
+        assert_eq!(
+            t.resolve(&p("/home/alice/a.txt/x")).unwrap_err().code(),
+            "not-a-directory"
+        );
+    }
+
+    #[test]
+    fn mkdir_and_duplicates() {
+        let mut t = sample();
+        let alice = t.resolve(&p("/home/alice")).unwrap().id;
+        assert_eq!(t.mkdir(alice, "docs", 9).unwrap_err().code(), "already-exists");
+        t.mkdir(alice, "new", 9).unwrap();
+        assert!(t.resolve(&p("/home/alice/new")).is_ok());
+    }
+
+    #[test]
+    fn put_file_overwrites_and_returns_old_object() {
+        let mut t = sample();
+        let alice = t.resolve(&p("/home/alice")).unwrap().id;
+        let old = t
+            .put_file(alice, "a.txt", 99, "obj-a2".into(), 9)
+            .unwrap();
+        assert_eq!(old.as_deref(), Some("obj-a"));
+        let id = t.resolve(&p("/home/alice/a.txt")).unwrap().id;
+        match &t.get(id).unwrap().node {
+            Node::File { size, object } => {
+                assert_eq!(*size, 99);
+                assert_eq!(object, "obj-a2");
+            }
+            _ => panic!(),
+        }
+        // Overwriting a dir with a file is rejected.
+        assert_eq!(
+            t.put_file(alice, "docs", 1, "x".into(), 9).unwrap_err().code(),
+            "is-a-directory"
+        );
+    }
+
+    #[test]
+    fn detach_attach_is_constant_pointer_move() {
+        let mut t = sample();
+        let root = t.root();
+        let home = t.resolve(&p("/home")).unwrap().id;
+        let alice_id = t.detach(home, "alice").unwrap();
+        t.attach(root, "alice-moved", alice_id, 99).unwrap();
+        assert!(t.resolve(&p("/home/alice")).is_err());
+        assert_eq!(t.resolve(&p("/alice-moved/a.txt")).unwrap().hops, 2);
+    }
+
+    #[test]
+    fn remove_subtree_returns_all_objects() {
+        let mut t = sample();
+        let home = t.resolve(&p("/home")).unwrap().id;
+        let alice = t.detach(home, "alice").unwrap();
+        let mut objs = t.remove_subtree(alice);
+        objs.sort();
+        assert_eq!(objs, ["obj-a", "obj-b"]);
+        assert_eq!(t.record_count(), 1); // only /home remains
+    }
+
+    #[test]
+    fn list_is_sorted_with_kinds() {
+        let t = sample();
+        let alice = t.resolve(&p("/home/alice")).unwrap().id;
+        let rows = t.list(alice).unwrap();
+        let names: Vec<_> = rows.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a.txt", "b.txt", "docs"]);
+        assert_eq!(rows[2].kind, EntryKind::Directory);
+        assert_eq!(rows[0].size, 10);
+    }
+
+    #[test]
+    fn subtree_files_and_dirs() {
+        let t = sample();
+        let home = t.resolve(&p("/home")).unwrap().id;
+        let files = t.subtree_files(home);
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].0, ["alice", "a.txt"]);
+        let dirs = t.subtree_dirs(home);
+        assert_eq!(dirs, [vec!["alice".to_string()], vec!["alice".into(), "docs".into()]]);
+        assert_eq!(t.subtree_size(home), 5);
+    }
+
+    #[test]
+    fn record_accounting() {
+        let t = sample();
+        assert_eq!(t.record_count(), 5);
+        assert!(t.record_bytes() > 0);
+    }
+}

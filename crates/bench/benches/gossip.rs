@@ -1,0 +1,90 @@
+//! Ablation A3: gossip/maintenance wall time — how long the deterministic
+//! pump takes to converge as middleware count and update volume grow, and
+//! eager-vs-deferred client-path cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
+use h2fsapi::{CloudFs, FileContent, FsPath};
+use h2util::OpCtx;
+use swiftsim::ClusterConfig;
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn h2(mode: MaintenanceMode, middlewares: usize) -> H2Cloud {
+    let fs = H2Cloud::new(H2Config {
+        middlewares,
+        mode,
+        cluster: ClusterConfig {
+            cost: std::sync::Arc::new(h2util::CostModel::zero()),
+            ..ClusterConfig::default()
+        },
+    });
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "user").unwrap();
+    fs.mkdir(&mut ctx, "user", &p("/shared")).unwrap();
+    fs.quiesce();
+    fs
+}
+
+fn bench_pump_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_pump");
+    g.sample_size(10);
+    for n_mw in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("middlewares", n_mw), &n_mw, |b, &n_mw| {
+            b.iter_batched(
+                || {
+                    let fs = h2(MaintenanceMode::Deferred, n_mw);
+                    for i in 0..n_mw {
+                        let view = fs.via(i);
+                        for j in 0..10 {
+                            let mut ctx = OpCtx::for_test();
+                            view.write(
+                                &mut ctx,
+                                "user",
+                                &p(&format!("/shared/m{i}-f{j}")),
+                                FileContent::Simulated(512),
+                            )
+                            .unwrap();
+                        }
+                    }
+                    fs
+                },
+                |fs| {
+                    std::hint::black_box(fs.layer().pump().unwrap());
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_client_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maintenance_mode_write");
+    for (label, mode) in [
+        ("eager", MaintenanceMode::Eager),
+        ("deferred", MaintenanceMode::Deferred),
+    ] {
+        g.bench_function(label, |b| {
+            let fs = h2(mode, 1);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                let mut ctx = OpCtx::for_test();
+                fs.write(
+                    &mut ctx,
+                    "user",
+                    &p(&format!("/shared/w{i}")),
+                    FileContent::Simulated(512),
+                )
+                .unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(gossip, bench_pump_convergence, bench_client_path);
+criterion_main!(gossip);

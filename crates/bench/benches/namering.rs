@@ -1,0 +1,107 @@
+//! Ablation A5: NameRing mechanics — merge throughput vs patch-chain
+//! length, formatter round-trip cost vs ring size, compaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2cloud::formatter;
+use h2cloud::{NameRing, Tuple};
+use h2util::{NodeId, Timestamp};
+
+fn ts(i: u64) -> Timestamp {
+    Timestamp::new(i, 0, NodeId(1))
+}
+
+fn ring_of(n: usize) -> NameRing {
+    (0..n)
+        .map(|i| (format!("file{i:06}"), Tuple::file(ts(i as u64), 1024)))
+        .collect()
+}
+
+fn bench_merge_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_chain");
+    // Base ring of 1000 entries; merge k single-entry patches.
+    for k in [1usize, 16, 256] {
+        let base = ring_of(1000);
+        let patches: Vec<NameRing> = (0..k)
+            .map(|i| {
+                let mut p = NameRing::new();
+                p.apply(
+                    &format!("patch{i:04}"),
+                    Tuple::file(ts(10_000 + i as u64), 2048),
+                );
+                p
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("patches", k), &k, |b, _| {
+            b.iter(|| {
+                let mut r = base.clone();
+                for p in &patches {
+                    r.merge_from(p);
+                }
+                std::hint::black_box(r.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_big(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_rings");
+    g.sample_size(20);
+    for n in [100usize, 1000, 10_000] {
+        let a = ring_of(n);
+        let mut b_ring = NameRing::new();
+        for i in 0..n {
+            b_ring.apply(
+                &format!("other{i:06}"),
+                Tuple::file(ts(50_000 + i as u64), 4096),
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(NameRing::merged(a.clone(), &b_ring).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_formatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("formatter");
+    for n in [100usize, 1000, 10_000] {
+        let ring = ring_of(n);
+        let s = formatter::namering_to_string(&ring);
+        g.bench_with_input(BenchmarkId::new("stringify", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(formatter::namering_to_string(&ring).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("parse", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(formatter::namering_from_str(&s).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compact");
+    let n = 10_000;
+    let mut ring = ring_of(n);
+    // Tombstone half of it.
+    for i in (0..n).step_by(2) {
+        let name = format!("file{i:06}");
+        let t = *ring.get(&name).unwrap();
+        ring.apply(&name, t.tombstone(ts(100_000 + i as u64)));
+    }
+    g.bench_function("compact_half_of_10k", |b| {
+        b.iter(|| {
+            let mut r = ring.clone();
+            std::hint::black_box(r.compact(ts(u64::MAX)).len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    namering,
+    bench_merge_chain,
+    bench_merge_big,
+    bench_formatter,
+    bench_compact
+);
+criterion_main!(namering);

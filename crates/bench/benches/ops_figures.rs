@@ -1,0 +1,199 @@
+//! Criterion benches, one group per paper figure: real wall-time of the
+//! in-process systems executing each operation (complementing the virtual
+//! operation-time tables the `figures` binary prints).
+//!
+//! Scales are kept modest (10–1000) so the full suite runs in minutes; the
+//! virtual-time harness covers the 100 000-file points.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use h2bench::systems::{build_system, Sys, SystemKind};
+use h2fsapi::FsPath;
+use h2util::OpCtx;
+use h2workload::FsSpec;
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+/// A populated system ready for one destructive directory op.
+fn setup_flat(kind: SystemKind, n: usize) -> Sys {
+    let sys = build_system(kind);
+    let mut ctx = OpCtx::new(sys.cost.clone());
+    FsSpec::flat_dir(&p("/work"), n, 8 * 1024)
+        .populate(sys.fs.as_ref(), &mut ctx, "user")
+        .expect("populate");
+    sys.fs.mkdir(&mut ctx, "user", &p("/dst")).expect("mkdir");
+    sys
+}
+
+/// Figure 7: MOVE vs n.
+fn bench_move(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_move");
+    g.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        for kind in SystemKind::FIGURE_TRIO {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || setup_flat(kind, n),
+                        |sys| {
+                            let mut ctx = OpCtx::new(sys.cost.clone());
+                            sys.fs
+                                .mv(&mut ctx, "user", &p("/work"), &p("/dst/moved"))
+                                .expect("move");
+                        },
+                        BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 8: RMDIR vs n.
+fn bench_rmdir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_rmdir");
+    g.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        for kind in SystemKind::FIGURE_TRIO {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || setup_flat(kind, n),
+                        |sys| {
+                            let mut ctx = OpCtx::new(sys.cost.clone());
+                            sys.fs.rmdir(&mut ctx, "user", &p("/work")).expect("rmdir");
+                        },
+                        BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figures 9/10: LIST (detailed) vs m — non-destructive, one setup.
+fn bench_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_list");
+    g.sample_size(20);
+    for m in [10usize, 100, 1000] {
+        for kind in SystemKind::FIGURE_TRIO {
+            let sys = setup_flat(kind, m);
+            g.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), m),
+                &m,
+                |b, &m| {
+                    b.iter(|| {
+                        let mut ctx = OpCtx::new(sys.cost.clone());
+                        let rows = sys
+                            .fs
+                            .list_detailed(&mut ctx, "user", &p("/work"))
+                            .expect("list");
+                        assert_eq!(rows.len(), m);
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 11: COPY vs n.
+fn bench_copy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_copy");
+    g.sample_size(10);
+    for n in [10usize, 100] {
+        for kind in SystemKind::FIGURE_TRIO {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    let mut copy_no = 0usize;
+                    let sys = setup_flat(kind, n);
+                    b.iter(|| {
+                        copy_no += 1;
+                        let mut ctx = OpCtx::new(sys.cost.clone());
+                        sys.fs
+                            .copy(
+                                &mut ctx,
+                                "user",
+                                &p("/work"),
+                                &p(&format!("/dst/copy{copy_no}")),
+                            )
+                            .expect("copy");
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 12: MKDIR.
+fn bench_mkdir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_mkdir");
+    g.sample_size(20);
+    for kind in SystemKind::FIGURE_TRIO {
+        let sys = setup_flat(kind, 100);
+        let mut dir_no = 0usize;
+        g.bench_function(kind.label().replace(' ', "_"), |b| {
+            b.iter(|| {
+                dir_no += 1;
+                let mut ctx = OpCtx::new(sys.cost.clone());
+                sys.fs
+                    .mkdir(&mut ctx, "user", &p(&format!("/dst/d{dir_no}")))
+                    .expect("mkdir");
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 13: file-access lookup vs depth.
+fn bench_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_access");
+    for d in [1usize, 4, 12, 20] {
+        for kind in SystemKind::FIGURE_TRIO {
+            let sys = build_system(kind);
+            let mut ctx = OpCtx::new(sys.cost.clone());
+            FsSpec::chain(d, 8 * 1024)
+                .populate(sys.fs.as_ref(), &mut ctx, "user")
+                .expect("populate");
+            let mut path = String::new();
+            for i in 0..d - 1 {
+                path.push_str(&format!("/level{i:02}"));
+            }
+            path.push_str("/leaf.dat");
+            let leaf = p(&path);
+            g.bench_with_input(
+                BenchmarkId::new(kind.label().replace(' ', "_"), d),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        let mut ctx = OpCtx::new(sys.cost.clone());
+                        sys.fs.stat(&mut ctx, "user", &leaf).expect("stat");
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_move,
+    bench_rmdir,
+    bench_list,
+    bench_copy,
+    bench_mkdir,
+    bench_access
+);
+criterion_main!(figures);

@@ -1,0 +1,68 @@
+//! Ablation A4: consistent-hash ring — build cost, lookup throughput, and
+//! balance as partition power and replica count vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2ring::{DeviceId, RingBuilder};
+
+fn builder(devices: u16, part_power: u8, replicas: usize) -> RingBuilder {
+    let mut b = RingBuilder::new(part_power, replicas);
+    for i in 0..devices {
+        b.add_device(DeviceId(i), (i % 8) as u8, 1.0);
+    }
+    b
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_build");
+    g.sample_size(10);
+    for part_power in [8u8, 12, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("pp", part_power),
+            &part_power,
+            |bench, &pp| {
+                let b = builder(16, pp, 3);
+                bench.iter(|| b.build());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_lookup");
+    for replicas in [1usize, 3] {
+        let ring = builder(16, 14, replicas).build();
+        g.bench_with_input(
+            BenchmarkId::new("replicas", replicas),
+            &replicas,
+            |bench, _| {
+                let mut i = 0u64;
+                bench.iter(|| {
+                    i = i.wrapping_add(1);
+                    let key = i.to_le_bytes();
+                    std::hint::black_box(ring.lookup(&key));
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rebalance(c: &mut Criterion) {
+    // Movement cost when one device joins a 16-device ring.
+    let mut g = c.benchmark_group("ring_rebalance");
+    g.sample_size(10);
+    g.bench_function("add_one_device_pp12", |bench| {
+        let old = builder(16, 12, 3).build();
+        bench.iter(|| {
+            let mut b = builder(16, 12, 3);
+            b.add_device(DeviceId(999), 7, 1.0);
+            let new = b.build();
+            std::hint::black_box(old.moved_partitions(&new))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(ring, bench_build, bench_lookup, bench_rebalance);
+criterion_main!(ring);

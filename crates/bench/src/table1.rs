@@ -1,0 +1,268 @@
+//! Table 1, reproduced empirically: measure each design's operation time
+//! at two workload scales and classify the growth.
+//!
+//! For every system × operation we run the op at a small and a large value
+//! of the variable Table 1 says it scales with (n, m, N or d), take the
+//! virtual-time ratio, and classify: flat → O(1), growing like the scale
+//! factor → linear, in between → logarithmic-ish. The printed matrix sits
+//! next to the paper's analytical classes.
+
+use h2fsapi::{CloudFs, FsPath};
+use h2util::OpCtx;
+use h2workload::FsSpec;
+
+use crate::systems::{build_system, SystemKind};
+use crate::{ms_f, ExpTable};
+
+const SMALL: usize = 512;
+const LARGE: usize = 4096;
+const D_SMALL: usize = 3;
+const D_LARGE: usize = 18;
+const FILE_SIZE: u64 = 8 * 1024;
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).expect("static path")
+}
+
+/// Which variable an operation is swept against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sweep {
+    /// Files in the target directory.
+    N,
+    /// Direct children of the listed directory (same setup as N here:
+    /// flat directories make n = m).
+    M,
+    /// Total tree size (background).
+    BigN,
+    /// Depth of the accessed file.
+    D,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpSpec {
+    name: &'static str,
+    sweep: Sweep,
+}
+
+const OPS: [OpSpec; 6] = [
+    OpSpec {
+        name: "FileAccess",
+        sweep: Sweep::D,
+    },
+    OpSpec {
+        name: "MKDIR",
+        sweep: Sweep::BigN,
+    },
+    OpSpec {
+        name: "RMDIR",
+        sweep: Sweep::N,
+    },
+    OpSpec {
+        name: "MOVE",
+        sweep: Sweep::N,
+    },
+    OpSpec {
+        name: "LIST",
+        sweep: Sweep::M,
+    },
+    OpSpec {
+        name: "COPY",
+        sweep: Sweep::N,
+    },
+];
+
+/// Paper's Table 1 classes for the comparison column.
+fn paper_class(kind: SystemKind, op: &str) -> &'static str {
+    use SystemKind::*;
+    match (kind, op) {
+        (Cumulus, "FileAccess") => "O(N)",
+        (Cumulus, "MKDIR") => "O(1)",
+        (Cumulus, _) => "O(N)",
+        (Cas, "FileAccess") => "O(1)*",
+        (Cas, "LIST") => "O(m)",
+        (Cas, _) => "O(N)",
+        (PlainCh, "FileAccess") | (PlainCh, "MKDIR") => "O(1)",
+        (PlainCh, "RMDIR") | (PlainCh, "MOVE") => "O(n)",
+        (PlainCh, _) => "O(N)",
+        (SwiftDb, "FileAccess") | (SwiftDb, "MKDIR") => "O(1)",
+        (SwiftDb, "RMDIR") | (SwiftDb, "MOVE") => "O(n)",
+        (SwiftDb, "LIST") => "O(m·logN)",
+        (SwiftDb, "COPY") => "O(n+logN)",
+        (SingleIndex | StaticPartition | Dp, "FileAccess") => "O(d)",
+        (SingleIndex | StaticPartition | Dp, "MKDIR") => "O(1)",
+        (SingleIndex | StaticPartition | Dp, "RMDIR") => "O(1)",
+        (SingleIndex | StaticPartition | Dp, "MOVE") => "O(1)",
+        (SingleIndex | StaticPartition | Dp, "LIST") => "O(m)",
+        (SingleIndex | StaticPartition | Dp, "COPY") => "O(n)",
+        (H2Cloud, "FileAccess") => "O(d)†",
+        (H2Cloud, "MKDIR") => "O(1)",
+        (H2Cloud, "RMDIR") => "O(1)",
+        (H2Cloud, "MOVE") => "O(1)",
+        (H2Cloud, "LIST") => "O(m)†",
+        (H2Cloud, "COPY") => "O(n)",
+        _ => "?",
+    }
+}
+
+/// The paper's complexity for some cells is in total tree size N even
+/// though the generic column sweeps n/m/d — Cumulus scans its whole
+/// metadata log and CAS rebuilds its whole index. Sweep what the paper's
+/// class is actually in.
+fn sweep_for(kind: SystemKind, op: OpSpec) -> Sweep {
+    use SystemKind::*;
+    match (kind, op.name) {
+        (Cumulus, "FileAccess") | (Cumulus, "RMDIR") | (Cumulus, "MOVE") | (Cumulus, "COPY") => {
+            Sweep::BigN
+        }
+        (Cas, "RMDIR") | (Cas, "MOVE") | (Cas, "COPY") => Sweep::BigN,
+        _ => op.sweep,
+    }
+}
+
+/// Run one (system, op) measurement at `scale` and return the virtual ms.
+fn run_point(kind: SystemKind, op: OpSpec, large: bool) -> f64 {
+    let sys = build_system(kind);
+    let scale = if large { LARGE } else { SMALL };
+    let sweep = sweep_for(kind, op);
+    let mut ctx = OpCtx::new(sys.cost.clone());
+    match sweep {
+        Sweep::N | Sweep::M => {
+            FsSpec::flat_dir(&p("/work"), scale, FILE_SIZE)
+                .populate(sys.fs.as_ref(), &mut ctx, "user")
+                .expect("populate");
+            sys.fs.mkdir(&mut ctx, "user", &p("/dst")).expect("mkdir");
+        }
+        Sweep::BigN => {
+            // Background of ~scale entries: scale/8 dirs × 8 files, plus a
+            // small fixed-size /work so the measured op has a target whose
+            // own size does NOT scale.
+            let mut spec = FsSpec::flat_dir(&p("/work"), 16, FILE_SIZE);
+            for d in 0..scale / 8 {
+                let dir = p(&format!("/bg{d:04}"));
+                spec.dirs.push(dir.clone());
+                for f in 0..8 {
+                    spec.files
+                        .push((dir.child(&format!("f{f}")).expect("valid"), FILE_SIZE));
+                }
+            }
+            spec.populate(sys.fs.as_ref(), &mut ctx, "user").expect("populate");
+            sys.fs.mkdir(&mut ctx, "user", &p("/dst")).expect("mkdir");
+        }
+        Sweep::D => {
+            let d = if large { D_LARGE } else { D_SMALL };
+            FsSpec::chain(d, FILE_SIZE)
+                .populate(sys.fs.as_ref(), &mut ctx, "user")
+                .expect("populate");
+        }
+    }
+    let mut mctx = OpCtx::new(sys.cost.clone());
+    let fs: &dyn CloudFs = sys.fs.as_ref();
+    match (op.name, sweep) {
+        ("FileAccess", Sweep::BigN) => {
+            // Depth fixed; the background log/index is what scales.
+            fs.stat(&mut mctx, "user", &p("/work/f000005")).expect("stat");
+        }
+        ("FileAccess", _) => {
+            let d = if large { D_LARGE } else { D_SMALL };
+            let mut path = String::new();
+            for i in 0..d - 1 {
+                path.push_str(&format!("/level{i:02}"));
+            }
+            path.push_str("/leaf.dat");
+            fs.stat(&mut mctx, "user", &p(&path)).expect("stat");
+        }
+        ("MKDIR", _) => {
+            fs.mkdir(&mut mctx, "user", &p("/brand-new")).expect("mkdir");
+        }
+        ("RMDIR", _) => {
+            fs.rmdir(&mut mctx, "user", &p("/work")).expect("rmdir");
+        }
+        ("MOVE", _) => {
+            fs.mv(&mut mctx, "user", &p("/work"), &p("/dst/moved"))
+                .expect("move");
+        }
+        ("LIST", _) => {
+            fs.list_detailed(&mut mctx, "user", &p("/work")).expect("list");
+        }
+        ("COPY", _) => {
+            fs.copy(&mut mctx, "user", &p("/work"), &p("/dst/copy"))
+                .expect("copy");
+        }
+        other => unreachable!("unknown op {other:?}"),
+    }
+    ms_f(mctx.elapsed())
+}
+
+/// Classify growth from two (scale, time) points, factoring out the
+/// constant request overhead: fit `t(s) = a + b·s` and look at the linear
+/// part's share of the large-scale time.
+fn classify(t_small: f64, t_large: f64, factor: f64) -> &'static str {
+    let ratio = t_large / t_small.max(1e-9);
+    if ratio < 1.35 {
+        return "O(1)";
+    }
+    // b·s_large = (t_large - t_small) / (f - 1) · f
+    let linear_at_large = (t_large - t_small) / (factor - 1.0) * factor;
+    if linear_at_large / t_large > 0.55 {
+        "O(x)" // grows ~linearly with the swept variable
+    } else {
+        "O(~log)" // grows, but far slower than linearly
+    }
+}
+
+fn sweep_factor(s: Sweep) -> f64 {
+    match s {
+        Sweep::N | Sweep::M | Sweep::BigN => LARGE as f64 / SMALL as f64,
+        Sweep::D => D_LARGE as f64 / D_SMALL as f64,
+    }
+}
+
+/// Run the whole matrix. `systems` defaults to all eight.
+pub fn table1(systems: &[SystemKind]) -> ExpTable {
+    let mut t = ExpTable::new(
+        "table1",
+        format!(
+            "empirical growth classes (virtual-time ratio, scale {SMALL}→{LARGE}, depth \
+             {D_SMALL}→{D_LARGE}); measured class vs paper's analysis"
+        ),
+    );
+    t.headers = vec!["System".into()];
+    for op in OPS {
+        t.headers.push(format!("{} meas", op.name));
+        t.headers.push(format!("{} paper", op.name));
+    }
+    for &kind in systems {
+        let mut row = vec![kind.label().to_string()];
+        for op in OPS {
+            let small = run_point(kind, op, false);
+            let large = run_point(kind, op, true);
+            let ratio = large / small.max(1e-9);
+            let class = classify(small, large, sweep_factor(sweep_for(kind, op)));
+            row.push(format!("{class} ({ratio:.1}x)"));
+            row.push(paper_class(kind, op.name).to_string());
+        }
+        t.rows.push(row);
+    }
+    t.notes.push(
+        "O(x) = grows ~linearly with the swept variable (n, m, N or d as per column)".into(),
+    );
+    t.notes.push(
+        "* CAS file access is O(1) when addressed by content hash (see \
+         CasFs::read_by_hash); the path-based walk measured here is O(d)"
+            .into(),
+    );
+    t.notes.push(
+        "† H2 file access is O(1) via namespace-decorated relative paths \
+         (quick method) and O(d) via full paths; names-only LIST is O(1), \
+         detailed LIST O(m)"
+            .into(),
+    );
+    t.notes.push(
+        "index-server designs (DP / Single Index / Static Partition) measure \
+         O(1) file access even though the walk is O(d) hops — all d steps run \
+         inside one index server, exactly the paper's explanation of \
+         Dropbox's flat Figure 13 curve"
+            .into(),
+    );
+    t
+}

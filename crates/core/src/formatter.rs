@@ -1,0 +1,269 @@
+//! The Formatter (§4.4): stringifying every data type into ASCII objects.
+//!
+//! Three object kinds need string forms beyond raw file bytes:
+//!
+//! * **NameRings** — "represented in lists of tuples … alphabetically
+//!   sorted by their names and packed to ASCII strings one after another";
+//! * **NameRing patches** — "firstly converted to the form of a normal
+//!   NameRing and then represented in lists of tuples";
+//! * **Directories** — "converted to ASCII strings corresponding to their
+//!   namespaces" (the descriptor object holding the directory's UUID).
+//!
+//! The wire format is line-oriented: a magic+version header, then one
+//! tab-separated tuple per line. Child names may not contain control
+//! characters (enforced by [`h2fsapi::FsPath`]), so `\t`/`\n` are safe
+//! separators. Parsing is strict: any malformed line is a
+//! [`H2Error::Corrupt`] — better to surface corruption than to silently
+//! drop filesystem state.
+
+use h2util::{H2Error, NamespaceId, Result, Timestamp};
+
+use crate::keys::DirDescriptor;
+use crate::namering::{ChildRef, NameRing, Tuple};
+
+/// Header of a serialised NameRing object.
+pub const NAMERING_MAGIC: &str = "H2NR1";
+/// Header of a serialised patch object (same body as a NameRing).
+pub const PATCH_MAGIC: &str = "H2PT1";
+/// Header of a directory descriptor object.
+pub const DIR_MAGIC: &str = "H2DIR1";
+
+/// Serialise a NameRing (or, with [`PATCH_MAGIC`], a patch).
+fn write_ring(magic: &str, ring: &NameRing) -> String {
+    // Rough size: header + ~64 bytes per tuple.
+    let mut out = String::with_capacity(16 + ring.len() * 64);
+    out.push_str(magic);
+    out.push(' ');
+    out.push_str(&ring.len().to_string());
+    out.push('\n');
+    for (name, t) in ring.iter() {
+        out.push_str(name);
+        out.push('\t');
+        out.push_str(&t.ts.to_string());
+        out.push('\t');
+        match t.child {
+            ChildRef::File { size } => {
+                out.push('F');
+                out.push('\t');
+                out.push_str(&size.to_string());
+            }
+            ChildRef::Dir { ns } => {
+                out.push('D');
+                out.push('\t');
+                out.push_str(&ns.to_string());
+            }
+        }
+        out.push('\t');
+        // The paper's Deleted tag.
+        out.push(if t.deleted { 'D' } else { 'A' });
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_ring(magic: &str, s: &str) -> Result<NameRing> {
+    let mut lines = s.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| H2Error::Corrupt("empty ring object".into()))?;
+    let (got_magic, count) = header
+        .split_once(' ')
+        .ok_or_else(|| H2Error::Corrupt(format!("bad ring header {header:?}")))?;
+    if got_magic != magic {
+        return Err(H2Error::Corrupt(format!(
+            "expected {magic} object, found {got_magic:?}"
+        )));
+    }
+    let count: usize = count
+        .parse()
+        .map_err(|_| H2Error::Corrupt(format!("bad tuple count {count:?}")))?;
+    let mut ring = NameRing::new();
+    let mut seen = 0usize;
+    for line in lines {
+        let mut f = line.split('\t');
+        let (name, ts, kind, aux, flag) = match (f.next(), f.next(), f.next(), f.next(), f.next())
+        {
+            (Some(a), Some(b), Some(c), Some(d), Some(e)) if f.next().is_none() => {
+                (a, b, c, d, e)
+            }
+            _ => return Err(H2Error::Corrupt(format!("bad tuple line {line:?}"))),
+        };
+        let ts: Timestamp = ts
+            .parse()
+            .map_err(|e| H2Error::Corrupt(format!("bad timestamp: {e}")))?;
+        let child = match kind {
+            "F" => ChildRef::File {
+                size: aux
+                    .parse()
+                    .map_err(|_| H2Error::Corrupt(format!("bad size {aux:?}")))?,
+            },
+            "D" => ChildRef::Dir {
+                ns: aux
+                    .parse()
+                    .map_err(|e| H2Error::Corrupt(format!("bad namespace: {e}")))?,
+            },
+            other => return Err(H2Error::Corrupt(format!("bad child kind {other:?}"))),
+        };
+        let deleted = match flag {
+            "A" => false,
+            "D" => true,
+            other => return Err(H2Error::Corrupt(format!("bad deleted flag {other:?}"))),
+        };
+        ring.apply(name, Tuple { ts, child, deleted });
+        seen += 1;
+    }
+    if seen != count {
+        return Err(H2Error::Corrupt(format!(
+            "tuple count mismatch: header says {count}, found {seen}"
+        )));
+    }
+    Ok(ring)
+}
+
+/// NameRing → ASCII object body.
+pub fn namering_to_string(ring: &NameRing) -> String {
+    write_ring(NAMERING_MAGIC, ring)
+}
+
+/// ASCII object body → NameRing.
+pub fn namering_from_str(s: &str) -> Result<NameRing> {
+    parse_ring(NAMERING_MAGIC, s)
+}
+
+/// Patch → ASCII object body (a patch *is* a NameRing, §3.3.2).
+pub fn patch_to_string(patch: &NameRing) -> String {
+    write_ring(PATCH_MAGIC, patch)
+}
+
+/// ASCII object body → patch.
+pub fn patch_from_str(s: &str) -> Result<NameRing> {
+    parse_ring(PATCH_MAGIC, s)
+}
+
+/// Directory descriptor → ASCII object body.
+pub fn dir_to_string(d: &DirDescriptor) -> String {
+    format!("{DIR_MAGIC}\n{}\t{}\t{}\n", d.ns, d.name, d.created)
+}
+
+/// ASCII object body → directory descriptor.
+pub fn dir_from_str(s: &str) -> Result<DirDescriptor> {
+    let mut lines = s.lines();
+    match lines.next() {
+        Some(DIR_MAGIC) => {}
+        other => {
+            return Err(H2Error::Corrupt(format!(
+                "expected {DIR_MAGIC} object, found {other:?}"
+            )))
+        }
+    }
+    let body = lines
+        .next()
+        .ok_or_else(|| H2Error::Corrupt("missing descriptor body".into()))?;
+    let mut f = body.split('\t');
+    let (ns, name, created) = match (f.next(), f.next(), f.next()) {
+        (Some(a), Some(b), Some(c)) if f.next().is_none() => (a, b, c),
+        _ => return Err(H2Error::Corrupt(format!("bad descriptor body {body:?}"))),
+    };
+    let ns: NamespaceId = ns
+        .parse()
+        .map_err(|e| H2Error::Corrupt(format!("bad namespace: {e}")))?;
+    let created: Timestamp = created
+        .parse()
+        .map_err(|e| H2Error::Corrupt(format!("bad created ts: {e}")))?;
+    Ok(DirDescriptor {
+        ns,
+        name: name.to_string(),
+        created,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2util::NodeId;
+
+    fn ts(m: u64) -> Timestamp {
+        Timestamp::new(m, 0, NodeId(1))
+    }
+
+    fn sample_ring() -> NameRing {
+        let mut r = NameRing::new();
+        r.apply("cat", Tuple::file(ts(1), 4096));
+        r.apply("bash", Tuple::file(ts(2), 1_048_576));
+        r.apply(
+            "docs",
+            Tuple::dir(ts(3), NamespaceId::new(6, NodeId(1), 1_469_346_604_539)),
+        );
+        r.apply("gone", Tuple::file(ts(4), 7).tombstone(ts(5)));
+        r
+    }
+
+    #[test]
+    fn namering_roundtrip() {
+        let r = sample_ring();
+        let s = namering_to_string(&r);
+        assert!(s.starts_with("H2NR1 4\n"));
+        let back = namering_from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn tuples_are_alphabetical_in_the_string() {
+        let s = namering_to_string(&sample_ring());
+        let names: Vec<&str> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.split('\t').next().unwrap())
+            .collect();
+        assert_eq!(names, ["bash", "cat", "docs", "gone"]);
+    }
+
+    #[test]
+    fn patch_roundtrip_and_magic_mismatch() {
+        let r = sample_ring();
+        let s = patch_to_string(&r);
+        assert!(s.starts_with("H2PT1"));
+        assert_eq!(patch_from_str(&s).unwrap(), r);
+        // A patch is not accepted where a NameRing is expected.
+        assert_eq!(namering_from_str(&s).unwrap_err().code(), "corrupt");
+    }
+
+    #[test]
+    fn empty_ring_roundtrip() {
+        let r = NameRing::new();
+        let s = namering_to_string(&r);
+        assert_eq!(s, "H2NR1 0\n");
+        assert_eq!(namering_from_str(&s).unwrap(), r);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        assert!(namering_from_str("").is_err());
+        assert!(namering_from_str("H2NR1 notanumber\n").is_err());
+        assert!(namering_from_str("H2NR1 1\nname-without-fields\n").is_err());
+        assert!(namering_from_str("H2NR1 2\na\t1.0000.01\tF\t1\tA\n").is_err()); // count mismatch
+        assert!(namering_from_str("H2NR1 1\na\t1.0000.01\tX\t1\tA\n").is_err()); // bad kind
+        assert!(namering_from_str("H2NR1 1\na\t1.0000.01\tF\t1\tZ\n").is_err()); // bad flag
+        assert!(namering_from_str("H2NR1 1\na\tbadts\tF\t1\tA\n").is_err());
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = DirDescriptor {
+            ns: NamespaceId::new(6, NodeId(1), 1_469_346_604_539),
+            name: "home".to_string(),
+            created: ts(42),
+        };
+        let s = dir_to_string(&d);
+        assert!(s.starts_with("H2DIR1\n"));
+        assert_eq!(dir_from_str(&s).unwrap(), d);
+        assert!(dir_from_str("garbage").is_err());
+        assert!(dir_from_str("H2DIR1\nonly-one-field\n").is_err());
+    }
+
+    #[test]
+    fn serialised_form_is_ascii() {
+        let s = namering_to_string(&sample_ring());
+        assert!(s.is_ascii(), "formatter must emit ASCII strings");
+    }
+}

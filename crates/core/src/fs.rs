@@ -1,0 +1,1015 @@
+//! The H2Cloud filesystem: POSIX-like operations mapped to object-level
+//! operations via H2 (§3, §4).
+//!
+//! Every operation resolves paths with the regular O(d) method — walking one
+//! NameRing GET per level — then performs O(1) NameRing patches for
+//! structural changes:
+//!
+//! | op            | object-level work                                     |
+//! |---------------|-------------------------------------------------------|
+//! | MKDIR         | PUT descriptor + PUT empty NameRing + patch parent    |
+//! | RMDIR         | patch parent (tombstone) — subtree reclaimed lazily   |
+//! | MOVE/RENAME   | re-key descriptor or content + two parent patches     |
+//! | LIST          | the directory's NameRing (names) or + m HEADs (detail)|
+//! | COPY          | n server-side object copies + fresh NameRings         |
+//! | WRITE         | PUT content + patch parent                            |
+//! | READ          | O(d) lookup + GET content                             |
+//!
+//! The "quick method" of §3.2 — O(1) access through a namespace-decorated
+//! relative path — is exposed as [`H2Cloud::read_relative`] /
+//! [`H2Cloud::stat_relative`] and used internally by COPY and GC.
+
+use std::sync::Arc;
+
+use h2fsapi::{CloudFs, DirEntry, EntryKind, FileContent, FsPath, StoreStats};
+use h2util::{H2Error, NamespaceId, OpCtx, Result, Timestamp};
+use swiftsim::{Cluster, ClusterConfig, Meta, ObjectStore, Payload};
+
+use crate::keys::{DirDescriptor, H2Keys, H2_CONTAINER};
+use crate::layer::H2Layer;
+use crate::middleware::H2Middleware;
+pub use crate::middleware::MaintenanceMode;
+use crate::namering::{ChildRef, NameRing, Tuple};
+
+/// Configuration of an H2Cloud instance.
+#[derive(Debug, Clone)]
+pub struct H2Config {
+    /// Number of H2Middlewares in the layer.
+    pub middlewares: usize,
+    /// When patches merge (see [`MaintenanceMode`]).
+    pub mode: MaintenanceMode,
+    /// Shape of the underlying object cloud.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for H2Config {
+    fn default() -> Self {
+        H2Config {
+            middlewares: 1,
+            mode: MaintenanceMode::Eager,
+            cluster: ClusterConfig::default(),
+        }
+    }
+}
+
+impl H2Config {
+    /// Zero-latency, single-middleware config for semantic tests.
+    pub fn for_test() -> Self {
+        H2Config {
+            middlewares: 1,
+            mode: MaintenanceMode::Eager,
+            cluster: ClusterConfig::tiny(),
+        }
+    }
+}
+
+/// A resolved path target.
+#[derive(Debug, Clone)]
+enum Resolved {
+    Root,
+    Dir {
+        parent_ns: NamespaceId,
+        name: String,
+        ns: NamespaceId,
+        ts: Timestamp,
+    },
+    File {
+        parent_ns: NamespaceId,
+        name: String,
+        size: u64,
+        ts: Timestamp,
+    },
+}
+
+/// The H2Cloud system: an [`H2Layer`] over one object cloud.
+pub struct H2Cloud {
+    layer: H2Layer,
+    /// §4.2's system monitoring: per-operation latency histograms.
+    metrics: h2util::metrics::MetricsRegistry,
+}
+
+impl H2Cloud {
+    pub fn new(cfg: H2Config) -> Self {
+        let cluster = Cluster::new(cfg.cluster.clone());
+        H2Cloud {
+            layer: H2Layer::new(cluster, cfg.middlewares, cfg.mode),
+            metrics: h2util::metrics::MetricsRegistry::new(),
+        }
+    }
+
+    /// The monitoring registry: one latency histogram per operation kind,
+    /// fed by every `CloudFs` call on this instance.
+    pub fn metrics(&self) -> &h2util::metrics::MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Record an operation's virtual service time (the delta this op added
+    /// to `ctx`).
+    fn observe<T>(
+        &self,
+        name: &str,
+        ctx: &mut OpCtx,
+        f: impl FnOnce(&mut OpCtx) -> Result<T>,
+    ) -> Result<T> {
+        let before = ctx.elapsed();
+        let result = f(ctx);
+        self.metrics.record(name, ctx.elapsed().saturating_sub(before));
+        result
+    }
+
+    /// Rack-shaped instance with calibrated costs (the figure harness's
+    /// default).
+    pub fn rack() -> Self {
+        H2Cloud::new(H2Config::default())
+    }
+
+    pub fn layer(&self) -> &H2Layer {
+        &self.layer
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        self.layer.cluster()
+    }
+
+    pub fn cost_model(&self) -> Arc<h2util::CostModel> {
+        self.cluster().cost_model()
+    }
+
+    /// A view of the filesystem bound to one specific middleware — used by
+    /// multi-middleware convergence tests; normal clients go through the
+    /// sticky routing of the [`CloudFs`] impl.
+    pub fn via(&self, idx: usize) -> H2View<'_> {
+        H2View {
+            fs: self,
+            mw: self.layer.mw(idx).clone(),
+        }
+    }
+
+    fn mw(&self, account: &str) -> Arc<H2Middleware> {
+        self.layer.mw_for_account(account).clone()
+    }
+
+    // ----- path resolution (§3.2 regular method, O(d)) ---------------------
+
+    /// Walk `path` level by level along NameRings. Returns the target and,
+    /// if the final component's parent ring was read, that ring (so callers
+    /// that patch the parent skip a second GET).
+    fn resolve(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        path: &FsPath,
+    ) -> Result<(Resolved, Option<NameRing>)> {
+        if path.is_root() {
+            return Ok((Resolved::Root, None));
+        }
+        let mut ns = NamespaceId::ROOT;
+        let comps = path.components();
+        for (i, comp) in comps.iter().enumerate() {
+            let ring = mw.read_ring(ctx, keys, ns)?;
+            mw.charge_lookup_cpu(ctx);
+            let tuple = ring
+                .get(comp)
+                .ok_or_else(|| H2Error::NotFound(path.to_string()))?;
+            let last = i + 1 == comps.len();
+            match tuple.child {
+                ChildRef::Dir { ns: child_ns } => {
+                    if last {
+                        return Ok((
+                            Resolved::Dir {
+                                parent_ns: ns,
+                                name: comp.clone(),
+                                ns: child_ns,
+                                ts: tuple.ts,
+                            },
+                            Some(ring),
+                        ));
+                    }
+                    ns = child_ns;
+                }
+                ChildRef::File { size } => {
+                    if last {
+                        return Ok((
+                            Resolved::File {
+                                parent_ns: ns,
+                                name: comp.clone(),
+                                size,
+                                ts: tuple.ts,
+                            },
+                            Some(ring),
+                        ));
+                    }
+                    return Err(H2Error::NotADirectory(path.to_string()));
+                }
+            }
+        }
+        unreachable!("non-root path has components")
+    }
+
+    /// Resolve a path that must be a directory, returning its namespace.
+    fn resolve_dir_ns(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        path: &FsPath,
+    ) -> Result<NamespaceId> {
+        match self.resolve(mw, ctx, keys, path)?.0 {
+            Resolved::Root => Ok(NamespaceId::ROOT),
+            Resolved::Dir { ns, .. } => Ok(ns),
+            Resolved::File { .. } => Err(H2Error::NotADirectory(path.to_string())),
+        }
+    }
+
+    fn check_account(&self, account: &str) -> Result<()> {
+        if self.cluster().account_exists(account) {
+            Ok(())
+        } else {
+            Err(H2Error::NoSuchAccount(account.to_string()))
+        }
+    }
+
+    // ----- quick method (§3.2, O(1) via relative path) ----------------------
+
+    /// O(1) file access through a namespace-decorated relative path: hash
+    /// `ns::name` straight into the consistent hashing ring — one GET, no
+    /// directory walk. "Mainly used by the system's internal operations."
+    pub fn read_relative(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        ns: NamespaceId,
+        name: &str,
+    ) -> Result<FileContent> {
+        let keys = H2Keys::new(account);
+        let obj = self.cluster().get(ctx, &keys.child(ns, name))?;
+        Ok(payload_to_content(obj.payload))
+    }
+
+    /// O(1) existence/metadata check through a relative path (one HEAD).
+    pub fn stat_relative(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        ns: NamespaceId,
+        name: &str,
+    ) -> Result<(u64, u64)> {
+        let keys = H2Keys::new(account);
+        let info = self.cluster().head(ctx, &keys.child(ns, name))?;
+        Ok((info.size, info.modified_ms))
+    }
+
+    // ----- operations shared by CloudFs and H2View --------------------------
+
+    fn op_create_account(&self, mw: &H2Middleware, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.cluster().create_account(account)?;
+        self.cluster()
+            .create_container(account, H2_CONTAINER, false)?;
+        // The root directory's (empty) NameRing.
+        let keys = H2Keys::new(account);
+        mw.create_ring(ctx, &keys, NamespaceId::ROOT)
+    }
+
+    fn op_mkdir(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<()> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        let name = path
+            .name()
+            .ok_or_else(|| H2Error::AlreadyExists("/".into()))?;
+        let parent = path.parent().expect("non-root path has a parent");
+        let parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &parent)?;
+        let ring = mw.read_ring(ctx, &keys, parent_ns)?;
+        if ring.get(name).is_some() {
+            return Err(H2Error::AlreadyExists(path.to_string()));
+        }
+        let ns = mw.allocate_namespace();
+        let ts = mw.tick();
+        mw.put_descriptor(
+            ctx,
+            &keys,
+            parent_ns,
+            name,
+            &DirDescriptor {
+                ns,
+                name: name.to_string(),
+                created: ts,
+            },
+        )?;
+        mw.create_ring(ctx, &keys, ns)?;
+        let mut patch = NameRing::new();
+        patch.apply(name, Tuple::dir(ts, ns));
+        mw.submit_patch(ctx, &keys, parent_ns, patch)
+    }
+
+    fn op_rmdir(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<()> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        let (resolved, _) = self.resolve(mw, ctx, &keys, path)?;
+        match resolved {
+            Resolved::Root => Err(H2Error::InvalidPath("cannot remove /".into())),
+            Resolved::File { .. } => Err(H2Error::NotADirectory(path.to_string())),
+            Resolved::Dir {
+                parent_ns,
+                name,
+                ns,
+                ts: _,
+            } => {
+                // O(1): one tombstone patch on the parent's NameRing. The
+                // subtree stays in the cloud until GC compacts it (§3.3.2's
+                // deferred "really removing").
+                let mut patch = NameRing::new();
+                patch.apply(&name, Tuple::dir(mw.tick(), ns).tombstone(mw.tick()));
+                mw.submit_patch(ctx, &keys, parent_ns, patch)
+            }
+        }
+    }
+
+    fn op_mv(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        from: &FsPath,
+        to: &FsPath,
+    ) -> Result<()> {
+        self.check_account(account)?;
+        if from.is_root() || to.is_root() {
+            return Err(H2Error::InvalidPath("cannot move to or from /".into()));
+        }
+        if from == to {
+            return Ok(());
+        }
+        if from.is_ancestor_of(to) {
+            return Err(H2Error::InvalidPath(format!(
+                "cannot move {from} inside itself ({to})"
+            )));
+        }
+        let keys = H2Keys::new(account);
+        let (src, _) = self.resolve(mw, ctx, &keys, from)?;
+        let to_name = to.name().expect("non-root");
+        let to_parent = to.parent().expect("non-root");
+        let dst_parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &to_parent)?;
+        let dst_ring = mw.read_ring(ctx, &keys, dst_parent_ns)?;
+        if dst_ring.get(to_name).is_some() {
+            return Err(H2Error::AlreadyExists(to.to_string()));
+        }
+        match src {
+            Resolved::Root => unreachable!("non-root checked"),
+            Resolved::Dir {
+                parent_ns, name, ns, ..
+            } => {
+                // The directory's NameRing and entire subtree are keyed by
+                // its namespace, which does not change — this is the O(1)
+                // MOVE the paper gets from preserving hierarchy in H2.
+                let desc = mw.get_descriptor(ctx, &keys, parent_ns, &name)?;
+                mw.put_descriptor(
+                    ctx,
+                    &keys,
+                    dst_parent_ns,
+                    to_name,
+                    &DirDescriptor {
+                        ns,
+                        name: to_name.to_string(),
+                        created: desc.created,
+                    },
+                )?;
+                self.cluster().delete(ctx, &keys.child(parent_ns, &name))?;
+                let ts = mw.tick();
+                let mut out_patch = NameRing::new();
+                out_patch.apply(&name, Tuple::dir(ts, ns).tombstone(mw.tick()));
+                mw.submit_patch(ctx, &keys, parent_ns, out_patch)?;
+                let mut in_patch = NameRing::new();
+                in_patch.apply(to_name, Tuple::dir(mw.tick(), ns));
+                mw.submit_patch(ctx, &keys, dst_parent_ns, in_patch)
+            }
+            Resolved::File {
+                parent_ns,
+                name,
+                size,
+                ..
+            } => {
+                // A file's content object is keyed by its parent namespace,
+                // so moving it re-keys the object: one server-side copy +
+                // delete, then the two parent patches.
+                let src_key = keys.child(parent_ns, &name);
+                let dst_key = keys.child(dst_parent_ns, to_name);
+                self.cluster().copy(ctx, &src_key, &dst_key)?;
+                self.cluster().delete(ctx, &src_key)?;
+                let mut out_patch = NameRing::new();
+                out_patch.apply(
+                    &name,
+                    Tuple::file(mw.tick(), size).tombstone(mw.tick()),
+                );
+                mw.submit_patch(ctx, &keys, parent_ns, out_patch)?;
+                let mut in_patch = NameRing::new();
+                in_patch.apply(to_name, Tuple::file(mw.tick(), size));
+                mw.submit_patch(ctx, &keys, dst_parent_ns, in_patch)
+            }
+        }
+    }
+
+    fn op_copy(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        from: &FsPath,
+        to: &FsPath,
+    ) -> Result<()> {
+        self.check_account(account)?;
+        if from.is_root() || to.is_root() {
+            return Err(H2Error::InvalidPath("cannot copy to or from /".into()));
+        }
+        if from == to || from.is_ancestor_of(to) {
+            return Err(H2Error::InvalidPath(format!(
+                "cannot copy {from} onto/inside itself"
+            )));
+        }
+        let keys = H2Keys::new(account);
+        let (src, _) = self.resolve(mw, ctx, &keys, from)?;
+        let to_name = to.name().expect("non-root");
+        let to_parent = to.parent().expect("non-root");
+        let dst_parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &to_parent)?;
+        let dst_ring = mw.read_ring(ctx, &keys, dst_parent_ns)?;
+        if dst_ring.get(to_name).is_some() {
+            return Err(H2Error::AlreadyExists(to.to_string()));
+        }
+        match src {
+            Resolved::Root => unreachable!("non-root checked"),
+            Resolved::File {
+                parent_ns,
+                name,
+                size,
+                ..
+            } => {
+                self.cluster().copy(
+                    ctx,
+                    &keys.child(parent_ns, &name),
+                    &keys.child(dst_parent_ns, to_name),
+                )?;
+                let mut patch = NameRing::new();
+                patch.apply(to_name, Tuple::file(mw.tick(), size));
+                mw.submit_patch(ctx, &keys, dst_parent_ns, patch)
+            }
+            Resolved::Dir { ns, .. } => {
+                let new_ns = self.copy_tree(mw, ctx, &keys, ns, to_name)?;
+                let ts = mw.tick();
+                mw.put_descriptor(
+                    ctx,
+                    &keys,
+                    dst_parent_ns,
+                    to_name,
+                    &DirDescriptor {
+                        ns: new_ns,
+                        name: to_name.to_string(),
+                        created: ts,
+                    },
+                )?;
+                let mut patch = NameRing::new();
+                patch.apply(to_name, Tuple::dir(ts, new_ns));
+                mw.submit_patch(ctx, &keys, dst_parent_ns, patch)
+            }
+        }
+    }
+
+    /// Deep-copy the subtree under `src_ns` into a brand-new namespace and
+    /// return it. O(n) in the number of objects copied.
+    fn copy_tree(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        src_ns: NamespaceId,
+        new_name: &str,
+    ) -> Result<NamespaceId> {
+        let new_ns = mw.allocate_namespace();
+        let src_ring = mw.read_ring(ctx, keys, src_ns)?;
+        let mut new_ring = NameRing::new();
+        for (child, tuple) in src_ring.live() {
+            match tuple.child {
+                ChildRef::File { size } => {
+                    self.cluster().copy(
+                        ctx,
+                        &keys.child(src_ns, child),
+                        &keys.child(new_ns, child),
+                    )?;
+                    new_ring.apply(child, Tuple::file(mw.tick(), size));
+                }
+                ChildRef::Dir { ns: child_ns } => {
+                    let copied = self.copy_tree(mw, ctx, keys, child_ns, child)?;
+                    let ts = mw.tick();
+                    mw.put_descriptor(
+                        ctx,
+                        keys,
+                        new_ns,
+                        child,
+                        &DirDescriptor {
+                            ns: copied,
+                            name: child.to_string(),
+                            created: ts,
+                        },
+                    )?;
+                    new_ring.apply(child, Tuple::dir(ts, copied));
+                }
+            }
+        }
+        mw.write_ring(ctx, keys, new_ns, &new_ring)?;
+        // The caller writes this directory's descriptor into *its* parent;
+        // here we only need the subtree materialised.
+        let _ = new_name;
+        Ok(new_ns)
+    }
+
+    fn op_list(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<Vec<String>> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        let ns = self.resolve_dir_ns(mw, ctx, &keys, path)?;
+        let ring = mw.read_ring(ctx, &keys, ns)?;
+        let names: Vec<String> = ring.live().map(|(n, _)| n.to_string()).collect();
+        mw.charge_listing_cpu(ctx, names.len());
+        Ok(names)
+    }
+
+    fn op_list_detailed(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<Vec<DirEntry>> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        let ns = self.resolve_dir_ns(mw, ctx, &keys, path)?;
+        let ring = mw.read_ring(ctx, &keys, ns)?;
+        let children: Vec<(String, Tuple)> = ring
+            .live()
+            .map(|(n, t)| (n.to_string(), *t))
+            .collect();
+        mw.charge_listing_cpu(ctx, children.len());
+        // O(m): fetch each child's own object for its detailed information
+        // (the middleware fans the HEADs out with bounded parallelism —
+        // that's why LISTing 1000 files lands near 0.35 s, §1).
+        let mut entries: Vec<DirEntry> = Vec::with_capacity(children.len());
+        let store = self.cluster().clone();
+        let mut fetched: Vec<Option<u64>> = vec![None; children.len()];
+        {
+            let fetched = std::cell::RefCell::new(&mut fetched);
+            ctx.parallel(children.len(), |ctx, i| {
+                let (name, _t) = &children[i];
+                match store.head(ctx, &keys.child(ns, name)) {
+                    Ok(info) => {
+                        fetched.borrow_mut()[i] = Some(info.modified_ms);
+                        Ok(())
+                    }
+                    // A child whose object lags behind its NameRing entry
+                    // (eventual consistency) still lists from tuple data.
+                    Err(H2Error::NotFound(_)) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            })?;
+        }
+        for (i, (name, t)) in children.into_iter().enumerate() {
+            let (kind, size) = match t.child {
+                ChildRef::File { size } => (EntryKind::File, size),
+                ChildRef::Dir { .. } => (EntryKind::Directory, 0),
+            };
+            entries.push(DirEntry {
+                name,
+                kind,
+                size,
+                modified_ms: fetched[i].unwrap_or(t.ts.millis),
+            });
+        }
+        Ok(entries)
+    }
+
+    fn op_write(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+        content: FileContent,
+    ) -> Result<()> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        let name = path
+            .name()
+            .ok_or_else(|| H2Error::IsADirectory("/".into()))?;
+        let parent = path.parent().expect("non-root");
+        let parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &parent)?;
+        let ring = mw.read_ring(ctx, &keys, parent_ns)?;
+        if let Some(t) = ring.get(name) {
+            if t.child.is_dir() {
+                return Err(H2Error::IsADirectory(path.to_string()));
+            }
+        }
+        let size = content.len();
+        let payload = content_to_payload(content, &path.to_string());
+        let mut meta = Meta::new();
+        meta.insert("content-type".into(), "h2/file".into());
+        // §3.3.3(b) blocking: the content stream completes before the patch
+        // is submitted, so no merge can observe the tuple without the data.
+        self.cluster()
+            .put(ctx, &keys.child(parent_ns, name), payload, meta)?;
+        let mut patch = NameRing::new();
+        patch.apply(name, Tuple::file(mw.tick(), size));
+        mw.submit_patch(ctx, &keys, parent_ns, patch)
+    }
+
+    fn op_read(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<FileContent> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        match self.resolve(mw, ctx, &keys, path)?.0 {
+            Resolved::File {
+                parent_ns, name, ..
+            } => {
+                let obj = self.cluster().get(ctx, &keys.child(parent_ns, &name))?;
+                Ok(payload_to_content(obj.payload))
+            }
+            _ => Err(H2Error::IsADirectory(path.to_string())),
+        }
+    }
+
+    fn op_delete_file(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<()> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        match self.resolve(mw, ctx, &keys, path)?.0 {
+            Resolved::File {
+                parent_ns,
+                name,
+                size,
+                ..
+            } => {
+                // Fake deletion (§3.3.3a): tombstone the tuple. The content
+                // object is reclaimed eagerly — it is a single DELETE.
+                self.cluster().delete(ctx, &keys.child(parent_ns, &name))?;
+                let mut patch = NameRing::new();
+                patch.apply(
+                    &name,
+                    Tuple::file(mw.tick(), size).tombstone(mw.tick()),
+                );
+                mw.submit_patch(ctx, &keys, parent_ns, patch)
+            }
+            _ => Err(H2Error::IsADirectory(path.to_string())),
+        }
+    }
+
+    fn op_stat(
+        &self,
+        mw: &H2Middleware,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<DirEntry> {
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        let (resolved, _) = self.resolve(mw, ctx, &keys, path)?;
+        Ok(match &resolved {
+            Resolved::Root => DirEntry {
+                name: "/".into(),
+                kind: EntryKind::Directory,
+                size: 0,
+                modified_ms: 0,
+            },
+            Resolved::Dir { name, ts, .. } => DirEntry {
+                name: name.clone(),
+                kind: EntryKind::Directory,
+                size: 0,
+                modified_ms: ts.millis,
+            },
+            Resolved::File {
+                name, size, ts, ..
+            } => DirEntry {
+                name: name.clone(),
+                kind: EntryKind::File,
+                size: *size,
+                modified_ms: ts.millis,
+            },
+        })
+    }
+}
+
+fn content_to_payload(content: FileContent, seed: &str) -> Payload {
+    match content {
+        FileContent::Inline(v) => Payload::Inline(bytes::Bytes::from(v)),
+        FileContent::Simulated(size) => Payload::simulated(size, seed),
+    }
+}
+
+fn payload_to_content(p: Payload) -> FileContent {
+    match p {
+        Payload::Inline(b) => FileContent::Inline(b.to_vec()),
+        Payload::Simulated { size, .. } => FileContent::Simulated(size),
+    }
+}
+
+impl CloudFs for H2Cloud {
+    fn name(&self) -> &'static str {
+        "H2Cloud"
+    }
+
+    fn uses_separate_index(&self) -> bool {
+        false
+    }
+
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        let mw = self.mw(account);
+        self.op_create_account(&mw, ctx, account)
+    }
+
+    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.cluster().delete_account(account)
+    }
+
+    fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        let mw = self.mw(account);
+        self.observe("MKDIR", ctx, |ctx| self.op_mkdir(&mw, ctx, account, path))
+    }
+
+    fn rmdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        let mw = self.mw(account);
+        self.observe("RMDIR", ctx, |ctx| self.op_rmdir(&mw, ctx, account, path))
+    }
+
+    fn mv(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
+        let mw = self.mw(account);
+        self.observe("MOVE", ctx, |ctx| self.op_mv(&mw, ctx, account, from, to))
+    }
+
+    fn copy(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
+        let mw = self.mw(account);
+        self.observe("COPY", ctx, |ctx| self.op_copy(&mw, ctx, account, from, to))
+    }
+
+    fn list(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<Vec<String>> {
+        let mw = self.mw(account);
+        self.observe("LIST", ctx, |ctx| self.op_list(&mw, ctx, account, path))
+    }
+
+    fn list_detailed(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<Vec<DirEntry>> {
+        let mw = self.mw(account);
+        self.observe("LIST-DETAIL", ctx, |ctx| {
+            self.op_list_detailed(&mw, ctx, account, path)
+        })
+    }
+
+    fn write(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+        content: FileContent,
+    ) -> Result<()> {
+        let mw = self.mw(account);
+        self.observe("WRITE", ctx, |ctx| {
+            self.op_write(&mw, ctx, account, path, content)
+        })
+    }
+
+    fn read(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<FileContent> {
+        let mw = self.mw(account);
+        self.observe("READ", ctx, |ctx| self.op_read(&mw, ctx, account, path))
+    }
+
+    fn delete_file(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        let mw = self.mw(account);
+        self.observe("DELETE", ctx, |ctx| {
+            self.op_delete_file(&mw, ctx, account, path)
+        })
+    }
+
+    fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
+        let mw = self.mw(account);
+        self.observe("STAT", ctx, |ctx| self.op_stat(&mw, ctx, account, path))
+    }
+
+    fn quiesce(&self) {
+        self.layer.pump().expect("gossip pump failed");
+    }
+
+    /// Mass import: allocate namespaces for every directory, write content
+    /// objects and descriptors, and write each NameRing object exactly
+    /// once — instead of one patch-merge cycle per entry.
+    fn bulk_import(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        dirs: &[FsPath],
+        files: &[(FsPath, u64)],
+    ) -> Result<()> {
+        use std::collections::HashMap;
+        self.check_account(account)?;
+        let keys = H2Keys::new(account);
+        let mw = self.mw(account);
+        let mut ns_of: HashMap<FsPath, NamespaceId> = HashMap::new();
+        ns_of.insert(FsPath::root(), NamespaceId::ROOT);
+        // Start each touched ring from its current state so imports into a
+        // live tree merge rather than clobber.
+        let mut rings: HashMap<NamespaceId, NameRing> = HashMap::new();
+        let ring_of = |mw: &H2Middleware,
+                           ctx: &mut OpCtx,
+                           rings: &mut HashMap<NamespaceId, NameRing>,
+                           ns: NamespaceId|
+         -> Result<()> {
+            if let std::collections::hash_map::Entry::Vacant(e) = rings.entry(ns) {
+                let existing = mw.read_ring(ctx, &keys, ns)?;
+                e.insert(existing);
+            }
+            Ok(())
+        };
+        for d in dirs {
+            let parent = d
+                .parent()
+                .ok_or_else(|| H2Error::AlreadyExists("/".into()))?;
+            let &parent_ns = ns_of
+                .get(&parent)
+                .ok_or_else(|| H2Error::NotFound(format!("import parent {parent}")))?;
+            ring_of(&mw, ctx, &mut rings, parent_ns)?;
+            let name = d.name().expect("non-root");
+            if rings[&parent_ns].get(name).is_some() {
+                return Err(H2Error::AlreadyExists(d.to_string()));
+            }
+            let ns = mw.allocate_namespace();
+            let ts = mw.tick();
+            mw.put_descriptor(
+                ctx,
+                &keys,
+                parent_ns,
+                name,
+                &DirDescriptor {
+                    ns,
+                    name: name.to_string(),
+                    created: ts,
+                },
+            )?;
+            rings
+                .get_mut(&parent_ns)
+                .expect("ring loaded")
+                .apply(name, Tuple::dir(ts, ns));
+            rings.entry(ns).or_default();
+            ns_of.insert(d.clone(), ns);
+        }
+        for (f, size) in files {
+            let parent = f.parent().ok_or_else(|| H2Error::IsADirectory("/".into()))?;
+            let parent_ns = match ns_of.get(&parent) {
+                Some(&ns) => ns,
+                None => self.resolve_dir_ns(&mw, ctx, &keys, &parent)?,
+            };
+            ns_of.insert(parent.clone(), parent_ns);
+            ring_of(&mw, ctx, &mut rings, parent_ns)?;
+            let name = f.name().expect("non-root");
+            let mut meta = Meta::new();
+            meta.insert("content-type".into(), "h2/file".into());
+            self.cluster().put(
+                ctx,
+                &keys.child(parent_ns, name),
+                Payload::simulated(*size, &f.to_string()),
+                meta,
+            )?;
+            rings
+                .get_mut(&parent_ns)
+                .expect("ring loaded")
+                .apply(name, Tuple::file(mw.tick(), *size));
+        }
+        for (ns, ring) in rings {
+            mw.write_ring(ctx, &keys, ns, &ring)?;
+        }
+        Ok(())
+    }
+
+    fn storage_stats(&self) -> StoreStats {
+        StoreStats {
+            objects: self.cluster().object_count(),
+            bytes: self.cluster().byte_count(),
+            index_records: 0,
+            index_bytes: 0,
+        }
+    }
+}
+
+/// A filesystem view bound to one specific middleware (see
+/// [`H2Cloud::via`]). Implements the same [`CloudFs`] interface.
+pub struct H2View<'a> {
+    fs: &'a H2Cloud,
+    mw: Arc<H2Middleware>,
+}
+
+impl H2View<'_> {
+    pub fn middleware(&self) -> &Arc<H2Middleware> {
+        &self.mw
+    }
+}
+
+impl CloudFs for H2View<'_> {
+    fn name(&self) -> &'static str {
+        "H2Cloud"
+    }
+
+    fn uses_separate_index(&self) -> bool {
+        false
+    }
+
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.fs.op_create_account(&self.mw, ctx, account)
+    }
+
+    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.fs.cluster().delete_account(account)
+    }
+
+    fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        self.fs.op_mkdir(&self.mw, ctx, account, path)
+    }
+
+    fn rmdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        self.fs.op_rmdir(&self.mw, ctx, account, path)
+    }
+
+    fn mv(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
+        self.fs.op_mv(&self.mw, ctx, account, from, to)
+    }
+
+    fn copy(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
+        self.fs.op_copy(&self.mw, ctx, account, from, to)
+    }
+
+    fn list(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<Vec<String>> {
+        self.fs.op_list(&self.mw, ctx, account, path)
+    }
+
+    fn list_detailed(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<Vec<DirEntry>> {
+        self.fs.op_list_detailed(&self.mw, ctx, account, path)
+    }
+
+    fn write(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+        content: FileContent,
+    ) -> Result<()> {
+        self.fs.op_write(&self.mw, ctx, account, path, content)
+    }
+
+    fn read(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<FileContent> {
+        self.fs.op_read(&self.mw, ctx, account, path)
+    }
+
+    fn delete_file(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        self.fs.op_delete_file(&self.mw, ctx, account, path)
+    }
+
+    fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
+        self.fs.op_stat(&self.mw, ctx, account, path)
+    }
+
+    fn quiesce(&self) {
+        self.fs.quiesce()
+    }
+
+    fn storage_stats(&self) -> StoreStats {
+        self.fs.storage_stats()
+    }
+}

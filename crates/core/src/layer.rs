@@ -1,0 +1,343 @@
+//! The H2Layer: a set of H2Middlewares and the gossip fabric between them.
+//!
+//! The paper deploys "a number of H2Middlewares … to distribute workloads
+//! for load balancing" (§4.1), synchronised by gossip flooding (§3.3.2).
+//! The layer owns the middlewares and moves gossip between them in one of
+//! two ways:
+//!
+//! * [`H2Layer::pump`] — deterministic, single-threaded delivery loop used
+//!   by tests and the figure harness: drain every outbox, deliver to every
+//!   peer, repeat until quiescent.
+//! * [`H2Layer::run_threaded`] — each middleware gets a real thread with a
+//!   crossbeam channel inbox; gossip flows concurrently until the layer is
+//!   told to stop. Used by the concurrency integration tests and the
+//!   `gossip_convergence` example.
+//!
+//! Delivery is at-least-once and unordered on purpose — the NameRing merge
+//! is a CRDT join, so duplicates and reordering are harmless, and the tests
+//! inject both.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use h2util::{NodeId, Result};
+use swiftsim::Cluster;
+
+use crate::middleware::{GossipMsg, H2Middleware, MaintenanceMode};
+
+/// Gossip delivery fault injection for the convergence tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GossipFaults {
+    /// Drop every k-th message (0 = drop nothing). Gossip is unreliable in
+    /// real systems; convergence must survive because merges re-gossip.
+    pub drop_every: usize,
+    /// Duplicate every k-th message (0 = duplicate nothing).
+    pub duplicate_every: usize,
+}
+
+/// The middleware layer in front of one object cloud.
+pub struct H2Layer {
+    middlewares: Vec<Arc<H2Middleware>>,
+    cluster: Arc<Cluster>,
+}
+
+impl H2Layer {
+    /// Build `n` middlewares (node ids 1..=n) over `cluster`.
+    pub fn new(cluster: Arc<Cluster>, n: usize, mode: MaintenanceMode) -> Self {
+        assert!(n >= 1, "need at least one middleware");
+        let middlewares = (1..=n as u16)
+            .map(|i| H2Middleware::new(NodeId(i), cluster.clone(), mode))
+            .collect();
+        H2Layer {
+            middlewares,
+            cluster,
+        }
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn middlewares(&self) -> &[Arc<H2Middleware>] {
+        &self.middlewares
+    }
+
+    pub fn len(&self) -> usize {
+        self.middlewares.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.middlewares.is_empty()
+    }
+
+    /// Middleware by 0-based index.
+    pub fn mw(&self, idx: usize) -> &Arc<H2Middleware> {
+        &self.middlewares[idx]
+    }
+
+    /// Sticky middleware choice for an account (same account always lands
+    /// on the same middleware, like a load balancer with session affinity).
+    pub fn mw_for_account(&self, account: &str) -> &Arc<H2Middleware> {
+        let h = h2util::hash64(account.as_bytes()) as usize;
+        &self.middlewares[h % self.middlewares.len()]
+    }
+
+    /// Deterministic gossip pump: run background mergers, then flood
+    /// outboxes to all peers, repeating until no work remains. Returns the
+    /// number of gossip deliveries performed.
+    pub fn pump(&self) -> Result<usize> {
+        self.pump_with_faults(GossipFaults::default())
+    }
+
+    /// [`pump`](Self::pump) with fault injection.
+    pub fn pump_with_faults(&self, faults: GossipFaults) -> Result<usize> {
+        let mut deliveries = 0usize;
+        let mut msg_seq = 0usize;
+        loop {
+            let mut progressed = false;
+            for mw in &self.middlewares {
+                if mw.step_merges()? > 0 {
+                    progressed = true;
+                }
+            }
+            let mut batch: Vec<(NodeId, GossipMsg)> = Vec::new();
+            for mw in &self.middlewares {
+                for msg in mw.take_outbox() {
+                    batch.push((mw.node(), msg));
+                }
+            }
+            for (origin, msg) in batch {
+                msg_seq += 1;
+                if faults.drop_every > 0 && msg_seq.is_multiple_of(faults.drop_every) {
+                    continue;
+                }
+                let copies = if faults.duplicate_every > 0 && msg_seq.is_multiple_of(faults.duplicate_every)
+                {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    for mw in &self.middlewares {
+                        if mw.node() != origin {
+                            mw.on_gossip(&msg)?;
+                            deliveries += 1;
+                        }
+                    }
+                }
+                progressed = true;
+            }
+            if !progressed {
+                return Ok(deliveries);
+            }
+        }
+    }
+
+    /// True when no middleware holds unmerged patches or queued gossip.
+    pub fn is_quiescent(&self) -> bool {
+        self.middlewares
+            .iter()
+            .all(|mw| mw.pending_descriptors() == 0)
+    }
+
+    /// Spawn one thread per middleware that continuously merges pending
+    /// patches and exchanges gossip over crossbeam channels. Returns a
+    /// handle; drop or call [`ThreadedGossip::stop`] to join the threads.
+    pub fn run_threaded(&self) -> ThreadedGossip {
+        let n = self.middlewares.len();
+        let (senders, receivers): (Vec<Sender<GossipMsg>>, Vec<Receiver<GossipMsg>>) =
+            (0..n).map(|_| unbounded()).unzip();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(n);
+        for (i, mw) in self.middlewares.iter().enumerate() {
+            let mw = mw.clone();
+            let rx = receivers[i].clone();
+            let peers: Vec<Sender<GossipMsg>> = senders
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, s)| s.clone())
+                .collect();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let mut worked = false;
+                    if mw.step_merges().unwrap_or(0) > 0 {
+                        worked = true;
+                    }
+                    for msg in mw.take_outbox() {
+                        for p in &peers {
+                            let _ = p.send(msg.clone());
+                        }
+                        worked = true;
+                    }
+                    while let Ok(msg) = rx.try_recv() {
+                        // A failed gossip application is retried on the
+                        // next merge/gossip round; losing one message is
+                        // safe because merges re-gossip.
+                        if mw.on_gossip(&msg).unwrap_or(false) {
+                            for p in &peers {
+                                let _ = p.send(msg.clone());
+                            }
+                        }
+                        worked = true;
+                    }
+                    if !worked {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            }));
+        }
+        ThreadedGossip { stop, handles }
+    }
+}
+
+/// Handle to the threaded gossip fabric.
+pub struct ThreadedGossip {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadedGossip {
+    /// Signal the gossip threads to finish and join them.
+    pub fn stop(mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadedGossip {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::H2Keys;
+    use crate::namering::{NameRing, Tuple};
+    use h2util::{NamespaceId, OpCtx};
+    use swiftsim::ClusterConfig;
+
+    fn layer(n: usize, mode: MaintenanceMode) -> H2Layer {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 4,
+            replicas: 3,
+            part_power: 6,
+            cost: Arc::new(h2util::CostModel::zero()),
+        });
+        cluster.create_account("alice").unwrap();
+        cluster
+            .create_container("alice", crate::keys::H2_CONTAINER, false)
+            .unwrap();
+        H2Layer::new(cluster, n, mode)
+    }
+
+    fn ns(seq: u64) -> NamespaceId {
+        NamespaceId::new(seq, NodeId(1), 42)
+    }
+
+    #[test]
+    fn pump_converges_all_middlewares() {
+        let layer = layer(3, MaintenanceMode::Deferred);
+        let keys = H2Keys::new("alice");
+        let mut ctx = OpCtx::for_test();
+        // Each middleware writes a different child into the same ring.
+        for (i, mw) in layer.middlewares().iter().enumerate() {
+            let mut p = NameRing::new();
+            p.apply(&format!("f{i}"), Tuple::file(mw.tick(), i as u64));
+            mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
+        }
+        assert!(!layer.is_quiescent());
+        layer.pump().unwrap();
+        assert!(layer.is_quiescent());
+        // Every middleware's view has all three children.
+        for mw in layer.middlewares() {
+            let r = mw.read_ring(&mut ctx, &keys, ns(1)).unwrap();
+            assert_eq!(r.live_len(), 3, "node {} diverged", mw.node());
+        }
+    }
+
+    #[test]
+    fn pump_survives_dropped_and_duplicated_gossip() {
+        let layer = layer(4, MaintenanceMode::Deferred);
+        let keys = H2Keys::new("alice");
+        let mut ctx = OpCtx::for_test();
+        for round in 0..3 {
+            for (i, mw) in layer.middlewares().iter().enumerate() {
+                let mut p = NameRing::new();
+                p.apply(
+                    &format!("r{round}-f{i}"),
+                    Tuple::file(mw.tick(), i as u64),
+                );
+                mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
+            }
+            layer
+                .pump_with_faults(GossipFaults {
+                    drop_every: 3,
+                    duplicate_every: 4,
+                })
+                .unwrap();
+        }
+        // Gossip losses may leave some nodes behind, but the global object
+        // must contain everything (merges write through) …
+        let g = layer
+            .mw(0)
+            .fetch_global_ring(&mut ctx, &keys, ns(1))
+            .unwrap();
+        assert_eq!(g.live_len(), 12);
+        // … and a clean pump round brings every local view up to date.
+        layer.pump().unwrap();
+        for mw in layer.middlewares() {
+            let local_plus_global = mw.read_ring(&mut ctx, &keys, ns(1)).unwrap();
+            assert_eq!(local_plus_global.live_len(), 12);
+        }
+    }
+
+    #[test]
+    fn threaded_gossip_converges() {
+        let layer = layer(3, MaintenanceMode::Deferred);
+        let keys = H2Keys::new("alice");
+        let handle = layer.run_threaded();
+        let mut ctx = OpCtx::for_test();
+        for (i, mw) in layer.middlewares().iter().enumerate() {
+            let mut p = NameRing::new();
+            p.apply(&format!("t{i}"), Tuple::file(mw.tick(), i as u64));
+            mw.submit_patch(&mut ctx, &keys, ns(2), p).unwrap();
+        }
+        // Wait (bounded) for the threads to merge and gossip everything.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let done = layer.middlewares().iter().all(|mw| {
+                let mut c = OpCtx::for_test();
+                mw.read_ring(&mut c, &keys, ns(2))
+                    .map(|r| r.live_len() == 3)
+                    .unwrap_or(false)
+            });
+            if done {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "threaded gossip failed to converge within 10s"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn sticky_account_routing_is_stable() {
+        let layer = layer(3, MaintenanceMode::Eager);
+        let a = layer.mw_for_account("alice").node();
+        for _ in 0..10 {
+            assert_eq!(layer.mw_for_account("alice").node(), a);
+        }
+    }
+}

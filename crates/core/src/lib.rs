@@ -1,0 +1,48 @@
+//! `h2cloud` — the paper's contribution: Hierarchical Hash (H2) and the
+//! H2Cloud filesystem middleware on top of an object storage cloud.
+//!
+//! The crate is organised the way §3–§4 of the paper describe the system:
+//!
+//! * [`namering`] — the NameRing data structure (§3.1): per-directory list
+//!   of `(child, timestamp)` tuples with `Deleted` tags, plus the merge
+//!   algorithm of §3.3.2. The merge is a last-writer-wins CRDT: commutative,
+//!   associative, idempotent (property-tested), which is what lets the
+//!   asynchronous maintenance protocol converge.
+//! * [`formatter`] — §4.4's Formatter: stringifies directories, NameRings
+//!   and patches into ASCII objects (tuples alphabetically sorted) and
+//!   parses them back.
+//! * [`keys`] — namespace-decorated relative paths (`N94::ubuntu`) and the
+//!   object-key scheme for descriptors, NameRings and patches.
+//! * [`middleware`] — §4.2's H2Middleware: the H2 Lookup module (quick O(1)
+//!   and regular O(d) file access, §3.2), the NameRing Maintenance module
+//!   (File Descriptors, patch chains, Background Merger) and the Gossip
+//!   Arrangement sub-module (§3.3.2 phase 2).
+//! * [`layer`] — the H2Layer: a set of H2Middlewares in front of one object
+//!   cloud, with gossip transport between them (deterministic pump or real
+//!   threads).
+//! * [`api`] — §4.3's Inbound API: the HTTP-shaped web surface (Account,
+//!   Directory and File Content APIs) routed onto the filesystem.
+//! * [`fs`] — the public filesystem facade implementing
+//!   [`h2fsapi::CloudFs`]: READ/WRITE/MKDIR/RMDIR/MOVE/LIST/COPY mapped to
+//!   object-level operations.
+//! * [`gc`] — the lazy reclamation pass the paper alludes to ("we leave the
+//!   work of really removing the tuple … until this NameRing is in use"):
+//!   compacts tombstoned tuples and deletes unreachable objects.
+
+pub mod api;
+pub mod check;
+pub mod formatter;
+pub mod fs;
+pub mod gc;
+pub mod keys;
+pub mod layer;
+pub mod middleware;
+pub mod namering;
+pub mod tools;
+
+pub use api::{H2Api, Method, ResponseBody, WebRequest, WebResponse};
+pub use fs::{H2Cloud, H2Config, MaintenanceMode};
+pub use keys::{DirDescriptor, H2Keys};
+pub use layer::H2Layer;
+pub use middleware::H2Middleware;
+pub use namering::{ChildRef, NameRing, Tuple};

@@ -1,0 +1,345 @@
+//! The NameRing data structure and its merge algorithm (§3.1, §3.3.2).
+//!
+//! A NameRing maintains the *direct children* of one directory as tuples
+//! `(child, t)`; deletion appends a `Deleted` tag instead of removing the
+//! tuple (the paper's "fake deletion", §3.3.3a), and the merge algorithm
+//! resolves conflicts by larger-timestamp-wins. Tuples are kept sorted by
+//! name (the Formatter serialises them alphabetically, §4.4).
+//!
+//! Patches are "in the same format as a NameRing" (§3.3.2), so a patch *is*
+//! a [`NameRing`] here, and merging a patch is merging two NameRings.
+//!
+//! The merge is deliberately a state-based CRDT join: commutative,
+//! associative and idempotent (see the property tests), because phase 2 of
+//! the maintenance protocol applies patches in whatever order intra-node
+//! chains and gossip deliver them.
+//!
+//! ```
+//! use h2cloud::{NameRing, Tuple};
+//! use h2util::{NodeId, Timestamp};
+//!
+//! let ts = |m| Timestamp::new(m, 0, NodeId(1));
+//! let mut ring = NameRing::new();
+//! ring.apply("cat", Tuple::file(ts(1), 4096));
+//! ring.apply("bash", Tuple::file(ts(2), 1 << 20));
+//!
+//! // A patch is just another NameRing; merging is larger-timestamp-wins.
+//! let mut patch = NameRing::new();
+//! patch.apply("cat", Tuple::file(ts(1), 4096).tombstone(ts(3))); // "fake deletion"
+//! ring.merge_from(&patch);
+//!
+//! assert!(ring.get("cat").is_none());       // hidden by the Deleted tag
+//! assert_eq!(ring.live_len(), 1);           // only bash remains live
+//! assert_eq!(ring.len(), 2);                // tombstone kept until compaction
+//! ```
+
+use std::collections::BTreeMap;
+
+use h2util::{NamespaceId, Timestamp};
+
+/// What a tuple points at: a regular file (with its size) or a
+/// sub-directory (with the namespace that owns its NameRing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChildRef {
+    File { size: u64 },
+    Dir { ns: NamespaceId },
+}
+
+impl ChildRef {
+    pub fn is_dir(&self) -> bool {
+        matches!(self, ChildRef::Dir { .. })
+    }
+}
+
+/// One `(child, t)` tuple. `deleted` is the paper's `Deleted` tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    pub ts: Timestamp,
+    pub child: ChildRef,
+    pub deleted: bool,
+}
+
+impl Tuple {
+    pub fn file(ts: Timestamp, size: u64) -> Self {
+        Tuple {
+            ts,
+            child: ChildRef::File { size },
+            deleted: false,
+        }
+    }
+
+    pub fn dir(ts: Timestamp, ns: NamespaceId) -> Self {
+        Tuple {
+            ts,
+            child: ChildRef::Dir { ns },
+            deleted: false,
+        }
+    }
+
+    pub fn tombstone(self, ts: Timestamp) -> Self {
+        Tuple {
+            ts,
+            child: self.child,
+            deleted: true,
+        }
+    }
+
+    /// Total order used by the merge: timestamp first (larger wins, as the
+    /// paper specifies), then — only for byte-identical timestamps, which
+    /// hybrid clocks make impossible for distinct events — a deterministic
+    /// tie-break so the merge stays commutative no matter what.
+    fn merge_key(&self) -> (Timestamp, bool, ChildRef) {
+        (self.ts, self.deleted, self.child)
+    }
+}
+
+/// A NameRing: sorted map from child name to its latest tuple.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameRing {
+    tuples: BTreeMap<String, Tuple>,
+}
+
+impl NameRing {
+    pub fn new() -> Self {
+        NameRing::default()
+    }
+
+    /// Number of tuples, *including* tombstones.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of live (non-deleted) children — the paper's `m`.
+    pub fn live_len(&self) -> usize {
+        self.tuples.values().filter(|t| !t.deleted).count()
+    }
+
+    /// Upsert a tuple for `name`. The incoming tuple only lands if it wins
+    /// the merge order against any existing tuple (so replayed stale
+    /// updates are no-ops).
+    pub fn apply(&mut self, name: &str, tuple: Tuple) {
+        match self.tuples.get_mut(name) {
+            Some(existing) => {
+                if tuple.merge_key() > existing.merge_key() {
+                    *existing = tuple;
+                }
+            }
+            None => {
+                self.tuples.insert(name.to_string(), tuple);
+            }
+        }
+    }
+
+    /// The live tuple for `name` (tombstones are invisible here).
+    pub fn get(&self, name: &str) -> Option<&Tuple> {
+        self.tuples.get(name).filter(|t| !t.deleted)
+    }
+
+    /// The raw tuple including tombstones (maintenance needs them).
+    pub fn get_raw(&self, name: &str) -> Option<&Tuple> {
+        self.tuples.get(name)
+    }
+
+    /// Live children in name order — exactly what a names-only LIST
+    /// returns in O(1) object reads (§3.1).
+    pub fn live(&self) -> impl Iterator<Item = (&str, &Tuple)> {
+        self.tuples
+            .iter()
+            .filter(|(_, t)| !t.deleted)
+            .map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// All tuples, tombstones included, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tuple)> {
+        self.tuples.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// §3.3.2's merging algorithm: iterate the children of `other` (the
+    /// patch, already "converted into another virtual NameRing"); a child
+    /// present in both is overridden by the larger timestamp; a child only
+    /// in the patch is inserted. Nothing is ever removed here — removal is
+    /// deferred to [`NameRing::compact`].
+    pub fn merge_from(&mut self, other: &NameRing) {
+        for (name, tuple) in &other.tuples {
+            self.apply(name, *tuple);
+        }
+    }
+
+    /// Pure merge: `A ⊔ B`.
+    pub fn merged(mut a: NameRing, b: &NameRing) -> NameRing {
+        a.merge_from(b);
+        a
+    }
+
+    /// Drop tombstones with `ts < horizon` — the deferred "really removing
+    /// the tuple from the NameRing … when this NameRing is in use". Returns
+    /// the removed `(name, tuple)` pairs so callers can reclaim the
+    /// children's objects.
+    pub fn compact(&mut self, horizon: Timestamp) -> Vec<(String, Tuple)> {
+        let doomed: Vec<String> = self
+            .tuples
+            .iter()
+            .filter(|(_, t)| t.deleted && t.ts < horizon)
+            .map(|(n, _)| n.clone())
+            .collect();
+        doomed
+            .into_iter()
+            .map(|n| {
+                let t = self.tuples.remove(&n).expect("tuple existed");
+                (n, t)
+            })
+            .collect()
+    }
+
+    /// Newest timestamp in the ring (ZERO when empty). Gossip uses this as
+    /// the version stamp for loop-back avoidance.
+    pub fn version(&self) -> Timestamp {
+        self.tuples
+            .values()
+            .map(|t| t.ts)
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+    }
+}
+
+impl FromIterator<(String, Tuple)> for NameRing {
+    fn from_iter<I: IntoIterator<Item = (String, Tuple)>>(iter: I) -> Self {
+        let mut r = NameRing::new();
+        for (n, t) in iter {
+            r.apply(&n, t);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2util::NodeId;
+
+    fn ts(millis: u64, seq: u32, node: u16) -> Timestamp {
+        Timestamp::new(millis, seq, NodeId(node))
+    }
+
+    #[test]
+    fn apply_and_list_live_children() {
+        let mut r = NameRing::new();
+        r.apply("cat", Tuple::file(ts(1, 0, 1), 100));
+        r.apply("bash", Tuple::file(ts(2, 0, 1), 200));
+        r.apply("nc", Tuple::file(ts(3, 0, 1), 300));
+        let names: Vec<_> = r.live().map(|(n, _)| n).collect();
+        assert_eq!(names, ["bash", "cat", "nc"]); // alphabetical
+        assert_eq!(r.live_len(), 3);
+    }
+
+    #[test]
+    fn newer_timestamp_overrides() {
+        let mut r = NameRing::new();
+        r.apply("f", Tuple::file(ts(1, 0, 1), 10));
+        r.apply("f", Tuple::file(ts(5, 0, 1), 50));
+        assert_eq!(r.get("f").unwrap().child, ChildRef::File { size: 50 });
+        // Stale write is a no-op.
+        r.apply("f", Tuple::file(ts(3, 0, 1), 30));
+        assert_eq!(r.get("f").unwrap().child, ChildRef::File { size: 50 });
+    }
+
+    #[test]
+    fn fake_deletion_hides_but_keeps_tuple() {
+        let mut r = NameRing::new();
+        let t = Tuple::file(ts(1, 0, 1), 10);
+        r.apply("f", t);
+        r.apply("f", t.tombstone(ts(2, 0, 1)));
+        assert!(r.get("f").is_none());
+        assert!(r.get_raw("f").unwrap().deleted);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.live_len(), 0);
+    }
+
+    #[test]
+    fn recreate_after_delete_wins_with_newer_ts() {
+        let mut r = NameRing::new();
+        r.apply("f", Tuple::file(ts(1, 0, 1), 10));
+        r.apply("f", Tuple::file(ts(1, 0, 1), 10).tombstone(ts(2, 0, 1)));
+        r.apply("f", Tuple::file(ts(3, 0, 1), 99));
+        assert_eq!(r.get("f").unwrap().child, ChildRef::File { size: 99 });
+    }
+
+    #[test]
+    fn merge_inserts_and_overrides_like_the_paper() {
+        // N_A with children a(t1), b(t2); patch N_B with b(t5), c(t3).
+        let mut a = NameRing::new();
+        a.apply("a", Tuple::file(ts(1, 0, 1), 1));
+        a.apply("b", Tuple::file(ts(2, 0, 1), 2));
+        let mut b = NameRing::new();
+        b.apply("b", Tuple::file(ts(5, 0, 1), 5));
+        b.apply("c", Tuple::file(ts(3, 0, 1), 3));
+        a.merge_from(&b);
+        assert_eq!(a.live_len(), 3);
+        assert_eq!(a.get("b").unwrap().child, ChildRef::File { size: 5 });
+        assert_eq!(a.get("c").unwrap().child, ChildRef::File { size: 3 });
+    }
+
+    #[test]
+    fn merge_never_removes() {
+        let mut a = NameRing::new();
+        a.apply("a", Tuple::file(ts(1, 0, 1), 1));
+        let empty = NameRing::new();
+        a.merge_from(&empty);
+        assert_eq!(a.live_len(), 1);
+    }
+
+    #[test]
+    fn compact_drops_old_tombstones_only() {
+        let mut r = NameRing::new();
+        r.apply("old", Tuple::file(ts(1, 0, 1), 1).tombstone(ts(2, 0, 1)));
+        r.apply("new", Tuple::file(ts(1, 0, 1), 1).tombstone(ts(9, 0, 1)));
+        r.apply("live", Tuple::file(ts(1, 0, 1), 1));
+        let removed = r.compact(ts(5, 0, 0));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, "old");
+        assert_eq!(r.len(), 2);
+        assert!(r.get_raw("new").is_some());
+        assert!(r.get("live").is_some());
+    }
+
+    #[test]
+    fn version_is_max_timestamp() {
+        let mut r = NameRing::new();
+        assert_eq!(r.version(), Timestamp::ZERO);
+        r.apply("a", Tuple::file(ts(7, 2, 1), 1));
+        r.apply("b", Tuple::file(ts(3, 0, 1), 1).tombstone(ts(9, 0, 2)));
+        assert_eq!(r.version(), ts(9, 0, 2));
+    }
+
+    #[test]
+    fn dir_tuples_carry_namespaces() {
+        let ns = NamespaceId::new(6, NodeId(1), 1_469_346_604_539);
+        let mut r = NameRing::new();
+        r.apply("home", Tuple::dir(ts(1, 0, 1), ns));
+        match r.get("home").unwrap().child {
+            ChildRef::Dir { ns: got } => assert_eq!(got, ns),
+            _ => panic!("expected dir"),
+        }
+        assert!(r.get("home").unwrap().child.is_dir());
+    }
+
+    #[test]
+    fn equal_timestamp_tiebreak_is_symmetric() {
+        // Pathological: identical timestamps, different payloads. The merge
+        // must pick the same winner regardless of order.
+        let t = ts(5, 0, 1);
+        let x = Tuple::file(t, 1);
+        let y = Tuple::file(t, 2);
+        let mut ab = NameRing::new();
+        ab.apply("f", x);
+        ab.apply("f", y);
+        let mut ba = NameRing::new();
+        ba.apply("f", y);
+        ba.apply("f", x);
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the NameRing merge is a CRDT join and the Formatter is a
+//! faithful bijection — the two invariants the asynchronous maintenance
+//! protocol (§3.3) rests on.
+
+use h2cloud::formatter;
+use h2cloud::{ChildRef, NameRing, Tuple};
+use h2util::{NamespaceId, NodeId, Timestamp};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Names the filesystem would actually accept (no control chars, no '/').
+    "[a-zA-Z0-9._ -]{1,24}"
+}
+
+fn arb_timestamp() -> impl Strategy<Value = Timestamp> {
+    (0u64..1_000_000, 0u32..64, 0u16..8)
+        .prop_map(|(m, s, n)| Timestamp::new(m, s, NodeId(n)))
+}
+
+fn arb_child() -> impl Strategy<Value = ChildRef> {
+    prop_oneof![
+        (0u64..1u64 << 40).prop_map(|size| ChildRef::File { size }),
+        (1u64..1000, 0u16..8, 0u64..1_000_000)
+            .prop_map(|(seq, node, ms)| ChildRef::Dir {
+                ns: NamespaceId::new(seq, NodeId(node), ms)
+            }),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (arb_timestamp(), arb_child(), any::<bool>()).prop_map(|(ts, child, deleted)| Tuple {
+        ts,
+        child,
+        deleted,
+    })
+}
+
+fn arb_ring() -> impl Strategy<Value = NameRing> {
+    prop::collection::vec((arb_name(), arb_tuple()), 0..24)
+        .prop_map(|entries| entries.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_ring(), b in arb_ring()) {
+        let ab = NameRing::merged(a.clone(), &b);
+        let ba = NameRing::merged(b, &a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_ring(), b in arb_ring(), c in arb_ring()) {
+        let left = NameRing::merged(NameRing::merged(a.clone(), &b), &c);
+        let right = NameRing::merged(a, &NameRing::merged(b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in arb_ring()) {
+        let aa = NameRing::merged(a.clone(), &a);
+        prop_assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn merge_is_monotone(a in arb_ring(), b in arb_ring()) {
+        // Joining never loses a child name (only overrides tuples).
+        let merged = NameRing::merged(a.clone(), &b);
+        for (name, _) in a.iter() {
+            prop_assert!(merged.get_raw(name).is_some());
+        }
+        for (name, _) in b.iter() {
+            prop_assert!(merged.get_raw(name).is_some());
+        }
+        prop_assert!(merged.version() >= a.version());
+        prop_assert!(merged.version() >= b.version());
+    }
+
+    #[test]
+    fn apply_order_does_not_matter(entries in prop::collection::vec((arb_name(), arb_tuple()), 0..16), seed in any::<u64>()) {
+        let forward: NameRing = entries.clone().into_iter().collect();
+        // A deterministic shuffle driven by the seed.
+        let mut shuffled = entries;
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let backward: NameRing = shuffled.into_iter().collect();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn formatter_roundtrips_namerings(a in arb_ring()) {
+        let s = formatter::namering_to_string(&a);
+        let back = formatter::namering_from_str(&s).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn formatter_roundtrips_patches(a in arb_ring()) {
+        let s = formatter::patch_to_string(&a);
+        let back = formatter::patch_from_str(&s).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn serialised_rings_are_ascii_and_line_structured(a in arb_ring()) {
+        let s = formatter::namering_to_string(&a);
+        prop_assert!(s.is_ascii());
+        prop_assert_eq!(s.lines().count(), a.len() + 1);
+    }
+
+    #[test]
+    fn compact_only_removes_old_tombstones(a in arb_ring(), horizon in arb_timestamp()) {
+        let mut c = a.clone();
+        let removed = c.compact(horizon);
+        for (name, t) in &removed {
+            prop_assert!(t.deleted && t.ts < horizon);
+            prop_assert!(c.get_raw(name).is_none());
+        }
+        // Everything else survives untouched.
+        for (name, t) in a.iter() {
+            if !(t.deleted && t.ts < horizon) {
+                prop_assert_eq!(c.get_raw(name), Some(t));
+            }
+        }
+        prop_assert_eq!(a.len(), c.len() + removed.len());
+    }
+}

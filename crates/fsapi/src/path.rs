@@ -1,0 +1,243 @@
+//! Absolute filesystem paths.
+//!
+//! Paths in the paper are ordinary absolute POSIX paths
+//! (`/home/ubuntu/file1`); H2 decomposes them into per-level components
+//! (§3.2's regular O(d) lookup). [`FsPath`] is a validated, normalised
+//! component list: no empty components, no `.`/`..`, no embedded separators
+//! or control characters in names. The root path has zero components.
+
+use h2util::{H2Error, Result};
+use std::fmt;
+
+/// A validated absolute path. `depth()` is the paper's `d` (root = 0,
+/// `/home/ubuntu/file1` = 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FsPath {
+    components: Vec<String>,
+}
+
+impl FsPath {
+    /// The root directory `/`.
+    pub fn root() -> Self {
+        FsPath { components: vec![] }
+    }
+
+    /// Parse and validate an absolute path string.
+    pub fn parse(s: &str) -> Result<Self> {
+        if !s.starts_with('/') {
+            return Err(H2Error::InvalidPath(format!("not absolute: {s:?}")));
+        }
+        let mut components = Vec::new();
+        for part in s.split('/') {
+            if part.is_empty() {
+                continue; // leading slash and "//" collapse
+            }
+            Self::validate_name(part)?;
+            components.push(part.to_string());
+        }
+        Ok(FsPath { components })
+    }
+
+    /// Validate a single child name.
+    pub fn validate_name(name: &str) -> Result<()> {
+        if name.is_empty() {
+            return Err(H2Error::InvalidPath("empty name".into()));
+        }
+        if name == "." || name == ".." {
+            return Err(H2Error::InvalidPath(format!("relative component {name:?}")));
+        }
+        if name.contains('/') {
+            return Err(H2Error::InvalidPath(format!("separator in name {name:?}")));
+        }
+        // The Formatter's record separators must never appear in names.
+        if name.bytes().any(|b| b < 0x20 || b == 0x7f) {
+            return Err(H2Error::InvalidPath(format!(
+                "control character in name {name:?}"
+            )));
+        }
+        if name.len() > 255 {
+            return Err(H2Error::InvalidPath(format!(
+                "name longer than 255 bytes: {}…",
+                &name[..32]
+            )));
+        }
+        Ok(())
+    }
+
+    /// Build from components (each validated).
+    pub fn from_components<I, S>(parts: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut components = Vec::new();
+        for p in parts {
+            Self::validate_name(p.as_ref())?;
+            components.push(p.as_ref().to_string());
+        }
+        Ok(FsPath { components })
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Directory depth `d` as the paper uses it.
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Final component (`None` for root).
+    pub fn name(&self) -> Option<&str> {
+        self.components.last().map(|s| s.as_str())
+    }
+
+    /// Parent path (`None` for root).
+    pub fn parent(&self) -> Option<FsPath> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Some(FsPath {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// `self` extended with one validated child name.
+    pub fn child(&self, name: &str) -> Result<FsPath> {
+        Self::validate_name(name)?;
+        let mut components = Vec::with_capacity(self.components.len() + 1);
+        components.extend_from_slice(&self.components);
+        components.push(name.to_string());
+        Ok(FsPath { components })
+    }
+
+    /// Is `self` a strict ancestor of `other`?
+    pub fn is_ancestor_of(&self, other: &FsPath) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// The path with `prefix` replaced by `new_prefix` (used by MOVE on
+    /// path-keyed designs). Returns `None` if `prefix` is not a prefix.
+    pub fn rebase(&self, prefix: &FsPath, new_prefix: &FsPath) -> Option<FsPath> {
+        if prefix == self {
+            return Some(new_prefix.clone());
+        }
+        if !prefix.is_ancestor_of(self) {
+            return None;
+        }
+        let mut components = new_prefix.components.clone();
+        components.extend_from_slice(&self.components[prefix.components.len()..]);
+        Some(FsPath { components })
+    }
+}
+
+impl fmt::Display for FsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "/");
+        }
+        for c in &self.components {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FsPath {
+    type Err = H2Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        FsPath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p = FsPath::parse("/home/ubuntu/file1").unwrap();
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.to_string(), "/home/ubuntu/file1");
+        assert_eq!(FsPath::root().to_string(), "/");
+        assert_eq!(FsPath::parse("/").unwrap(), FsPath::root());
+    }
+
+    #[test]
+    fn double_slashes_collapse() {
+        assert_eq!(
+            FsPath::parse("//home//ubuntu/").unwrap(),
+            FsPath::parse("/home/ubuntu").unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        assert!(FsPath::parse("relative/path").is_err());
+        assert!(FsPath::parse("/a/./b").is_err());
+        assert!(FsPath::parse("/a/../b").is_err());
+        assert!(FsPath::parse("/a/\u{1}b").is_err());
+        let long = format!("/{}", "x".repeat(256));
+        assert!(FsPath::parse(&long).is_err());
+    }
+
+    #[test]
+    fn parent_name_child() {
+        let p = FsPath::parse("/home/ubuntu/file1").unwrap();
+        assert_eq!(p.name(), Some("file1"));
+        let parent = p.parent().unwrap();
+        assert_eq!(parent.to_string(), "/home/ubuntu");
+        assert_eq!(parent.child("file1").unwrap(), p);
+        assert_eq!(FsPath::root().parent(), None);
+        assert_eq!(FsPath::root().name(), None);
+        assert!(parent.child("a/b").is_err());
+    }
+
+    #[test]
+    fn ancestry() {
+        let a = FsPath::parse("/home").unwrap();
+        let b = FsPath::parse("/home/ubuntu").unwrap();
+        let c = FsPath::parse("/homely").unwrap();
+        assert!(a.is_ancestor_of(&b));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&c));
+        assert!(FsPath::root().is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn rebase_moves_subtrees() {
+        let file = FsPath::parse("/home/u/docs/a.txt").unwrap();
+        let from = FsPath::parse("/home/u").unwrap();
+        let to = FsPath::parse("/backup/u2").unwrap();
+        assert_eq!(
+            file.rebase(&from, &to).unwrap().to_string(),
+            "/backup/u2/docs/a.txt"
+        );
+        assert_eq!(from.rebase(&from, &to).unwrap(), to);
+        let other = FsPath::parse("/etc/passwd").unwrap();
+        assert_eq!(other.rebase(&from, &to), None);
+    }
+
+    #[test]
+    fn from_components_validates() {
+        assert!(FsPath::from_components(["a", "b"]).is_ok());
+        assert!(FsPath::from_components(["a", ""]).is_err());
+        assert!(FsPath::from_components(["a", ".."]).is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_components() {
+        let a = FsPath::parse("/a").unwrap();
+        let ab = FsPath::parse("/a/b").unwrap();
+        let b = FsPath::parse("/b").unwrap();
+        assert!(a < ab && ab < b);
+    }
+}

@@ -1,0 +1,1025 @@
+//! The proxy layer: ring placement, quorum replication, handoffs, repair.
+//!
+//! Mirrors the paper's deployment (§5.1): a proxy in front of storage nodes
+//! keeping three replicas per object. Writes succeed when a majority of
+//! replicas land (writing to deterministic handoff devices when assigned
+//! ones are down); reads return the newest replica reachable; a background
+//! `repair` pass plays the role of Swift's object replicator, moving handoff
+//! copies home and reclaiming tombstones.
+
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use h2ring::{DeviceId, Ring, RingBuilder};
+use h2util::{CostModel, H2Error, OpCtx, PrimKind, Result};
+
+use crate::container::{ContainerIndex, IndexRecord, ListEntry, ListOptions};
+use crate::node::StorageNode;
+use crate::object::{Meta, Object, ObjectInfo, ObjectKey, Payload};
+use crate::ObjectStore;
+
+/// Cluster shape. Defaults follow the paper: 8 storage nodes (each its own
+/// zone, like the 8 rack servers), 3 replicas.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub nodes: u16,
+    pub replicas: usize,
+    pub part_power: u8,
+    pub cost: Arc<CostModel>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 8,
+            replicas: 3,
+            part_power: 10,
+            cost: Arc::new(CostModel::rack_default()),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Zero-latency single-replica config for semantic unit tests.
+    pub fn tiny() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            replicas: 1,
+            part_power: 6,
+            cost: Arc::new(CostModel::zero()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ContainerState {
+    indexed: bool,
+    index: ContainerIndex,
+}
+
+/// The simulated object storage cloud.
+pub struct Cluster {
+    ring: Ring,
+    nodes: Vec<Arc<StorageNode>>,
+    cfg: ClusterConfig,
+    accounts: RwLock<HashSet<String>>,
+    containers: RwLock<HashMap<(String, String), ContainerState>>,
+    /// Simulator bookkeeping (not visible to designs): logical catalog of
+    /// live objects for Figures 14/15. Maps ring key → logical size.
+    catalog: RwLock<HashMap<String, u64>>,
+    catalog_bytes: AtomicU64,
+    /// Millisecond stamp source for writes: strictly increasing.
+    ms: AtomicU64,
+    /// Eventual-consistency mode for the container listing DB: real Swift
+    /// updates container databases *asynchronously* after object writes
+    /// (the paper leans on exactly this: "OpenStack Swift … only provides
+    /// eventual consistency"). When enabled, index updates queue until
+    /// [`Cluster::flush_index_updates`] runs.
+    async_index: std::sync::atomic::AtomicBool,
+    pending_index: RwLock<std::collections::VecDeque<IndexUpdate>>,
+}
+
+/// A deferred container-DB update.
+#[derive(Debug, Clone)]
+enum IndexUpdate {
+    Upsert {
+        key: ObjectKey,
+        size: u64,
+        ms: u64,
+        ctype: String,
+    },
+    Remove {
+        key: ObjectKey,
+    },
+}
+
+impl Cluster {
+    pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        assert!(cfg.nodes as usize >= cfg.replicas, "need nodes >= replicas");
+        let mut rb = RingBuilder::new(cfg.part_power, cfg.replicas);
+        let mut nodes = Vec::with_capacity(cfg.nodes as usize);
+        for i in 0..cfg.nodes {
+            // One zone per node, like one rack server per failure domain.
+            rb.add_device(DeviceId(i), (i % u8::MAX as u16) as u8, 1.0);
+            nodes.push(Arc::new(StorageNode::new(DeviceId(i), i as u8)));
+        }
+        Arc::new(Cluster {
+            ring: rb.build(),
+            nodes,
+            cfg,
+            accounts: RwLock::new(HashSet::new()),
+            containers: RwLock::new(HashMap::new()),
+            catalog: RwLock::new(HashMap::new()),
+            catalog_bytes: AtomicU64::new(0),
+            ms: AtomicU64::new(1_600_000_000_000),
+            async_index: std::sync::atomic::AtomicBool::new(false),
+            pending_index: RwLock::new(std::collections::VecDeque::new()),
+        })
+    }
+
+    /// Switch the container listing DB to asynchronous (eventually
+    /// consistent) updates, like real Swift's container updaters.
+    pub fn set_async_index(&self, on: bool) {
+        self.async_index.store(on, Ordering::Relaxed);
+    }
+
+    /// Apply all queued container-DB updates. Returns how many were
+    /// applied — the moral equivalent of Swift's container-updater daemon
+    /// catching up.
+    pub fn flush_index_updates(&self) -> usize {
+        let drained: Vec<IndexUpdate> = self.pending_index.write().drain(..).collect();
+        let n = drained.len();
+        for u in drained {
+            match u {
+                IndexUpdate::Upsert {
+                    key,
+                    size,
+                    ms,
+                    ctype,
+                } => self.index_apply_upsert(&key, size, ms, &ctype),
+                IndexUpdate::Remove { key } => {
+                    self.index_apply_remove(&key);
+                }
+            }
+        }
+        n
+    }
+
+    /// Queued (not yet applied) container-DB updates.
+    pub fn pending_index_updates(&self) -> usize {
+        self.pending_index.read().len()
+    }
+
+    /// Default rack (8 nodes × 3 replicas, calibrated costs).
+    pub fn rack() -> Arc<Self> {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    pub fn cost_model(&self) -> Arc<CostModel> {
+        self.cfg.cost.clone()
+    }
+
+    fn next_ms(&self) -> u64 {
+        self.ms.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn node(&self, id: DeviceId) -> &Arc<StorageNode> {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Failure injection: take a storage node down / bring it back.
+    pub fn set_node_down(&self, id: DeviceId, down: bool) {
+        self.node(id).set_down(down);
+    }
+
+    pub fn node_is_down(&self, id: DeviceId) -> bool {
+        self.node(id).is_down()
+    }
+
+    // ----- account / container management -------------------------------
+
+    pub fn create_account(&self, name: &str) -> Result<()> {
+        if !self.accounts.write().insert(name.to_string()) {
+            return Err(H2Error::AlreadyExists(format!("account {name}")));
+        }
+        Ok(())
+    }
+
+    pub fn delete_account(&self, name: &str) -> Result<()> {
+        if !self.accounts.write().remove(name) {
+            return Err(H2Error::NoSuchAccount(name.to_string()));
+        }
+        self.containers.write().retain(|(a, _), _| a != name);
+        // Drop the account's objects from nodes and catalog.
+        let prefix = format!("/{name}/");
+        let mut catalog = self.catalog.write();
+        let doomed: Vec<String> = catalog
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for key in doomed {
+            if let Some(size) = catalog.remove(&key) {
+                self.catalog_bytes.fetch_sub(size, Ordering::Relaxed);
+            }
+            for n in &self.nodes {
+                n.purge(&key);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn account_exists(&self, name: &str) -> bool {
+        self.accounts.read().contains(name)
+    }
+
+    /// Create a container; `indexed` controls whether the Swift file-path DB
+    /// is maintained for it (H2Cloud containers say no).
+    pub fn create_container(&self, account: &str, container: &str, indexed: bool) -> Result<()> {
+        if !self.account_exists(account) {
+            return Err(H2Error::NoSuchAccount(account.to_string()));
+        }
+        let mut c = self.containers.write();
+        let key = (account.to_string(), container.to_string());
+        if c.contains_key(&key) {
+            return Err(H2Error::AlreadyExists(format!("container {account}/{container}")));
+        }
+        c.insert(
+            key,
+            ContainerState {
+                indexed,
+                index: ContainerIndex::new(),
+            },
+        );
+        Ok(())
+    }
+
+    fn check_container(&self, account: &str, container: &str) -> Result<()> {
+        if self
+            .containers
+            .read()
+            .contains_key(&(account.to_string(), container.to_string()))
+        {
+            Ok(())
+        } else {
+            Err(H2Error::NotFound(format!("container {account}/{container}")))
+        }
+    }
+
+    /// Rows currently held in this container's listing DB (0 if unindexed).
+    pub fn index_rows(&self, account: &str, container: &str) -> u64 {
+        self.containers
+            .read()
+            .get(&(account.to_string(), container.to_string()))
+            .map(|c| c.index.len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Bytes occupied by listing-DB rows across all containers.
+    pub fn total_index_bytes(&self) -> u64 {
+        self.containers
+            .read()
+            .values()
+            .filter(|c| c.indexed)
+            .map(|c| c.index.index_bytes())
+            .sum()
+    }
+
+    /// Rows across all indexed containers.
+    pub fn total_index_rows(&self) -> u64 {
+        self.containers
+            .read()
+            .values()
+            .filter(|c| c.indexed)
+            .map(|c| c.index.len() as u64)
+            .sum()
+    }
+
+    // ----- stats ---------------------------------------------------------
+
+    /// Logical live objects in the cloud (replicas not multiple-counted).
+    pub fn object_count(&self) -> u64 {
+        self.catalog.read().len() as u64
+    }
+
+    /// Logical live bytes in the cloud.
+    pub fn byte_count(&self) -> u64 {
+        self.catalog_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Live replica count per device (balance inspection).
+    pub fn device_loads(&self) -> Vec<(DeviceId, usize)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.id(), n.replica_count()))
+            .collect()
+    }
+
+    // ----- replica placement helpers --------------------------------------
+
+    /// Write one replica set with quorum + handoffs. Returns Err if quorum
+    /// unreachable. `time_charged` handles parallel-vs-serial replication.
+    fn replicated_put(
+        &self,
+        ring_key: &str,
+        payload: &Payload,
+        meta: &Meta,
+        ms: u64,
+        tombstone: bool,
+    ) -> Result<()> {
+        let part = self.ring.partition_of(ring_key.as_bytes());
+        let assigned = self.ring.devices_for_part(part);
+        let quorum = self.cfg.replicas / 2 + 1;
+        let mut placed = 0usize;
+        for &dev in assigned {
+            let ok = if tombstone {
+                self.node(dev).delete(ring_key, ms)
+            } else {
+                self.node(dev)
+                    .put(ring_key, payload.clone(), meta.clone(), ms, false)
+            };
+            if ok {
+                placed += 1;
+            }
+        }
+        if placed < self.cfg.replicas {
+            for dev in self.ring.handoffs(part) {
+                if placed >= self.cfg.replicas {
+                    break;
+                }
+                let ok = if tombstone {
+                    self.node(dev).delete(ring_key, ms)
+                } else {
+                    self.node(dev)
+                        .put(ring_key, payload.clone(), meta.clone(), ms, true)
+                };
+                if ok {
+                    placed += 1;
+                }
+            }
+        }
+        if placed >= quorum {
+            Ok(())
+        } else {
+            Err(H2Error::Unavailable(format!(
+                "only {placed}/{quorum} replicas reachable for {ring_key}"
+            )))
+        }
+    }
+
+    /// Newest reachable replica. `Ok(None)` means the object verifiably
+    /// does not exist on any reachable device; `Err(Unavailable)` means no
+    /// assigned device could even be asked, so absence cannot be concluded.
+    fn read_replica(&self, ring_key: &str) -> Result<Option<crate::node::StoredReplica>> {
+        fn consider(
+            best: &mut Option<crate::node::StoredReplica>,
+            r: crate::node::StoredReplica,
+        ) {
+            if best.as_ref().is_none_or(|b| r.modified_ms > b.modified_ms) {
+                *best = Some(r);
+            }
+        }
+        let part = self.ring.partition_of(ring_key.as_bytes());
+        let mut best: Option<crate::node::StoredReplica> = None;
+        let mut reachable = 0usize;
+        for &dev in self.ring.devices_for_part(part) {
+            if !self.node(dev).is_down() {
+                reachable += 1;
+            }
+            if let Some(r) = self.node(dev).get_raw(ring_key) {
+                consider(&mut best, r);
+            }
+        }
+        if best.is_none() {
+            for dev in self.ring.handoffs(part) {
+                if !self.node(dev).is_down() {
+                    reachable += 1;
+                }
+                if let Some(r) = self.node(dev).get_raw(ring_key) {
+                    consider(&mut best, r);
+                }
+            }
+        }
+        if best.is_none() && reachable == 0 {
+            return Err(H2Error::Unavailable(format!(
+                "no device reachable for {ring_key}"
+            )));
+        }
+        Ok(best.filter(|r| !r.deleted))
+    }
+
+    fn charge_replica_time(&self, ctx: &mut OpCtx, per_replica: std::time::Duration) {
+        if self.cfg.cost.parallel_replicas {
+            ctx.charge_time(per_replica);
+        } else {
+            ctx.charge_time(per_replica * self.cfg.replicas as u32);
+        }
+    }
+
+    fn container_indexed(&self, key: &ObjectKey) -> bool {
+        self.containers
+            .read()
+            .get(&(key.account.to_string(), key.container.to_string()))
+            .map(|s| s.indexed)
+            .unwrap_or(false)
+    }
+
+    fn index_apply_upsert(&self, key: &ObjectKey, size: u64, ms: u64, ctype: &str) {
+        let mut c = self.containers.write();
+        if let Some(state) = c.get_mut(&(key.account.to_string(), key.container.to_string())) {
+            if state.indexed {
+                state.index.upsert(
+                    &key.name,
+                    IndexRecord {
+                        size,
+                        modified_ms: ms,
+                        content_type: ctype.to_string(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn index_apply_remove(&self, key: &ObjectKey) -> bool {
+        let mut c = self.containers.write();
+        match c.get_mut(&(key.account.to_string(), key.container.to_string())) {
+            Some(state) if state.indexed => state.index.remove(&key.name),
+            _ => false,
+        }
+    }
+
+    fn index_upsert(&self, ctx: &mut OpCtx, key: &ObjectKey, size: u64, ms: u64, ctype: &str) {
+        if !self.container_indexed(key) {
+            return;
+        }
+        if self.async_index.load(Ordering::Relaxed) {
+            // Asynchronous container update: the client does not wait (and
+            // is not charged); the listing lags until the updater runs.
+            self.pending_index.write().push_back(IndexUpdate::Upsert {
+                key: key.clone(),
+                size,
+                ms,
+                ctype: ctype.to_string(),
+            });
+        } else {
+            self.index_apply_upsert(key, size, ms, ctype);
+            ctx.charge(PrimKind::DbUpdate, self.cfg.cost.db_update_cost());
+        }
+    }
+
+    fn index_remove(&self, ctx: &mut OpCtx, key: &ObjectKey) {
+        if !self.container_indexed(key) {
+            return;
+        }
+        if self.async_index.load(Ordering::Relaxed) {
+            self.pending_index
+                .write()
+                .push_back(IndexUpdate::Remove { key: key.clone() });
+        } else if self.index_apply_remove(key) {
+            ctx.charge(PrimKind::DbUpdate, self.cfg.cost.db_update_cost());
+        }
+    }
+
+    fn catalog_put(&self, ring_key: &str, size: u64) {
+        let mut cat = self.catalog.write();
+        match cat.insert(ring_key.to_string(), size) {
+            Some(old) => {
+                self.catalog_bytes.fetch_sub(old, Ordering::Relaxed);
+                self.catalog_bytes.fetch_add(size, Ordering::Relaxed);
+            }
+            None => {
+                self.catalog_bytes.fetch_add(size, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn catalog_remove(&self, ring_key: &str) {
+        if let Some(size) = self.catalog.write().remove(ring_key) {
+            self.catalog_bytes.fetch_sub(size, Ordering::Relaxed);
+        }
+    }
+
+    // ----- repair ----------------------------------------------------------
+
+    /// One full replicator pass: ensure every live object has its replicas
+    /// on the assigned (reachable) devices, drop handoff copies that made it
+    /// home, and reclaim fully propagated tombstones. Returns the number of
+    /// replicas moved or created.
+    pub fn repair(&self) -> usize {
+        let mut moved = 0usize;
+        // Collect the union of keys present anywhere.
+        let mut keys: HashSet<String> = HashSet::new();
+        for n in &self.nodes {
+            if !n.is_down() {
+                keys.extend(n.keys());
+            }
+        }
+        for key in keys {
+            let part = self.ring.partition_of(key.as_bytes());
+            let assigned: Vec<DeviceId> = self.ring.devices_for_part(part).to_vec();
+            // Find newest version anywhere reachable (incl. tombstones).
+            let mut newest: Option<crate::node::StoredReplica> = None;
+            let all_devs: Vec<DeviceId> = assigned
+                .iter()
+                .copied()
+                .chain(self.ring.handoffs(part))
+                .collect();
+            for &dev in &all_devs {
+                if let Some(r) = self.node(dev).get_raw(&key) {
+                    if newest.as_ref().is_none_or(|b| r.modified_ms > b.modified_ms) {
+                        newest = Some(r);
+                    }
+                }
+            }
+            let Some(newest) = newest else { continue };
+            if newest.deleted {
+                // Reclaim the tombstone only when every device that could
+                // hold a stale live copy is reachable — otherwise a replica
+                // on a downed node would resurrect once the node returns
+                // (the reason real Swift keeps tombstones for reclaim_age).
+                if all_devs.iter().all(|&d| !self.node(d).is_down()) {
+                    for &dev in &all_devs {
+                        self.node(dev).purge(&key);
+                    }
+                } else {
+                    // Propagate the tombstone to reachable devices that
+                    // missed it, so the delete survives further failures.
+                    for &dev in &assigned {
+                        let n = self.node(dev);
+                        if !n.is_down()
+                            && n.get_raw(&key).map(|r| r.modified_ms) != Some(newest.modified_ms)
+                        {
+                            n.delete(&key, newest.modified_ms);
+                        }
+                    }
+                    moved += 1;
+                }
+                continue;
+            }
+            // Install newest on assigned devices that lack it.
+            for &dev in &assigned {
+                let n = self.node(dev);
+                if n.is_down() {
+                    continue;
+                }
+                let have = n.get_raw(&key).map(|r| r.modified_ms);
+                if have != Some(newest.modified_ms) {
+                    n.put(
+                        &key,
+                        newest.payload.clone(),
+                        newest.meta.clone(),
+                        newest.modified_ms,
+                        false,
+                    );
+                    moved += 1;
+                }
+            }
+            // Drop handoff copies once all reachable assigned devices hold it.
+            let all_assigned_have = assigned.iter().all(|&d| {
+                self.node(d).is_down()
+                    || self.node(d).get_raw(&key).map(|r| r.modified_ms) == Some(newest.modified_ms)
+            });
+            if all_assigned_have {
+                for dev in self.ring.handoffs(part) {
+                    let n = self.node(dev);
+                    if !n.is_down() && n.get_raw(&key).is_some() {
+                        n.purge(&key);
+                        moved += 1;
+                    }
+                }
+            }
+        }
+        moved
+    }
+}
+
+impl ObjectStore for Cluster {
+    fn put(&self, ctx: &mut OpCtx, key: &ObjectKey, payload: Payload, meta: Meta) -> Result<()> {
+        self.check_container(&key.account, &key.container)?;
+        let ring_key = key.ring_key();
+        let ms = self.next_ms();
+        let size = payload.len();
+        ctx.charge(PrimKind::Put, std::time::Duration::ZERO);
+        self.charge_replica_time(ctx, self.cfg.cost.put_cost(size as usize));
+        let ctype = meta.get("content-type").cloned().unwrap_or_default();
+        self.replicated_put(&ring_key, &payload, &meta, ms, false)?;
+        self.catalog_put(&ring_key, size);
+        self.index_upsert(ctx, key, size, ms, &ctype);
+        Ok(())
+    }
+
+    fn get(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<Object> {
+        self.check_container(&key.account, &key.container)?;
+        let ring_key = key.ring_key();
+        match self.read_replica(&ring_key)? {
+            Some(r) => {
+                ctx.charge(
+                    PrimKind::Get,
+                    self.cfg.cost.get_cost(r.payload.len() as usize),
+                );
+                Ok(StorageNode::to_object(key, r))
+            }
+            None => {
+                ctx.charge(PrimKind::Get, self.cfg.cost.get_cost(0));
+                Err(H2Error::NotFound(ring_key))
+            }
+        }
+    }
+
+    fn head(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<ObjectInfo> {
+        self.check_container(&key.account, &key.container)?;
+        ctx.charge(PrimKind::Head, self.cfg.cost.head_cost());
+        let ring_key = key.ring_key();
+        match self.read_replica(&ring_key)? {
+            Some(r) => Ok(StorageNode::to_object(key, r).info()),
+            None => Err(H2Error::NotFound(ring_key)),
+        }
+    }
+
+    fn delete(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<()> {
+        self.check_container(&key.account, &key.container)?;
+        let ring_key = key.ring_key();
+        if self.read_replica(&ring_key)?.is_none() {
+            ctx.charge(PrimKind::Delete, self.cfg.cost.delete_cost());
+            return Err(H2Error::NotFound(ring_key));
+        }
+        let ms = self.next_ms();
+        ctx.charge(PrimKind::Delete, std::time::Duration::ZERO);
+        self.charge_replica_time(ctx, self.cfg.cost.delete_cost());
+        self.replicated_put(&ring_key, &Payload::Inline(bytes::Bytes::new()), &Meta::new(), ms, true)?;
+        self.catalog_remove(&ring_key);
+        self.index_remove(ctx, key);
+        Ok(())
+    }
+
+    fn copy(&self, ctx: &mut OpCtx, src: &ObjectKey, dst: &ObjectKey) -> Result<()> {
+        self.check_container(&src.account, &src.container)?;
+        self.check_container(&dst.account, &dst.container)?;
+        let src_key = src.ring_key();
+        let Some(r) = self.read_replica(&src_key)? else {
+            ctx.charge(PrimKind::Copy, self.cfg.cost.copy_cost(0));
+            return Err(H2Error::NotFound(src_key));
+        };
+        let size = r.payload.len();
+        ctx.charge(PrimKind::Copy, self.cfg.cost.copy_cost(size as usize));
+        let ms = self.next_ms();
+        let ctype = r.meta.get("content-type").cloned().unwrap_or_default();
+        self.replicated_put(&dst.ring_key(), &r.payload, &r.meta, ms, false)?;
+        self.catalog_put(&dst.ring_key(), size);
+        self.index_upsert(ctx, dst, size, ms, &ctype);
+        Ok(())
+    }
+
+    fn list(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        container: &str,
+        opts: &ListOptions,
+    ) -> Result<Vec<ListEntry>> {
+        let containers = self.containers.read();
+        let state = containers
+            .get(&(account.to_string(), container.to_string()))
+            .ok_or_else(|| H2Error::NotFound(format!("container {account}/{container}")))?;
+        if !state.indexed {
+            return Err(H2Error::Unsupported(
+                "container has no listing index (created unindexed)",
+            ));
+        }
+        let rows = state.index.list(opts);
+        ctx.charge(
+            PrimKind::DbQuery,
+            self.cfg.cost.db_query_cost(state.index.len() as u64),
+        );
+        ctx.charge_time(self.cfg.cost.per_entry_cpu * rows.len() as u32);
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Arc<Cluster> {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 8,
+            replicas: 3,
+            part_power: 8,
+            cost: Arc::new(CostModel::zero()),
+        });
+        c.create_account("alice").unwrap();
+        c.create_container("alice", "fs", true).unwrap();
+        c
+    }
+
+    fn key(name: &str) -> ObjectKey {
+        ObjectKey::new("alice", "fs", name)
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_replication() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("a/b"), Payload::from_static("data"), Meta::new())
+            .unwrap();
+        let obj = c.get(&mut ctx, &key("a/b")).unwrap();
+        assert_eq!(obj.payload.as_str(), Some("data"));
+        // 3 physical replicas exist.
+        let total: usize = c.device_loads().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 3);
+        // Logical catalog counts once.
+        assert_eq!(c.object_count(), 1);
+        assert_eq!(c.byte_count(), 4);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        assert_eq!(
+            c.get(&mut ctx, &key("nope")).unwrap_err().code(),
+            "not-found"
+        );
+    }
+
+    #[test]
+    fn put_requires_container() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        let k = ObjectKey::new("alice", "missing", "x");
+        assert!(c.put(&mut ctx, &k, Payload::from_static("d"), Meta::new()).is_err());
+    }
+
+    #[test]
+    fn delete_then_get_fails_and_catalog_updates() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("f"), Payload::from_static("1234"), Meta::new())
+            .unwrap();
+        c.delete(&mut ctx, &key("f")).unwrap();
+        assert!(c.get(&mut ctx, &key("f")).is_err());
+        assert_eq!(c.object_count(), 0);
+        assert_eq!(c.byte_count(), 0);
+        assert_eq!(
+            c.delete(&mut ctx, &key("f")).unwrap_err().code(),
+            "not-found"
+        );
+    }
+
+    #[test]
+    fn overwrite_replaces_size_in_catalog() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("f"), Payload::from_static("aa"), Meta::new())
+            .unwrap();
+        c.put(&mut ctx, &key("f"), Payload::from_static("aaaa"), Meta::new())
+            .unwrap();
+        assert_eq!(c.object_count(), 1);
+        assert_eq!(c.byte_count(), 4);
+    }
+
+    #[test]
+    fn copy_duplicates_payload_and_meta() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        let mut meta = Meta::new();
+        meta.insert("content-type".into(), "file".into());
+        c.put(&mut ctx, &key("src"), Payload::from_static("body"), meta)
+            .unwrap();
+        c.copy(&mut ctx, &key("src"), &key("dst")).unwrap();
+        let dst = c.get(&mut ctx, &key("dst")).unwrap();
+        assert_eq!(dst.payload.as_str(), Some("body"));
+        assert_eq!(dst.meta["content-type"], "file");
+        assert_eq!(c.object_count(), 2);
+        assert_eq!(ctx.counts().copies, 1);
+    }
+
+    #[test]
+    fn listing_reflects_puts_and_deletes() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        for n in ["dir/a", "dir/b", "dir/sub/c", "top"] {
+            c.put(&mut ctx, &key(n), Payload::from_static("x"), Meta::new())
+                .unwrap();
+        }
+        let rows = c
+            .list(&mut ctx, "alice", "fs", &ListOptions::dir_level("dir/", '/'))
+            .unwrap();
+        let names: Vec<_> = rows.iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(names, ["dir/a", "dir/b", "dir/sub/"]);
+        c.delete(&mut ctx, &key("dir/a")).unwrap();
+        let rows = c
+            .list(&mut ctx, "alice", "fs", &ListOptions::with_prefix("dir/"))
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(ctx.counts().db_queries >= 2);
+    }
+
+    #[test]
+    fn unindexed_container_refuses_listing() {
+        let c = cluster();
+        c.create_container("alice", "h2", false).unwrap();
+        let mut ctx = OpCtx::for_test();
+        let k = ObjectKey::new("alice", "h2", "obj");
+        c.put(&mut ctx, &k, Payload::from_static("x"), Meta::new())
+            .unwrap();
+        assert_eq!(
+            c.list(&mut ctx, "alice", "h2", &ListOptions::all())
+                .unwrap_err()
+                .code(),
+            "unsupported"
+        );
+        // And no DB rows were maintained.
+        assert_eq!(c.index_rows("alice", "h2"), 0);
+        assert_eq!(ctx.counts().db_updates, 0);
+    }
+
+    #[test]
+    fn writes_survive_single_node_failure() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.set_node_down(DeviceId(0), true);
+        c.set_node_down(DeviceId(1), true);
+        for i in 0..50 {
+            c.put(
+                &mut ctx,
+                &key(&format!("f{i}")),
+                Payload::from_static("x"),
+                Meta::new(),
+            )
+            .unwrap();
+            assert!(c.get(&mut ctx, &key(&format!("f{i}"))).is_ok());
+        }
+    }
+
+    #[test]
+    fn too_many_failures_yield_unavailable() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        for i in 0..8 {
+            c.set_node_down(DeviceId(i), true);
+        }
+        assert_eq!(
+            c.put(&mut ctx, &key("f"), Payload::from_static("x"), Meta::new())
+                .unwrap_err()
+                .code(),
+            "unavailable"
+        );
+    }
+
+    #[test]
+    fn repair_moves_handoffs_home() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.set_node_down(DeviceId(3), true);
+        for i in 0..40 {
+            c.put(
+                &mut ctx,
+                &key(&format!("f{i}")),
+                Payload::from_static("x"),
+                Meta::new(),
+            )
+            .unwrap();
+        }
+        c.set_node_down(DeviceId(3), false);
+        let moved = c.repair();
+        // Node 3 was assigned some of those partitions; repair must have
+        // done work and afterwards everything reads fine with handoffs gone.
+        assert!(moved > 0, "repair did nothing");
+        for i in 0..40 {
+            assert!(c.get(&mut ctx, &key(&format!("f{i}"))).is_ok());
+        }
+        // Second pass is a no-op: state converged.
+        assert_eq!(c.repair(), 0);
+    }
+
+    #[test]
+    fn repair_reclaims_tombstones() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("f"), Payload::from_static("x"), Meta::new())
+            .unwrap();
+        c.delete(&mut ctx, &key("f")).unwrap();
+        // Tombstones still occupy device maps until repair.
+        let before: usize = c.nodes.iter().map(|n| n.keys().len()).sum();
+        assert!(before > 0);
+        c.repair();
+        let after: usize = c.nodes.iter().map(|n| n.keys().len()).sum();
+        assert_eq!(after, 0);
+        assert!(c.get(&mut ctx, &key("f")).is_err());
+    }
+
+    #[test]
+    fn reads_prefer_newest_replica_after_partial_write() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("f"), Payload::from_static("v1"), Meta::new())
+            .unwrap();
+        // Take one assigned device down, overwrite, bring it back: the stale
+        // replica must lose to the newer ones.
+        let part = c.ring().partition_of(key("f").ring_key().as_bytes());
+        let dev = c.ring().devices_for_part(part)[0];
+        c.set_node_down(dev, true);
+        c.put(&mut ctx, &key("f"), Payload::from_static("v2"), Meta::new())
+            .unwrap();
+        c.set_node_down(dev, false);
+        assert_eq!(
+            c.get(&mut ctx, &key("f")).unwrap().payload.as_str(),
+            Some("v2")
+        );
+    }
+
+    #[test]
+    fn delete_account_purges_objects() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("f"), Payload::from_static("x"), Meta::new())
+            .unwrap();
+        c.delete_account("alice").unwrap();
+        assert_eq!(c.object_count(), 0);
+        assert!(!c.account_exists("alice"));
+        assert!(c.delete_account("alice").is_err());
+    }
+
+    #[test]
+    fn duplicate_account_or_container_rejected() {
+        let c = cluster();
+        assert!(c.create_account("alice").is_err());
+        assert!(c.create_container("alice", "fs", true).is_err());
+        assert!(c.create_container("ghost", "fs", true).is_err());
+    }
+
+    #[test]
+    fn async_index_updates_lag_until_flushed() {
+        let c = cluster();
+        c.set_async_index(true);
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("dir/a"), Payload::from_static("x"), Meta::new())
+            .unwrap();
+        c.put(&mut ctx, &key("dir/b"), Payload::from_static("y"), Meta::new())
+            .unwrap();
+        // The object is readable immediately…
+        assert!(c.get(&mut ctx, &key("dir/a")).is_ok());
+        // …but the listing has not caught up (eventual consistency).
+        let rows = c
+            .list(&mut ctx, "alice", "fs", &ListOptions::with_prefix("dir/"))
+            .unwrap();
+        assert!(rows.is_empty(), "listing should lag: {rows:?}");
+        assert_eq!(c.pending_index_updates(), 2);
+        // The container updater catches up.
+        assert_eq!(c.flush_index_updates(), 2);
+        let rows = c
+            .list(&mut ctx, "alice", "fs", &ListOptions::with_prefix("dir/"))
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        // Deletes lag the same way.
+        c.delete(&mut ctx, &key("dir/a")).unwrap();
+        assert_eq!(
+            c.list(&mut ctx, "alice", "fs", &ListOptions::with_prefix("dir/"))
+                .unwrap()
+                .len(),
+            2,
+            "deletion visible in listing before the updater ran"
+        );
+        c.flush_index_updates();
+        assert_eq!(
+            c.list(&mut ctx, "alice", "fs", &ListOptions::with_prefix("dir/"))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn async_index_does_not_charge_the_writer() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 4,
+            replicas: 1,
+            part_power: 6,
+            cost: Arc::new(CostModel::rack_default()),
+        });
+        c.create_account("a").unwrap();
+        c.create_container("a", "c", true).unwrap();
+        let k = ObjectKey::new("a", "c", "o");
+        let mut sync_ctx = OpCtx::new(c.cost_model());
+        c.put(&mut sync_ctx, &k, Payload::from_static("x"), Meta::new())
+            .unwrap();
+        c.set_async_index(true);
+        let mut async_ctx = OpCtx::new(c.cost_model());
+        c.put(&mut async_ctx, &k, Payload::from_static("y"), Meta::new())
+            .unwrap();
+        assert_eq!(sync_ctx.counts().db_updates, 1);
+        assert_eq!(async_ctx.counts().db_updates, 0);
+        assert!(async_ctx.elapsed() < sync_ctx.elapsed());
+    }
+
+    #[test]
+    fn timing_uses_cost_model() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 4,
+            replicas: 3,
+            part_power: 6,
+            cost: Arc::new(CostModel::rack_default()),
+        });
+        c.create_account("a").unwrap();
+        c.create_container("a", "c", false).unwrap();
+        let mut ctx = OpCtx::new(c.cost_model());
+        let k = ObjectKey::new("a", "c", "o");
+        c.put(&mut ctx, &k, Payload::from_static("x"), Meta::new())
+            .unwrap();
+        let after_put = ctx.elapsed();
+        assert!(after_put > std::time::Duration::ZERO);
+        c.get(&mut ctx, &k).unwrap();
+        assert!(ctx.elapsed() > after_put);
+    }
+}

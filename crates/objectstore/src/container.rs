@@ -1,0 +1,295 @@
+//! The per-container sorted listing DB — Swift's "file-path DB".
+//!
+//! OpenStack Swift keeps an SQLite/MySQL database per container whose rows
+//! are the object names in sorted order; binary search over it is what
+//! reduces LIST from O(N) to O(m·log N) and COPY from O(N) to O(n + log N)
+//! (§2, Figure 3). We model it as a sorted map with explicit cost charging:
+//! every point/range query charges `db_query_cost(N)` and every mutation
+//! charges `db_update_cost()`.
+//!
+//! H2Cloud containers are created *without* an index — H2 deliberately
+//! needs no database — so the index is optional per container.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// One row of the listing DB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexRecord {
+    pub size: u64,
+    pub modified_ms: u64,
+    /// Free-form content-type hint ("file", "dir-marker", …).
+    pub content_type: String,
+}
+
+/// A listing row returned to clients. `subdir` entries are the virtual
+/// common-prefix rows Swift synthesises when a delimiter is supplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListEntry {
+    Object {
+        name: String,
+        size: u64,
+        modified_ms: u64,
+        content_type: String,
+    },
+    Subdir {
+        prefix: String,
+    },
+}
+
+impl ListEntry {
+    pub fn name(&self) -> &str {
+        match self {
+            ListEntry::Object { name, .. } => name,
+            ListEntry::Subdir { prefix } => prefix,
+        }
+    }
+}
+
+/// Swift-style listing parameters.
+#[derive(Debug, Clone, Default)]
+pub struct ListOptions {
+    /// Only names starting with this prefix.
+    pub prefix: Option<String>,
+    /// Collapse names past this delimiter into `Subdir` rows.
+    pub delimiter: Option<char>,
+    /// Return names strictly greater than this marker (pagination).
+    pub marker: Option<String>,
+    /// Page size (0 = unlimited).
+    pub limit: usize,
+}
+
+impl ListOptions {
+    pub fn all() -> Self {
+        ListOptions::default()
+    }
+
+    pub fn with_prefix(prefix: &str) -> Self {
+        ListOptions {
+            prefix: Some(prefix.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// Prefix + delimiter: the "one directory level" listing Swift's
+    /// pseudo-filesystem uses.
+    pub fn dir_level(prefix: &str, delimiter: char) -> Self {
+        ListOptions {
+            prefix: Some(prefix.to_string()),
+            delimiter: Some(delimiter),
+            ..Default::default()
+        }
+    }
+}
+
+/// Sorted name → record map for one container.
+#[derive(Debug, Default)]
+pub struct ContainerIndex {
+    rows: BTreeMap<String, IndexRecord>,
+}
+
+impl ContainerIndex {
+    pub fn new() -> Self {
+        ContainerIndex::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total bytes the index itself occupies (rough row-size model: name +
+    /// fixed per-row overhead), for the separate-index accounting.
+    pub fn index_bytes(&self) -> u64 {
+        self.rows
+            .keys()
+            .map(|name| name.len() as u64 + 64)
+            .sum()
+    }
+
+    pub fn upsert(&mut self, name: &str, rec: IndexRecord) {
+        self.rows.insert(name.to_string(), rec);
+    }
+
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.rows.remove(name).is_some()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&IndexRecord> {
+        self.rows.get(name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.rows.contains_key(name)
+    }
+
+    /// Execute a listing query. Rows scanned is bounded by matches (the
+    /// B-tree seeks straight to the prefix), like an indexed SQL range scan.
+    pub fn list(&self, opts: &ListOptions) -> Vec<ListEntry> {
+        let start: Bound<String> = match (&opts.prefix, &opts.marker) {
+            (Some(p), Some(m)) if m.as_str() >= p.as_str() => Bound::Excluded(m.clone()),
+            (_, Some(m)) => Bound::Excluded(m.clone()),
+            (Some(p), None) => Bound::Included(p.clone()),
+            (None, None) => Bound::Unbounded,
+        };
+        let limit = if opts.limit == 0 {
+            usize::MAX
+        } else {
+            opts.limit
+        };
+
+        let mut out: Vec<ListEntry> = Vec::new();
+        let mut last_subdir: Option<String> = None;
+        for (name, rec) in self.rows.range((start, Bound::<String>::Unbounded)) {
+            if let Some(p) = &opts.prefix {
+                if !name.starts_with(p.as_str()) {
+                    break; // sorted: once past the prefix, done
+                }
+            }
+            if out.len() >= limit {
+                break;
+            }
+            if let Some(d) = opts.delimiter {
+                let tail = match &opts.prefix {
+                    Some(p) => &name[p.len()..],
+                    None => name.as_str(),
+                };
+                if let Some(pos) = tail.find(d) {
+                    let prefix_len = name.len() - tail.len() + pos + d.len_utf8();
+                    let sub = name[..prefix_len].to_string();
+                    if last_subdir.as_deref() != Some(sub.as_str()) {
+                        last_subdir = Some(sub.clone());
+                        out.push(ListEntry::Subdir { prefix: sub });
+                    }
+                    continue;
+                }
+            }
+            out.push(ListEntry::Object {
+                name: name.clone(),
+                size: rec.size,
+                modified_ms: rec.modified_ms,
+                content_type: rec.content_type.clone(),
+            });
+        }
+        out
+    }
+
+    /// Iterate all rows in order (repair, stats).
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &IndexRecord)> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(size: u64) -> IndexRecord {
+        IndexRecord {
+            size,
+            modified_ms: 1,
+            content_type: "file".into(),
+        }
+    }
+
+    fn populated() -> ContainerIndex {
+        let mut idx = ContainerIndex::new();
+        for name in [
+            "home/alice/a.txt",
+            "home/alice/b.txt",
+            "home/alice/docs/c.txt",
+            "home/bob/d.txt",
+            "etc/passwd",
+        ] {
+            idx.upsert(name, rec(10));
+        }
+        idx
+    }
+
+    #[test]
+    fn upsert_get_remove() {
+        let mut idx = ContainerIndex::new();
+        idx.upsert("x", rec(5));
+        assert!(idx.contains("x"));
+        assert_eq!(idx.get("x").unwrap().size, 5);
+        idx.upsert("x", rec(7));
+        assert_eq!(idx.get("x").unwrap().size, 7);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove("x"));
+        assert!(!idx.remove("x"));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn prefix_listing_is_exact() {
+        let idx = populated();
+        let rows = idx.list(&ListOptions::with_prefix("home/alice/"));
+        let names: Vec<_> = rows.iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(
+            names,
+            ["home/alice/a.txt", "home/alice/b.txt", "home/alice/docs/c.txt"]
+        );
+    }
+
+    #[test]
+    fn delimiter_collapses_subdirs() {
+        let idx = populated();
+        let rows = idx.list(&ListOptions::dir_level("home/alice/", '/'));
+        let names: Vec<_> = rows.iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(
+            names,
+            ["home/alice/a.txt", "home/alice/b.txt", "home/alice/docs/"]
+        );
+        assert!(matches!(rows[2], ListEntry::Subdir { .. }));
+    }
+
+    #[test]
+    fn top_level_delimiter_listing() {
+        let idx = populated();
+        let rows = idx.list(&ListOptions {
+            delimiter: Some('/'),
+            ..Default::default()
+        });
+        let names: Vec<_> = rows.iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(names, ["etc/", "home/"]);
+    }
+
+    #[test]
+    fn marker_paginates() {
+        let idx = populated();
+        let mut opts = ListOptions::with_prefix("home/");
+        opts.limit = 2;
+        let page1 = idx.list(&opts);
+        assert_eq!(page1.len(), 2);
+        opts.marker = Some(page1.last().unwrap().name().to_string());
+        let page2 = idx.list(&opts);
+        let names: Vec<_> = page2.iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(names, ["home/alice/docs/c.txt", "home/bob/d.txt"]);
+    }
+
+    #[test]
+    fn limit_zero_means_unbounded() {
+        let idx = populated();
+        assert_eq!(idx.list(&ListOptions::all()).len(), 5);
+    }
+
+    #[test]
+    fn index_bytes_counts_rows() {
+        let idx = populated();
+        assert!(idx.index_bytes() > 5 * 64);
+    }
+
+    #[test]
+    fn empty_prefix_lists_everything_sorted() {
+        let idx = populated();
+        let rows = idx.list(&ListOptions::with_prefix(""));
+        assert_eq!(rows.len(), 5);
+        let names: Vec<_> = rows.iter().map(|e| e.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,262 @@
+//! A storage node: one device of the simulated rack.
+//!
+//! Each node owns an in-memory map from ring keys to stored replicas.
+//! Nodes can be marked down (failure injection); the proxy then routes to
+//! handoff devices, and [`crate::cluster::Cluster::repair`] later restores
+//! proper placement — the moral equivalent of Swift's object replicator.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use crate::object::{Meta, Object, ObjectKey, Payload};
+use h2ring::DeviceId;
+
+/// One replica as stored on a device.
+#[derive(Debug, Clone)]
+pub struct StoredReplica {
+    pub payload: Payload,
+    pub meta: Meta,
+    pub modified_ms: u64,
+    /// True when this replica lives here only because an assigned device
+    /// was down at write time (Swift handoff semantics).
+    pub handoff: bool,
+    /// Tombstone: the object was deleted at `modified_ms`; kept so late
+    /// replicas don't resurrect deleted data during repair.
+    pub deleted: bool,
+}
+
+/// An in-memory storage device.
+#[derive(Debug)]
+pub struct StorageNode {
+    id: DeviceId,
+    zone: u8,
+    store: RwLock<HashMap<String, StoredReplica>>,
+    down: RwLock<bool>,
+}
+
+impl StorageNode {
+    pub fn new(id: DeviceId, zone: u8) -> Self {
+        StorageNode {
+            id,
+            zone,
+            store: RwLock::new(HashMap::new()),
+            down: RwLock::new(false),
+        }
+    }
+
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    pub fn zone(&self) -> u8 {
+        self.zone
+    }
+
+    /// Failure injection: a down node rejects all traffic.
+    pub fn set_down(&self, down: bool) {
+        *self.down.write() = down;
+    }
+
+    pub fn is_down(&self) -> bool {
+        *self.down.read()
+    }
+
+    /// Write (or overwrite) a replica. Last-writer-wins by `modified_ms`:
+    /// a stale write never clobbers a newer replica or tombstone.
+    /// Returns false if the node is down.
+    pub fn put(
+        &self,
+        ring_key: &str,
+        payload: Payload,
+        meta: Meta,
+        modified_ms: u64,
+        handoff: bool,
+    ) -> bool {
+        if self.is_down() {
+            return false;
+        }
+        let mut store = self.store.write();
+        match store.get(ring_key) {
+            Some(existing) if existing.modified_ms > modified_ms => {}
+            _ => {
+                store.insert(
+                    ring_key.to_string(),
+                    StoredReplica {
+                        payload,
+                        meta,
+                        modified_ms,
+                        handoff,
+                        deleted: false,
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    /// Read a replica (not tombstoned). `None` when down or absent.
+    pub fn get(&self, ring_key: &str) -> Option<StoredReplica> {
+        if self.is_down() {
+            return None;
+        }
+        self.store
+            .read()
+            .get(ring_key)
+            .filter(|r| !r.deleted)
+            .cloned()
+    }
+
+    /// Raw replica including tombstones (repair needs to see them).
+    pub fn get_raw(&self, ring_key: &str) -> Option<StoredReplica> {
+        if self.is_down() {
+            return None;
+        }
+        self.store.read().get(ring_key).cloned()
+    }
+
+    /// Tombstone a replica. Returns false if the node is down.
+    pub fn delete(&self, ring_key: &str, modified_ms: u64) -> bool {
+        if self.is_down() {
+            return false;
+        }
+        let mut store = self.store.write();
+        match store.get_mut(ring_key) {
+            Some(r) => {
+                if modified_ms >= r.modified_ms {
+                    r.deleted = true;
+                    r.modified_ms = modified_ms;
+                    r.payload = Payload::Inline(bytes::Bytes::new());
+                    r.meta.clear();
+                }
+            }
+            None => {
+                // Tombstone for an object this device never saw — still
+                // recorded so a late replicated PUT cannot resurrect it.
+                store.insert(
+                    ring_key.to_string(),
+                    StoredReplica {
+                        payload: Payload::Inline(bytes::Bytes::new()),
+                        meta: Meta::new(),
+                        modified_ms,
+                        handoff: false,
+                        deleted: true,
+                    },
+                );
+            }
+        }
+        true
+    }
+
+    /// Drop a replica entirely (used by repair when moving handoffs home,
+    /// and by tombstone reclamation).
+    pub fn purge(&self, ring_key: &str) {
+        self.store.write().remove(ring_key);
+    }
+
+    /// Snapshot of all keys currently held (including tombstones).
+    pub fn keys(&self) -> Vec<String> {
+        self.store.read().keys().cloned().collect()
+    }
+
+    /// Live (non-tombstone) replica count.
+    pub fn replica_count(&self) -> usize {
+        self.store.read().values().filter(|r| !r.deleted).count()
+    }
+
+    /// Logical bytes of live replicas on this device.
+    pub fn bytes(&self) -> u64 {
+        self.store
+            .read()
+            .values()
+            .filter(|r| !r.deleted)
+            .map(|r| r.payload.len())
+            .sum()
+    }
+
+    /// Materialise an [`Object`] from a stored replica.
+    pub fn to_object(key: &ObjectKey, r: StoredReplica) -> Object {
+        Object {
+            key: key.clone(),
+            payload: r.payload,
+            meta: r.meta,
+            modified_ms: r.modified_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> StorageNode {
+        StorageNode::new(DeviceId(0), 0)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let n = node();
+        assert!(n.put("/a/c/o", Payload::from_static("hi"), Meta::new(), 1, false));
+        let r = n.get("/a/c/o").unwrap();
+        assert_eq!(r.payload.as_str(), Some("hi"));
+        assert!(!r.handoff);
+        assert_eq!(n.replica_count(), 1);
+        assert_eq!(n.bytes(), 2);
+    }
+
+    #[test]
+    fn last_writer_wins_on_device() {
+        let n = node();
+        n.put("/k", Payload::from_static("new"), Meta::new(), 10, false);
+        n.put("/k", Payload::from_static("stale"), Meta::new(), 5, false);
+        assert_eq!(n.get("/k").unwrap().payload.as_str(), Some("new"));
+        n.put("/k", Payload::from_static("newest"), Meta::new(), 20, false);
+        assert_eq!(n.get("/k").unwrap().payload.as_str(), Some("newest"));
+    }
+
+    #[test]
+    fn tombstones_hide_and_block_resurrection() {
+        let n = node();
+        n.put("/k", Payload::from_static("x"), Meta::new(), 10, false);
+        assert!(n.delete("/k", 11));
+        assert!(n.get("/k").is_none());
+        assert!(n.get_raw("/k").unwrap().deleted);
+        // A stale write (ms 10 < tombstone 11) must not resurrect.
+        n.put("/k", Payload::from_static("ghost"), Meta::new(), 10, false);
+        assert!(n.get("/k").is_none());
+        // A genuinely newer write may recreate.
+        n.put("/k", Payload::from_static("alive"), Meta::new(), 12, false);
+        assert_eq!(n.get("/k").unwrap().payload.as_str(), Some("alive"));
+    }
+
+    #[test]
+    fn tombstone_without_prior_replica_is_recorded() {
+        let n = node();
+        assert!(n.delete("/never-seen", 5));
+        assert!(n.get("/never-seen").is_none());
+        n.put("/never-seen", Payload::from_static("late"), Meta::new(), 4, false);
+        assert!(n.get("/never-seen").is_none(), "late stale PUT resurrected");
+    }
+
+    #[test]
+    fn down_node_rejects_everything() {
+        let n = node();
+        n.put("/k", Payload::from_static("x"), Meta::new(), 1, false);
+        n.set_down(true);
+        assert!(n.is_down());
+        assert!(!n.put("/k2", Payload::from_static("y"), Meta::new(), 2, false));
+        assert!(n.get("/k").is_none());
+        assert!(!n.delete("/k", 3));
+        n.set_down(false);
+        assert!(n.get("/k").is_some());
+    }
+
+    #[test]
+    fn purge_removes_outright() {
+        let n = node();
+        n.put("/k", Payload::from_static("x"), Meta::new(), 1, true);
+        assert!(n.get("/k").unwrap().handoff);
+        n.purge("/k");
+        assert!(n.get_raw("/k").is_none());
+        assert_eq!(n.keys().len(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests: the replicated object store behaves like a simple
+//! key→value map, even with up to `replicas − quorum` nodes down at any
+//! moment and repair passes interleaved.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use h2ring::DeviceId;
+use h2util::{CostModel, OpCtx};
+use swiftsim::{Cluster, ClusterConfig, Meta, ObjectKey, ObjectStore, Payload};
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Put(u8, u16),     // key id, value
+    Get(u8),
+    Delete(u8),
+    Head(u8),
+    Copy(u8, u8),     // src, dst
+    NodeFlap(u8),     // toggle node (bounded below quorum)
+    Repair,
+}
+
+fn arb_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (0u8..12, any::<u16>()).prop_map(|(k, v)| StoreOp::Put(k, v)),
+        (0u8..12).prop_map(StoreOp::Get),
+        (0u8..12).prop_map(StoreOp::Delete),
+        (0u8..12).prop_map(StoreOp::Head),
+        (0u8..12, 0u8..12).prop_map(|(a, b)| StoreOp::Copy(a, b)),
+        (0u8..8).prop_map(StoreOp::NodeFlap),
+        Just(StoreOp::Repair),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_matches_map_model_under_bounded_failures(
+        ops in prop::collection::vec(arb_op(), 1..120)
+    ) {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 8,
+            replicas: 3,
+            part_power: 7,
+            cost: Arc::new(CostModel::zero()),
+        });
+        cluster.create_account("a").unwrap();
+        cluster.create_container("a", "c", true).unwrap();
+        let mut model: HashMap<u8, u16> = HashMap::new();
+        let mut down: Option<u8> = None; // at most ONE node down (quorum safe)
+        let mut ctx = OpCtx::for_test();
+        let key = |k: u8| ObjectKey::new("a", "c", &format!("obj{k:02}"));
+
+        for op in &ops {
+            match op {
+                StoreOp::Put(k, v) => {
+                    cluster
+                        .put(&mut ctx, &key(*k), Payload::from_string(v.to_string()), Meta::new())
+                        .unwrap();
+                    model.insert(*k, *v);
+                }
+                StoreOp::Get(k) => match (cluster.get(&mut ctx, &key(*k)), model.get(k)) {
+                    (Ok(obj), Some(v)) => {
+                        let want = v.to_string();
+                        prop_assert_eq!(obj.payload.as_str(), Some(want.as_str()));
+                    }
+                    (Err(e), None) => prop_assert_eq!(e.code(), "not-found"),
+                    (got, want) => prop_assert!(false, "GET diverged: {:?} vs {:?}", got, want),
+                },
+                StoreOp::Head(k) => {
+                    let got = cluster.head(&mut ctx, &key(*k)).is_ok();
+                    prop_assert_eq!(got, model.contains_key(k));
+                }
+                StoreOp::Delete(k) => {
+                    let got = cluster.delete(&mut ctx, &key(*k));
+                    prop_assert_eq!(got.is_ok(), model.remove(k).is_some());
+                }
+                StoreOp::Copy(a, b) => {
+                    let got = cluster.copy(&mut ctx, &key(*a), &key(*b));
+                    match model.get(a).copied() {
+                        Some(v) => {
+                            prop_assert!(got.is_ok());
+                            model.insert(*b, v);
+                        }
+                        None => prop_assert_eq!(got.unwrap_err().code(), "not-found"),
+                    }
+                }
+                StoreOp::NodeFlap(n) => {
+                    // Keep at most one node down so every quorum stays
+                    // reachable (2/3 with 8 nodes).
+                    if let Some(prev) = down.take() {
+                        cluster.set_node_down(DeviceId(prev as u16), false);
+                    }
+                    if Some(*n) != down {
+                        cluster.set_node_down(DeviceId(*n as u16), true);
+                        down = Some(*n);
+                    }
+                }
+                StoreOp::Repair => {
+                    cluster.repair();
+                }
+            }
+        }
+
+        // Bring everything back, repair to convergence, and do a final
+        // full audit against the model.
+        if let Some(prev) = down {
+            cluster.set_node_down(DeviceId(prev as u16), false);
+        }
+        cluster.repair();
+        for k in 0u8..12 {
+            match (cluster.get(&mut ctx, &key(k)), model.get(&k)) {
+                (Ok(obj), Some(v)) => {
+                    let want = v.to_string();
+                    prop_assert_eq!(obj.payload.as_str(), Some(want.as_str()));
+                }
+                (Err(e), None) => prop_assert_eq!(e.code(), "not-found"),
+                (got, want) => prop_assert!(false, "final audit diverged for {}: {:?} vs {:?}", k, got, want),
+            }
+        }
+        prop_assert_eq!(cluster.object_count() as usize, model.len());
+    }
+
+    #[test]
+    fn listing_always_reflects_model(ops in prop::collection::vec(arb_op(), 1..60)) {
+        // Synchronous index mode: the listing DB is always exact.
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 4,
+            replicas: 1,
+            part_power: 6,
+            cost: Arc::new(CostModel::zero()),
+        });
+        cluster.create_account("a").unwrap();
+        cluster.create_container("a", "c", true).unwrap();
+        let mut model: HashMap<u8, u16> = HashMap::new();
+        let mut ctx = OpCtx::for_test();
+        let key = |k: u8| ObjectKey::new("a", "c", &format!("obj{k:02}"));
+        for op in &ops {
+            match op {
+                StoreOp::Put(k, v) => {
+                    cluster
+                        .put(&mut ctx, &key(*k), Payload::from_string(v.to_string()), Meta::new())
+                        .unwrap();
+                    model.insert(*k, *v);
+                }
+                StoreOp::Delete(k) => {
+                    let _ = cluster.delete(&mut ctx, &key(*k));
+                    model.remove(k);
+                }
+                _ => {}
+            }
+        }
+        let rows = cluster
+            .list(&mut ctx, "a", "c", &swiftsim::ListOptions::all())
+            .unwrap();
+        let mut got: Vec<String> = rows.iter().map(|e| e.name().to_string()).collect();
+        got.sort();
+        let mut want: Vec<String> = model.keys().map(|k| format!("obj{k:02}")).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

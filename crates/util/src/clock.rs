@@ -1,0 +1,236 @@
+//! Hybrid logical clocks and the timestamps carried in NameRing tuples.
+//!
+//! The paper stamps every NameRing tuple with "a UNIX timestamp representing
+//! a creation or deletion time" and resolves merge conflicts by
+//! larger-timestamp-wins (§3.3.2). Raw millisecond clocks collide under
+//! concurrent updates, so — as real deployments would — we use a *hybrid*
+//! timestamp: Unix-style milliseconds, a logical sequence number, and the id
+//! of the issuing node as total-order tie-breakers. Two updates issued
+//! anywhere in the cluster therefore never compare equal unless they are the
+//! same update.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::id::NodeId;
+
+/// A hybrid timestamp: `(millis, seq, node)` compared lexicographically.
+///
+/// Serialized (by the Formatter) as `millis.seq.node`, e.g.
+/// `1469346604539.0007.01`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    /// Unix-style milliseconds (simulated in tests/benches).
+    pub millis: u64,
+    /// Logical counter distinguishing same-millisecond events on one node.
+    pub seq: u32,
+    /// Issuing node, the final tie-breaker.
+    pub node: NodeId,
+}
+
+impl Timestamp {
+    pub const ZERO: Timestamp = Timestamp {
+        millis: 0,
+        seq: 0,
+        node: NodeId(0),
+    };
+
+    pub fn new(millis: u64, seq: u32, node: NodeId) -> Self {
+        Timestamp { millis, seq, node }
+    }
+
+    /// Pack into a sortable u128 (used as a compact map key).
+    pub fn as_u128(self) -> u128 {
+        ((self.millis as u128) << 48) | ((self.seq as u128) << 16) | self.node.0 as u128
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:04}.{:02}", self.millis, self.seq, self.node.0)
+    }
+}
+
+impl FromStr for Timestamp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split('.');
+        let millis = it
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| format!("bad timestamp millis in {s:?}"))?;
+        let seq = it
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| format!("bad timestamp seq in {s:?}"))?;
+        let node = it
+            .next()
+            .and_then(|p| p.parse().ok())
+            .map(NodeId)
+            .ok_or_else(|| format!("bad timestamp node in {s:?}"))?;
+        if it.next().is_some() {
+            return Err(format!("trailing garbage in timestamp {s:?}"));
+        }
+        Ok(Timestamp { millis, seq, node })
+    }
+}
+
+/// Monotonic hybrid clock, one per node (storage node or H2Middleware).
+///
+/// `tick()` never returns the same timestamp twice and never goes backwards,
+/// even if the underlying millisecond source stalls (the logical `seq`
+/// advances) — the standard HLC construction.
+#[derive(Debug)]
+pub struct HybridClock {
+    node: NodeId,
+    state: Mutex<(u64, u32)>, // (last millis, last seq)
+    /// Milliseconds advanced per tick when no external time source drives the
+    /// clock. The simulator leaves this at 0 and calls [`advance_to`].
+    auto_step: u64,
+}
+
+impl HybridClock {
+    /// A clock starting at `base_millis` for the given node.
+    pub fn new(node: NodeId, base_millis: u64) -> Self {
+        HybridClock {
+            node,
+            state: Mutex::new((base_millis, 0)),
+            auto_step: 0,
+        }
+    }
+
+    /// A clock that advances 1 ms per tick — convenient in unit tests that
+    /// want visibly distinct millis without an external driver.
+    pub fn stepping(node: NodeId, base_millis: u64) -> Self {
+        HybridClock {
+            node,
+            state: Mutex::new((base_millis, 0)),
+            auto_step: 1,
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Observe an external millisecond reading (e.g. the simulation clock);
+    /// the next tick will be at least this.
+    pub fn advance_to(&self, millis: u64) {
+        let mut st = self.state.lock();
+        if millis > st.0 {
+            *st = (millis, 0);
+        }
+    }
+
+    /// Merge a remote timestamp (HLC receive rule): local time never runs
+    /// behind anything it has seen.
+    pub fn observe(&self, remote: Timestamp) {
+        let mut st = self.state.lock();
+        if remote.millis > st.0 {
+            *st = (remote.millis, remote.seq);
+        } else if remote.millis == st.0 && remote.seq > st.1 {
+            st.1 = remote.seq;
+        }
+    }
+
+    /// Produce the next strictly increasing timestamp.
+    pub fn tick(&self) -> Timestamp {
+        let mut st = self.state.lock();
+        if self.auto_step > 0 {
+            st.0 += self.auto_step;
+            st.1 = 0;
+        } else {
+            st.1 = st.1.checked_add(1).expect("HLC seq overflow");
+        }
+        Timestamp {
+            millis: st.0,
+            seq: st.1,
+            node: self.node,
+        }
+    }
+
+    /// Current reading without advancing.
+    pub fn peek(&self) -> Timestamp {
+        let st = self.state.lock();
+        Timestamp {
+            millis: st.0,
+            seq: st.1,
+            node: self.node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_order_lexicographically() {
+        let a = Timestamp::new(10, 0, NodeId(1));
+        let b = Timestamp::new(10, 1, NodeId(0));
+        let c = Timestamp::new(11, 0, NodeId(0));
+        assert!(a < b && b < c);
+        assert!(a.as_u128() < b.as_u128() && b.as_u128() < c.as_u128());
+    }
+
+    #[test]
+    fn node_breaks_exact_ties() {
+        let a = Timestamp::new(10, 3, NodeId(1));
+        let b = Timestamp::new(10, 3, NodeId(2));
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let t = Timestamp::new(1_469_346_604_539, 7, NodeId(1));
+        assert_eq!(t.to_string(), "1469346604539.0007.01");
+        assert_eq!(t.to_string().parse::<Timestamp>().unwrap(), t);
+        assert!("nope".parse::<Timestamp>().is_err());
+        assert!("1.2".parse::<Timestamp>().is_err());
+        assert!("1.2.3.4".parse::<Timestamp>().is_err());
+    }
+
+    #[test]
+    fn clock_is_strictly_monotonic() {
+        let c = HybridClock::new(NodeId(1), 1000);
+        let mut last = Timestamp::ZERO;
+        for _ in 0..1000 {
+            let t = c.tick();
+            assert!(t > last);
+            last = t;
+        }
+        assert_eq!(last.millis, 1000); // no external driver → millis frozen
+    }
+
+    #[test]
+    fn advance_to_resets_seq() {
+        let c = HybridClock::new(NodeId(1), 1000);
+        c.tick();
+        c.tick();
+        c.advance_to(2000);
+        let t = c.tick();
+        assert_eq!((t.millis, t.seq), (2000, 1));
+        // Going backwards is ignored.
+        c.advance_to(500);
+        assert!(c.tick() > t);
+    }
+
+    #[test]
+    fn observe_applies_receive_rule() {
+        let c = HybridClock::new(NodeId(1), 1000);
+        c.observe(Timestamp::new(5000, 9, NodeId(2)));
+        let t = c.tick();
+        assert!(t > Timestamp::new(5000, 9, NodeId(2)));
+        assert_eq!(t.millis, 5000);
+    }
+
+    #[test]
+    fn stepping_clock_advances_millis() {
+        let c = HybridClock::stepping(NodeId(3), 0);
+        assert_eq!(c.tick().millis, 1);
+        assert_eq!(c.tick().millis, 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! The common error type shared by the object store, H2Cloud and baselines.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, H2Error>;
+
+/// Errors surfaced by filesystem and object-store operations.
+///
+/// The variants mirror what the paper's web APIs would report over HTTP:
+/// `NotFound` ↔ 404, `AlreadyExists`/`Conflict` ↔ 409, `InvalidPath` ↔ 400,
+/// `Unavailable` ↔ 503.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H2Error {
+    /// The referenced object, file or directory does not exist.
+    NotFound(String),
+    /// Creation target already exists.
+    AlreadyExists(String),
+    /// A path component that must be a directory is a regular file.
+    NotADirectory(String),
+    /// The operation requires a regular file but found a directory.
+    IsADirectory(String),
+    /// The supplied path is syntactically invalid (empty component, bad
+    /// namespace decoration, embedded separator in a name, …).
+    InvalidPath(String),
+    /// A concurrent update conflicts with this operation (e.g. optimistic
+    /// patch submission raced and must be retried).
+    Conflict(String),
+    /// Not enough replicas/nodes reachable to satisfy the quorum.
+    Unavailable(String),
+    /// Stored bytes failed to parse back into the expected structure.
+    Corrupt(String),
+    /// Account (user) is unknown.
+    NoSuchAccount(String),
+    /// Operation not supported by this backend (used by restricted
+    /// baselines such as the Cumulus snapshot store).
+    Unsupported(&'static str),
+}
+
+impl H2Error {
+    /// Short machine-readable code, handy for logs and assertions.
+    pub fn code(&self) -> &'static str {
+        match self {
+            H2Error::NotFound(_) => "not-found",
+            H2Error::AlreadyExists(_) => "already-exists",
+            H2Error::NotADirectory(_) => "not-a-directory",
+            H2Error::IsADirectory(_) => "is-a-directory",
+            H2Error::InvalidPath(_) => "invalid-path",
+            H2Error::Conflict(_) => "conflict",
+            H2Error::Unavailable(_) => "unavailable",
+            H2Error::Corrupt(_) => "corrupt",
+            H2Error::NoSuchAccount(_) => "no-such-account",
+            H2Error::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// True for errors that a client may retry verbatim (transient states).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, H2Error::Conflict(_) | H2Error::Unavailable(_))
+    }
+
+    /// Coarse error class for cross-backend comparisons. `NotFound` and
+    /// `NotADirectory` collapse into one *path-resolution* class: for a
+    /// path that traverses *through* a regular file (`/a/b` where `/a` is a
+    /// file), hierarchical designs report ENOTDIR while flat designs
+    /// (full-path hashing) can only see "no such key" — both simply mean
+    /// the path does not resolve.
+    pub fn class(&self) -> &'static str {
+        match self {
+            H2Error::NotFound(_) | H2Error::NotADirectory(_) => "path-resolution",
+            other => other.code(),
+        }
+    }
+}
+
+impl fmt::Display for H2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H2Error::NotFound(s) => write!(f, "not found: {s}"),
+            H2Error::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            H2Error::NotADirectory(s) => write!(f, "not a directory: {s}"),
+            H2Error::IsADirectory(s) => write!(f, "is a directory: {s}"),
+            H2Error::InvalidPath(s) => write!(f, "invalid path: {s}"),
+            H2Error::Conflict(s) => write!(f, "conflict: {s}"),
+            H2Error::Unavailable(s) => write!(f, "unavailable: {s}"),
+            H2Error::Corrupt(s) => write!(f, "corrupt object: {s}"),
+            H2Error::NoSuchAccount(s) => write!(f, "no such account: {s}"),
+            H2Error::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for H2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_code_are_consistent() {
+        let e = H2Error::NotFound("/home/alice".into());
+        assert_eq!(e.code(), "not-found");
+        assert!(e.to_string().contains("/home/alice"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(H2Error::Conflict("x".into()).is_retryable());
+        assert!(H2Error::Unavailable("x".into()).is_retryable());
+        assert!(!H2Error::NotFound("x".into()).is_retryable());
+        assert!(!H2Error::Corrupt("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn errors_are_clonable_and_comparable() {
+        let e = H2Error::InvalidPath("a//b".into());
+        assert_eq!(e.clone(), e);
+    }
+}

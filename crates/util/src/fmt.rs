@@ -1,0 +1,72 @@
+//! Small human-facing formatting helpers for the figures harness and
+//! examples (byte sizes, durations, aligned table cells).
+
+use std::time::Duration;
+
+/// `1536` → `"1.5 KiB"`, `0` → `"0 B"`, etc.
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    if n < 1024 {
+        return format!("{n} B");
+    }
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if v >= 100.0 {
+        format!("{v:.0} {}", UNITS[unit])
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Millisecond rendering with sub-ms precision for small values:
+/// `"0.35 ms"`, `"12.4 ms"`, `"3.21 s"`.
+pub fn millis(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else if ms >= 100.0 {
+        format!("{ms:.0} ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.1} ms")
+    } else {
+        format!("{ms:.3} ms")
+    }
+}
+
+/// Fixed-width right-aligned cell for plain-text tables.
+pub fn cell(s: &str, width: usize) -> String {
+    format!("{s:>width$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_units() {
+        assert_eq!(bytes(0), "0 B");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(1536), "1.5 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0 MiB");
+        assert_eq!(bytes(250 * 1024 * 1024), "250 MiB");
+        assert_eq!(bytes(5 * 1024 * 1024 * 1024), "5.0 GiB");
+    }
+
+    #[test]
+    fn millis_ranges() {
+        assert_eq!(millis(Duration::from_micros(350)), "0.350 ms");
+        assert_eq!(millis(Duration::from_millis(12)), "12.0 ms");
+        assert_eq!(millis(Duration::from_millis(350)), "350 ms");
+        assert_eq!(millis(Duration::from_millis(3210)), "3.21 s");
+    }
+
+    #[test]
+    fn cell_alignment() {
+        assert_eq!(cell("ab", 5), "   ab");
+        assert_eq!(cell("abcdef", 3), "abcdef");
+    }
+}

@@ -1,0 +1,169 @@
+//! Node ids and the namespace UUIDs of §3.1.
+//!
+//! The paper gives every directory a universally unique identifier built from
+//! "the sequence number of the directory, the storage node that created it,
+//! and the UNIX timestamp": `/home/` being the 6th directory created by node
+//! 1 at 1469346604539 gets UUID `06.01.1469346604539` (displayed in figures
+//! with a short alias like `N94`).
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::hash64;
+
+/// Identifier of a node (storage node or H2Middleware) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}", self.0)
+    }
+}
+
+/// The namespace UUID of a directory: `seq.node.millis`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NamespaceId {
+    /// Per-node creation sequence number of this directory.
+    pub seq: u64,
+    /// Node that created the directory.
+    pub node: NodeId,
+    /// UNIX-style milliseconds at creation.
+    pub millis: u64,
+}
+
+impl NamespaceId {
+    /// The root directory of an account. The paper never spells out the root
+    /// namespace; we reserve sequence 0 / node 0 / time 0 so it is constant
+    /// across the system and can be located without any lookup.
+    pub const ROOT: NamespaceId = NamespaceId {
+        seq: 0,
+        node: NodeId(0),
+        millis: 0,
+    };
+
+    pub fn new(seq: u64, node: NodeId, millis: u64) -> Self {
+        NamespaceId { seq, node, millis }
+    }
+
+    pub fn is_root(&self) -> bool {
+        *self == Self::ROOT
+    }
+
+    /// Short human alias like the paper's `N94`: `N` + two hex digits of the
+    /// UUID hash. Only for display — not unique.
+    pub fn short(&self) -> String {
+        let h = hash64(self.to_string().as_bytes());
+        format!("N{:02x}", (h & 0xff) as u8)
+    }
+}
+
+impl fmt::Display for NamespaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}.{}.{}", self.seq, self.node, self.millis)
+    }
+}
+
+impl FromStr for NamespaceId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split('.');
+        let seq = it
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| format!("bad namespace seq in {s:?}"))?;
+        let node = it
+            .next()
+            .and_then(|p| p.parse().ok())
+            .map(NodeId)
+            .ok_or_else(|| format!("bad namespace node in {s:?}"))?;
+        let millis = it
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| format!("bad namespace millis in {s:?}"))?;
+        if it.next().is_some() {
+            return Err(format!("trailing garbage in namespace {s:?}"));
+        }
+        Ok(NamespaceId { seq, node, millis })
+    }
+}
+
+/// Allocator handing out namespace UUIDs on one node.
+#[derive(Debug)]
+pub struct NamespaceAllocator {
+    node: NodeId,
+    next_seq: AtomicU64,
+}
+
+impl NamespaceAllocator {
+    pub fn new(node: NodeId) -> Self {
+        NamespaceAllocator {
+            node,
+            // seq 0 is reserved for ROOT
+            next_seq: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocate the next namespace, stamped with the supplied milliseconds.
+    pub fn allocate(&self, millis: u64) -> NamespaceId {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        NamespaceId::new(seq, self.node, millis)
+    }
+
+    /// Number of namespaces handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_renders_like_the_paper() {
+        // "the 6th directory created by the 1st storage node at
+        //  1469346604539 … will be given a UUID 06.01.1469346604539"
+        let ns = NamespaceId::new(6, NodeId(1), 1_469_346_604_539);
+        assert_eq!(ns.to_string(), "06.01.1469346604539");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let ns = NamespaceId::new(123, NodeId(7), 42);
+        assert_eq!(ns.to_string().parse::<NamespaceId>().unwrap(), ns);
+        assert!("x.y.z".parse::<NamespaceId>().is_err());
+        assert!("1.2".parse::<NamespaceId>().is_err());
+        assert!("1.2.3.4".parse::<NamespaceId>().is_err());
+    }
+
+    #[test]
+    fn root_is_reserved_and_distinct() {
+        assert!(NamespaceId::ROOT.is_root());
+        let alloc = NamespaceAllocator::new(NodeId(0));
+        for _ in 0..100 {
+            assert!(!alloc.allocate(0).is_root());
+        }
+        assert_eq!(alloc.allocated(), 100);
+    }
+
+    #[test]
+    fn allocations_are_unique_across_nodes() {
+        use std::collections::HashSet;
+        let a = NamespaceAllocator::new(NodeId(1));
+        let b = NamespaceAllocator::new(NodeId(2));
+        let mut seen = HashSet::new();
+        for i in 0..50 {
+            assert!(seen.insert(a.allocate(i)));
+            assert!(seen.insert(b.allocate(i)));
+        }
+    }
+
+    #[test]
+    fn short_alias_shape() {
+        let s = NamespaceId::new(6, NodeId(1), 1_469_346_604_539).short();
+        assert!(s.starts_with('N') && s.len() == 3, "{s}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared utilities for the H2Cloud reproduction.
+//!
+//! This crate hosts the foundational pieces every other crate builds on:
+//!
+//! * [`error`] — the common [`error::H2Error`] type.
+//! * [`hash`] — deterministic 64/128-bit hashing (XXH64) used for ring
+//!   placement and content addressing.
+//! * [`clock`] — hybrid logical timestamps (Unix millis + logical counter +
+//!   node id) that order concurrent NameRing updates deterministically.
+//! * [`id`] — namespace UUIDs in the paper's `seq.node.timestamp` form.
+//! * [`cost`] — the virtual-time cost model ([`cost::CostModel`],
+//!   [`cost::OpCtx`]) that replaces the paper's rack-scale wall-clock
+//!   measurements with calibrated, deterministic latency accounting.
+//! * [`rng`] — seeded random-number helpers and the distributions used by the
+//!   workload generator.
+//! * [`fmt`] — small formatting helpers (byte sizes, durations).
+
+pub mod clock;
+pub mod cost;
+pub mod error;
+pub mod fmt;
+pub mod hash;
+pub mod id;
+pub mod metrics;
+pub mod rng;
+
+pub use clock::{HybridClock, Timestamp};
+pub use cost::{BackendCounts, CostModel, OpCtx, PrimKind, RttModel};
+pub use error::{H2Error, Result};
+pub use hash::{hash128, hash64, Digest128};
+pub use id::{NamespaceId, NodeId};

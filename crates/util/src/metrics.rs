@@ -1,0 +1,213 @@
+//! Lightweight metrics: lock-free counters and log-bucketed latency
+//! histograms — the "system monitoring" the paper lists among the
+//! H2Middleware's modules (§4.2).
+//!
+//! Histograms bucket durations by `log2(microseconds)`, giving ~2×
+//! resolution from 1 µs to ~36 minutes in 31 buckets — plenty for
+//! operation times that span 10 ms GETs to multi-minute directory sweeps.
+//! All updates are relaxed atomics: safe to hammer from every thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 32;
+
+/// A latency histogram with log2(µs) buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_of(d: Duration) -> usize {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Lower bound of a bucket, in microseconds.
+    fn bucket_floor_us(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(d.as_micros().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us.load(Ordering::Relaxed) / n)
+    }
+
+    /// Approximate percentile (bucket lower bound): p in [0, 1].
+    pub fn percentile(&self, p: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((n as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(Self::bucket_floor_us(i));
+            }
+        }
+        Duration::from_micros(Self::bucket_floor_us(BUCKETS - 1))
+    }
+
+    /// `count / mean / p50 / p99` on one line.
+    pub fn render(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p99={}",
+            self.count(),
+            crate::fmt::millis(self.mean()),
+            crate::fmt::millis(self.percentile(0.50)),
+            crate::fmt::millis(self.percentile(0.99)),
+        )
+    }
+}
+
+/// A named family of histograms (one per operation kind).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: parking_lot::RwLock<std::collections::BTreeMap<String, std::sync::Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get (or create) the histogram for `name`.
+    pub fn histogram(&self, name: &str) -> std::sync::Arc<Histogram> {
+        if let Some(h) = self.entries.read().get(name) {
+            return h.clone();
+        }
+        self.entries
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, name: &str, d: Duration) {
+        self.histogram(name).record(d);
+    }
+
+    /// All entries, name-sorted, rendered one per line.
+    pub fn render(&self) -> String {
+        let entries = self.entries.read();
+        let mut out = String::new();
+        for (name, h) in entries.iter() {
+            out.push_str(&format!("{name:<16} {}\n", h.render()));
+        }
+        out
+    }
+
+    /// Snapshot of (name, count) pairs.
+    pub fn counts(&self) -> Vec<(String, u64)> {
+        self.entries
+            .read()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_monotone_log2() {
+        assert_eq!(Histogram::bucket_of(Duration::ZERO), 0);
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(1)), 1);
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(2)), 2);
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(3)), 2);
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(1024)), 11);
+        // Very large values clamp into the last bucket.
+        assert_eq!(Histogram::bucket_of(Duration::from_secs(1 << 40)), BUCKETS - 1);
+    }
+
+    #[test]
+    fn count_mean_percentiles() {
+        let h = Histogram::new();
+        for ms in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 1000] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        // Mean = (9×10 + 1000)/10 = 109 ms.
+        assert_eq!(h.mean(), Duration::from_millis(109));
+        // p50 sits in the 10 ms bucket (floor 8.192 ms).
+        let p50 = h.percentile(0.50);
+        assert!(p50 >= Duration::from_millis(8) && p50 < Duration::from_millis(17), "{p50:?}");
+        // p99+ lands in the 1 s bucket.
+        assert!(h.percentile(0.995) >= Duration::from_millis(500));
+        assert_eq!(h.percentile(0.0), h.percentile(0.0001));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+        assert!(h.render().starts_with("n=0"));
+    }
+
+    #[test]
+    fn registry_aggregates_and_renders() {
+        let m = MetricsRegistry::new();
+        m.record("MKDIR", Duration::from_millis(130));
+        m.record("MKDIR", Duration::from_millis(140));
+        m.record("READ", Duration::from_millis(10));
+        let counts = m.counts();
+        assert_eq!(counts.len(), 2);
+        assert!(counts.contains(&("MKDIR".to_string(), 2)));
+        let out = m.render();
+        assert!(out.contains("MKDIR"));
+        assert!(out.contains("READ"));
+        assert!(out.lines().count() == 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        m.record("op", Duration::from_micros(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.histogram("op").count(), 4000);
+    }
+}

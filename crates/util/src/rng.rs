@@ -1,0 +1,178 @@
+//! Seeded randomness helpers used by the workload generator and benches.
+//!
+//! Everything in the reproduction is deterministic given a seed; these
+//! helpers centralise RNG construction and provide the two distributions the
+//! workload generator needs that `rand` does not ship without `rand_distr`:
+//! a Zipf sampler (popularity of directories/files) and a bounded log-normal
+//! approximation (file sizes spanning sub-KB configs to multi-GB videos).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct the workspace-standard RNG from a u64 seed.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a label, so independent
+/// components (users, phases) get decorrelated streams reproducibly.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    crate::hash::hash64_seeded(label.as_bytes(), parent)
+}
+
+/// Zipf(s) over ranks `1..=n`, sampled by inversion on a precomputed CDF.
+///
+/// Used for directory popularity and operation targeting: real filesystem
+/// traffic is heavily skewed towards a few hot directories.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `s` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a 0-based rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Approximate log-normal sampler: `exp(N(mu, sigma))`, clamped to
+/// `[min, max]`. The normal draw uses the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64, min: f64, max: f64) -> Self {
+        assert!(min <= max);
+        LogNormal { mu, sigma, min, max }
+    }
+
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp().clamp(self.min, self.max)
+    }
+}
+
+/// Pick an index according to explicit weights (workload op mix).
+pub fn weighted_pick<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_decorrelates() {
+        let a = derive_seed(1, "users");
+        let b = derive_seed(1, "ops");
+        let c = derive_seed(2, "users");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(1, "users"));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut r);
+            assert!(k < 100);
+            counts[k] += 1;
+        }
+        // Rank 0 should dominate rank 50 heavily under s=1.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+    }
+
+    #[test]
+    fn zipf_s0_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng(9);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn lognormal_respects_bounds() {
+        let ln = LogNormal::new(10.0, 3.0, 128.0, 4.0e9);
+        let mut r = rng(11);
+        for _ in 0..10_000 {
+            let v = ln.sample(&mut r);
+            assert!((128.0..=4.0e9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_pick_matches_weights() {
+        let mut r = rng(3);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_pick(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,410 @@
+//! A pure in-memory reference filesystem with `CloudFs` semantics.
+//!
+//! Used two ways: as the oracle in equivalence property tests (every real
+//! backend must agree with it on every operation's outcome), and by the
+//! trace generator to know which paths exist while it invents operations.
+
+use std::collections::BTreeMap;
+
+use h2fsapi::{DirEntry, EntryKind, FsPath};
+use h2util::{H2Error, Result};
+
+/// A node in the model tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelNode {
+    Dir(BTreeMap<String, ModelNode>),
+    File { size: u64 },
+}
+
+impl ModelNode {
+    fn dir() -> ModelNode {
+        ModelNode::Dir(BTreeMap::new())
+    }
+
+    fn children(&self) -> Option<&BTreeMap<String, ModelNode>> {
+        match self {
+            ModelNode::Dir(c) => Some(c),
+            ModelNode::File { .. } => None,
+        }
+    }
+
+    fn children_mut(&mut self) -> Option<&mut BTreeMap<String, ModelNode>> {
+        match self {
+            ModelNode::Dir(c) => Some(c),
+            ModelNode::File { .. } => None,
+        }
+    }
+}
+
+/// The reference filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct ModelFs {
+    root: BTreeMap<String, ModelNode>,
+}
+
+impl ModelFs {
+    pub fn new() -> Self {
+        ModelFs::default()
+    }
+
+    fn node(&self, path: &FsPath) -> Result<&ModelNode> {
+        let mut cur: Option<&ModelNode> = None;
+        let mut children = &self.root;
+        for comp in path.components() {
+            let next = children
+                .get(comp)
+                .ok_or_else(|| H2Error::NotFound(path.to_string()))?;
+            children = match next.children() {
+                Some(c) => c,
+                None => {
+                    // A file mid-path is NotADirectory; a file as the final
+                    // component is fine.
+                    if std::ptr::eq(comp, path.components().last().unwrap()) {
+                        return Ok(next);
+                    }
+                    return Err(H2Error::NotADirectory(path.to_string()));
+                }
+            };
+            cur = Some(next);
+        }
+        cur.ok_or_else(|| H2Error::InvalidPath("root has no node".into()))
+    }
+
+    fn dir_children(&self, path: &FsPath) -> Result<&BTreeMap<String, ModelNode>> {
+        if path.is_root() {
+            return Ok(&self.root);
+        }
+        match self.node(path)? {
+            ModelNode::Dir(c) => Ok(c),
+            ModelNode::File { .. } => Err(H2Error::NotADirectory(path.to_string())),
+        }
+    }
+
+    fn dir_children_mut(&mut self, path: &FsPath) -> Result<&mut BTreeMap<String, ModelNode>> {
+        if path.is_root() {
+            return Ok(&mut self.root);
+        }
+        let mut children = &mut self.root;
+        let comps = path.components();
+        for comp in comps {
+            let next = children
+                .get_mut(comp)
+                .ok_or_else(|| H2Error::NotFound(path.to_string()))?;
+            children = next
+                .children_mut()
+                .ok_or_else(|| H2Error::NotADirectory(path.to_string()))?;
+        }
+        Ok(children)
+    }
+
+    pub fn exists(&self, path: &FsPath) -> bool {
+        path.is_root() || self.node(path).is_ok()
+    }
+
+    pub fn is_dir(&self, path: &FsPath) -> bool {
+        path.is_root()
+            || matches!(self.node(path), Ok(ModelNode::Dir(_)))
+    }
+
+    pub fn is_file(&self, path: &FsPath) -> bool {
+        matches!(self.node(path), Ok(ModelNode::File { .. }))
+    }
+
+    pub fn mkdir(&mut self, path: &FsPath) -> Result<()> {
+        let name = path
+            .name()
+            .ok_or_else(|| H2Error::AlreadyExists("/".into()))?
+            .to_string();
+        let parent = path.parent().expect("non-root");
+        let children = self.dir_children_mut(&parent)?;
+        if children.contains_key(&name) {
+            return Err(H2Error::AlreadyExists(path.to_string()));
+        }
+        children.insert(name, ModelNode::dir());
+        Ok(())
+    }
+
+    pub fn rmdir(&mut self, path: &FsPath) -> Result<()> {
+        if path.is_root() {
+            return Err(H2Error::InvalidPath("cannot remove /".into()));
+        }
+        if !self.is_dir(path) {
+            return if self.exists(path) {
+                Err(H2Error::NotADirectory(path.to_string()))
+            } else {
+                Err(H2Error::NotFound(path.to_string()))
+            };
+        }
+        let name = path.name().unwrap().to_string();
+        let parent = path.parent().unwrap();
+        self.dir_children_mut(&parent)?.remove(&name);
+        Ok(())
+    }
+
+    pub fn write(&mut self, path: &FsPath, size: u64) -> Result<()> {
+        let name = path
+            .name()
+            .ok_or_else(|| H2Error::IsADirectory("/".into()))?
+            .to_string();
+        let parent = path.parent().expect("non-root");
+        let children = self.dir_children_mut(&parent)?;
+        match children.get(&name) {
+            Some(ModelNode::Dir(_)) => Err(H2Error::IsADirectory(path.to_string())),
+            _ => {
+                children.insert(name, ModelNode::File { size });
+                Ok(())
+            }
+        }
+    }
+
+    pub fn read(&self, path: &FsPath) -> Result<u64> {
+        if path.is_root() {
+            return Err(H2Error::IsADirectory("/".into()));
+        }
+        match self.node(path)? {
+            ModelNode::File { size } => Ok(*size),
+            ModelNode::Dir(_) => Err(H2Error::IsADirectory(path.to_string())),
+        }
+    }
+
+    pub fn delete_file(&mut self, path: &FsPath) -> Result<()> {
+        if path.is_root() {
+            return Err(H2Error::IsADirectory("/".into()));
+        }
+        if self.is_dir(path) {
+            return Err(H2Error::IsADirectory(path.to_string()));
+        }
+        if !self.exists(path) {
+            return Err(H2Error::NotFound(path.to_string()));
+        }
+        let name = path.name().unwrap().to_string();
+        let parent = path.parent().unwrap();
+        self.dir_children_mut(&parent)?.remove(&name);
+        Ok(())
+    }
+
+    pub fn mv(&mut self, from: &FsPath, to: &FsPath) -> Result<()> {
+        if from.is_root() || to.is_root() {
+            return Err(H2Error::InvalidPath("cannot move to or from /".into()));
+        }
+        if from == to {
+            return Ok(());
+        }
+        if from.is_ancestor_of(to) {
+            return Err(H2Error::InvalidPath(format!(
+                "cannot move {from} inside itself"
+            )));
+        }
+        // Canonical check order (all backends follow it): source first,
+        // then destination parent, then destination conflict.
+        if !self.exists(from) {
+            return Err(H2Error::NotFound(from.to_string()));
+        }
+        let to_parent = to.parent().unwrap();
+        if !self.is_dir(&to_parent) {
+            return if self.exists(&to_parent) {
+                Err(H2Error::NotADirectory(to_parent.to_string()))
+            } else {
+                Err(H2Error::NotFound(to_parent.to_string()))
+            };
+        }
+        if self.exists(to) {
+            return Err(H2Error::AlreadyExists(to.to_string()));
+        }
+        let from_name = from.name().unwrap().to_string();
+        let node = self
+            .dir_children_mut(&from.parent().unwrap())?
+            .remove(&from_name)
+            .expect("existence checked");
+        let to_name = to.name().unwrap().to_string();
+        self.dir_children_mut(&to_parent)?.insert(to_name, node);
+        Ok(())
+    }
+
+    pub fn copy(&mut self, from: &FsPath, to: &FsPath) -> Result<()> {
+        if from.is_root() || to.is_root() {
+            return Err(H2Error::InvalidPath("cannot copy to or from /".into()));
+        }
+        if from == to || from.is_ancestor_of(to) {
+            return Err(H2Error::InvalidPath(format!(
+                "cannot copy {from} onto/inside itself"
+            )));
+        }
+        // Canonical order: source, destination parent, destination.
+        let node = self.node(from)?.clone();
+        let to_parent = to.parent().unwrap();
+        if !self.is_dir(&to_parent) {
+            return if self.exists(&to_parent) {
+                Err(H2Error::NotADirectory(to_parent.to_string()))
+            } else {
+                Err(H2Error::NotFound(to_parent.to_string()))
+            };
+        }
+        if self.exists(to) {
+            return Err(H2Error::AlreadyExists(to.to_string()));
+        }
+        let to_name = to.name().unwrap().to_string();
+        self.dir_children_mut(&to_parent)?.insert(to_name, node);
+        Ok(())
+    }
+
+    pub fn list(&self, path: &FsPath) -> Result<Vec<String>> {
+        Ok(self.dir_children(path)?.keys().cloned().collect())
+    }
+
+    pub fn list_detailed(&self, path: &FsPath) -> Result<Vec<DirEntry>> {
+        Ok(self
+            .dir_children(path)?
+            .iter()
+            .map(|(name, node)| match node {
+                ModelNode::Dir(_) => DirEntry {
+                    name: name.clone(),
+                    kind: EntryKind::Directory,
+                    size: 0,
+                    modified_ms: 0,
+                },
+                ModelNode::File { size } => DirEntry {
+                    name: name.clone(),
+                    kind: EntryKind::File,
+                    size: *size,
+                    modified_ms: 0,
+                },
+            })
+            .collect())
+    }
+
+    pub fn stat(&self, path: &FsPath) -> Result<DirEntry> {
+        if path.is_root() {
+            return Ok(DirEntry {
+                name: "/".into(),
+                kind: EntryKind::Directory,
+                size: 0,
+                modified_ms: 0,
+            });
+        }
+        match self.node(path)? {
+            ModelNode::Dir(_) => Ok(DirEntry {
+                name: path.name().unwrap().to_string(),
+                kind: EntryKind::Directory,
+                size: 0,
+                modified_ms: 0,
+            }),
+            ModelNode::File { size } => Ok(DirEntry {
+                name: path.name().unwrap().to_string(),
+                kind: EntryKind::File,
+                size: *size,
+                modified_ms: 0,
+            }),
+        }
+    }
+
+    /// Every directory path, root first, parents before children.
+    pub fn all_dirs(&self) -> Vec<FsPath> {
+        let mut out = vec![FsPath::root()];
+        let mut stack: Vec<(FsPath, &BTreeMap<String, ModelNode>)> =
+            vec![(FsPath::root(), &self.root)];
+        while let Some((path, children)) = stack.pop() {
+            for (name, node) in children {
+                if let ModelNode::Dir(c) = node {
+                    let p = path.child(name).expect("validated name");
+                    out.push(p.clone());
+                    stack.push((p, c));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Every file path with its size.
+    pub fn all_files(&self) -> Vec<(FsPath, u64)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(FsPath, &BTreeMap<String, ModelNode>)> =
+            vec![(FsPath::root(), &self.root)];
+        while let Some((path, children)) = stack.pop() {
+            for (name, node) in children {
+                let p = path.child(name).expect("validated name");
+                match node {
+                    ModelNode::Dir(c) => stack.push((p, c)),
+                    ModelNode::File { size } => out.push((p, *size)),
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Total files in the tree (the paper's `N`).
+    pub fn file_count(&self) -> usize {
+        self.all_files().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> FsPath {
+        FsPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn mkdir_write_read() {
+        let mut m = ModelFs::new();
+        m.mkdir(&p("/a")).unwrap();
+        m.write(&p("/a/f"), 42).unwrap();
+        assert_eq!(m.read(&p("/a/f")).unwrap(), 42);
+        assert_eq!(m.list(&p("/a")).unwrap(), ["f"]);
+        assert!(m.mkdir(&p("/a")).is_err());
+        assert!(m.mkdir(&p("/x/y")).is_err());
+    }
+
+    #[test]
+    fn mv_and_copy_subtrees() {
+        let mut m = ModelFs::new();
+        m.mkdir(&p("/a")).unwrap();
+        m.write(&p("/a/f"), 1).unwrap();
+        m.copy(&p("/a"), &p("/b")).unwrap();
+        m.mv(&p("/a"), &p("/c")).unwrap();
+        assert!(m.read(&p("/a/f")).is_err());
+        assert_eq!(m.read(&p("/b/f")).unwrap(), 1);
+        assert_eq!(m.read(&p("/c/f")).unwrap(), 1);
+        assert!(m.mv(&p("/b"), &p("/b/inside")).is_err());
+        assert!(m.copy(&p("/b"), &p("/c")).is_err());
+    }
+
+    #[test]
+    fn rmdir_removes_subtree() {
+        let mut m = ModelFs::new();
+        m.mkdir(&p("/a")).unwrap();
+        m.mkdir(&p("/a/b")).unwrap();
+        m.write(&p("/a/b/f"), 1).unwrap();
+        m.rmdir(&p("/a")).unwrap();
+        assert!(!m.exists(&p("/a")));
+        assert_eq!(m.file_count(), 0);
+    }
+
+    #[test]
+    fn enumeration_helpers() {
+        let mut m = ModelFs::new();
+        m.mkdir(&p("/a")).unwrap();
+        m.mkdir(&p("/a/b")).unwrap();
+        m.write(&p("/a/f1"), 1).unwrap();
+        m.write(&p("/a/b/f2"), 2).unwrap();
+        assert_eq!(m.all_dirs().len(), 3); // /, /a, /a/b
+        assert_eq!(m.all_files().len(), 2);
+        assert_eq!(m.file_count(), 2);
+    }
+
+    #[test]
+    fn kind_errors_match_cloudfs_contract() {
+        let mut m = ModelFs::new();
+        m.write(&p("/f"), 1).unwrap();
+        assert_eq!(m.rmdir(&p("/f")).unwrap_err().code(), "not-a-directory");
+        assert_eq!(m.list(&p("/f")).unwrap_err().code(), "not-a-directory");
+        m.mkdir(&p("/d")).unwrap();
+        assert_eq!(m.read(&p("/d")).unwrap_err().code(), "is-a-directory");
+        assert_eq!(m.delete_file(&p("/d")).unwrap_err().code(), "is-a-directory");
+        assert_eq!(m.write(&p("/d"), 1).unwrap_err().code(), "is-a-directory");
+    }
+}

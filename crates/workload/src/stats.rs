@@ -1,0 +1,144 @@
+//! Workload descriptive statistics — the §5.1 characterisation numbers
+//! ("the number of files in a directory ranges from zero to nearly half a
+//! million, and the directory depth from zero to more than 20; the average
+//! and maximum directory depths are 4 and 19") computed for any generated
+//! spec, so experiments can report what they actually ran on.
+
+use std::collections::HashMap;
+
+use crate::gen::FsSpec;
+
+/// Summary of one filesystem spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecStats {
+    pub dirs: usize,
+    pub files: usize,
+    pub bytes: u64,
+    /// Depth of the deepest entry.
+    pub max_depth: usize,
+    /// Mean depth over files.
+    pub avg_file_depth: f64,
+    /// Files in the fullest directory.
+    pub max_files_per_dir: usize,
+    /// File-size percentiles in bytes.
+    pub size_p50: u64,
+    pub size_p90: u64,
+    pub size_p99: u64,
+    /// Mean file size in bytes.
+    pub mean_size: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+impl SpecStats {
+    /// Compute the summary for a spec.
+    pub fn describe(spec: &FsSpec) -> SpecStats {
+        let mut sizes: Vec<u64> = spec.files.iter().map(|(_, s)| *s).collect();
+        sizes.sort_unstable();
+        let bytes: u64 = sizes.iter().sum();
+        let mut per_dir: HashMap<String, usize> = HashMap::new();
+        let mut depth_sum = 0usize;
+        for (p, _) in &spec.files {
+            depth_sum += p.depth();
+            let parent = p.parent().expect("files are not root").to_string();
+            *per_dir.entry(parent).or_default() += 1;
+        }
+        SpecStats {
+            dirs: spec.dirs.len(),
+            files: spec.files.len(),
+            bytes,
+            max_depth: spec.max_depth(),
+            avg_file_depth: if spec.files.is_empty() {
+                0.0
+            } else {
+                depth_sum as f64 / spec.files.len() as f64
+            },
+            max_files_per_dir: per_dir.values().copied().max().unwrap_or(0),
+            size_p50: percentile(&sizes, 0.50),
+            size_p90: percentile(&sizes, 0.90),
+            size_p99: percentile(&sizes, 0.99),
+            mean_size: if sizes.is_empty() {
+                0.0
+            } else {
+                bytes as f64 / sizes.len() as f64
+            },
+        }
+    }
+
+    /// One-line human rendering for experiment logs.
+    pub fn render(&self) -> String {
+        format!(
+            "{} dirs, {} files, {} total; depth max {} / avg {:.1}; \
+             fullest dir {} files; sizes p50 {} p90 {} p99 {} (mean {})",
+            self.dirs,
+            self.files,
+            h2util::fmt::bytes(self.bytes),
+            self.max_depth,
+            self.avg_file_depth,
+            self.max_files_per_dir,
+            h2util::fmt::bytes(self.size_p50),
+            h2util::fmt::bytes(self.size_p90),
+            h2util::fmt::bytes(self.size_p99),
+            h2util::fmt::bytes(self.mean_size as u64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::UserProfile;
+    use h2fsapi::FsPath;
+    use h2util::rng::rng;
+
+    #[test]
+    fn describe_small_handbuilt_spec() {
+        let dir = FsPath::parse("/d").unwrap();
+        let mut spec = FsSpec::flat_dir(&dir, 3, 100);
+        spec.files[1].1 = 200;
+        spec.files[2].1 = 1000;
+        let s = SpecStats::describe(&spec);
+        assert_eq!(s.dirs, 1);
+        assert_eq!(s.files, 3);
+        assert_eq!(s.bytes, 1300);
+        assert_eq!(s.max_depth, 2);
+        assert!((s.avg_file_depth - 2.0).abs() < 1e-9);
+        assert_eq!(s.max_files_per_dir, 3);
+        assert_eq!(s.size_p50, 200);
+        assert_eq!(s.size_p99, 1000);
+        assert!(!s.render().is_empty());
+    }
+
+    #[test]
+    fn heavy_profile_matches_paper_characterisation() {
+        let spec = FsSpec::generate(&mut rng(2018), UserProfile::Heavy, 0.5);
+        let s = SpecStats::describe(&spec);
+        // "directory depth from zero to more than 20" (max 22 here),
+        // skewed file placement, KB..GB sizes with ~1 MB-ish mean.
+        assert!(s.max_depth >= 8, "max depth {}", s.max_depth);
+        assert!(s.avg_file_depth >= 1.0 && s.avg_file_depth < 10.0);
+        assert!(
+            s.max_files_per_dir > s.files / 20,
+            "placement should be skewed: fullest {} of {}",
+            s.max_files_per_dir,
+            s.files
+        );
+        assert!(s.size_p50 < s.size_p90 && s.size_p90 <= s.size_p99);
+        assert!((1.0e4..1.0e7).contains(&s.mean_size), "mean {}", s.mean_size);
+    }
+
+    #[test]
+    fn empty_spec_is_all_zeroes() {
+        let s = SpecStats::describe(&FsSpec::default());
+        assert_eq!(s.files, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.size_p50, 0);
+        assert_eq!(s.avg_file_depth, 0.0);
+    }
+}

@@ -1,0 +1,337 @@
+//! POSIX-operation traces and the replayer.
+//!
+//! "The users' manipulations cover most of the POSIX-like file and
+//! directory operations" (§5.1); experiments replay those workloads against
+//! each system. The generator invents operations against a [`ModelFs`]
+//! mirror so every generated operation is valid at generation time; the
+//! replayer drives any [`CloudFs`] and reports per-operation timing and
+//! backend counts.
+
+use rand::Rng;
+
+use h2fsapi::{CloudFs, FileContent, FsPath, OpReport};
+use h2util::rng::{weighted_pick, Zipf};
+use h2util::{OpCtx, Result};
+
+use crate::gen::SizeMixture;
+use crate::model::ModelFs;
+
+/// One operation of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    Mkdir(FsPath),
+    Rmdir(FsPath),
+    Write(FsPath, u64),
+    Read(FsPath),
+    Delete(FsPath),
+    Mv(FsPath, FsPath),
+    Copy(FsPath, FsPath),
+    List(FsPath),
+    ListDetailed(FsPath),
+    Stat(FsPath),
+}
+
+/// Operation class, for aggregating results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Mkdir,
+    Rmdir,
+    Write,
+    Read,
+    Delete,
+    Mv,
+    Copy,
+    List,
+    ListDetailed,
+    Stat,
+}
+
+impl Op {
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Mkdir(_) => OpKind::Mkdir,
+            Op::Rmdir(_) => OpKind::Rmdir,
+            Op::Write(_, _) => OpKind::Write,
+            Op::Read(_) => OpKind::Read,
+            Op::Delete(_) => OpKind::Delete,
+            Op::Mv(_, _) => OpKind::Mv,
+            Op::Copy(_, _) => OpKind::Copy,
+            Op::List(_) => OpKind::List,
+            Op::ListDetailed(_) => OpKind::ListDetailed,
+            Op::Stat(_) => OpKind::Stat,
+        }
+    }
+}
+
+/// Relative frequencies of operation classes. The default mix is
+/// read-heavy with occasional structural churn, like real sync clients.
+#[derive(Debug, Clone)]
+pub struct TraceMix {
+    /// Weights indexed as [mkdir, rmdir, write, read, delete, mv, copy,
+    /// list, list_detailed, stat].
+    pub weights: [f64; 10],
+}
+
+impl Default for TraceMix {
+    fn default() -> Self {
+        TraceMix {
+            weights: [4.0, 1.0, 18.0, 30.0, 3.0, 2.0, 1.0, 14.0, 7.0, 20.0],
+        }
+    }
+}
+
+impl TraceMix {
+    /// Directory-operation-heavy mix (stresses the paper's headline ops).
+    pub fn dir_heavy() -> Self {
+        TraceMix {
+            weights: [12.0, 6.0, 8.0, 8.0, 3.0, 10.0, 6.0, 20.0, 12.0, 15.0],
+        }
+    }
+}
+
+/// A generated trace plus the model state it leaves behind.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Generate `len` valid operations starting from `model` (which is
+    /// advanced in place, staying the post-trace state).
+    pub fn generate<R: Rng>(rng: &mut R, model: &mut ModelFs, len: usize, mix: &TraceMix) -> Trace {
+        let sizes = SizeMixture::default();
+        let mut ops = Vec::with_capacity(len);
+        let mut seq = 0usize;
+        while ops.len() < len {
+            let dirs = model.all_dirs();
+            let files = model.all_files();
+            let kind = weighted_pick(rng, &mix.weights);
+            let dir_zipf = Zipf::new(dirs.len(), 0.9);
+            let pick_dir = |rng: &mut R| dirs[dir_zipf.sample(rng)].clone();
+            let op = match kind {
+                0 => {
+                    seq += 1;
+                    let parent = pick_dir(rng);
+                    if parent.depth() >= 20 {
+                        continue;
+                    }
+                    let p = parent.child(&format!("tdir{seq:05}")).expect("valid");
+                    Op::Mkdir(p)
+                }
+                1 => {
+                    // Remove a non-root directory if any exists.
+                    let candidates: Vec<_> =
+                        dirs.iter().filter(|d| !d.is_root()).collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    Op::Rmdir(candidates[rng.gen_range(0..candidates.len())].clone())
+                }
+                2 => {
+                    seq += 1;
+                    let parent = pick_dir(rng);
+                    let p = parent.child(&format!("tfile{seq:05}.dat")).expect("valid");
+                    Op::Write(p, sizes.sample(rng))
+                }
+                3 | 9 => {
+                    if files.is_empty() {
+                        continue;
+                    }
+                    let (p, _) = &files[rng.gen_range(0..files.len())];
+                    if kind == 3 {
+                        Op::Read(p.clone())
+                    } else {
+                        Op::Stat(p.clone())
+                    }
+                }
+                4 => {
+                    if files.is_empty() {
+                        continue;
+                    }
+                    Op::Delete(files[rng.gen_range(0..files.len())].0.clone())
+                }
+                5 | 6 => {
+                    seq += 1;
+                    // Move/copy a file or a directory to a fresh name.
+                    let dst_parent = pick_dir(rng);
+                    let dst = dst_parent
+                        .child(&format!("t{}{seq:05}", if kind == 5 { "mv" } else { "cp" }))
+                        .expect("valid");
+                    let src = if !files.is_empty() && rng.gen_bool(0.7) {
+                        files[rng.gen_range(0..files.len())].0.clone()
+                    } else {
+                        let cands: Vec<_> = dirs.iter().filter(|d| !d.is_root()).collect();
+                        if cands.is_empty() {
+                            continue;
+                        }
+                        cands[rng.gen_range(0..cands.len())].clone()
+                    };
+                    if src == dst || src.is_ancestor_of(&dst) {
+                        continue;
+                    }
+                    if kind == 5 {
+                        Op::Mv(src, dst)
+                    } else {
+                        Op::Copy(src, dst)
+                    }
+                }
+                7 => Op::List(pick_dir(rng)),
+                _ => Op::ListDetailed(pick_dir(rng)),
+            };
+            // Validate against the model; ops that have become invalid
+            // (e.g. rmdir of an ancestor of a chosen dst) are skipped.
+            if Self::apply_model(model, &op).is_ok() {
+                ops.push(op);
+            }
+        }
+        Trace { ops }
+    }
+
+    /// Apply one op to the model (the semantics oracle).
+    pub fn apply_model(model: &mut ModelFs, op: &Op) -> Result<()> {
+        match op {
+            Op::Mkdir(p) => model.mkdir(p),
+            Op::Rmdir(p) => model.rmdir(p),
+            Op::Write(p, size) => model.write(p, *size),
+            Op::Read(p) => model.read(p).map(|_| ()),
+            Op::Delete(p) => model.delete_file(p),
+            Op::Mv(a, b) => model.mv(a, b),
+            Op::Copy(a, b) => model.copy(a, b),
+            Op::List(p) => model.list(p).map(|_| ()),
+            Op::ListDetailed(p) => model.list_detailed(p).map(|_| ()),
+            Op::Stat(p) => model.stat(p).map(|_| ()),
+        }
+    }
+
+    /// Apply one op to a real backend.
+    pub fn apply_fs(
+        fs: &dyn CloudFs,
+        ctx: &mut OpCtx,
+        account: &str,
+        op: &Op,
+    ) -> Result<()> {
+        match op {
+            Op::Mkdir(p) => fs.mkdir(ctx, account, p),
+            Op::Rmdir(p) => fs.rmdir(ctx, account, p),
+            Op::Write(p, size) => fs.write(ctx, account, p, FileContent::Simulated(*size)),
+            Op::Read(p) => fs.read(ctx, account, p).map(|_| ()),
+            Op::Delete(p) => fs.delete_file(ctx, account, p),
+            Op::Mv(a, b) => fs.mv(ctx, account, a, b),
+            Op::Copy(a, b) => fs.copy(ctx, account, a, b),
+            Op::List(p) => fs.list(ctx, account, p).map(|_| ()),
+            Op::ListDetailed(p) => fs.list_detailed(ctx, account, p).map(|_| ()),
+            Op::Stat(p) => fs.stat(ctx, account, p).map(|_| ()),
+        }
+    }
+
+    /// Replay the trace against a backend, one fresh context per op.
+    /// Returns per-op reports (same order as `ops`).
+    pub fn replay(
+        &self,
+        fs: &dyn CloudFs,
+        account: &str,
+        model: std::sync::Arc<h2util::CostModel>,
+    ) -> Result<Vec<(OpKind, OpReport)>> {
+        let mut out = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let mut ctx = OpCtx::new(model.clone());
+            Self::apply_fs(fs, &mut ctx, account, op)?;
+            out.push((op.kind(), OpReport::from_ctx(&ctx)));
+        }
+        Ok(out)
+    }
+}
+
+/// Aggregate mean virtual time per op kind, in milliseconds.
+pub fn mean_ms_by_kind(results: &[(OpKind, OpReport)]) -> Vec<(OpKind, f64, usize)> {
+    use std::collections::HashMap;
+    let mut acc: HashMap<OpKind, (f64, usize)> = HashMap::new();
+    for (kind, rep) in results {
+        let e = acc.entry(*kind).or_default();
+        e.0 += rep.time.as_secs_f64() * 1e3;
+        e.1 += 1;
+    }
+    let mut out: Vec<_> = acc
+        .into_iter()
+        .map(|(k, (total, n))| (k, total / n as f64, n))
+        .collect();
+    out.sort_by_key(|(k, _, _)| format!("{k:?}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2util::rng::rng;
+
+    #[test]
+    fn generated_traces_are_valid_against_a_fresh_model() {
+        let mut r = rng(11);
+        let mut model = ModelFs::new();
+        let trace = Trace::generate(&mut r, &mut model, 300, &TraceMix::default());
+        assert_eq!(trace.ops.len(), 300);
+        // Replaying the same trace on a fresh model must succeed for every
+        // op (generation validated each against the evolving state).
+        let mut fresh = ModelFs::new();
+        for op in &trace.ops {
+            Trace::apply_model(&mut fresh, op)
+                .unwrap_or_else(|e| panic!("invalid generated op {op:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn trace_generation_is_deterministic() {
+        let t1 = Trace::generate(&mut rng(5), &mut ModelFs::new(), 100, &TraceMix::default());
+        let t2 = Trace::generate(&mut rng(5), &mut ModelFs::new(), 100, &TraceMix::default());
+        assert_eq!(t1.ops, t2.ops);
+    }
+
+    #[test]
+    fn dir_heavy_mix_produces_more_dir_ops() {
+        let count_dir_ops = |mix: &TraceMix| {
+            let t = Trace::generate(&mut rng(9), &mut ModelFs::new(), 400, mix);
+            t.ops
+                .iter()
+                .filter(|o| {
+                    matches!(
+                        o.kind(),
+                        OpKind::Mkdir | OpKind::Rmdir | OpKind::Mv | OpKind::List
+                    )
+                })
+                .count()
+        };
+        assert!(count_dir_ops(&TraceMix::dir_heavy()) > count_dir_ops(&TraceMix::default()));
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        use std::time::Duration;
+        let reports = vec![
+            (
+                OpKind::Read,
+                OpReport {
+                    time: Duration::from_millis(10),
+                    backend: Default::default(),
+                },
+            ),
+            (
+                OpKind::Read,
+                OpReport {
+                    time: Duration::from_millis(30),
+                    backend: Default::default(),
+                },
+            ),
+            (
+                OpKind::Mkdir,
+                OpReport {
+                    time: Duration::from_millis(5),
+                    backend: Default::default(),
+                },
+            ),
+        ];
+        let means = mean_ms_by_kind(&reports);
+        let read = means.iter().find(|(k, _, _)| *k == OpKind::Read).unwrap();
+        assert!((read.1 - 20.0).abs() < 1e-9);
+        assert_eq!(read.2, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! A Dropbox-style cloud-drive scenario: host a generated user population
+//! (the paper's "light" and "heavy" users, §5.1) on H2Cloud and on the
+//! two comparison architectures, replay a realistic operation mix against
+//! each, and print per-operation mean latencies and storage overheads —
+//! the paper's evaluation story in one binary.
+//!
+//! ```bash
+//! cargo run --release --example cloud_drive
+//! ```
+
+use h2cloud_repro::prelude::*;
+use h2baselines::{DpFs, SwiftFs};
+use h2util::rng::{derive_seed, rng};
+use h2workload::{FsSpec, Trace, TraceMix, UserProfile};
+
+fn main() -> Result<()> {
+    const SEED: u64 = 2018;
+    const OPS_PER_USER: usize = 150;
+
+    let systems: Vec<(&str, Box<dyn CloudFs>)> = vec![
+        ("H2Cloud", Box::new(H2Cloud::rack())),
+        (
+            "Swift (CH+DB)",
+            Box::new(SwiftFs::new(swiftsim::Cluster::rack(), true)),
+        ),
+        (
+            "Dropbox (DP)",
+            Box::new(DpFs::new(swiftsim::Cluster::rack(), 4)),
+        ),
+    ];
+    let cost = std::sync::Arc::new(CostModel::rack_default());
+
+    // A small user population: 4 light users, 2 heavy (scaled).
+    let users: Vec<(String, UserProfile, f64)> = (0..6)
+        .map(|i| {
+            if i < 4 {
+                (format!("light{i}"), UserProfile::Light, 1.0)
+            } else {
+                (format!("heavy{i}"), UserProfile::Heavy, 0.05)
+            }
+        })
+        .collect();
+
+    for (name, fs) in &systems {
+        println!("\n===== {name} =====");
+        let mut all_results = Vec::new();
+        for (account, profile, scale) in &users {
+            let mut setup = OpCtx::new(cost.clone());
+            fs.create_account(&mut setup, account)?;
+            // Host the user's filesystem.
+            let mut r = rng(derive_seed(SEED, account));
+            let spec = FsSpec::generate(&mut r, *profile, *scale);
+            if std::ptr::eq(fs, &systems[0].1) {
+                // Describe each user's workload once (same seeds per system).
+                println!("  {account}: {}", h2workload::SpecStats::describe(&spec).render());
+            }
+            spec.populate(fs.as_ref(), &mut setup, account)?;
+            // Replay a realistic op mix from the post-import state.
+            let mut model = spec.to_model();
+            let trace = Trace::generate(&mut r, &mut model, OPS_PER_USER, &TraceMix::default());
+            let results = trace.replay(fs.as_ref(), account, cost.clone())?;
+            all_results.extend(results);
+        }
+        fs.quiesce();
+
+        println!("{:<14} {:>10} {:>6}", "operation", "mean time", "count");
+        for (kind, mean_ms, n) in h2workload::trace::mean_ms_by_kind(&all_results) {
+            println!("{:<14} {:>8.1}ms {:>6}", format!("{kind:?}"), mean_ms, n);
+        }
+        let stats = fs.storage_stats();
+        println!(
+            "storage: {} objects / {}; separate index: {} records / {}",
+            stats.objects,
+            h2util::fmt::bytes(stats.bytes),
+            stats.index_records,
+            h2util::fmt::bytes(stats.index_bytes),
+        );
+    }
+
+    println!(
+        "\nTakeaway: H2Cloud's directory operations (Mkdir/Rmdir/Mv/List) stay \
+         flat like Dropbox's while Swift pays O(n); and unlike Dropbox, the \
+         index row count is zero — the whole filesystem lives in the object \
+         cloud."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # h2cloud-repro
+//!
+//! A from-scratch Rust reproduction of **"H2Cloud: Maintaining the Whole
+//! Filesystem in an Object Storage Cloud"** (Zhao et al., ICPP 2018).
+//!
+//! H2Cloud stores a complete POSIX-like filesystem — file content *and*
+//! directory structure — inside a single flat object-storage cloud, with no
+//! separate index cloud. The key data structure is **Hierarchical Hash
+//! (H2)**: every directory owns a *NameRing* object listing its direct
+//! children, directories are identified by namespace UUIDs, and everything
+//! is placed on one consistent-hashing ring. NameRings are maintained by an
+//! asynchronous patch/merge/gossip protocol whose merge is a CRDT join.
+//!
+//! This facade re-exports the workspace:
+//!
+//! * [`h2cloud`] — the paper's contribution: NameRings, the Formatter, the
+//!   H2Middleware and the [`h2cloud::H2Cloud`] filesystem.
+//! * [`swiftsim`] — the OpenStack-Swift-like object cloud substrate.
+//! * [`h2ring`] — the consistent-hashing ring.
+//! * [`h2baselines`] — every comparison system from the paper's Table 1.
+//! * [`h2workload`] — workload generation matching the paper's user study.
+//! * [`h2fsapi`] — the common `CloudFs` interface.
+//! * [`h2util`] — hashing, clocks, ids and the virtual-time cost model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use h2cloud_repro::prelude::*;
+//!
+//! let fs = H2Cloud::new(H2Config::for_test());
+//! let mut ctx = OpCtx::for_test();
+//! fs.create_account(&mut ctx, "alice").unwrap();
+//! fs.mkdir(&mut ctx, "alice", &FsPath::parse("/docs").unwrap()).unwrap();
+//! fs.write(
+//!     &mut ctx,
+//!     "alice",
+//!     &FsPath::parse("/docs/hello.txt").unwrap(),
+//!     FileContent::from_str("hello, object cloud"),
+//! )
+//! .unwrap();
+//! assert_eq!(
+//!     fs.list(&mut ctx, "alice", &FsPath::parse("/docs").unwrap()).unwrap(),
+//!     vec!["hello.txt".to_string()]
+//! );
+//! ```
+
+pub use h2baselines;
+pub use h2cloud;
+pub use h2fsapi;
+pub use h2ring;
+pub use h2util;
+pub use h2workload;
+pub use swiftsim;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
+    pub use h2fsapi::{CloudFs, DirEntry, EntryKind, FileContent, FsPath, StoreStats};
+    pub use h2util::{CostModel, H2Error, OpCtx, Result};
+    pub use swiftsim::ClusterConfig;
+}

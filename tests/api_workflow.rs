@@ -1,0 +1,140 @@
+//! A full client session driven purely through the §4.3 web API — the way
+//! the paper's PC/mobile clients talk to H2Cloud — including the measured
+//! operation times the responses carry.
+
+use h2cloud::{H2Api, H2Cloud, Method, ResponseBody, WebRequest};
+use h2fsapi::FileContent;
+
+fn put_dir(api: &H2Api, path: &str) {
+    let r = api.handle(&WebRequest::new(Method::Put, path).with_query("type", "dir"));
+    assert!(r.is_success(), "mkdir {path}: {} {:?}", r.status, r.body);
+}
+
+fn put_file(api: &H2Api, path: &str, body: &str) {
+    let r = api.handle(&WebRequest::new(Method::Put, path).with_body(FileContent::from_str(body)));
+    assert!(r.is_success(), "write {path}: {} {:?}", r.status, r.body);
+}
+
+#[test]
+fn a_sync_client_session_over_the_wire() {
+    let fs = H2Cloud::rack();
+    let api = H2Api::new(&fs);
+
+    // Sign up.
+    assert_eq!(
+        api.handle(&WebRequest::new(Method::Put, "/v1/mobile-user")).status,
+        201
+    );
+
+    // First sync: push a small photo library.
+    put_dir(&api, "/v1/mobile-user/fs/Photos");
+    put_dir(&api, "/v1/mobile-user/fs/Photos/2026-06");
+    for i in 0..5 {
+        put_file(
+            &api,
+            &format!("/v1/mobile-user/fs/Photos/2026-06/IMG_{i:04}.jpg"),
+            &format!("jpeg bytes {i}"),
+        );
+    }
+
+    // Browse: names-only listing (H2's O(1) LIST), then detailed.
+    let browse = api.handle(
+        &WebRequest::new(Method::Get, "/v1/mobile-user/fs/Photos/2026-06")
+            .with_query("op", "list"),
+    );
+    match &browse.body {
+        ResponseBody::Names(names) => assert_eq!(names.len(), 5),
+        other => panic!("expected names, got {other:?}"),
+    }
+    let detailed = api.handle(
+        &WebRequest::new(Method::Get, "/v1/mobile-user/fs/Photos/2026-06")
+            .with_query("op", "list")
+            .with_query("detail", "1"),
+    );
+    match &detailed.body {
+        ResponseBody::Entries(entries) => {
+            assert_eq!(entries.len(), 5);
+            assert!(entries.iter().all(|e| e.size > 0));
+        }
+        other => panic!("expected entries, got {other:?}"),
+    }
+    // Detailed listing costs more than names-only (O(m) vs O(1) fetches).
+    assert!(
+        detailed.op_time > browse.op_time,
+        "detailed {:?} should exceed names-only {:?}",
+        detailed.op_time,
+        browse.op_time
+    );
+
+    // Reorganise: rename the month folder (server-side, O(1)).
+    let mv = api.handle(
+        &WebRequest::new(Method::Post, "/v1/mobile-user/fs/Photos/2026-06")
+            .with_query("op", "move")
+            .with_query("dest", "/Photos/June 2026"),
+    );
+    assert!(mv.is_success());
+
+    // Download one photo after the rename.
+    let get = api.handle(&WebRequest::new(
+        Method::Get,
+        "/v1/mobile-user/fs/Photos/June 2026/IMG_0003.jpg",
+    ));
+    assert_eq!(get.status, 200);
+    assert_eq!(
+        get.body,
+        ResponseBody::Content(FileContent::from_str("jpeg bytes 3"))
+    );
+
+    // Duplicate the album, then clear the original.
+    assert!(api
+        .handle(
+            &WebRequest::new(Method::Post, "/v1/mobile-user/fs/Photos/June 2026")
+                .with_query("op", "copy")
+                .with_query("dest", "/Photos/June 2026 (backup)")
+        )
+        .is_success());
+    assert_eq!(
+        api.handle(
+            &WebRequest::new(Method::Delete, "/v1/mobile-user/fs/Photos/June 2026")
+                .with_query("type", "dir")
+        )
+        .status,
+        204
+    );
+    // The backup is intact.
+    let backup = api.handle(
+        &WebRequest::new(Method::Get, "/v1/mobile-user/fs/Photos/June 2026 (backup)")
+            .with_query("op", "list"),
+    );
+    match &backup.body {
+        ResponseBody::Names(names) => assert_eq!(names.len(), 5),
+        other => panic!("expected names, got {other:?}"),
+    }
+
+    // The session never touched a separate index.
+    let stats = {
+        use h2fsapi::CloudFs;
+        fs.storage_stats()
+    };
+    assert_eq!(stats.index_records, 0);
+}
+
+#[test]
+fn api_surfaces_operation_time_like_the_papers_measurements() {
+    let fs = H2Cloud::rack();
+    let api = H2Api::new(&fs);
+    api.handle(&WebRequest::new(Method::Put, "/v1/u"));
+    put_dir(&api, "/v1/u/fs/a");
+    put_dir(&api, "/v1/u/fs/a/b");
+    put_dir(&api, "/v1/u/fs/a/b/c");
+    put_file(&api, "/v1/u/fs/a/b/c/deep.txt", "x");
+    // Lookup time grows with depth — the Figure 13 effect, observable
+    // straight from the API's op_time field.
+    let shallow = api.handle(
+        &WebRequest::new(Method::Get, "/v1/u/fs/a").with_query("op", "stat"),
+    );
+    let deep = api.handle(
+        &WebRequest::new(Method::Get, "/v1/u/fs/a/b/c/deep.txt").with_query("op", "stat"),
+    );
+    assert!(deep.op_time > shallow.op_time * 2);
+}

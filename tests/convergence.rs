@@ -1,0 +1,198 @@
+//! Multi-middleware convergence: the asynchronous NameRing maintenance
+//! protocol (§3.3) under concurrent writers, gossip faults, and real
+//! threads — every middleware must end with the same filesystem view.
+
+use std::sync::Arc;
+
+use h2cloud::layer::GossipFaults;
+use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
+use h2fsapi::{CloudFs, FileContent, FsPath};
+use h2util::OpCtx;
+use swiftsim::ClusterConfig;
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn h2(middlewares: usize) -> H2Cloud {
+    H2Cloud::new(H2Config {
+        middlewares,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig {
+            cost: std::sync::Arc::new(h2util::CostModel::zero()),
+            ..ClusterConfig::default()
+        },
+    })
+}
+
+fn listing_on(fs: &H2Cloud, mw: usize, dir: &FsPath) -> Vec<String> {
+    let mut ctx = OpCtx::for_test();
+    fs.via(mw).list(&mut ctx, "team", dir).unwrap()
+}
+
+#[test]
+fn concurrent_updates_to_one_directory_converge() {
+    let fs = h2(4);
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    fs.mkdir(&mut ctx, "team", &p("/shared")).unwrap();
+    fs.quiesce();
+    // Interleave writes from all four middlewares before any merging.
+    for round in 0..5 {
+        for mw in 0..4 {
+            let mut ctx = OpCtx::for_test();
+            fs.via(mw)
+                .write(
+                    &mut ctx,
+                    "team",
+                    &p(&format!("/shared/r{round}-m{mw}")),
+                    FileContent::Simulated(100),
+                )
+                .unwrap();
+        }
+    }
+    fs.quiesce();
+    let reference = listing_on(&fs, 0, &p("/shared"));
+    assert_eq!(reference.len(), 20);
+    for mw in 1..4 {
+        assert_eq!(listing_on(&fs, mw, &p("/shared")), reference, "mw {mw} diverged");
+    }
+}
+
+#[test]
+fn create_delete_races_resolve_by_timestamp() {
+    let fs = h2(2);
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    fs.mkdir(&mut ctx, "team", &p("/d")).unwrap();
+    fs.quiesce();
+    // mw0 creates, both merge, then mw1 deletes and mw0 recreates —
+    // delivery order of the final two is scrambled by the pump, but the
+    // newer recreate must win deterministically.
+    let mut c0 = OpCtx::for_test();
+    fs.via(0)
+        .write(&mut c0, "team", &p("/d/contested"), FileContent::from_str("v1"))
+        .unwrap();
+    fs.quiesce();
+    let mut c1 = OpCtx::for_test();
+    fs.via(1).delete_file(&mut c1, "team", &p("/d/contested")).unwrap();
+    let mut c0 = OpCtx::for_test();
+    // mw0 has not yet heard the delete (it's unmerged on mw1)...
+    fs.via(0)
+        .write(&mut c0, "team", &p("/d/contested"), FileContent::from_str("v2"))
+        .unwrap();
+    fs.quiesce();
+    // Both views agree; hybrid timestamps give a total order. (Which write
+    // wins depends on clock interleaving; views must simply agree.)
+    let a = listing_on(&fs, 0, &p("/d"));
+    let b = listing_on(&fs, 1, &p("/d"));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gossip_faults_do_not_prevent_convergence() {
+    let fs = h2(4);
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    fs.mkdir(&mut ctx, "team", &p("/lossy")).unwrap();
+    fs.layer().pump().unwrap();
+    for round in 0..4 {
+        for mw in 0..4 {
+            let mut ctx = OpCtx::for_test();
+            fs.via(mw)
+                .write(
+                    &mut ctx,
+                    "team",
+                    &p(&format!("/lossy/r{round}-m{mw}")),
+                    FileContent::Simulated(10),
+                )
+                .unwrap();
+        }
+        // Drop a third of gossip, duplicate a quarter.
+        fs.layer()
+            .pump_with_faults(GossipFaults {
+                drop_every: 3,
+                duplicate_every: 4,
+            })
+            .unwrap();
+    }
+    // A final clean pump reconciles whatever the losses left behind.
+    fs.layer().pump().unwrap();
+    let reference = listing_on(&fs, 0, &p("/lossy"));
+    assert_eq!(reference.len(), 16);
+    for mw in 1..4 {
+        assert_eq!(listing_on(&fs, mw, &p("/lossy")), reference);
+    }
+}
+
+#[test]
+fn threaded_writers_with_threaded_gossip_converge() {
+    let fs = Arc::new(h2(3));
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    fs.mkdir(&mut ctx, "team", &p("/hot")).unwrap();
+    fs.quiesce();
+    let gossip = fs.layer().run_threaded();
+    std::thread::scope(|scope| {
+        for mw in 0..3 {
+            let fs = fs.clone();
+            scope.spawn(move || {
+                let view = fs.via(mw);
+                for i in 0..20 {
+                    let mut ctx = OpCtx::for_test();
+                    view.write(
+                        &mut ctx,
+                        "team",
+                        &p(&format!("/hot/t{mw}-{i:02}")),
+                        FileContent::Simulated(64),
+                    )
+                    .unwrap();
+                }
+            });
+        }
+    });
+    // Wait for convergence (bounded).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+    loop {
+        let views: Vec<usize> = (0..3)
+            .map(|mw| listing_on(&fs, mw, &p("/hot")).len())
+            .collect();
+        if views.iter().all(|&v| v == 60) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no convergence; views {views:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    gossip.stop();
+    // And the contents agree everywhere.
+    let reference = listing_on(&fs, 0, &p("/hot"));
+    for mw in 1..3 {
+        assert_eq!(listing_on(&fs, mw, &p("/hot")), reference);
+    }
+}
+
+#[test]
+fn deferred_mode_reads_your_own_writes_before_merge() {
+    let fs = h2(2);
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    // Written through mw0 and immediately visible there — before any
+    // merge/gossip (the File Descriptor Cache overlay).
+    let mut c0 = OpCtx::for_test();
+    fs.via(0)
+        .write(&mut c0, "team", &p("/ryw"), FileContent::from_str("mine"))
+        .unwrap();
+    assert_eq!(
+        fs.via(0).read(&mut c0, "team", &p("/ryw")).unwrap(),
+        FileContent::from_str("mine")
+    );
+    // mw1 does not see it yet (eventual consistency)…
+    let mut c1 = OpCtx::for_test();
+    assert!(fs.via(1).read(&mut c1, "team", &p("/ryw")).is_err());
+    // …until maintenance runs.
+    fs.quiesce();
+    assert!(fs.via(1).read(&mut c1, "team", &p("/ryw")).is_ok());
+}

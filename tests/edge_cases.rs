@@ -1,0 +1,195 @@
+//! Edge cases: hostile names, extreme depths, account isolation — across
+//! H2Cloud and representative baselines.
+
+use h2baselines::{DpFs, SwiftFs};
+use h2cloud::check::fsck;
+use h2cloud::{H2Cloud, H2Config};
+use h2fsapi::{CloudFs, FileContent, FsPath};
+use h2util::OpCtx;
+use swiftsim::{Cluster, ClusterConfig};
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn backends() -> Vec<Box<dyn CloudFs>> {
+    vec![
+        Box::new(H2Cloud::new(H2Config::for_test())) as Box<dyn CloudFs>,
+        Box::new(SwiftFs::new(Cluster::new(ClusterConfig::tiny()), true)),
+        Box::new(DpFs::new(Cluster::new(ClusterConfig::tiny()), 2)),
+    ]
+}
+
+#[test]
+fn unusual_but_legal_names_roundtrip() {
+    // Unicode, spaces, dots, long-ish names — all legal per FsPath.
+    let long = "a".repeat(255);
+    let names = [
+        "héllo wörld",
+        "数据备份",
+        "file.with.many.dots.txt",
+        "  leading-and-trailing  ",
+        long.as_str(),
+        "mixed 北京 and ascii",
+        "quotes'and\"ticks",
+    ];
+    for fs in backends() {
+        let mut ctx = OpCtx::for_test();
+        fs.create_account(&mut ctx, "u").unwrap();
+        fs.mkdir(&mut ctx, "u", &p("/dir")).unwrap();
+        for (i, name) in names.iter().enumerate() {
+            let path = FsPath::parse("/dir").unwrap().child(name).unwrap();
+            fs.write(
+                &mut ctx,
+                "u",
+                &path,
+                FileContent::from_str(&format!("payload {i}")),
+            )
+            .unwrap_or_else(|e| panic!("{}: write {name:?} failed: {e}", fs.name()));
+            assert_eq!(
+                fs.read(&mut ctx, "u", &path).unwrap(),
+                FileContent::from_str(&format!("payload {i}")),
+                "{}: {name:?}",
+                fs.name()
+            );
+        }
+        let mut listing = fs.list(&mut ctx, "u", &p("/dir")).unwrap();
+        listing.sort();
+        let mut want: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        want.sort();
+        assert_eq!(listing, want, "{}", fs.name());
+    }
+}
+
+#[test]
+fn illegal_names_are_rejected_at_the_path_layer() {
+    assert!(FsPath::parse("/a\tb").is_err()); // tab would break the Formatter
+    assert!(FsPath::parse("/a\nb").is_err());
+    assert!(FsPath::root().child("has/slash").is_err());
+    assert!(FsPath::root().child("").is_err());
+    assert!(FsPath::root().child(&"x".repeat(256)).is_err());
+}
+
+#[test]
+fn depth_twenty_plus_paths_work_everywhere() {
+    // The paper's workload reaches depth > 20; directory chains that deep
+    // must work on every design.
+    let mut path = String::new();
+    for i in 0..22 {
+        path.push_str(&format!("/L{i:02}"));
+    }
+    let leaf = format!("{path}/deep.dat");
+    for fs in backends() {
+        let mut ctx = OpCtx::for_test();
+        fs.create_account(&mut ctx, "u").unwrap();
+        let mut cur = String::new();
+        for i in 0..22 {
+            cur.push_str(&format!("/L{i:02}"));
+            fs.mkdir(&mut ctx, "u", &p(&cur)).unwrap();
+        }
+        fs.write(&mut ctx, "u", &p(&leaf), FileContent::Simulated(77))
+            .unwrap();
+        assert_eq!(
+            fs.stat(&mut ctx, "u", &p(&leaf)).unwrap().size,
+            77,
+            "{}",
+            fs.name()
+        );
+        // Move the depth-1 ancestor: the whole chain relocates.
+        fs.mv(&mut ctx, "u", &p("/L00"), &p("/moved")).unwrap();
+        let moved_leaf = leaf.replacen("/L00", "/moved", 1);
+        assert!(fs.stat(&mut ctx, "u", &p(&moved_leaf)).is_ok(), "{}", fs.name());
+    }
+}
+
+#[test]
+fn accounts_are_fully_isolated() {
+    for fs in backends() {
+        let mut ctx = OpCtx::for_test();
+        fs.create_account(&mut ctx, "alice").unwrap();
+        fs.create_account(&mut ctx, "bob").unwrap();
+        // Identical paths, different content, no interference.
+        fs.write(&mut ctx, "alice", &p("/same"), FileContent::from_str("alice's"))
+            .unwrap();
+        fs.write(&mut ctx, "bob", &p("/same"), FileContent::from_str("bob's"))
+            .unwrap();
+        assert_eq!(
+            fs.read(&mut ctx, "alice", &p("/same")).unwrap(),
+            FileContent::from_str("alice's"),
+            "{}",
+            fs.name()
+        );
+        assert_eq!(
+            fs.read(&mut ctx, "bob", &p("/same")).unwrap(),
+            FileContent::from_str("bob's"),
+            "{}",
+            fs.name()
+        );
+        // Deleting alice's account leaves bob intact.
+        fs.delete_account(&mut ctx, "alice").unwrap();
+        assert!(fs.read(&mut ctx, "alice", &p("/same")).is_err());
+        assert_eq!(
+            fs.read(&mut ctx, "bob", &p("/same")).unwrap(),
+            FileContent::from_str("bob's"),
+            "{}",
+            fs.name()
+        );
+    }
+}
+
+#[test]
+fn h2_stays_consistent_under_hostile_names_and_depth() {
+    let fs = H2Cloud::new(H2Config::for_test());
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "u").unwrap();
+    fs.mkdir(&mut ctx, "u", &p("/目录")).unwrap();
+    fs.write(
+        &mut ctx,
+        "u",
+        &FsPath::parse("/目录").unwrap().child("文件 με space").unwrap(),
+        FileContent::Simulated(9),
+    )
+    .unwrap();
+    let mut cur = "/目录".to_string();
+    for i in 0..20 {
+        cur.push_str(&format!("/d{i}"));
+        fs.mkdir(&mut ctx, "u", &p(&cur)).unwrap();
+    }
+    let report = fsck(&fs, &mut ctx, "u").unwrap();
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(report.dirs, 21);
+    assert_eq!(report.files, 1);
+}
+
+#[test]
+fn empty_directories_list_and_remove_cleanly() {
+    for fs in backends() {
+        let mut ctx = OpCtx::for_test();
+        fs.create_account(&mut ctx, "u").unwrap();
+        fs.mkdir(&mut ctx, "u", &p("/empty")).unwrap();
+        assert!(fs.list(&mut ctx, "u", &p("/empty")).unwrap().is_empty());
+        assert!(fs
+            .list_detailed(&mut ctx, "u", &p("/empty"))
+            .unwrap()
+            .is_empty());
+        fs.rmdir(&mut ctx, "u", &p("/empty")).unwrap();
+        assert!(fs.list(&mut ctx, "u", &p("/empty")).is_err(), "{}", fs.name());
+    }
+}
+
+#[test]
+fn zero_byte_files_roundtrip() {
+    for fs in backends() {
+        let mut ctx = OpCtx::for_test();
+        fs.create_account(&mut ctx, "u").unwrap();
+        fs.write(&mut ctx, "u", &p("/empty.txt"), FileContent::Inline(vec![]))
+            .unwrap();
+        assert_eq!(
+            fs.read(&mut ctx, "u", &p("/empty.txt")).unwrap().len(),
+            0,
+            "{}",
+            fs.name()
+        );
+        assert_eq!(fs.stat(&mut ctx, "u", &p("/empty.txt")).unwrap().size, 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Failure injection: storage-node outages, replica repair, and account
+//! survival — the reliability story that motivates keeping the whole
+//! filesystem in the (replicated) object cloud in the first place.
+
+use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
+use h2fsapi::{CloudFs, FileContent, FsPath};
+use h2ring::DeviceId;
+use h2util::OpCtx;
+use swiftsim::ClusterConfig;
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn h2_rack() -> H2Cloud {
+    // 8 nodes, 3 replicas, zero-latency (semantics only).
+    H2Cloud::new(H2Config {
+        middlewares: 1,
+        mode: MaintenanceMode::Eager,
+        cluster: ClusterConfig {
+            cost: std::sync::Arc::new(h2util::CostModel::zero()),
+            ..ClusterConfig::default()
+        },
+    })
+}
+
+#[test]
+fn filesystem_survives_single_node_outage() {
+    let fs = h2_rack();
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "alice").unwrap();
+    fs.mkdir(&mut ctx, "alice", &p("/docs")).unwrap();
+    for i in 0..30 {
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p(&format!("/docs/f{i}")),
+            FileContent::from_str("pre-outage"),
+        )
+        .unwrap();
+    }
+    // Take a node down. Reads and writes keep working through replicas
+    // and handoffs.
+    fs.cluster().set_node_down(DeviceId(2), true);
+    for i in 0..30 {
+        assert_eq!(
+            fs.read(&mut ctx, "alice", &p(&format!("/docs/f{i}"))).unwrap(),
+            FileContent::from_str("pre-outage"),
+            "read of f{i} failed during outage"
+        );
+    }
+    for i in 30..60 {
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p(&format!("/docs/f{i}")),
+            FileContent::from_str("during-outage"),
+        )
+        .unwrap();
+    }
+    fs.mkdir(&mut ctx, "alice", &p("/new-dir-during-outage")).unwrap();
+    assert_eq!(fs.list(&mut ctx, "alice", &p("/docs")).unwrap().len(), 60);
+
+    // Node returns; the replicator moves handoff copies home.
+    fs.cluster().set_node_down(DeviceId(2), false);
+    let moved = fs.cluster().repair();
+    assert!(moved > 0, "repair had nothing to do after an outage");
+    assert_eq!(fs.cluster().repair(), 0, "repair is not idempotent");
+    for i in 0..60 {
+        assert!(fs.read(&mut ctx, "alice", &p(&format!("/docs/f{i}"))).is_ok());
+    }
+}
+
+#[test]
+fn two_node_outage_with_three_replicas_still_serves() {
+    let fs = h2_rack();
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "alice").unwrap();
+    for i in 0..20 {
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p(&format!("/f{i}")),
+            FileContent::from_str("x"),
+        )
+        .unwrap();
+    }
+    fs.cluster().set_node_down(DeviceId(0), true);
+    fs.cluster().set_node_down(DeviceId(5), true);
+    for i in 0..20 {
+        assert!(
+            fs.read(&mut ctx, "alice", &p(&format!("/f{i}"))).is_ok(),
+            "f{i} unreadable with 2/8 nodes down and 3 replicas"
+        );
+    }
+    // Directory operations (NameRing reads/patches) also survive.
+    fs.mkdir(&mut ctx, "alice", &p("/survivor")).unwrap();
+    fs.mv(&mut ctx, "alice", &p("/f0"), &p("/survivor/f0")).unwrap();
+    assert!(fs.read(&mut ctx, "alice", &p("/survivor/f0")).is_ok());
+}
+
+#[test]
+fn total_outage_reports_unavailable_not_corruption() {
+    let fs = h2_rack();
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "alice").unwrap();
+    fs.write(&mut ctx, "alice", &p("/f"), FileContent::from_str("x"))
+        .unwrap();
+    for i in 0..8 {
+        fs.cluster().set_node_down(DeviceId(i), true);
+    }
+    let err = fs
+        .write(&mut ctx, "alice", &p("/g"), FileContent::from_str("y"))
+        .unwrap_err();
+    assert_eq!(err.code(), "unavailable");
+    assert!(err.is_retryable());
+    // Recovery: bring the cluster back, the write retries fine.
+    for i in 0..8 {
+        fs.cluster().set_node_down(DeviceId(i), false);
+    }
+    fs.write(&mut ctx, "alice", &p("/g"), FileContent::from_str("y"))
+        .unwrap();
+    assert_eq!(
+        fs.read(&mut ctx, "alice", &p("/f")).unwrap(),
+        FileContent::from_str("x")
+    );
+}
+
+#[test]
+fn stale_replica_never_wins_after_outage() {
+    let fs = h2_rack();
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "alice").unwrap();
+    fs.write(&mut ctx, "alice", &p("/versioned"), FileContent::from_str("v1"))
+        .unwrap();
+    // Every node in turn goes down while the file is overwritten, so the
+    // downed node holds a stale replica on return.
+    for (node, version) in [(1u16, "v2"), (4, "v3"), (6, "v4")] {
+        fs.cluster().set_node_down(DeviceId(node), true);
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/versioned"),
+            FileContent::from_str(version),
+        )
+        .unwrap();
+        fs.cluster().set_node_down(DeviceId(node), false);
+        assert_eq!(
+            fs.read(&mut ctx, "alice", &p("/versioned")).unwrap(),
+            FileContent::from_str(version),
+            "stale replica surfaced after node {node} returned"
+        );
+    }
+    fs.cluster().repair();
+    assert_eq!(
+        fs.read(&mut ctx, "alice", &p("/versioned")).unwrap(),
+        FileContent::from_str("v4")
+    );
+}
+
+#[test]
+fn namering_updates_survive_outage_of_their_primary() {
+    // Take down nodes *while directories churn*, then verify the tree.
+    let fs = h2_rack();
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "alice").unwrap();
+    for round in 0..4u16 {
+        fs.cluster().set_node_down(DeviceId(round * 2), true);
+        let dir = format!("/round{round}");
+        fs.mkdir(&mut ctx, "alice", &p(&dir)).unwrap();
+        for i in 0..5 {
+            fs.write(
+                &mut ctx,
+                "alice",
+                &p(&format!("{dir}/f{i}")),
+                FileContent::from_str("data"),
+            )
+            .unwrap();
+        }
+        fs.cluster().set_node_down(DeviceId(round * 2), false);
+    }
+    fs.cluster().repair();
+    let roots = fs.list(&mut ctx, "alice", &p("/")).unwrap();
+    assert_eq!(roots.len(), 4);
+    for round in 0..4 {
+        let listing = fs
+            .list(&mut ctx, "alice", &p(&format!("/round{round}")))
+            .unwrap();
+        assert_eq!(listing.len(), 5, "round {round} lost files");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based adversarial equivalence: *arbitrary* operation sequences
+//! (mostly invalid!) must produce identical outcomes on the reference
+//! model, H2Cloud and Swift — and H2Cloud's on-cloud representation must
+//! pass fsck afterwards no matter what was thrown at it.
+
+use proptest::prelude::*;
+
+use h2baselines::SwiftFs;
+use h2cloud::check::fsck;
+use h2cloud::{H2Cloud, H2Config};
+use h2fsapi::{CloudFs, FsPath};
+use h2util::OpCtx;
+use h2workload::{ModelFs, Op, Trace};
+use swiftsim::{Cluster, ClusterConfig};
+
+/// Small path universe: names from a 4-letter alphabet, depth ≤ 3 — dense
+/// enough that random ops frequently collide, alias and conflict.
+fn arb_path() -> impl Strategy<Value = FsPath> {
+    prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "d"]), 0..4)
+        .prop_map(|parts| FsPath::from_components(parts).expect("letters are valid names"))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_path().prop_map(Op::Mkdir),
+        arb_path().prop_map(Op::Rmdir),
+        (arb_path(), 0u64..10_000).prop_map(|(p, s)| Op::Write(p, s)),
+        arb_path().prop_map(Op::Read),
+        arb_path().prop_map(Op::Delete),
+        (arb_path(), arb_path()).prop_map(|(a, b)| Op::Mv(a, b)),
+        (arb_path(), arb_path()).prop_map(|(a, b)| Op::Copy(a, b)),
+        arb_path().prop_map(Op::List),
+        arb_path().prop_map(Op::ListDetailed),
+        arb_path().prop_map(Op::Stat),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_op_sequences_agree_and_leave_h2_consistent(
+        ops in prop::collection::vec(arb_op(), 1..60)
+    ) {
+        let h2 = H2Cloud::new(H2Config::for_test());
+        let swift = SwiftFs::new(Cluster::new(ClusterConfig::tiny()), true);
+        let mut ctx = OpCtx::for_test();
+        h2.create_account(&mut ctx, "u").unwrap();
+        swift.create_account(&mut ctx, "u").unwrap();
+        let mut model = ModelFs::new();
+
+        for op in &ops {
+            let want = Trace::apply_model(&mut model, op);
+            for (fs, label) in [(&h2 as &dyn CloudFs, "h2"), (&swift, "swift")] {
+                let got = Trace::apply_fs(fs, &mut ctx, "u", op);
+                match (&want, &got) {
+                    (Ok(()), Ok(())) => {}
+                    (Err(e), Err(g)) => prop_assert_eq!(
+                        e.class(), g.class(),
+                        "{}: {:?}: {} vs {}", label, op, e, g
+                    ),
+                    _ => prop_assert!(
+                        false,
+                        "{}: {:?} diverged: model={:?} fs={:?}", label, op, want, got
+                    ),
+                }
+            }
+        }
+
+        // Final trees agree with the model.
+        let mut want_root = model.list(&FsPath::root()).unwrap();
+        want_root.sort();
+        for (fs, label) in [(&h2 as &dyn CloudFs, "h2"), (&swift, "swift")] {
+            let mut got = fs.list(&mut ctx, "u", &FsPath::root()).unwrap();
+            got.sort();
+            prop_assert_eq!(&got, &want_root, "{} final root listing", label);
+        }
+
+        // However hostile the sequence, H2's representation is consistent.
+        let report = fsck(&h2, &mut ctx, "u").unwrap();
+        prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn h2_gc_after_arbitrary_ops_preserves_live_tree(
+        ops in prop::collection::vec(arb_op(), 1..40)
+    ) {
+        let h2 = H2Cloud::new(H2Config::for_test());
+        let mut ctx = OpCtx::for_test();
+        h2.create_account(&mut ctx, "u").unwrap();
+        let mut model = ModelFs::new();
+        for op in &ops {
+            let want = Trace::apply_model(&mut model, op);
+            let got = Trace::apply_fs(&h2, &mut ctx, "u", op);
+            prop_assert_eq!(want.is_ok(), got.is_ok());
+        }
+        let before = fsck(&h2, &mut ctx, "u").unwrap();
+        h2cloud::gc::collect(
+            &h2,
+            &mut ctx,
+            "u",
+            h2util::Timestamp::new(u64::MAX, 0, h2util::NodeId(0)),
+        )
+        .unwrap();
+        let after = fsck(&h2, &mut ctx, "u").unwrap();
+        prop_assert!(after.is_clean(), "{:?}", after.violations);
+        // GC removes tombstones, never live entries.
+        prop_assert_eq!(after.dirs, before.dirs);
+        prop_assert_eq!(after.files, before.files);
+        prop_assert_eq!(after.tombstones, 0);
+        // Every live model file still reads correctly.
+        for (path, size) in model.all_files() {
+            let st = h2.stat(&mut ctx, "u", &path).unwrap();
+            prop_assert_eq!(st.size, size);
+        }
+    }
+}
