@@ -79,12 +79,7 @@ impl CasFs {
 
     /// Store a block if not already present (dedup: identical content has
     /// an identical address).
-    fn put_block(
-        &self,
-        ctx: &mut OpCtx,
-        account: &str,
-        payload: Payload,
-    ) -> Result<Digest128> {
+    fn put_block(&self, ctx: &mut OpCtx, account: &str, payload: Payload) -> Result<Digest128> {
         let hash = payload.digest();
         let key = self.key(account, hash);
         if !self.cluster.exists(ctx, &key)? {
@@ -116,10 +111,7 @@ impl CasFs {
                     }
                     Node::File { size, .. } => {
                         let h = file_hashes[&cid];
-                        body.push_str(&format!(
-                            "{name}\tF\t{h}\t{size}\t{}\n",
-                            inode.modified_ms
-                        ));
+                        body.push_str(&format!("{name}\tF\t{h}\t{size}\t{}\n", inode.modified_ms));
                     }
                 }
             }
@@ -189,7 +181,9 @@ impl CasFs {
                 continue;
             }
             let obj = self.cluster.get(ctx, &self.key(account, h))?;
-            let Some(body) = obj.payload.as_str() else { continue };
+            let Some(body) = obj.payload.as_str() else {
+                continue;
+            };
             if !body.starts_with("CAS-DIR") {
                 continue; // content block: no children
             }
@@ -246,9 +240,7 @@ impl CasFs {
             for line in body.lines().skip(1) {
                 let mut f = line.split('\t');
                 match (f.next(), f.next(), f.next(), f.next(), f.next()) {
-                    (Some(name), Some(kind), Some(hash), Some(size), Some(ms))
-                        if name == comp =>
-                    {
+                    (Some(name), Some(kind), Some(hash), Some(size), Some(ms)) if name == comp => {
                         let kind = kind.chars().next().unwrap_or('?');
                         let hash = Digest128::from_hex(hash)
                             .ok_or_else(|| H2Error::Corrupt("bad hash in block".into()))?;
@@ -626,8 +618,13 @@ mod tests {
     #[test]
     fn access_by_hash_is_one_get() {
         let (fs, mut ctx) = setup();
-        fs.write(&mut ctx, "alice", &p("/f"), FileContent::from_str("addressable"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/f"),
+            FileContent::from_str("addressable"),
+        )
+        .unwrap();
         let h = fs.hash_of("alice", &p("/f")).unwrap();
         let mut quick = OpCtx::for_test();
         assert_eq!(
@@ -641,11 +638,21 @@ mod tests {
     #[test]
     fn identical_content_is_deduplicated() {
         let (fs, mut ctx) = setup();
-        fs.write(&mut ctx, "alice", &p("/a"), FileContent::from_str("same-bytes"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/a"),
+            FileContent::from_str("same-bytes"),
+        )
+        .unwrap();
         let objects = fs.storage_stats().objects;
-        fs.write(&mut ctx, "alice", &p("/b"), FileContent::from_str("same-bytes"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/b"),
+            FileContent::from_str("same-bytes"),
+        )
+        .unwrap();
         // Content block shared; only pointer blocks changed (pointer-block
         // garbage may add objects, but no second content block).
         let h_a = fs.hash_of("alice", &p("/a")).unwrap();
@@ -694,8 +701,13 @@ mod tests {
     fn garbage_sweep_reclaims_dead_blocks_only() {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/d")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/d/keep"), FileContent::from_str("keep me"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/d/keep"),
+            FileContent::from_str("keep me"),
+        )
+        .unwrap();
         // Churn: overwrites and structural changes strand old blocks.
         for i in 0..5 {
             fs.write(
@@ -711,10 +723,7 @@ mod tests {
         let before = fs.storage_stats().objects;
         let reclaimed = fs.sweep_garbage(&mut ctx, "alice").unwrap();
         assert!(reclaimed > 0, "churn must leave garbage blocks");
-        assert_eq!(
-            fs.storage_stats().objects,
-            before - reclaimed as u64
-        );
+        assert_eq!(fs.storage_stats().objects, before - reclaimed as u64);
         // Live data untouched.
         assert_eq!(
             fs.read(&mut ctx, "alice", &p("/d/keep")).unwrap(),
@@ -732,8 +741,13 @@ mod tests {
     fn copy_shares_content_blocks() {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/src")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/src/f"), FileContent::from_str("shared"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/src/f"),
+            FileContent::from_str("shared"),
+        )
+        .unwrap();
         let mut cp = OpCtx::for_test();
         fs.copy(&mut cp, "alice", &p("/src"), &p("/dst")).unwrap();
         // No server-side content copies: hashes are reused.

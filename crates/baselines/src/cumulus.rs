@@ -429,10 +429,7 @@ impl CloudFs for CumulusFs {
                 if let Some(path) = new_path {
                     // Content is shared segment-side (snapshots are
                     // content-addressed-ish); only metadata duplicates.
-                    additions.push(LogRecord {
-                        path,
-                        ..r.clone()
-                    });
+                    additions.push(LogRecord { path, ..r.clone() });
                 }
             }
             st.log.extend(additions);
@@ -616,10 +613,20 @@ mod tests {
     fn backup_and_restore_files() {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/home")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/home/a"), FileContent::from_str("alpha"))
-            .unwrap();
-        fs.write(&mut ctx, "alice", &p("/home/b"), FileContent::Simulated(1 << 20))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/home/a"),
+            FileContent::from_str("alpha"),
+        )
+        .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/home/b"),
+            FileContent::Simulated(1 << 20),
+        )
+        .unwrap();
         assert_eq!(
             fs.read(&mut ctx, "alice", &p("/home/a")).unwrap(),
             FileContent::from_str("alpha")
@@ -649,8 +656,13 @@ mod tests {
         let mut small_ctx = OpCtx::new(Arc::new(h2util::CostModel::rack_default()));
         // A fresh account with 1 record scans less.
         fs.create_account(&mut small_ctx, "bob").unwrap();
-        fs.write(&mut small_ctx, "bob", &p("/only"), FileContent::from_str("x"))
-            .unwrap();
+        fs.write(
+            &mut small_ctx,
+            "bob",
+            &p("/only"),
+            FileContent::from_str("x"),
+        )
+        .unwrap();
         let mut bob_read = OpCtx::new(Arc::new(h2util::CostModel::rack_default()));
         fs.read(&mut bob_read, "bob", &p("/only")).unwrap();
         assert!(read_ctx.elapsed() > bob_read.elapsed());
@@ -675,8 +687,13 @@ mod tests {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/d")).unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/d/sub")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/d/sub/f"), FileContent::from_str("x"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/d/sub/f"),
+            FileContent::from_str("x"),
+        )
+        .unwrap();
         fs.rmdir(&mut ctx, "alice", &p("/d")).unwrap();
         assert!(fs.stat(&mut ctx, "alice", &p("/d")).is_err());
         assert!(fs.read(&mut ctx, "alice", &p("/d/sub/f")).is_err());
@@ -687,8 +704,13 @@ mod tests {
     fn copy_shares_segments() {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/a")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/a/f"), FileContent::from_str("shared"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/a/f"),
+            FileContent::from_str("shared"),
+        )
+        .unwrap();
         let objects_before = fs.storage_stats().objects;
         fs.copy(&mut ctx, "alice", &p("/a"), &p("/b")).unwrap();
         assert_eq!(

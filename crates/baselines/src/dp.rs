@@ -49,10 +49,7 @@ impl AccountMeta {
         let tree = TreeIndex::new();
         let mut placement = HashMap::new();
         placement.insert(tree.root(), 0);
-        AccountMeta {
-            tree,
-            placement,
-        }
+        AccountMeta { tree, placement }
     }
 
     fn server_of(&self, dir: InodeId) -> usize {
@@ -103,7 +100,10 @@ impl DpFs {
     }
 
     fn new_object_name(&self) -> String {
-        format!("blob-{:016x}", self.next_object.fetch_add(1, Ordering::Relaxed))
+        format!(
+            "blob-{:016x}",
+            self.next_object.fetch_add(1, Ordering::Relaxed)
+        )
     }
 
     fn key(&self, account: &str, object: &str) -> ObjectKey {
@@ -132,7 +132,9 @@ impl DpFs {
                 Ok(c) => c,
                 Err(_) => break, // final component is a file
             };
-            let Some(&next) = children.get(comp) else { break };
+            let Some(&next) = children.get(comp) else {
+                break;
+            };
             if meta
                 .tree
                 .get(next)
@@ -377,14 +379,20 @@ impl CloudFs for DpFs {
         if src_is_dir {
             for (rel, size, object) in files {
                 let new_obj = self.new_object_name();
-                self.cluster
-                    .copy(ctx, &self.key(account, &object), &self.key(account, &new_obj))?;
+                self.cluster.copy(
+                    ctx,
+                    &self.key(account, &object),
+                    &self.key(account, &new_obj),
+                )?;
                 copied.push((rel, size, new_obj));
             }
         } else {
             let new_obj = self.new_object_name();
-            self.cluster
-                .copy(ctx, &self.key(account, &src_obj), &self.key(account, &new_obj))?;
+            self.cluster.copy(
+                ctx,
+                &self.key(account, &src_obj),
+                &self.key(account, &new_obj),
+            )?;
             copied.push((Vec::new(), src_size, new_obj));
         }
         // Phase 3 (index): build the destination subtree.
@@ -590,8 +598,13 @@ mod tests {
     fn basic_roundtrip() {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/docs")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/docs/f"), FileContent::from_str("hello"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/docs/f"),
+            FileContent::from_str("hello"),
+        )
+        .unwrap();
         assert_eq!(
             fs.read(&mut ctx, "alice", &p("/docs/f")).unwrap(),
             FileContent::from_str("hello")
@@ -650,8 +663,13 @@ mod tests {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/a")).unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/a/sub")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/a/sub/f"), FileContent::from_str("v"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/a/sub/f"),
+            FileContent::from_str("v"),
+        )
+        .unwrap();
         fs.copy(&mut ctx, "alice", &p("/a"), &p("/b")).unwrap();
         assert_eq!(
             fs.read(&mut ctx, "alice", &p("/b/sub/f")).unwrap(),
@@ -713,7 +731,9 @@ mod tests {
             "is-a-directory"
         );
         assert_eq!(
-            fs.mv(&mut ctx, "alice", &p("/d"), &p("/d/x")).unwrap_err().code(),
+            fs.mv(&mut ctx, "alice", &p("/d"), &p("/d/x"))
+                .unwrap_err()
+                .code(),
             "invalid-path"
         );
     }

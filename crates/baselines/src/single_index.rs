@@ -69,7 +69,10 @@ impl SingleIndexFs {
     }
 
     fn new_object_name(&self) -> String {
-        format!("blob-{:016x}", self.next_object.fetch_add(1, Ordering::Relaxed))
+        format!(
+            "blob-{:016x}",
+            self.next_object.fetch_add(1, Ordering::Relaxed)
+        )
     }
 
     fn key(&self, account: &str, object: &str) -> ObjectKey {
@@ -126,10 +129,12 @@ impl CloudFs for SingleIndexFs {
                 H2Error::InvalidPath(_) => H2Error::AlreadyExists("/".into()),
                 other => other,
             })?;
-            tree.mkdir(parent, name, ms).map(|_| ()).map_err(|e| match e {
-                H2Error::AlreadyExists(_) => H2Error::AlreadyExists(path.to_string()),
-                other => other,
-            })
+            tree.mkdir(parent, name, ms)
+                .map(|_| ())
+                .map_err(|e| match e {
+                    H2Error::AlreadyExists(_) => H2Error::AlreadyExists(path.to_string()),
+                    other => other,
+                })
         })
     }
 
@@ -217,14 +222,20 @@ impl CloudFs for SingleIndexFs {
         if src_is_dir {
             for (rel, size, object) in files {
                 let new_obj = self.new_object_name();
-                self.cluster
-                    .copy(ctx, &self.key(account, &object), &self.key(account, &new_obj))?;
+                self.cluster.copy(
+                    ctx,
+                    &self.key(account, &object),
+                    &self.key(account, &new_obj),
+                )?;
                 copied.push((rel, size, new_obj));
             }
         } else {
             let new_obj = self.new_object_name();
-            self.cluster
-                .copy(ctx, &self.key(account, &src_obj), &self.key(account, &new_obj))?;
+            self.cluster.copy(
+                ctx,
+                &self.key(account, &src_obj),
+                &self.key(account, &new_obj),
+            )?;
             copied.push((Vec::new(), src_size, new_obj));
         }
         self.with_tree(account, |tree| {

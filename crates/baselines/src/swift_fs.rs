@@ -18,7 +18,9 @@ use std::sync::Arc;
 
 use h2fsapi::{CloudFs, DirEntry, EntryKind, FileContent, FsPath, StoreStats};
 use h2util::{H2Error, OpCtx, PrimKind, Result};
-use swiftsim::{Cluster, ClusterConfig, ListEntry, ListOptions, Meta, ObjectKey, ObjectStore, Payload};
+use swiftsim::{
+    Cluster, ClusterConfig, ListEntry, ListOptions, Meta, ObjectKey, ObjectStore, Payload,
+};
 
 /// Container holding each account's pseudo-filesystem.
 const FS_CONTAINER: &str = "fs";
@@ -97,10 +99,7 @@ impl SwiftFs {
             // Plain CH: page through the entire flat namespace.
             let pages = total.div_ceil(SCAN_PAGE).max(1);
             for _ in 0..pages {
-                ctx.charge(
-                    PrimKind::Get,
-                    model.get_cost((SCAN_PAGE as usize) * 64),
-                );
+                ctx.charge(PrimKind::Get, model.get_cost((SCAN_PAGE as usize) * 64));
             }
             ctx.charge_time(model.per_entry_cpu * total as u32);
         }
@@ -114,9 +113,12 @@ impl SwiftFs {
         prefix: &str,
     ) -> Result<Vec<(String, u64, u64, String)>> {
         let total = self.cluster.index_rows(account, FS_CONTAINER);
-        let rows = self
-            .cluster
-            .list(ctx, account, FS_CONTAINER, &ListOptions::with_prefix(prefix))?;
+        let rows = self.cluster.list(
+            ctx,
+            account,
+            FS_CONTAINER,
+            &ListOptions::with_prefix(prefix),
+        )?;
         self.charge_enumeration(ctx, total, rows.len());
         Ok(rows
             .into_iter()
@@ -259,8 +261,11 @@ impl CloudFs for SwiftFs {
             // Rows include the source marker itself, which re-keys to the
             // destination marker.
             let new_name = format!("{dst_prefix}{}", &name[src_prefix.len()..]);
-            self.cluster
-                .copy(ctx, &self.key(account, &name), &self.key(account, &new_name))?;
+            self.cluster.copy(
+                ctx,
+                &self.key(account, &name),
+                &self.key(account, &new_name),
+            )?;
             self.cluster.delete(ctx, &self.key(account, &name))?;
         }
         Ok(())
@@ -305,8 +310,11 @@ impl CloudFs for SwiftFs {
         let rows = self.enumerate(ctx, account, &src_prefix)?;
         for (name, _, _, _) in rows {
             let new_name = format!("{dst_prefix}{}", &name[src_prefix.len()..]);
-            self.cluster
-                .copy(ctx, &self.key(account, &name), &self.key(account, &new_name))?;
+            self.cluster.copy(
+                ctx,
+                &self.key(account, &name),
+                &self.key(account, &new_name),
+            )?;
         }
         self.put_marker(ctx, account, &dst_prefix)
     }
@@ -404,8 +412,12 @@ impl CloudFs for SwiftFs {
         };
         let mut meta = Meta::new();
         meta.insert("content-type".into(), "application/octet-stream".into());
-        self.cluster
-            .put(ctx, &self.key(account, &Self::obj_name(path)), payload, meta)
+        self.cluster.put(
+            ctx,
+            &self.key(account, &Self::obj_name(path)),
+            payload,
+            meta,
+        )
     }
 
     fn read(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<FileContent> {
@@ -414,7 +426,10 @@ impl CloudFs for SwiftFs {
             return Err(H2Error::IsADirectory("/".into()));
         }
         // O(1): one hash of the full path, one GET.
-        match self.cluster.get(ctx, &self.key(account, &Self::obj_name(path))) {
+        match self
+            .cluster
+            .get(ctx, &self.key(account, &Self::obj_name(path)))
+        {
             Ok(obj) => Ok(match obj.payload {
                 Payload::Inline(b) => FileContent::Inline(b.to_vec()),
                 Payload::Simulated { size, .. } => FileContent::Simulated(size),
@@ -452,7 +467,10 @@ impl CloudFs for SwiftFs {
                 modified_ms: 0,
             });
         }
-        match self.cluster.head(ctx, &self.key(account, &Self::obj_name(path))) {
+        match self
+            .cluster
+            .head(ctx, &self.key(account, &Self::obj_name(path)))
+        {
             Ok(info) => Ok(DirEntry {
                 name: path.name().unwrap().to_string(),
                 kind: EntryKind::File,
@@ -519,8 +537,13 @@ mod tests {
     fn mkdir_write_list_roundtrip() {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/home")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/home/a.txt"), FileContent::from_str("hi"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/home/a.txt"),
+            FileContent::from_str("hi"),
+        )
+        .unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/home/sub")).unwrap();
         let rows = fs.list_detailed(&mut ctx, "alice", &p("/home")).unwrap();
         let names: Vec<_> = rows.iter().map(|e| e.name.as_str()).collect();
@@ -578,8 +601,13 @@ mod tests {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/d")).unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/d/nested")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/d/nested/f"), FileContent::from_str("x"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/d/nested/f"),
+            FileContent::from_str("x"),
+        )
+        .unwrap();
         fs.rmdir(&mut ctx, "alice", &p("/d")).unwrap();
         assert!(fs.stat(&mut ctx, "alice", &p("/d")).is_err());
         assert!(fs.read(&mut ctx, "alice", &p("/d/nested/f")).is_err());
@@ -602,8 +630,13 @@ mod tests {
         let (fs, mut ctx) = setup();
         fs.mkdir(&mut ctx, "alice", &p("/very")).unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/very/deep")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/very/deep/f"), FileContent::from_str("x"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/very/deep/f"),
+            FileContent::from_str("x"),
+        )
+        .unwrap();
         let mut read_ctx = OpCtx::for_test();
         fs.read(&mut read_ctx, "alice", &p("/very/deep/f")).unwrap();
         assert_eq!(read_ctx.counts().gets, 1);
@@ -622,7 +655,9 @@ mod tests {
             "invalid-path"
         );
         assert_eq!(
-            fs.mv(&mut ctx, "alice", &p("/a"), &p("/b")).unwrap_err().code(),
+            fs.mv(&mut ctx, "alice", &p("/a"), &p("/b"))
+                .unwrap_err()
+                .code(),
             "already-exists"
         );
     }
@@ -642,7 +677,9 @@ mod tests {
             "is-a-directory"
         );
         assert_eq!(
-            fs.delete_file(&mut ctx, "alice", &p("/d")).unwrap_err().code(),
+            fs.delete_file(&mut ctx, "alice", &p("/d"))
+                .unwrap_err()
+                .code(),
             "is-a-directory"
         );
         assert_eq!(

@@ -160,7 +160,11 @@ impl TreeIndex {
     }
 
     pub fn dir_children(&self, id: InodeId) -> Result<&BTreeMap<String, InodeId>> {
-        match &self.nodes.get(&id).ok_or_else(|| H2Error::NotFound(format!("inode {id}")))?.node
+        match &self
+            .nodes
+            .get(&id)
+            .ok_or_else(|| H2Error::NotFound(format!("inode {id}")))?
+            .node
         {
             Node::Dir { children } => Ok(children),
             Node::File { .. } => Err(H2Error::NotADirectory(format!("inode {id}"))),
@@ -197,10 +201,7 @@ impl TreeIndex {
             Some(id) => {
                 let inode = self.nodes.get_mut(&id).expect("child inode");
                 match &mut inode.node {
-                    Node::File {
-                        size: s,
-                        object: o,
-                    } => {
+                    Node::File { size: s, object: o } => {
                         let old = std::mem::replace(o, object);
                         *s = size;
                         inode.modified_ms = ms;
@@ -369,7 +370,10 @@ mod tests {
     fn mkdir_and_duplicates() {
         let mut t = sample();
         let alice = t.resolve(&p("/home/alice")).unwrap().id;
-        assert_eq!(t.mkdir(alice, "docs", 9).unwrap_err().code(), "already-exists");
+        assert_eq!(
+            t.mkdir(alice, "docs", 9).unwrap_err().code(),
+            "already-exists"
+        );
         t.mkdir(alice, "new", 9).unwrap();
         assert!(t.resolve(&p("/home/alice/new")).is_ok());
     }
@@ -378,9 +382,7 @@ mod tests {
     fn put_file_overwrites_and_returns_old_object() {
         let mut t = sample();
         let alice = t.resolve(&p("/home/alice")).unwrap().id;
-        let old = t
-            .put_file(alice, "a.txt", 99, "obj-a2".into(), 9)
-            .unwrap();
+        let old = t.put_file(alice, "a.txt", 99, "obj-a2".into(), 9).unwrap();
         assert_eq!(old.as_deref(), Some("obj-a"));
         let id = t.resolve(&p("/home/alice/a.txt")).unwrap().id;
         match &t.get(id).unwrap().node {
@@ -392,7 +394,9 @@ mod tests {
         }
         // Overwriting a dir with a file is rejected.
         assert_eq!(
-            t.put_file(alice, "docs", 1, "x".into(), 9).unwrap_err().code(),
+            t.put_file(alice, "docs", 1, "x".into(), 9)
+                .unwrap_err()
+                .code(),
             "is-a-directory"
         );
     }
@@ -438,7 +442,13 @@ mod tests {
         assert_eq!(files.len(), 2);
         assert_eq!(files[0].0, ["alice", "a.txt"]);
         let dirs = t.subtree_dirs(home);
-        assert_eq!(dirs, [vec!["alice".to_string()], vec!["alice".into(), "docs".into()]]);
+        assert_eq!(
+            dirs,
+            [
+                vec!["alice".to_string()],
+                vec!["alice".into(), "docs".into()]
+            ]
+        );
         assert_eq!(t.subtree_size(home), 5);
     }
 

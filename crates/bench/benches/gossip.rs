@@ -20,6 +20,7 @@ fn h2(mode: MaintenanceMode, middlewares: usize) -> H2Cloud {
             cost: std::sync::Arc::new(h2util::CostModel::zero()),
             ..ClusterConfig::default()
         },
+        cache_capacity: 0,
     });
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "user").unwrap();

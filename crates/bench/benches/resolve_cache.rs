@@ -1,0 +1,54 @@
+//! Ablation A6 wall-clock companion: deep-path resolve with the
+//! per-middleware NameRing cache on vs off. The regular O(d) method reads
+//! one ring object per level; with a warm cache those reads skip the
+//! cluster (and the ring re-parse), so the resolve cost flattens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
+use h2fsapi::{CloudFs, FsPath};
+use h2util::OpCtx;
+use swiftsim::ClusterConfig;
+
+/// One Eager middleware over a zero-cost cluster (wall time only), holding
+/// a single directory chain of the given depth with one leaf file.
+fn deep_fs(cache_capacity: usize, depth: usize) -> (H2Cloud, FsPath) {
+    let fs = H2Cloud::new(H2Config {
+        middlewares: 1,
+        mode: MaintenanceMode::Eager,
+        cluster: ClusterConfig {
+            cost: std::sync::Arc::new(h2util::CostModel::zero()),
+            ..ClusterConfig::default()
+        },
+        cache_capacity,
+    });
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "user").unwrap();
+    h2workload::FsSpec::chain(depth, 64 * 1024)
+        .populate(&fs, &mut ctx, "user")
+        .unwrap();
+    let mut path = String::new();
+    for i in 0..depth - 1 {
+        path.push_str(&format!("/level{i:02}"));
+    }
+    path.push_str("/leaf.dat");
+    (fs, FsPath::parse(&path).unwrap())
+}
+
+fn bench_deep_resolve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deep_resolve");
+    for depth in [4usize, 8, 16] {
+        for (label, capacity) in [("uncached", 0usize), ("cached", 1024)] {
+            g.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, &depth| {
+                let (fs, path) = deep_fs(capacity, depth);
+                b.iter(|| {
+                    let mut ctx = OpCtx::for_test();
+                    std::hint::black_box(fs.stat(&mut ctx, "user", &path).unwrap());
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(resolve_cache, bench_deep_resolve);
+criterion_main!(resolve_cache);

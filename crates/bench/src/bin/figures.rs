@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig7` … `fig13`, `fig14-15`, `rtt`,
-//! `abl-sync`, `abl-gossip`, `abl-lookup`, `abl-ring`. `--quick` caps
+//! `abl-sync`, `abl-gossip`, `abl-lookup`, `abl-ring`, `abl-cache`.
+//! `--quick` caps
 //! sweeps at n = 1000 for smoke runs; `--csv <dir>` additionally writes
 //! each experiment as a CSV file for plotting.
 
@@ -70,8 +71,21 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14-15",
-            "rtt", "abl-sync", "abl-gossip", "abl-lookup", "abl-ring",
+            "table1",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14-15",
+            "rtt",
+            "abl-sync",
+            "abl-gossip",
+            "abl-lookup",
+            "abl-ring",
+            "abl-cache",
         ];
     }
 
@@ -92,6 +106,7 @@ fn main() {
             "abl-gossip" => ablations::abl_gossip(),
             "abl-lookup" => ablations::abl_lookup(),
             "abl-ring" => ablations::abl_ring(),
+            "abl-cache" => ablations::abl_cache(),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 return None;

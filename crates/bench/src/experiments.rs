@@ -42,12 +42,17 @@ fn setup_flat(sys: &Sys, n: usize) {
     FsSpec::flat_dir(&p("/work"), n, SWEEP_FILE_SIZE)
         .populate(sys.fs.as_ref(), &mut ctx, "user")
         .expect("populate");
-    sys.fs.mkdir(&mut ctx, "user", &p("/dst")).expect("mkdir /dst");
+    sys.fs
+        .mkdir(&mut ctx, "user", &p("/dst"))
+        .expect("mkdir /dst");
 }
 
 /// Figure 7: MOVE and RENAME operation time vs n.
 pub fn fig7(quick: bool) -> ExpTable {
-    let mut t = ExpTable::new("fig7", "MOVE / RENAME operation time vs n (files in directory)");
+    let mut t = ExpTable::new(
+        "fig7",
+        "MOVE / RENAME operation time vs n (files in directory)",
+    );
     t.headers = vec!["n".into()];
     for k in SystemKind::FIGURE_TRIO {
         t.headers.push(format!("{} MOVE", k.label()));
@@ -59,7 +64,8 @@ pub fn fig7(quick: bool) -> ExpTable {
             let sys = build_system(kind);
             setup_flat(&sys, n);
             let mv = measure(&sys, |fs, ctx| {
-                fs.mv(ctx, "user", &p("/work"), &p("/dst/moved")).expect("move");
+                fs.mv(ctx, "user", &p("/work"), &p("/dst/moved"))
+                    .expect("move");
             });
             let rn = measure(&sys, |fs, ctx| {
                 fs.mv(ctx, "user", &p("/dst/moved"), &p("/dst/renamed"))
@@ -80,8 +86,11 @@ pub fn fig7(quick: bool) -> ExpTable {
 pub fn fig8(quick: bool) -> ExpTable {
     let mut t = ExpTable::new("fig8", "RMDIR operation time vs n (files in directory)");
     t.headers = vec!["n".into()];
-    t.headers
-        .extend(SystemKind::FIGURE_TRIO.iter().map(|k| k.label().to_string()));
+    t.headers.extend(
+        SystemKind::FIGURE_TRIO
+            .iter()
+            .map(|k| k.label().to_string()),
+    );
     for n in default_sweep(quick) {
         let mut row = vec![n.to_string()];
         for kind in SystemKind::FIGURE_TRIO {
@@ -108,8 +117,11 @@ pub fn fig9(quick: bool) -> ExpTable {
         format!("LIST (detailed) vs n, m fixed at {M} direct children"),
     );
     t.headers = vec!["n".into()];
-    t.headers
-        .extend(SystemKind::FIGURE_TRIO.iter().map(|k| k.label().to_string()));
+    t.headers.extend(
+        SystemKind::FIGURE_TRIO
+            .iter()
+            .map(|k| k.label().to_string()),
+    );
     for n in default_sweep(quick) {
         let mut row = vec![n.to_string()];
         for kind in SystemKind::FIGURE_TRIO {
@@ -129,7 +141,8 @@ pub fn fig9(quick: bool) -> ExpTable {
                 }
             }
             let mut ctx = OpCtx::new(sys.cost.clone());
-            spec.populate(sys.fs.as_ref(), &mut ctx, "user").expect("populate");
+            spec.populate(sys.fs.as_ref(), &mut ctx, "user")
+                .expect("populate");
             let rep = measure(&sys, |fs, ctx| {
                 let rows = fs.list_detailed(ctx, "user", &p("/work")).expect("list");
                 assert_eq!(rows.len(), M);
@@ -147,8 +160,11 @@ pub fn fig9(quick: bool) -> ExpTable {
 pub fn fig10(quick: bool) -> ExpTable {
     let mut t = ExpTable::new("fig10", "LIST (detailed) vs m (direct children)");
     t.headers = vec!["m".into()];
-    t.headers
-        .extend(SystemKind::FIGURE_TRIO.iter().map(|k| k.label().to_string()));
+    t.headers.extend(
+        SystemKind::FIGURE_TRIO
+            .iter()
+            .map(|k| k.label().to_string()),
+    );
     for m in default_sweep(quick) {
         let mut row = vec![m.to_string()];
         for kind in SystemKind::FIGURE_TRIO {
@@ -178,23 +194,26 @@ pub fn fig11(quick: bool) -> ExpTable {
         .collect();
     let mut t = ExpTable::new("fig11", "COPY operation time vs n (files in directory)");
     t.headers = vec!["n".into()];
-    t.headers
-        .extend(SystemKind::FIGURE_TRIO.iter().map(|k| k.label().to_string()));
+    t.headers.extend(
+        SystemKind::FIGURE_TRIO
+            .iter()
+            .map(|k| k.label().to_string()),
+    );
     for n in sweep {
         let mut row = vec![n.to_string()];
         for kind in SystemKind::FIGURE_TRIO {
             let sys = build_system(kind);
             setup_flat(&sys, n);
             let rep = measure(&sys, |fs, ctx| {
-                fs.copy(ctx, "user", &p("/work"), &p("/dst/copy")).expect("copy");
+                fs.copy(ctx, "user", &p("/work"), &p("/dst/copy"))
+                    .expect("copy");
             });
             row.push(ms(rep.time));
         }
         t.rows.push(row);
     }
-    t.notes.push(
-        "paper: all three similar and linear in n; COPYing 1000 files ≈ 10 s".into(),
-    );
+    t.notes
+        .push("paper: all three similar and linear in n; COPYing 1000 files ≈ 10 s".into());
     t
 }
 
@@ -208,8 +227,11 @@ pub fn fig12(quick: bool) -> ExpTable {
     };
     let mut t = ExpTable::new("fig12", "MKDIR operation time vs background tree size N");
     t.headers = vec!["N".into()];
-    t.headers
-        .extend(SystemKind::FIGURE_TRIO.iter().map(|k| k.label().to_string()));
+    t.headers.extend(
+        SystemKind::FIGURE_TRIO
+            .iter()
+            .map(|k| k.label().to_string()),
+    );
     for n_bg in sweep {
         let mut row = vec![n_bg.to_string()];
         for kind in SystemKind::FIGURE_TRIO {
@@ -222,9 +244,8 @@ pub fn fig12(quick: bool) -> ExpTable {
         }
         t.rows.push(row);
     }
-    t.notes.push(
-        "paper: constant per system; Swift fastest, H2Cloud and Dropbox 150–200 ms".into(),
-    );
+    t.notes
+        .push("paper: constant per system; Swift fastest, H2Cloud and Dropbox 150–200 ms".into());
     t
 }
 
@@ -237,8 +258,11 @@ pub fn fig13(quick: bool) -> ExpTable {
     };
     let mut t = ExpTable::new("fig13", "file access (lookup) time vs depth d");
     t.headers = vec!["d".into()];
-    t.headers
-        .extend(SystemKind::FIGURE_TRIO.iter().map(|k| k.label().to_string()));
+    t.headers.extend(
+        SystemKind::FIGURE_TRIO
+            .iter()
+            .map(|k| k.label().to_string()),
+    );
     for d in depths {
         let mut row = vec![d.to_string()];
         for kind in SystemKind::FIGURE_TRIO {
@@ -331,7 +355,10 @@ pub fn fig14_15(quick: bool) -> ExpTable {
         "objects".into(),
         ss.objects.to_string(),
         hs.objects.to_string(),
-        format!("+{:.1}%", 100.0 * (hs.objects as f64 / ss.objects as f64 - 1.0)),
+        format!(
+            "+{:.1}%",
+            100.0 * (hs.objects as f64 / ss.objects as f64 - 1.0)
+        ),
     ]);
     t.rows.push(vec![
         "bytes".into(),

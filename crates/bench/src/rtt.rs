@@ -70,8 +70,11 @@ pub fn rtt_table() -> ExpTable {
         format!("α = RTT / operation-time (RTT mean {mean_rtt:.0} ms, range 24–83 ms)"),
     );
     t.headers = vec!["operation".into()];
-    t.headers
-        .extend(SystemKind::FIGURE_TRIO.iter().map(|k| k.label().to_string()));
+    t.headers.extend(
+        SystemKind::FIGURE_TRIO
+            .iter()
+            .map(|k| k.label().to_string()),
+    );
     for op in ["MKDIR", "MOVE", "RMDIR", "LIST"] {
         let mut row = vec![format!("{op} (n=1000)")];
         for kind in SystemKind::FIGURE_TRIO {

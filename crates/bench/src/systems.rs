@@ -80,6 +80,8 @@ pub fn build_system(kind: SystemKind) -> Sys {
             middlewares: 1,
             mode: MaintenanceMode::Eager,
             cluster: ClusterConfig::default(),
+            // Figures reproduce the paper's uncached O(d) resolution.
+            cache_capacity: 0,
         })),
         SystemKind::SwiftDb => Box::new(SwiftFs::new(rack_cluster(), true)),
         SystemKind::PlainCh => Box::new(SwiftFs::new(rack_cluster(), false)),

@@ -145,7 +145,8 @@ fn run_point(kind: SystemKind, op: OpSpec, large: bool) -> f64 {
                         .push((dir.child(&format!("f{f}")).expect("valid"), FILE_SIZE));
                 }
             }
-            spec.populate(sys.fs.as_ref(), &mut ctx, "user").expect("populate");
+            spec.populate(sys.fs.as_ref(), &mut ctx, "user")
+                .expect("populate");
             sys.fs.mkdir(&mut ctx, "user", &p("/dst")).expect("mkdir");
         }
         Sweep::D => {
@@ -160,7 +161,8 @@ fn run_point(kind: SystemKind, op: OpSpec, large: bool) -> f64 {
     match (op.name, sweep) {
         ("FileAccess", Sweep::BigN) => {
             // Depth fixed; the background log/index is what scales.
-            fs.stat(&mut mctx, "user", &p("/work/f000005")).expect("stat");
+            fs.stat(&mut mctx, "user", &p("/work/f000005"))
+                .expect("stat");
         }
         ("FileAccess", _) => {
             let d = if large { D_LARGE } else { D_SMALL };
@@ -172,7 +174,8 @@ fn run_point(kind: SystemKind, op: OpSpec, large: bool) -> f64 {
             fs.stat(&mut mctx, "user", &p(&path)).expect("stat");
         }
         ("MKDIR", _) => {
-            fs.mkdir(&mut mctx, "user", &p("/brand-new")).expect("mkdir");
+            fs.mkdir(&mut mctx, "user", &p("/brand-new"))
+                .expect("mkdir");
         }
         ("RMDIR", _) => {
             fs.rmdir(&mut mctx, "user", &p("/work")).expect("rmdir");
@@ -182,7 +185,8 @@ fn run_point(kind: SystemKind, op: OpSpec, large: bool) -> f64 {
                 .expect("move");
         }
         ("LIST", _) => {
-            fs.list_detailed(&mut mctx, "user", &p("/work")).expect("list");
+            fs.list_detailed(&mut mctx, "user", &p("/work"))
+                .expect("list");
         }
         ("COPY", _) => {
             fs.copy(&mut mctx, "user", &p("/work"), &p("/dst/copy"))
@@ -243,9 +247,8 @@ pub fn table1(systems: &[SystemKind]) -> ExpTable {
         }
         t.rows.push(row);
     }
-    t.notes.push(
-        "O(x) = grows ~linearly with the swept variable (n, m, N or d as per column)".into(),
-    );
+    t.notes
+        .push("O(x) = grows ~linearly with the swept variable (n, m, N or d as per column)".into());
     t.notes.push(
         "* CAS file access is O(1) when addressed by content hash (see \
          CasFs::read_by_hash); the path-based walk measured here is O(d)"

@@ -151,11 +151,7 @@ impl<'a> H2Api<'a> {
         }
     }
 
-    fn dispatch(
-        &self,
-        req: &WebRequest,
-        ctx: &mut OpCtx,
-    ) -> Result<(u16, ResponseBody), H2Error> {
+    fn dispatch(&self, req: &WebRequest, ctx: &mut OpCtx) -> Result<(u16, ResponseBody), H2Error> {
         // Route: /v1/<account>[/fs/<path...>]
         let rest = req
             .path
@@ -217,9 +213,10 @@ impl<'a> H2Api<'a> {
                     self.fs.mkdir(ctx, account, &path)?;
                     Ok((201, ResponseBody::Empty))
                 } else {
-                    let body = req.body.clone().ok_or_else(|| {
-                        H2Error::InvalidPath("file PUT requires a body".into())
-                    })?;
+                    let body = req
+                        .body
+                        .clone()
+                        .ok_or_else(|| H2Error::InvalidPath("file PUT requires a body".into()))?;
                     self.fs.write(ctx, account, &path, body)?;
                     Ok((201, ResponseBody::Empty))
                 }
@@ -281,15 +278,18 @@ mod tests {
         assert_eq!(r.status, 201);
         // Duplicate account → 409.
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Put, "/v1/alice")).status,
+            api.handle(&WebRequest::new(Method::Put, "/v1/alice"))
+                .status,
             409
         );
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Delete, "/v1/alice")).status,
+            api.handle(&WebRequest::new(Method::Delete, "/v1/alice"))
+                .status,
             204
         );
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Delete, "/v1/alice")).status,
+            api.handle(&WebRequest::new(Method::Delete, "/v1/alice"))
+                .status,
             404
         );
     }
@@ -299,15 +299,17 @@ mod tests {
         let fs = api_fs();
         let api = H2Api::new(&fs);
         ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
-        ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/docs").with_query("type", "dir"),
-        ));
+        ok(api
+            .handle(&WebRequest::new(Method::Put, "/v1/alice/fs/docs").with_query("type", "dir")));
         ok(api.handle(
             &WebRequest::new(Method::Put, "/v1/alice/fs/docs/a.txt")
                 .with_body(FileContent::from_str("via http")),
         ));
         let r = ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/docs/a.txt")));
-        assert_eq!(r.body, ResponseBody::Content(FileContent::from_str("via http")));
+        assert_eq!(
+            r.body,
+            ResponseBody::Content(FileContent::from_str("via http"))
+        );
         assert!(r.op_time >= Duration::ZERO);
     }
 
@@ -316,16 +318,13 @@ mod tests {
         let fs = api_fs();
         let api = H2Api::new(&fs);
         ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir")));
         ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir"),
+            &WebRequest::new(Method::Put, "/v1/alice/fs/d/f").with_body(FileContent::Simulated(42)),
         ));
-        ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/d/f")
-                .with_body(FileContent::Simulated(42)),
-        ));
-        let names = ok(api.handle(
-            &WebRequest::new(Method::Get, "/v1/alice/fs/d").with_query("op", "list"),
-        ));
+        let names =
+            ok(api
+                .handle(&WebRequest::new(Method::Get, "/v1/alice/fs/d").with_query("op", "list")));
         assert_eq!(names.body, ResponseBody::Names(vec!["f".into()]));
         let detailed = ok(api.handle(
             &WebRequest::new(Method::Get, "/v1/alice/fs/d")
@@ -339,9 +338,9 @@ mod tests {
             }
             other => panic!("expected entries, got {other:?}"),
         }
-        let stat = ok(api.handle(
-            &WebRequest::new(Method::Get, "/v1/alice/fs/d").with_query("op", "stat"),
-        ));
+        let stat =
+            ok(api
+                .handle(&WebRequest::new(Method::Get, "/v1/alice/fs/d").with_query("op", "stat")));
         match stat.body {
             ResponseBody::Entries(e) => assert_eq!(e[0].kind, EntryKind::Directory),
             other => panic!("expected entries, got {other:?}"),
@@ -353,12 +352,9 @@ mod tests {
         let fs = api_fs();
         let api = H2Api::new(&fs);
         ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/a").with_query("type", "dir")));
         ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/a").with_query("type", "dir"),
-        ));
-        ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/a/f")
-                .with_body(FileContent::from_str("x")),
+            &WebRequest::new(Method::Put, "/v1/alice/fs/a/f").with_body(FileContent::from_str("x")),
         ));
         ok(api.handle(
             &WebRequest::new(Method::Post, "/v1/alice/fs/a")
@@ -371,13 +367,15 @@ mod tests {
                 .with_query("dest", "/c"),
         ));
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/a/f")).status,
+            api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/a/f"))
+                .status,
             404
         );
         ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/b/f")));
         ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/c/f")));
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Delete, "/v1/alice/fs/c/f")).status,
+            api.handle(&WebRequest::new(Method::Delete, "/v1/alice/fs/c/f"))
+                .status,
             204
         );
         assert_eq!(
@@ -396,27 +394,29 @@ mod tests {
         ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
         // 404 unknown file.
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/ghost")).status,
+            api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/ghost"))
+                .status,
             404
         );
         // 400 bad route and bad path.
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Get, "/wrong/route")).status,
+            api.handle(&WebRequest::new(Method::Get, "/wrong/route"))
+                .status,
             400
         );
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/a/../b")).status,
+            api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/a/../b"))
+                .status,
             400
         );
         // 400 write without body.
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/nobody")).status,
+            api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/nobody"))
+                .status,
             400
         );
         // 409 writing over a directory.
-        ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir"),
-        ));
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir")));
         assert_eq!(
             api.handle(
                 &WebRequest::new(Method::Put, "/v1/alice/fs/d")
@@ -427,10 +427,8 @@ mod tests {
         );
         // 400 POST without dest; unknown op.
         assert_eq!(
-            api.handle(
-                &WebRequest::new(Method::Post, "/v1/alice/fs/d").with_query("op", "move")
-            )
-            .status,
+            api.handle(&WebRequest::new(Method::Post, "/v1/alice/fs/d").with_query("op", "move"))
+                .status,
             400
         );
         assert_eq!(
@@ -444,7 +442,8 @@ mod tests {
         );
         // 405 method on account route.
         assert_eq!(
-            api.handle(&WebRequest::new(Method::Get, "/v1/alice")).status,
+            api.handle(&WebRequest::new(Method::Get, "/v1/alice"))
+                .status,
             405
         );
     }
@@ -454,17 +453,13 @@ mod tests {
         let fs = api_fs();
         let api = H2Api::new(&fs);
         ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir")));
         ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir"),
-        ));
-        ok(api.handle(
-            &WebRequest::new(Method::Put, "/v1/alice/fs/d/f")
-                .with_body(FileContent::from_str("x")),
+            &WebRequest::new(Method::Put, "/v1/alice/fs/d/f").with_body(FileContent::from_str("x")),
         ));
         ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/d/f")));
-        let r = ok(api.handle(
-            &WebRequest::new(Method::Get, "/v1/alice").with_query("op", "metrics"),
-        ));
+        let r =
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice").with_query("op", "metrics")));
         match r.body {
             ResponseBody::Message(text) => {
                 assert!(text.contains("MKDIR"), "{text}");
@@ -477,13 +472,56 @@ mod tests {
     }
 
     #[test]
+    fn metrics_route_reports_ring_cache_counters() {
+        // `for_test()` enables the NameRing cache, so the counters are
+        // registered and must show up in the monitoring output; deep reads
+        // after a warm-up produce actual hits.
+        let fs = api_fs();
+        let api = H2Api::new(&fs);
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir")));
+        ok(api.handle(
+            &WebRequest::new(Method::Put, "/v1/alice/fs/d/f").with_body(FileContent::from_str("x")),
+        ));
+        for _ in 0..3 {
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/d/f")));
+        }
+        let r =
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice").with_query("op", "metrics")));
+        match r.body {
+            ResponseBody::Message(text) => {
+                assert!(text.contains("ring_cache_hits"), "{text}");
+                assert!(text.contains("ring_cache_misses"), "{text}");
+                assert!(text.contains("gets_saved"), "{text}");
+                let hits: u64 = fs.metrics().counter_value("ring_cache_hits");
+                assert!(hits > 0, "warm resolves produced no cache hits:\n{text}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        // A cache-off instance registers no counters — clean output.
+        let plain = H2Cloud::new(H2Config {
+            cache_capacity: 0,
+            ..H2Config::for_test()
+        });
+        let api = H2Api::new(&plain);
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/bob")));
+        let r =
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/bob").with_query("op", "metrics")));
+        match r.body {
+            ResponseBody::Message(text) => {
+                assert!(!text.contains("ring_cache"), "{text}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn root_listing_works() {
         let fs = api_fs();
         let api = H2Api::new(&fs);
         ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
-        let r = ok(api.handle(
-            &WebRequest::new(Method::Get, "/v1/alice/fs/").with_query("op", "list"),
-        ));
+        let r =
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/").with_query("op", "list")));
         assert_eq!(r.body, ResponseBody::Names(vec![]));
     }
 }

@@ -81,11 +81,8 @@ fn parse_ring(magic: &str, s: &str) -> Result<NameRing> {
     let mut seen = 0usize;
     for line in lines {
         let mut f = line.split('\t');
-        let (name, ts, kind, aux, flag) = match (f.next(), f.next(), f.next(), f.next(), f.next())
-        {
-            (Some(a), Some(b), Some(c), Some(d), Some(e)) if f.next().is_none() => {
-                (a, b, c, d, e)
-            }
+        let (name, ts, kind, aux, flag) = match (f.next(), f.next(), f.next(), f.next(), f.next()) {
+            (Some(a), Some(b), Some(c), Some(d), Some(e)) if f.next().is_none() => (a, b, c, d, e),
             _ => return Err(H2Error::Corrupt(format!("bad tuple line {line:?}"))),
         };
         let ts: Timestamp = ts

@@ -40,6 +40,18 @@ pub struct H2Config {
     pub mode: MaintenanceMode,
     /// Shape of the underlying object cloud.
     pub cluster: ClusterConfig,
+    /// Per-middleware NameRing cache size, in parsed rings (0 disables).
+    ///
+    /// The cache serves `read_ring` — one saved GET per level on the O(d)
+    /// resolve path — and is kept fresh by write-through on every ring
+    /// write plus refresh on gossip. Default **off**: the figure harness
+    /// reproduces the paper's uncached resolution costs, and reads bound
+    /// to a specific middleware (`via`) keep their read-through-global
+    /// freshness even when gossip messages are lost. With the cache on,
+    /// such a middleware serves its last written/gossiped version instead
+    /// — within the eventual consistency the paper already accepts, but a
+    /// behaviour change operators must opt into.
+    pub cache_capacity: usize,
 }
 
 impl Default for H2Config {
@@ -48,17 +60,23 @@ impl Default for H2Config {
             middlewares: 1,
             mode: MaintenanceMode::Eager,
             cluster: ClusterConfig::default(),
+            cache_capacity: 0,
         }
     }
 }
 
 impl H2Config {
-    /// Zero-latency, single-middleware config for semantic tests.
+    /// Zero-latency, single-middleware config for semantic tests. The
+    /// NameRing cache is ON here: with a single Eager middleware every
+    /// ring write goes through the owning middleware, so caching is
+    /// exactly consistent and the semantic suites double as cache
+    /// correctness coverage.
     pub fn for_test() -> Self {
         H2Config {
             middlewares: 1,
             mode: MaintenanceMode::Eager,
             cluster: ClusterConfig::tiny(),
+            cache_capacity: 128,
         }
     }
 }
@@ -84,16 +102,25 @@ enum Resolved {
 /// The H2Cloud system: an [`H2Layer`] over one object cloud.
 pub struct H2Cloud {
     layer: H2Layer,
-    /// §4.2's system monitoring: per-operation latency histograms.
-    metrics: h2util::metrics::MetricsRegistry,
+    /// §4.2's system monitoring: per-operation latency histograms, plus
+    /// the middlewares' NameRing cache counters. Shared with every
+    /// middleware in the layer.
+    metrics: Arc<h2util::metrics::MetricsRegistry>,
 }
 
 impl H2Cloud {
     pub fn new(cfg: H2Config) -> Self {
         let cluster = Cluster::new(cfg.cluster.clone());
+        let metrics = Arc::new(h2util::metrics::MetricsRegistry::new());
         H2Cloud {
-            layer: H2Layer::new(cluster, cfg.middlewares, cfg.mode),
-            metrics: h2util::metrics::MetricsRegistry::new(),
+            layer: H2Layer::with_cache(
+                cluster,
+                cfg.middlewares,
+                cfg.mode,
+                metrics.clone(),
+                cfg.cache_capacity,
+            ),
+            metrics,
         }
     }
 
@@ -113,7 +140,8 @@ impl H2Cloud {
     ) -> Result<T> {
         let before = ctx.elapsed();
         let result = f(ctx);
-        self.metrics.record(name, ctx.elapsed().saturating_sub(before));
+        self.metrics
+            .record(name, ctx.elapsed().saturating_sub(before));
         result
     }
 
@@ -369,7 +397,10 @@ impl H2Cloud {
         match src {
             Resolved::Root => unreachable!("non-root checked"),
             Resolved::Dir {
-                parent_ns, name, ns, ..
+                parent_ns,
+                name,
+                ns,
+                ..
             } => {
                 // The directory's NameRing and entire subtree are keyed by
                 // its namespace, which does not change — this is the O(1)
@@ -409,10 +440,7 @@ impl H2Cloud {
                 self.cluster().copy(ctx, &src_key, &dst_key)?;
                 self.cluster().delete(ctx, &src_key)?;
                 let mut out_patch = NameRing::new();
-                out_patch.apply(
-                    &name,
-                    Tuple::file(mw.tick(), size).tombstone(mw.tick()),
-                );
+                out_patch.apply(&name, Tuple::file(mw.tick(), size).tombstone(mw.tick()));
                 mw.submit_patch(ctx, &keys, parent_ns, out_patch)?;
                 let mut in_patch = NameRing::new();
                 in_patch.apply(to_name, Tuple::file(mw.tick(), size));
@@ -560,10 +588,8 @@ impl H2Cloud {
         let keys = H2Keys::new(account);
         let ns = self.resolve_dir_ns(mw, ctx, &keys, path)?;
         let ring = mw.read_ring(ctx, &keys, ns)?;
-        let children: Vec<(String, Tuple)> = ring
-            .live()
-            .map(|(n, t)| (n.to_string(), *t))
-            .collect();
+        let children: Vec<(String, Tuple)> =
+            ring.live().map(|(n, t)| (n.to_string(), *t)).collect();
         mw.charge_listing_cpu(ctx, children.len());
         // O(m): fetch each child's own object for its detailed information
         // (the middleware fans the HEADs out with bounded parallelism —
@@ -676,10 +702,7 @@ impl H2Cloud {
                 // object is reclaimed eagerly — it is a single DELETE.
                 self.cluster().delete(ctx, &keys.child(parent_ns, &name))?;
                 let mut patch = NameRing::new();
-                patch.apply(
-                    &name,
-                    Tuple::file(mw.tick(), size).tombstone(mw.tick()),
-                );
+                patch.apply(&name, Tuple::file(mw.tick(), size).tombstone(mw.tick()));
                 mw.submit_patch(ctx, &keys, parent_ns, patch)
             }
             _ => Err(H2Error::IsADirectory(path.to_string())),
@@ -709,9 +732,7 @@ impl H2Cloud {
                 size: 0,
                 modified_ms: ts.millis,
             },
-            Resolved::File {
-                name, size, ts, ..
-            } => DirEntry {
+            Resolved::File { name, size, ts, .. } => DirEntry {
                 name: name.clone(),
                 kind: EntryKind::File,
                 size: *size,
@@ -844,9 +865,9 @@ impl CloudFs for H2Cloud {
         // live tree merge rather than clobber.
         let mut rings: HashMap<NamespaceId, NameRing> = HashMap::new();
         let ring_of = |mw: &H2Middleware,
-                           ctx: &mut OpCtx,
-                           rings: &mut HashMap<NamespaceId, NameRing>,
-                           ns: NamespaceId|
+                       ctx: &mut OpCtx,
+                       rings: &mut HashMap<NamespaceId, NameRing>,
+                       ns: NamespaceId|
          -> Result<()> {
             if let std::collections::hash_map::Entry::Vacant(e) = rings.entry(ns) {
                 let existing = mw.read_ring(ctx, &keys, ns)?;
@@ -887,7 +908,9 @@ impl CloudFs for H2Cloud {
             ns_of.insert(d.clone(), ns);
         }
         for (f, size) in files {
-            let parent = f.parent().ok_or_else(|| H2Error::IsADirectory("/".into()))?;
+            let parent = f
+                .parent()
+                .ok_or_else(|| H2Error::IsADirectory("/".into()))?;
             let parent_ns = match ns_of.get(&parent) {
                 Some(&ns) => ns,
                 None => self.resolve_dir_ns(&mw, ctx, &keys, &parent)?,

@@ -160,6 +160,10 @@ fn delete_subtree(
         Err(H2Error::NotFound(_)) => {}
         Err(e) => return Err(e),
     }
+    // The object is gone; cached copies of it must go too.
+    for m in fs.layer().middlewares() {
+        m.invalidate_ring(keys.account(), ns);
+    }
     Ok(())
 }
 
@@ -246,8 +250,13 @@ mod tests {
         fs.mkdir(&mut ctx, "alice", &p("/a")).unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/a/b")).unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/a/b/c")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/a/b/c/deep"), FileContent::from_str("x"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/a/b/c/deep"),
+            FileContent::from_str("x"),
+        )
+        .unwrap();
         fs.rmdir(&mut ctx, "alice", &p("/a")).unwrap();
         let report = collect(&fs, &mut ctx, "alice", far_future()).unwrap();
         // file + 3 rings + 2 nested descriptors + 1 top descriptor
@@ -295,7 +304,8 @@ mod tests {
         collect(&fs, &mut ctx, "alice", far_future()).unwrap();
         // The moved content must still be fully readable.
         assert_eq!(
-            fs.read(&mut ctx, "alice", &p("/pictures/trip.jpg")).unwrap(),
+            fs.read(&mut ctx, "alice", &p("/pictures/trip.jpg"))
+                .unwrap(),
             FileContent::Simulated(4 << 20)
         );
         assert!(fs.storage_stats().bytes >= 4 << 20);

@@ -86,11 +86,11 @@ mod tests {
     fn child_keys_are_namespace_decorated() {
         let k = H2Keys::new("alice");
         let key = k.child(ns(), "ubuntu");
+        assert_eq!(key.ring_key(), "/alice/h2/06.01.1469346604539::ubuntu");
         assert_eq!(
-            key.ring_key(),
-            "/alice/h2/06.01.1469346604539::ubuntu"
+            H2Keys::child_rel(ns(), "file1"),
+            "06.01.1469346604539::file1"
         );
-        assert_eq!(H2Keys::child_rel(ns(), "file1"), "06.01.1469346604539::file1");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use h2util::metrics::MetricsRegistry;
 use h2util::{NodeId, Result};
 use swiftsim::Cluster;
 
@@ -42,11 +43,33 @@ pub struct H2Layer {
 }
 
 impl H2Layer {
-    /// Build `n` middlewares (node ids 1..=n) over `cluster`.
+    /// Build `n` middlewares (node ids 1..=n) over `cluster`, NameRing
+    /// cache disabled, each middleware with a private metrics registry.
     pub fn new(cluster: Arc<Cluster>, n: usize, mode: MaintenanceMode) -> Self {
+        Self::with_cache(cluster, n, mode, Arc::new(MetricsRegistry::new()), 0)
+    }
+
+    /// Build `n` middlewares (node ids 1..=n) over `cluster`, all reporting
+    /// into the shared `metrics` registry, each with a NameRing cache of
+    /// `cache_capacity` rings (0 disables the cache).
+    pub fn with_cache(
+        cluster: Arc<Cluster>,
+        n: usize,
+        mode: MaintenanceMode,
+        metrics: Arc<MetricsRegistry>,
+        cache_capacity: usize,
+    ) -> Self {
         assert!(n >= 1, "need at least one middleware");
         let middlewares = (1..=n as u16)
-            .map(|i| H2Middleware::new(NodeId(i), cluster.clone(), mode))
+            .map(|i| {
+                H2Middleware::with_cache(
+                    NodeId(i),
+                    cluster.clone(),
+                    mode,
+                    metrics.clone(),
+                    cache_capacity,
+                )
+            })
             .collect();
         H2Layer {
             middlewares,
@@ -111,7 +134,8 @@ impl H2Layer {
                 if faults.drop_every > 0 && msg_seq.is_multiple_of(faults.drop_every) {
                     continue;
                 }
-                let copies = if faults.duplicate_every > 0 && msg_seq.is_multiple_of(faults.duplicate_every)
+                let copies = if faults.duplicate_every > 0
+                    && msg_seq.is_multiple_of(faults.duplicate_every)
                 {
                     2
                 } else {
@@ -272,10 +296,7 @@ mod tests {
         for round in 0..3 {
             for (i, mw) in layer.middlewares().iter().enumerate() {
                 let mut p = NameRing::new();
-                p.apply(
-                    &format!("r{round}-f{i}"),
-                    Tuple::file(mw.tick(), i as u64),
-                );
+                p.apply(&format!("r{round}-f{i}"), Tuple::file(mw.tick(), i as u64));
                 mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
             }
             layer

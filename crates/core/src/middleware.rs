@@ -28,8 +28,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use h2util::{H2Error, HybridClock, NamespaceId, NodeId, OpCtx, Result, Timestamp};
 use h2util::id::NamespaceAllocator;
+use h2util::metrics::{Counter, MetricsRegistry};
+use h2util::{H2Error, HybridClock, LruCache, NamespaceId, NodeId, OpCtx, Result, Timestamp};
 use swiftsim::{Cluster, Meta, ObjectKey, ObjectStore, Payload};
 
 use crate::formatter;
@@ -71,6 +72,23 @@ struct FileDescriptor {
 /// Key of a per-(account, namespace) entry.
 type FdKey = (String, NamespaceId);
 
+/// A parsed global ring held by the NameRing cache, stamped with the
+/// version (max tuple timestamp) it carried when it entered the cache.
+struct CachedRing {
+    version: Timestamp,
+    ring: NameRing,
+}
+
+/// Hit/miss accounting for the NameRing cache, shared with the owning
+/// registry so `op=metrics` and the benches can read it.
+struct CacheCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    /// NameRing GETs that the cache absorbed (one per hit — kept as its own
+    /// counter so dashboards don't have to know that equivalence).
+    gets_saved: Arc<Counter>,
+}
+
 /// One H2Middleware instance.
 pub struct H2Middleware {
     node: NodeId,
@@ -78,6 +96,17 @@ pub struct H2Middleware {
     mode: MaintenanceMode,
     clock: HybridClock,
     ns_alloc: NamespaceAllocator,
+    metrics: Arc<MetricsRegistry>,
+    /// Version-stamped cache of parsed *global* rings (no local overlay),
+    /// consulted by [`read_ring`](Self::read_ring) — the O(d) resolve hot
+    /// path. Kept fresh by write-through in `put_global_ring` and refresh
+    /// on gossip; never consulted by `fetch_global_ring`, which must see
+    /// the cloud's current object (merge cycles and gossip handling depend
+    /// on that). Capacity 0 disables it.
+    ring_cache: Mutex<LruCache<FdKey, CachedRing>>,
+    /// `Some` iff the cache is enabled (counters are only registered then,
+    /// so disabled instances keep their metrics output clean).
+    cache_counters: Option<CacheCounters>,
     fds: Mutex<HashMap<FdKey, FileDescriptor>>,
     /// Per-ring merge serialisation: a merge cycle is a read-modify-write
     /// of the ring object, so two concurrent cycles for the same ring on
@@ -91,19 +120,48 @@ pub struct H2Middleware {
 }
 
 impl H2Middleware {
+    /// Plain middleware: private metrics registry, NameRing cache disabled.
     pub fn new(node: NodeId, store: Arc<Cluster>, mode: MaintenanceMode) -> Arc<Self> {
-        assert!(node.0 > 0, "middleware node ids are 1-based (0 is reserved)");
+        Self::with_cache(node, store, mode, Arc::new(MetricsRegistry::new()), 0)
+    }
+
+    /// Middleware reporting into a shared `metrics` registry, with a
+    /// NameRing cache of `cache_capacity` parsed rings (0 disables it).
+    pub fn with_cache(
+        node: NodeId,
+        store: Arc<Cluster>,
+        mode: MaintenanceMode,
+        metrics: Arc<MetricsRegistry>,
+        cache_capacity: usize,
+    ) -> Arc<Self> {
+        assert!(
+            node.0 > 0,
+            "middleware node ids are 1-based (0 is reserved)"
+        );
+        let cache_counters = (cache_capacity > 0).then(|| CacheCounters {
+            hits: metrics.counter("ring_cache_hits"),
+            misses: metrics.counter("ring_cache_misses"),
+            gets_saved: metrics.counter("gets_saved"),
+        });
         Arc::new(H2Middleware {
             node,
             clock: HybridClock::new(node, 1_600_000_000_000),
             ns_alloc: NamespaceAllocator::new(node),
             store,
             mode,
+            metrics,
+            ring_cache: Mutex::new(LruCache::new(cache_capacity)),
+            cache_counters,
             fds: Mutex::new(HashMap::new()),
             merge_locks: Mutex::new(HashMap::new()),
             outbox: Mutex::new(Vec::new()),
             background: Mutex::new(Default::default()),
         })
+    }
+
+    /// The metrics registry this middleware reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     pub fn node(&self) -> NodeId {
@@ -141,14 +199,95 @@ impl H2Middleware {
 
     // ----- ring access ----------------------------------------------------
 
-    /// Fetch the NameRing object for `ns` from the cloud (empty if the
-    /// object does not exist yet) and join it with this node's local
-    /// version, so the caller sees both global state and this node's own
-    /// not-yet-merged updates.
+    /// Cached copy of the global ring for `key`, if the cache is enabled
+    /// and holds one. Counts hit/miss.
+    fn cached_global(&self, key: &FdKey) -> Option<NameRing> {
+        let counters = self.cache_counters.as_ref()?;
+        let mut cache = self.ring_cache.lock();
+        match cache.get(key) {
+            Some(entry) => {
+                let ring = entry.ring.clone();
+                drop(cache);
+                counters.hits.incr();
+                counters.gets_saved.incr();
+                Some(ring)
+            }
+            None => {
+                drop(cache);
+                counters.misses.incr();
+                None
+            }
+        }
+    }
+
+    /// Store a ring obtained from a cloud *read*. Guarded: a fetch that
+    /// raced with a concurrent write-through must not replace the newer
+    /// entry, so the ring only enters the cache if its version is at least
+    /// the cached one.
+    fn cache_store_fetched(&self, key: FdKey, ring: &NameRing) {
+        if self.cache_counters.is_none() {
+            return;
+        }
+        let mut cache = self.ring_cache.lock();
+        let version = ring.version();
+        if cache.peek(&key).is_none_or(|e| version >= e.version) {
+            cache.insert(
+                key,
+                CachedRing {
+                    version,
+                    ring: ring.clone(),
+                },
+            );
+        }
+    }
+
+    /// Store a ring this middleware just *wrote* to the cloud. Replaces
+    /// unconditionally — the cloud object now IS this ring, even if its
+    /// version went backwards (GC compaction can drop the newest
+    /// tombstone).
+    fn cache_store_written(&self, key: FdKey, ring: &NameRing) {
+        if self.cache_counters.is_none() {
+            return;
+        }
+        self.ring_cache.lock().insert(
+            key,
+            CachedRing {
+                version: ring.version(),
+                ring: ring.clone(),
+            },
+        );
+    }
+
+    /// Drop the cached copy of `(account, ns)`, if any. Called by GC after
+    /// it deletes a dead ring object out from under the middleware.
+    pub fn invalidate_ring(&self, account: &str, ns: NamespaceId) {
+        self.ring_cache.lock().remove(&(account.to_string(), ns));
+    }
+
+    /// NameRing-cache `(hits, misses)` so far (zeros when disabled).
+    pub fn ring_cache_stats(&self) -> (u64, u64) {
+        match &self.cache_counters {
+            Some(c) => (c.hits.get(), c.misses.get()),
+            None => (0, 0),
+        }
+    }
+
+    /// Fetch the NameRing object for `ns` — from the cache when it holds a
+    /// copy, from the cloud otherwise (empty if the object does not exist
+    /// yet) — and join it with this node's local version, so the caller
+    /// sees both global state and this node's own not-yet-merged updates.
     pub fn read_ring(&self, ctx: &mut OpCtx, keys: &H2Keys, ns: NamespaceId) -> Result<NameRing> {
-        let mut ring = self.fetch_global_ring(ctx, keys, ns)?;
+        let key = (keys.account().to_string(), ns);
+        let mut ring = match self.cached_global(&key) {
+            Some(cached) => cached,
+            None => {
+                let global = self.fetch_global_ring(ctx, keys, ns)?;
+                self.cache_store_fetched(key.clone(), &global);
+                global
+            }
+        };
         let fds = self.fds.lock();
-        if let Some(fd) = fds.get(&(keys.account().to_string(), ns)) {
+        if let Some(fd) = fds.get(&key) {
             ring.merge_from(&fd.local);
         }
         Ok(ring)
@@ -173,7 +312,11 @@ impl H2Middleware {
         }
     }
 
-    /// Write a ring object back (formatter + PUT).
+    /// Write a ring object back (formatter + PUT), writing through to the
+    /// NameRing cache on success. Every ring write on this middleware —
+    /// COPY's `write_ring`, merge cycles, gossip write-backs, `create_ring`
+    /// — funnels through here, so the cache can never serve a ring older
+    /// than what this middleware itself last wrote.
     fn put_global_ring(
         &self,
         ctx: &mut OpCtx,
@@ -187,7 +330,9 @@ impl H2Middleware {
             &keys.namering(ns),
             Payload::from_string(body),
             Meta::new(),
-        )
+        )?;
+        self.cache_store_written((keys.account().to_string(), ns), ring);
+        Ok(())
     }
 
     /// Create the (empty) NameRing object for a fresh namespace.
@@ -227,30 +372,56 @@ impl H2Middleware {
         patch: NameRing,
     ) -> Result<()> {
         ctx.charge_time(self.store.cost_model().patch_cycle_cpu);
+        let key = (keys.account().to_string(), ns);
+        // Allocate the patch number AND chain it in one critical section,
+        // before the PUT. If it only entered the chain after the PUT (as an
+        // earlier revision did), there was a window in which the patch was
+        // invisible to `pending_descriptors` — `is_quiescent` could report
+        // a quiet layer while a submitted update had reached neither the
+        // chain nor the local ring.
         let patch_no = {
             let mut fds = self.fds.lock();
-            let fd = fds
-                .entry((keys.account().to_string(), ns))
-                .or_default();
+            let fd = fds.entry(key.clone()).or_default();
             let no = fd.next_patch;
             fd.next_patch += 1;
+            fd.pending.push(no);
             no
         };
         let body = formatter::patch_to_string(&patch);
-        self.store.put(
+        let put = self.store.put(
             ctx,
             &keys.patch(ns, self.node, patch_no),
             Payload::from_string(body),
             Meta::new(),
-        )?;
+        );
+        // Re-validate under the lock now that the PUT has settled.
         {
             let mut fds = self.fds.lock();
-            let fd = fds
-                .entry((keys.account().to_string(), ns))
-                .or_default();
-            fd.pending.push(patch_no);
-            fd.local.merge_from(&patch);
+            let fd = fds.entry(key).or_default();
+            match &put {
+                Ok(()) => {
+                    fd.local.merge_from(&patch);
+                    if !fd.pending.contains(&patch_no) {
+                        // A concurrent merge cycle consumed the chain entry
+                        // while the PUT was in flight; it saw NotFound for
+                        // this patch object and skipped it, so the object
+                        // we just wrote is referenced by nothing. Re-chain
+                        // it: the next cycle merges and deletes it. (The
+                        // content is also safe in `fd.local`, which every
+                        // cycle folds in.)
+                        fd.pending.push(patch_no);
+                    }
+                }
+                Err(_) => {
+                    // The patch object never made it to the cloud: drop the
+                    // chain entry so the merger does not chase a ghost, and
+                    // skip the local fold so the failed write stays
+                    // invisible, like any other failed operation.
+                    fd.pending.retain(|&no| no != patch_no);
+                }
+            }
         }
+        put?;
         if self.mode == MaintenanceMode::Eager {
             self.merge_ns(ctx, keys, ns)?;
         }
@@ -259,7 +430,11 @@ impl H2Middleware {
 
     /// How many descriptors have unmerged patch chains.
     pub fn pending_descriptors(&self) -> usize {
-        self.fds.lock().values().filter(|fd| !fd.pending.is_empty()).count()
+        self.fds
+            .lock()
+            .values()
+            .filter(|fd| !fd.pending.is_empty())
+            .count()
     }
 
     // ----- intra-node merging (§3.3.2 phase 2, step 1) ---------------------
@@ -292,9 +467,7 @@ impl H2Middleware {
             Ok(ring) => ring,
             Err(e) => {
                 let mut fds = self.fds.lock();
-                let fd = fds
-                    .entry((keys.account().to_string(), ns))
-                    .or_default();
+                let fd = fds.entry((keys.account().to_string(), ns)).or_default();
                 let mut restored = chain.clone();
                 restored.append(&mut fd.pending);
                 fd.pending = restored;
@@ -304,9 +477,7 @@ impl H2Middleware {
         let version = ring.version();
         {
             let mut fds = self.fds.lock();
-            let fd = fds
-                .entry((keys.account().to_string(), ns))
-                .or_default();
+            let fd = fds.entry((keys.account().to_string(), ns)).or_default();
             // Monotone: a patch submitted while this merge was in flight
             // must stay visible in the local version (its chain entry will
             // carry it into the global object on the next cycle).
@@ -416,9 +587,12 @@ impl H2Middleware {
             }
         }
         // Fetch the updated ring version and merge it into the local view.
+        // The fresh global also refreshes the NameRing cache — gossip is
+        // what keeps cached rings from going stale across middlewares.
         let keys = H2Keys::new(&msg.account);
         let mut ctx = OpCtx::new(self.store.cost_model());
         let global = self.fetch_global_ring(&mut ctx, &keys, msg.ns)?;
+        self.cache_store_fetched((msg.account.clone(), msg.ns), &global);
         let had_extra = {
             let mut fds = self.fds.lock();
             let fd = fds.entry((msg.account.clone(), msg.ns)).or_default();
@@ -522,7 +696,9 @@ mod tests {
             cost: Arc::new(h2util::CostModel::zero()),
         });
         cluster.create_account("alice").unwrap();
-        cluster.create_container("alice", crate::keys::H2_CONTAINER, false).unwrap();
+        cluster
+            .create_container("alice", crate::keys::H2_CONTAINER, false)
+            .unwrap();
         let mw = H2Middleware::new(NodeId(1), cluster.clone(), mode);
         (cluster, mw, H2Keys::new("alice"))
     }
@@ -565,7 +741,11 @@ mod tests {
         patch.apply("f", Tuple::file(mw.tick(), 1));
         mw.submit_patch(&mut ctx, &keys, ns(1), patch).unwrap();
         // Local overlay sees it; global object does not.
-        assert!(mw.read_ring(&mut ctx, &keys, ns(1)).unwrap().get("f").is_some());
+        assert!(mw
+            .read_ring(&mut ctx, &keys, ns(1))
+            .unwrap()
+            .get("f")
+            .is_some());
         assert!(mw
             .fetch_global_ring(&mut ctx, &keys, ns(1))
             .unwrap()
@@ -573,7 +753,10 @@ mod tests {
             .is_none());
         assert_eq!(mw.pending_descriptors(), 1);
         // Patch object exists in the cloud under the paper's key scheme.
-        assert!(mw.store().get(&mut ctx, &keys.patch(ns(1), NodeId(1), 0)).is_ok());
+        assert!(mw
+            .store()
+            .get(&mut ctx, &keys.patch(ns(1), NodeId(1), 0))
+            .is_ok());
         // Background merger folds it in.
         assert_eq!(mw.step_merges().unwrap(), 1);
         assert!(mw
@@ -613,7 +796,11 @@ mod tests {
         let mut p = NameRing::new();
         p.apply("f", Tuple::file(t1, 1).tombstone(mw.tick()));
         mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
-        assert!(mw.read_ring(&mut ctx, &keys, ns(1)).unwrap().get("f").is_none());
+        assert!(mw
+            .read_ring(&mut ctx, &keys, ns(1))
+            .unwrap()
+            .get("f")
+            .is_none());
         let mut p = NameRing::new();
         p.apply("f", Tuple::file(mw.tick(), 2));
         mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
@@ -679,7 +866,9 @@ mod tests {
         };
         mw.put_descriptor(&mut ctx, &keys, NamespaceId::ROOT, "docs", &desc)
             .unwrap();
-        let got = mw.get_descriptor(&mut ctx, &keys, NamespaceId::ROOT, "docs").unwrap();
+        let got = mw
+            .get_descriptor(&mut ctx, &keys, NamespaceId::ROOT, "docs")
+            .unwrap();
         assert_eq!(got, desc);
     }
 
@@ -697,7 +886,10 @@ mod tests {
         for i in 0..4 {
             cluster.set_node_down(h2ring::DeviceId(i), true);
         }
-        assert!(mw.step_merges().is_err(), "merge should fail with cluster down");
+        assert!(
+            mw.step_merges().is_err(),
+            "merge should fail with cluster down"
+        );
         // The chain survived the failure.
         assert_eq!(mw.pending_descriptors(), 1);
         for i in 0..4 {

@@ -51,12 +51,7 @@ pub fn usage(fs: &H2Cloud, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Res
     Ok(total)
 }
 
-fn resolve_dir(
-    fs: &H2Cloud,
-    ctx: &mut OpCtx,
-    account: &str,
-    path: &FsPath,
-) -> Result<NamespaceId> {
+fn resolve_dir(fs: &H2Cloud, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<NamespaceId> {
     let keys = H2Keys::new(account);
     let mw = fs.layer().mw_for_account(account).clone();
     let mut ns = NamespaceId::ROOT;
@@ -146,12 +141,27 @@ mod tests {
         fs.create_account(&mut ctx, "alice").unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/docs")).unwrap();
         fs.mkdir(&mut ctx, "alice", &p("/docs/old")).unwrap();
-        fs.write(&mut ctx, "alice", &p("/docs/a.txt"), FileContent::from_str("alpha"))
-            .unwrap();
-        fs.write(&mut ctx, "alice", &p("/docs/old/b.bin"), FileContent::Simulated(4096))
-            .unwrap();
-        fs.write(&mut ctx, "alice", &p("/top"), FileContent::from_str("root file"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/docs/a.txt"),
+            FileContent::from_str("alpha"),
+        )
+        .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/docs/old/b.bin"),
+            FileContent::Simulated(4096),
+        )
+        .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/top"),
+            FileContent::from_str("root file"),
+        )
+        .unwrap();
         (fs, ctx)
     }
 
@@ -173,10 +183,18 @@ mod tests {
     #[test]
     fn usage_ignores_tombstones() {
         let (fs, mut ctx) = setup();
-        fs.delete_file(&mut ctx, "alice", &p("/docs/a.txt")).unwrap();
+        fs.delete_file(&mut ctx, "alice", &p("/docs/a.txt"))
+            .unwrap();
         fs.rmdir(&mut ctx, "alice", &p("/docs/old")).unwrap();
         let docs = usage(&fs, &mut ctx, "alice", &p("/docs")).unwrap();
-        assert_eq!(docs, Usage { dirs: 0, files: 0, bytes: 0 });
+        assert_eq!(
+            docs,
+            Usage {
+                dirs: 0,
+                files: 0,
+                bytes: 0
+            }
+        );
     }
 
     #[test]
@@ -211,6 +229,7 @@ mod tests {
             middlewares: 2,
             mode: crate::middleware::MaintenanceMode::Deferred,
             cluster: swiftsim::ClusterConfig::tiny(),
+            cache_capacity: 0,
         });
         let mut ctx2 = OpCtx::for_test();
         dst.create_account(&mut ctx2, "carol").unwrap();

@@ -39,10 +39,7 @@ fn mkdir_then_list_shows_child() {
     fs.mkdir(&mut ctx, "alice", &p("/home")).unwrap();
     fs.mkdir(&mut ctx, "alice", &p("/home/ubuntu")).unwrap();
     assert_eq!(fs.list(&mut ctx, "alice", &p("/")).unwrap(), ["home"]);
-    assert_eq!(
-        fs.list(&mut ctx, "alice", &p("/home")).unwrap(),
-        ["ubuntu"]
-    );
+    assert_eq!(fs.list(&mut ctx, "alice", &p("/home")).unwrap(), ["ubuntu"]);
 }
 
 #[test]
@@ -130,9 +127,14 @@ fn path_through_file_is_not_a_directory() {
     fs.write(&mut ctx, "alice", &p("/f"), FileContent::from_str("x"))
         .unwrap();
     assert_eq!(
-        fs.write(&mut ctx, "alice", &p("/f/child"), FileContent::from_str("y"))
-            .unwrap_err()
-            .code(),
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/f/child"),
+            FileContent::from_str("y")
+        )
+        .unwrap_err()
+        .code(),
         "not-a-directory"
     );
     assert_eq!(
@@ -165,8 +167,13 @@ fn delete_file_then_gone() {
 fn rename_is_move_within_parent() {
     let (fs, mut ctx) = setup();
     fs.mkdir(&mut ctx, "alice", &p("/dir")).unwrap();
-    fs.write(&mut ctx, "alice", &p("/dir/old"), FileContent::from_str("x"))
-        .unwrap();
+    fs.write(
+        &mut ctx,
+        "alice",
+        &p("/dir/old"),
+        FileContent::from_str("x"),
+    )
+    .unwrap();
     fs.mv(&mut ctx, "alice", &p("/dir/old"), &p("/dir/new"))
         .unwrap();
     assert_eq!(fs.list(&mut ctx, "alice", &p("/dir")).unwrap(), ["new"]);
@@ -213,7 +220,9 @@ fn move_rejects_cycles_and_conflicts() {
     );
     fs.mkdir(&mut ctx, "alice", &p("/c")).unwrap();
     assert_eq!(
-        fs.mv(&mut ctx, "alice", &p("/a"), &p("/c")).unwrap_err().code(),
+        fs.mv(&mut ctx, "alice", &p("/a"), &p("/c"))
+            .unwrap_err()
+            .code(),
         "already-exists"
     );
     // Moving to itself is a no-op.
@@ -224,8 +233,13 @@ fn move_rejects_cycles_and_conflicts() {
 #[test]
 fn copy_file_duplicates_content() {
     let (fs, mut ctx) = setup();
-    fs.write(&mut ctx, "alice", &p("/orig"), FileContent::from_str("body"))
-        .unwrap();
+    fs.write(
+        &mut ctx,
+        "alice",
+        &p("/orig"),
+        FileContent::from_str("body"),
+    )
+    .unwrap();
     fs.copy(&mut ctx, "alice", &p("/orig"), &p("/dup")).unwrap();
     assert_eq!(
         fs.read(&mut ctx, "alice", &p("/dup")).unwrap(),
@@ -250,7 +264,8 @@ fn copy_directory_is_deep_and_independent() {
         )
         .unwrap();
     }
-    fs.copy(&mut ctx, "alice", &p("/tree"), &p("/clone")).unwrap();
+    fs.copy(&mut ctx, "alice", &p("/tree"), &p("/clone"))
+        .unwrap();
     for i in 0..5 {
         assert_eq!(
             fs.read(&mut ctx, "alice", &p(&format!("/clone/nested/f{i}")))
@@ -311,7 +326,9 @@ fn rmdir_on_file_fails() {
         "not-a-directory"
     );
     assert_eq!(
-        fs.delete_file(&mut ctx, "alice", &p("/")).unwrap_err().code(),
+        fs.delete_file(&mut ctx, "alice", &p("/"))
+            .unwrap_err()
+            .code(),
         "is-a-directory"
     );
 }
@@ -333,13 +350,19 @@ fn file_access_cost_grows_with_depth() {
         path.push_str(&format!("/d{i}"));
         fs.mkdir(&mut ctx, "a", &p(&path)).unwrap();
     }
-    fs.write(&mut ctx, "a", &p(&format!("{path}/leaf")), FileContent::from_str("x"))
-        .unwrap();
+    fs.write(
+        &mut ctx,
+        "a",
+        &p(&format!("{path}/leaf")),
+        FileContent::from_str("x"),
+    )
+    .unwrap();
 
     let mut shallow_ctx = OpCtx::new(fs.cost_model());
     fs.stat(&mut shallow_ctx, "a", &p("/d0")).unwrap();
     let mut deep_ctx = OpCtx::new(fs.cost_model());
-    fs.stat(&mut deep_ctx, "a", &p(&format!("{path}/leaf"))).unwrap();
+    fs.stat(&mut deep_ctx, "a", &p(&format!("{path}/leaf")))
+        .unwrap();
     assert!(
         deep_ctx.elapsed() > shallow_ctx.elapsed() * 5,
         "depth-9 lookup ({:?}) should dwarf depth-1 ({:?})",
@@ -366,7 +389,9 @@ fn quick_relative_access_is_one_get() {
     let mw = fs.layer().mw_for_account("alice");
     let keys = h2cloud::H2Keys::new("alice");
     let mut walk = OpCtx::for_test();
-    let root = mw.read_ring(&mut walk, &keys, h2util::NamespaceId::ROOT).unwrap();
+    let root = mw
+        .read_ring(&mut walk, &keys, h2util::NamespaceId::ROOT)
+        .unwrap();
     let deep_ns = match root.get("deep").unwrap().child {
         h2cloud::ChildRef::Dir { ns } => ns,
         _ => unreachable!(),

@@ -13,17 +13,15 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_timestamp() -> impl Strategy<Value = Timestamp> {
-    (0u64..1_000_000, 0u32..64, 0u16..8)
-        .prop_map(|(m, s, n)| Timestamp::new(m, s, NodeId(n)))
+    (0u64..1_000_000, 0u32..64, 0u16..8).prop_map(|(m, s, n)| Timestamp::new(m, s, NodeId(n)))
 }
 
 fn arb_child() -> impl Strategy<Value = ChildRef> {
     prop_oneof![
         (0u64..1u64 << 40).prop_map(|size| ChildRef::File { size }),
-        (1u64..1000, 0u16..8, 0u64..1_000_000)
-            .prop_map(|(seq, node, ms)| ChildRef::Dir {
-                ns: NamespaceId::new(seq, NodeId(node), ms)
-            }),
+        (1u64..1000, 0u16..8, 0u64..1_000_000).prop_map(|(seq, node, ms)| ChildRef::Dir {
+            ns: NamespaceId::new(seq, NodeId(node), ms)
+        }),
     ]
 }
 

@@ -139,12 +139,8 @@ pub trait CloudFs {
     /// Names of direct children.
     fn list(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<Vec<String>>;
     /// Direct children with full metadata.
-    fn list_detailed(
-        &self,
-        ctx: &mut OpCtx,
-        account: &str,
-        path: &FsPath,
-    ) -> Result<Vec<DirEntry>>;
+    fn list_detailed(&self, ctx: &mut OpCtx, account: &str, path: &FsPath)
+        -> Result<Vec<DirEntry>>;
 
     fn write(
         &self,

@@ -232,7 +232,9 @@ impl Cluster {
         let mut c = self.containers.write();
         let key = (account.to_string(), container.to_string());
         if c.contains_key(&key) {
-            return Err(H2Error::AlreadyExists(format!("container {account}/{container}")));
+            return Err(H2Error::AlreadyExists(format!(
+                "container {account}/{container}"
+            )));
         }
         c.insert(
             key,
@@ -252,7 +254,9 @@ impl Cluster {
         {
             Ok(())
         } else {
-            Err(H2Error::NotFound(format!("container {account}/{container}")))
+            Err(H2Error::NotFound(format!(
+                "container {account}/{container}"
+            )))
         }
     }
 
@@ -361,10 +365,7 @@ impl Cluster {
     /// does not exist on any reachable device; `Err(Unavailable)` means no
     /// assigned device could even be asked, so absence cannot be concluded.
     fn read_replica(&self, ring_key: &str) -> Result<Option<crate::node::StoredReplica>> {
-        fn consider(
-            best: &mut Option<crate::node::StoredReplica>,
-            r: crate::node::StoredReplica,
-        ) {
+        fn consider(best: &mut Option<crate::node::StoredReplica>, r: crate::node::StoredReplica) {
             if best.as_ref().is_none_or(|b| r.modified_ms > b.modified_ms) {
                 *best = Some(r);
             }
@@ -516,7 +517,10 @@ impl Cluster {
                 .collect();
             for &dev in &all_devs {
                 if let Some(r) = self.node(dev).get_raw(&key) {
-                    if newest.as_ref().is_none_or(|b| r.modified_ms > b.modified_ms) {
+                    if newest
+                        .as_ref()
+                        .is_none_or(|b| r.modified_ms > b.modified_ms)
+                    {
                         newest = Some(r);
                     }
                 }
@@ -636,7 +640,13 @@ impl ObjectStore for Cluster {
         let ms = self.next_ms();
         ctx.charge(PrimKind::Delete, std::time::Duration::ZERO);
         self.charge_replica_time(ctx, self.cfg.cost.delete_cost());
-        self.replicated_put(&ring_key, &Payload::Inline(bytes::Bytes::new()), &Meta::new(), ms, true)?;
+        self.replicated_put(
+            &ring_key,
+            &Payload::Inline(bytes::Bytes::new()),
+            &Meta::new(),
+            ms,
+            true,
+        )?;
         self.catalog_remove(&ring_key);
         self.index_remove(ctx, key);
         Ok(())
@@ -710,8 +720,13 @@ mod tests {
     fn put_get_roundtrip_with_replication() {
         let c = cluster();
         let mut ctx = OpCtx::for_test();
-        c.put(&mut ctx, &key("a/b"), Payload::from_static("data"), Meta::new())
-            .unwrap();
+        c.put(
+            &mut ctx,
+            &key("a/b"),
+            Payload::from_static("data"),
+            Meta::new(),
+        )
+        .unwrap();
         let obj = c.get(&mut ctx, &key("a/b")).unwrap();
         assert_eq!(obj.payload.as_str(), Some("data"));
         // 3 physical replicas exist.
@@ -737,15 +752,22 @@ mod tests {
         let c = cluster();
         let mut ctx = OpCtx::for_test();
         let k = ObjectKey::new("alice", "missing", "x");
-        assert!(c.put(&mut ctx, &k, Payload::from_static("d"), Meta::new()).is_err());
+        assert!(c
+            .put(&mut ctx, &k, Payload::from_static("d"), Meta::new())
+            .is_err());
     }
 
     #[test]
     fn delete_then_get_fails_and_catalog_updates() {
         let c = cluster();
         let mut ctx = OpCtx::for_test();
-        c.put(&mut ctx, &key("f"), Payload::from_static("1234"), Meta::new())
-            .unwrap();
+        c.put(
+            &mut ctx,
+            &key("f"),
+            Payload::from_static("1234"),
+            Meta::new(),
+        )
+        .unwrap();
         c.delete(&mut ctx, &key("f")).unwrap();
         assert!(c.get(&mut ctx, &key("f")).is_err());
         assert_eq!(c.object_count(), 0);
@@ -762,8 +784,13 @@ mod tests {
         let mut ctx = OpCtx::for_test();
         c.put(&mut ctx, &key("f"), Payload::from_static("aa"), Meta::new())
             .unwrap();
-        c.put(&mut ctx, &key("f"), Payload::from_static("aaaa"), Meta::new())
-            .unwrap();
+        c.put(
+            &mut ctx,
+            &key("f"),
+            Payload::from_static("aaaa"),
+            Meta::new(),
+        )
+        .unwrap();
         assert_eq!(c.object_count(), 1);
         assert_eq!(c.byte_count(), 4);
     }
@@ -793,7 +820,12 @@ mod tests {
                 .unwrap();
         }
         let rows = c
-            .list(&mut ctx, "alice", "fs", &ListOptions::dir_level("dir/", '/'))
+            .list(
+                &mut ctx,
+                "alice",
+                "fs",
+                &ListOptions::dir_level("dir/", '/'),
+            )
             .unwrap();
         let names: Vec<_> = rows.iter().map(|e| e.name().to_string()).collect();
         assert_eq!(names, ["dir/a", "dir/b", "dir/sub/"]);
@@ -944,10 +976,20 @@ mod tests {
         let c = cluster();
         c.set_async_index(true);
         let mut ctx = OpCtx::for_test();
-        c.put(&mut ctx, &key("dir/a"), Payload::from_static("x"), Meta::new())
-            .unwrap();
-        c.put(&mut ctx, &key("dir/b"), Payload::from_static("y"), Meta::new())
-            .unwrap();
+        c.put(
+            &mut ctx,
+            &key("dir/a"),
+            Payload::from_static("x"),
+            Meta::new(),
+        )
+        .unwrap();
+        c.put(
+            &mut ctx,
+            &key("dir/b"),
+            Payload::from_static("y"),
+            Meta::new(),
+        )
+        .unwrap();
         // The object is readable immediately…
         assert!(c.get(&mut ctx, &key("dir/a")).is_ok());
         // …but the listing has not caught up (eventual consistency).

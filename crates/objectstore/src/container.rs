@@ -104,10 +104,7 @@ impl ContainerIndex {
     /// Total bytes the index itself occupies (rough row-size model: name +
     /// fixed per-row overhead), for the separate-index accounting.
     pub fn index_bytes(&self) -> u64 {
-        self.rows
-            .keys()
-            .map(|name| name.len() as u64 + 64)
-            .sum()
+        self.rows.keys().map(|name| name.len() as u64 + 64).sum()
     }
 
     pub fn upsert(&mut self, name: &str, rec: IndexRecord) {
@@ -230,7 +227,11 @@ mod tests {
         let names: Vec<_> = rows.iter().map(|e| e.name().to_string()).collect();
         assert_eq!(
             names,
-            ["home/alice/a.txt", "home/alice/b.txt", "home/alice/docs/c.txt"]
+            [
+                "home/alice/a.txt",
+                "home/alice/b.txt",
+                "home/alice/docs/c.txt"
+            ]
         );
     }
 

@@ -233,7 +233,13 @@ mod tests {
         let n = node();
         assert!(n.delete("/never-seen", 5));
         assert!(n.get("/never-seen").is_none());
-        n.put("/never-seen", Payload::from_static("late"), Meta::new(), 4, false);
+        n.put(
+            "/never-seen",
+            Payload::from_static("late"),
+            Meta::new(),
+            4,
+            false,
+        );
         assert!(n.get("/never-seen").is_none(), "late stale PUT resurrected");
     }
 

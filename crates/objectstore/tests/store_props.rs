@@ -12,12 +12,12 @@ use swiftsim::{Cluster, ClusterConfig, Meta, ObjectKey, ObjectStore, Payload};
 
 #[derive(Debug, Clone)]
 enum StoreOp {
-    Put(u8, u16),     // key id, value
+    Put(u8, u16), // key id, value
     Get(u8),
     Delete(u8),
     Head(u8),
-    Copy(u8, u8),     // src, dst
-    NodeFlap(u8),     // toggle node (bounded below quorum)
+    Copy(u8, u8), // src, dst
+    NodeFlap(u8), // toggle node (bounded below quorum)
     Repair,
 }
 

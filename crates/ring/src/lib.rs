@@ -67,7 +67,10 @@ impl RingBuilder {
     /// `part_power` bits of partition space (Swift default 18 in prod; tests
     /// use 8–12), `replicas` copies of each object.
     pub fn new(part_power: u8, replicas: usize) -> Self {
-        assert!(part_power > 0 && part_power <= 24, "part_power out of range");
+        assert!(
+            part_power > 0 && part_power <= 24,
+            "part_power out of range"
+        );
         assert!(replicas >= 1, "need at least one replica");
         RingBuilder {
             part_power,

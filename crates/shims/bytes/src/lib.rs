@@ -1,0 +1,125 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the [`Bytes`] type with the subset of the real API this
+//! workspace uses: an immutable, cheaply clonable (`Arc`-backed) byte
+//! buffer that derefs to `[u8]`. `from_static` copies instead of borrowing
+//! — the zero-copy optimisation is irrelevant to the simulator's payloads.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Arc::from(bytes))
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes(Arc::from(s.into_bytes()))
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes(Arc::from(s.as_bytes()))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(b: &'static [u8]) -> Self {
+        Bytes(Arc::from(b))
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_deref() {
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::from("hello".to_string());
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.to_vec(), b"hello".to_vec());
+        assert_eq!(Bytes::from_static(b"hi"), Bytes::from(vec![b'h', b'i']));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![1u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from(vec![b'a', 0]);
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\"");
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic RNG for property-test case generation.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies. Seeded from `(test name, case index)` via
+/// FNV-1a so every case is reproducible without storing per-run seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRng {
+    /// RNG for case number `case` of test `name`. Same inputs, same stream.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        let seed = fnv1a(name.as_bytes()) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -520,8 +520,10 @@ mod tests {
             assert!((m.min_ms..=m.max_ms).contains(&s), "sample {s}");
         }
         // Empirical mean of the inverse-CDF over a uniform grid ≈ mean.
-        let mean: f64 =
-            (0..10_000).map(|i| m.sample_ms(i as f64 / 10_000.0)).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000)
+            .map(|i| m.sample_ms(i as f64 / 10_000.0))
+            .sum::<f64>()
+            / 10_000.0;
         assert!((mean - 58.0).abs() < 1.0, "empirical mean {mean}");
     }
 

@@ -11,6 +11,7 @@
 //! * [`cost`] — the virtual-time cost model ([`cost::CostModel`],
 //!   [`cost::OpCtx`]) that replaces the paper's rack-scale wall-clock
 //!   measurements with calibrated, deterministic latency accounting.
+//! * [`lru`] — a bounded LRU map backing the middleware's NameRing cache.
 //! * [`rng`] — seeded random-number helpers and the distributions used by the
 //!   workload generator.
 //! * [`fmt`] — small formatting helpers (byte sizes, durations).
@@ -21,6 +22,7 @@ pub mod error;
 pub mod fmt;
 pub mod hash;
 pub mod id;
+pub mod lru;
 pub mod metrics;
 pub mod rng;
 
@@ -29,3 +31,4 @@ pub use cost::{BackendCounts, CostModel, OpCtx, PrimKind, RttModel};
 pub use error::{H2Error, Result};
 pub use hash::{hash128, hash64, Digest128};
 pub use id::{NamespaceId, NodeId};
+pub use lru::LruCache;

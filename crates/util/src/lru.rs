@@ -1,0 +1,176 @@
+//! A small bounded LRU map, used by the middleware's NameRing cache.
+//!
+//! Implemented as a `HashMap` for lookup plus a `BTreeMap` recency index
+//! (monotone tick → key). Both `get` and `insert` are O(log n); good
+//! enough for caches of a few thousand parsed rings, and dependency-free.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A least-recently-used cache with a fixed capacity.
+///
+/// A capacity of 0 disables the cache entirely: `insert` is a no-op and
+/// `get` always misses, so callers can keep one code path for the
+/// enabled/disabled cases.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+    recency: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let tick = self.next_tick();
+        match self.map.get_mut(key) {
+            Some((t, _)) => {
+                self.recency.remove(t);
+                *t = tick;
+                self.recency.insert(tick, key.clone());
+                self.map.get(key).map(|(_, v)| v)
+            }
+            None => None,
+        }
+    }
+
+    /// Look up `key` without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(_, v)| v)
+    }
+
+    /// Insert or replace `key`, evicting the least recently used entry if
+    /// the cache is full. No-op when capacity is 0.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        if let Some((old_tick, _)) = self.map.insert(key.clone(), (tick, value)) {
+            self.recency.remove(&old_tick);
+        }
+        self.recency.insert(tick, key);
+        while self.map.len() > self.capacity {
+            // The smallest tick is the coldest entry.
+            let (&coldest, _) = self.recency.iter().next().expect("map and index in sync");
+            let victim = self.recency.remove(&coldest).expect("key present");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Drop `key` if present; returns true when an entry was removed.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.map.remove(key) {
+            Some((tick, _)) => {
+                self.recency.remove(&tick);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"missing"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Touch "a" so "b" is the cold one.
+        assert!(c.get(&"a").is_some());
+        c.insert("c", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&"b"), None, "cold entry should be evicted");
+        assert!(c.peek(&"a").is_some());
+        assert!(c.peek(&"c").is_some());
+    }
+
+    #[test]
+    fn replace_updates_value_without_growing() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert!(c.remove(&"a"));
+        assert!(!c.remove(&"a"));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        // Still usable after clear.
+        c.insert("c", 3);
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Peeking "a" must not save it from eviction.
+        assert!(c.peek(&"a").is_some());
+        c.insert("c", 3);
+        assert_eq!(c.peek(&"a"), None);
+    }
+}

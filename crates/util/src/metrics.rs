@@ -46,8 +46,10 @@ impl Histogram {
     pub fn record(&self, d: Duration) {
         self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us
-            .fetch_add(d.as_micros().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.sum_us.fetch_add(
+            d.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     pub fn count(&self) -> u64 {
@@ -91,10 +93,34 @@ impl Histogram {
     }
 }
 
-/// A named family of histograms (one per operation kind).
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named family of histograms (one per operation kind) plus plain event
+/// counters (cache hits, requests saved, …).
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     entries: parking_lot::RwLock<std::collections::BTreeMap<String, std::sync::Arc<Histogram>>>,
+    counters: parking_lot::RwLock<std::collections::BTreeMap<String, std::sync::Arc<Counter>>>,
 }
 
 impl MetricsRegistry {
@@ -119,12 +145,43 @@ impl MetricsRegistry {
         self.histogram(name).record(d);
     }
 
-    /// All entries, name-sorted, rendered one per line.
+    /// Get (or create) the counter for `name`.
+    pub fn counter(&self, name: &str) -> std::sync::Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Current value of a counter (0 if it was never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.read().get(name).map_or(0, |c| c.get())
+    }
+
+    /// Snapshot of all (name, value) counter pairs, name-sorted.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect()
+    }
+
+    /// All entries, name-sorted, rendered one per line: histograms first,
+    /// then counters.
     pub fn render(&self) -> String {
         let entries = self.entries.read();
         let mut out = String::new();
         for (name, h) in entries.iter() {
             out.push_str(&format!("{name:<16} {}\n", h.render()));
+        }
+        drop(entries);
+        for (name, c) in self.counters.read().iter() {
+            out.push_str(&format!("{name:<16} {}\n", c.get()));
         }
         out
     }
@@ -151,7 +208,10 @@ mod tests {
         assert_eq!(Histogram::bucket_of(Duration::from_micros(3)), 2);
         assert_eq!(Histogram::bucket_of(Duration::from_micros(1024)), 11);
         // Very large values clamp into the last bucket.
-        assert_eq!(Histogram::bucket_of(Duration::from_secs(1 << 40)), BUCKETS - 1);
+        assert_eq!(
+            Histogram::bucket_of(Duration::from_secs(1 << 40)),
+            BUCKETS - 1
+        );
     }
 
     #[test]
@@ -165,7 +225,10 @@ mod tests {
         assert_eq!(h.mean(), Duration::from_millis(109));
         // p50 sits in the 10 ms bucket (floor 8.192 ms).
         let p50 = h.percentile(0.50);
-        assert!(p50 >= Duration::from_millis(8) && p50 < Duration::from_millis(17), "{p50:?}");
+        assert!(
+            p50 >= Duration::from_millis(8) && p50 < Duration::from_millis(17),
+            "{p50:?}"
+        );
         // p99+ lands in the 1 s bucket.
         assert!(h.percentile(0.995) >= Duration::from_millis(500));
         assert_eq!(h.percentile(0.0), h.percentile(0.0001));
@@ -193,6 +256,27 @@ mod tests {
         assert!(out.contains("MKDIR"));
         assert!(out.contains("READ"));
         assert!(out.lines().count() == 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = MetricsRegistry::new();
+        m.counter("cache_hits").add(3);
+        m.counter("cache_hits").incr();
+        m.counter("cache_misses").incr();
+        assert_eq!(m.counter_value("cache_hits"), 4);
+        assert_eq!(m.counter_value("cache_misses"), 1);
+        assert_eq!(m.counter_value("never_touched"), 0);
+        assert_eq!(
+            m.counter_values(),
+            vec![
+                ("cache_hits".to_string(), 4),
+                ("cache_misses".to_string(), 1)
+            ]
+        );
+        let out = m.render();
+        assert!(out.contains("cache_hits"), "{out}");
+        assert!(out.contains("4"), "{out}");
     }
 
     #[test]

@@ -77,7 +77,12 @@ pub struct LogNormal {
 impl LogNormal {
     pub fn new(mu: f64, sigma: f64, min: f64, max: f64) -> Self {
         assert!(min <= max);
-        LogNormal { mu, sigma, min, max }
+        LogNormal {
+            mu,
+            sigma,
+            min,
+            max,
+        }
     }
 
     pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
@@ -137,7 +142,12 @@ mod tests {
             counts[k] += 1;
         }
         // Rank 0 should dominate rank 50 heavily under s=1.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
     }
 
     #[test]

@@ -149,10 +149,8 @@ impl FsSpec {
             spec.dirs = chain;
         }
         for i in 0..n {
-            spec.files.push((
-                dir.child(&format!("f{i:06}")).expect("valid"),
-                file_size,
-            ));
+            spec.files
+                .push((dir.child(&format!("f{i:06}")).expect("valid"), file_size));
         }
         spec
     }
@@ -214,7 +212,11 @@ mod tests {
         let mut r = rng(1);
         let spec = FsSpec::generate(&mut r, UserProfile::Light, 1.0);
         assert!(spec.dirs.len() < 12, "{}", spec.dirs.len());
-        assert!((100..500).contains(&spec.files.len()), "{}", spec.files.len());
+        assert!(
+            (100..500).contains(&spec.files.len()),
+            "{}",
+            spec.files.len()
+        );
         assert!(spec.max_depth() <= 4, "{}", spec.max_depth());
     }
 

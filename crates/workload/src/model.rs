@@ -102,8 +102,7 @@ impl ModelFs {
     }
 
     pub fn is_dir(&self, path: &FsPath) -> bool {
-        path.is_root()
-            || matches!(self.node(path), Ok(ModelNode::Dir(_)))
+        path.is_root() || matches!(self.node(path), Ok(ModelNode::Dir(_)))
     }
 
     pub fn is_file(&self, path: &FsPath) -> bool {
@@ -404,7 +403,10 @@ mod tests {
         assert_eq!(m.list(&p("/f")).unwrap_err().code(), "not-a-directory");
         m.mkdir(&p("/d")).unwrap();
         assert_eq!(m.read(&p("/d")).unwrap_err().code(), "is-a-directory");
-        assert_eq!(m.delete_file(&p("/d")).unwrap_err().code(), "is-a-directory");
+        assert_eq!(
+            m.delete_file(&p("/d")).unwrap_err().code(),
+            "is-a-directory"
+        );
         assert_eq!(m.write(&p("/d"), 1).unwrap_err().code(), "is-a-directory");
     }
 }

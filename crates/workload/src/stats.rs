@@ -130,7 +130,11 @@ mod tests {
             s.files
         );
         assert!(s.size_p50 < s.size_p90 && s.size_p90 <= s.size_p99);
-        assert!((1.0e4..1.0e7).contains(&s.mean_size), "mean {}", s.mean_size);
+        assert!(
+            (1.0e4..1.0e7).contains(&s.mean_size),
+            "mean {}",
+            s.mean_size
+        );
     }
 
     #[test]

@@ -120,8 +120,7 @@ impl Trace {
                 }
                 1 => {
                     // Remove a non-root directory if any exists.
-                    let candidates: Vec<_> =
-                        dirs.iter().filter(|d| !d.is_root()).collect();
+                    let candidates: Vec<_> = dirs.iter().filter(|d| !d.is_root()).collect();
                     if candidates.is_empty() {
                         continue;
                     }
@@ -204,12 +203,7 @@ impl Trace {
     }
 
     /// Apply one op to a real backend.
-    pub fn apply_fs(
-        fs: &dyn CloudFs,
-        ctx: &mut OpCtx,
-        account: &str,
-        op: &Op,
-    ) -> Result<()> {
+    pub fn apply_fs(fs: &dyn CloudFs, ctx: &mut OpCtx, account: &str, op: &Op) -> Result<()> {
         match op {
             Op::Mkdir(p) => fs.mkdir(ctx, account, p),
             Op::Rmdir(p) => fs.rmdir(ctx, account, p),

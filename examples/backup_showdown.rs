@@ -10,16 +10,22 @@
 //! cargo run --release --example backup_showdown
 //! ```
 
-use h2cloud_repro::prelude::*;
 use h2baselines::{CasFs, CumulusFs};
+use h2cloud_repro::prelude::*;
 use h2util::rng::rng;
 use h2workload::{FsSpec, UserProfile};
 
 fn main() -> Result<()> {
     let cost = std::sync::Arc::new(CostModel::rack_default());
     let systems: Vec<(&str, Box<dyn CloudFs>)> = vec![
-        ("Cumulus (Snapshot)", Box::new(CumulusFs::new(swiftsim::Cluster::rack()))),
-        ("CAS (Multi-Layer)", Box::new(CasFs::new(swiftsim::Cluster::rack()))),
+        (
+            "Cumulus (Snapshot)",
+            Box::new(CumulusFs::new(swiftsim::Cluster::rack())),
+        ),
+        (
+            "CAS (Multi-Layer)",
+            Box::new(CasFs::new(swiftsim::Cluster::rack())),
+        ),
         ("H2Cloud", Box::new(H2Cloud::rack())),
     ];
 

@@ -8,8 +8,8 @@
 //! cargo run --release --example cloud_drive
 //! ```
 
-use h2cloud_repro::prelude::*;
 use h2baselines::{DpFs, SwiftFs};
+use h2cloud_repro::prelude::*;
 use h2util::rng::{derive_seed, rng};
 use h2workload::{FsSpec, Trace, TraceMix, UserProfile};
 
@@ -52,7 +52,10 @@ fn main() -> Result<()> {
             let spec = FsSpec::generate(&mut r, *profile, *scale);
             if std::ptr::eq(fs, &systems[0].1) {
                 // Describe each user's workload once (same seeds per system).
-                println!("  {account}: {}", h2workload::SpecStats::describe(&spec).render());
+                println!(
+                    "  {account}: {}",
+                    h2workload::SpecStats::describe(&spec).render()
+                );
             }
             spec.populate(fs.as_ref(), &mut setup, account)?;
             // Replay a realistic op mix from the post-import state.

@@ -20,6 +20,7 @@ fn main() -> Result<()> {
         middlewares: MIDDLEWARES,
         mode: MaintenanceMode::Deferred,
         cluster: ClusterConfig::default(),
+        cache_capacity: 0,
     }));
     let mut ctx = OpCtx::new(fs.cost_model());
     fs.create_account(&mut ctx, "team")?;
@@ -45,8 +46,7 @@ fn main() -> Result<()> {
                     let view = fs.via(mw);
                     for i in 0..FILES_PER_WRITER {
                         let mut ctx = OpCtx::new(fs.cost_model());
-                        let path =
-                            FsPath::parse(&format!("/shared/mw{mw}-w{w}-f{i:03}")).unwrap();
+                        let path = FsPath::parse(&format!("/shared/mw{mw}-w{w}-f{i:03}")).unwrap();
                         view.write(&mut ctx, "team", &path, FileContent::Simulated(1024))
                             .expect("write");
                     }

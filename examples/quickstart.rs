@@ -26,9 +26,18 @@ fn main() -> Result<()> {
     }
     for (file, content) in [
         ("/etc/motd", FileContent::from_str("welcome to h2cloud")),
-        ("/home/alice/notes.txt", FileContent::from_str("remember the NameRings")),
-        ("/home/alice/photos/trip.jpg", FileContent::Simulated(4 << 20)),
-        ("/home/alice/photos/cat.jpg", FileContent::Simulated(2 << 20)),
+        (
+            "/home/alice/notes.txt",
+            FileContent::from_str("remember the NameRings"),
+        ),
+        (
+            "/home/alice/photos/trip.jpg",
+            FileContent::Simulated(4 << 20),
+        ),
+        (
+            "/home/alice/photos/cat.jpg",
+            FileContent::Simulated(2 << 20),
+        ),
     ] {
         let mut ctx = OpCtx::new(cost.clone());
         fs.write(&mut ctx, "alice", &FsPath::parse(file)?, content)?;
@@ -39,15 +48,20 @@ fn main() -> Result<()> {
     let mut ctx = OpCtx::new(cost.clone());
     let motd = fs.read(&mut ctx, "alice", &FsPath::parse("/etc/motd")?)?;
     if let FileContent::Inline(bytes) = &motd {
-        println!("READ /etc/motd → {:?} ({})", String::from_utf8_lossy(bytes),
-                 h2util::fmt::millis(ctx.elapsed()));
+        println!(
+            "READ /etc/motd → {:?} ({})",
+            String::from_utf8_lossy(bytes),
+            h2util::fmt::millis(ctx.elapsed())
+        );
     }
 
     println!("\n== directory operations (the paper's headline) ==");
     let mut ctx = OpCtx::new(cost.clone());
     let names = fs.list(&mut ctx, "alice", &FsPath::parse("/home/alice/photos")?)?;
-    println!("LIST /home/alice/photos → {names:?} ({})",
-             h2util::fmt::millis(ctx.elapsed()));
+    println!(
+        "LIST /home/alice/photos → {names:?} ({})",
+        h2util::fmt::millis(ctx.elapsed())
+    );
 
     let mut ctx = OpCtx::new(cost.clone());
     fs.mv(
@@ -56,8 +70,11 @@ fn main() -> Result<()> {
         &FsPath::parse("/home/alice/photos")?,
         &FsPath::parse("/home/alice/pictures")?,
     )?;
-    println!("MOVE photos → pictures: {} (O(1): two NameRing patches, \
-              whatever the directory holds)", h2util::fmt::millis(ctx.elapsed()));
+    println!(
+        "MOVE photos → pictures: {} (O(1): two NameRing patches, \
+              whatever the directory holds)",
+        h2util::fmt::millis(ctx.elapsed())
+    );
 
     let mut ctx = OpCtx::new(cost.clone());
     fs.copy(
@@ -66,12 +83,21 @@ fn main() -> Result<()> {
         &FsPath::parse("/home/alice/pictures")?,
         &FsPath::parse("/home/alice/pictures-backup")?,
     )?;
-    println!("COPY pictures → pictures-backup: {}", h2util::fmt::millis(ctx.elapsed()));
+    println!(
+        "COPY pictures → pictures-backup: {}",
+        h2util::fmt::millis(ctx.elapsed())
+    );
 
     let mut ctx = OpCtx::new(cost.clone());
-    fs.rmdir(&mut ctx, "alice", &FsPath::parse("/home/alice/pictures-backup")?)?;
-    println!("RMDIR pictures-backup: {} (tombstone only; GC reclaims later)",
-             h2util::fmt::millis(ctx.elapsed()));
+    fs.rmdir(
+        &mut ctx,
+        "alice",
+        &FsPath::parse("/home/alice/pictures-backup")?,
+    )?;
+    println!(
+        "RMDIR pictures-backup: {} (tombstone only; GC reclaims later)",
+        h2util::fmt::millis(ctx.elapsed())
+    );
 
     // The lazy reclamation pass the paper defers to "when the NameRing is
     // in use".
@@ -82,8 +108,10 @@ fn main() -> Result<()> {
         "alice",
         h2util::Timestamp::new(u64::MAX, 0, h2util::NodeId(0)),
     )?;
-    println!("\nGC: compacted {} tombstones, deleted {} objects",
-             report.tuples_compacted, report.objects_deleted);
+    println!(
+        "\nGC: compacted {} tombstones, deleted {} objects",
+        report.tuples_compacted, report.objects_deleted
+    );
 
     let stats = fs.storage_stats();
     println!(

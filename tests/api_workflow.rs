@@ -22,7 +22,8 @@ fn a_sync_client_session_over_the_wire() {
 
     // Sign up.
     assert_eq!(
-        api.handle(&WebRequest::new(Method::Put, "/v1/mobile-user")).status,
+        api.handle(&WebRequest::new(Method::Put, "/v1/mobile-user"))
+            .status,
         201
     );
 
@@ -39,8 +40,7 @@ fn a_sync_client_session_over_the_wire() {
 
     // Browse: names-only listing (H2's O(1) LIST), then detailed.
     let browse = api.handle(
-        &WebRequest::new(Method::Get, "/v1/mobile-user/fs/Photos/2026-06")
-            .with_query("op", "list"),
+        &WebRequest::new(Method::Get, "/v1/mobile-user/fs/Photos/2026-06").with_query("op", "list"),
     );
     match &browse.body {
         ResponseBody::Names(names) => assert_eq!(names.len(), 5),
@@ -130,11 +130,8 @@ fn api_surfaces_operation_time_like_the_papers_measurements() {
     put_file(&api, "/v1/u/fs/a/b/c/deep.txt", "x");
     // Lookup time grows with depth — the Figure 13 effect, observable
     // straight from the API's op_time field.
-    let shallow = api.handle(
-        &WebRequest::new(Method::Get, "/v1/u/fs/a").with_query("op", "stat"),
-    );
-    let deep = api.handle(
-        &WebRequest::new(Method::Get, "/v1/u/fs/a/b/c/deep.txt").with_query("op", "stat"),
-    );
+    let shallow = api.handle(&WebRequest::new(Method::Get, "/v1/u/fs/a").with_query("op", "stat"));
+    let deep = api
+        .handle(&WebRequest::new(Method::Get, "/v1/u/fs/a/b/c/deep.txt").with_query("op", "stat"));
     assert!(deep.op_time > shallow.op_time * 2);
 }

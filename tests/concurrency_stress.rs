@@ -7,10 +7,10 @@
 use std::sync::Arc;
 
 use h2cloud::check::fsck;
-use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
+use h2cloud::{H2Cloud, H2Config, H2Keys, MaintenanceMode, NameRing, Tuple};
 use h2fsapi::{CloudFs, FileContent, FsPath};
 use h2ring::DeviceId;
-use h2util::{CostModel, OpCtx};
+use h2util::{CostModel, H2Error, NamespaceId, OpCtx};
 use swiftsim::{Cluster, ClusterConfig, Meta, ObjectKey, ObjectStore, Payload};
 
 fn p(s: &str) -> FsPath {
@@ -103,6 +103,7 @@ fn h2cloud_concurrent_writers_one_middleware_lose_nothing() {
             cost: Arc::new(CostModel::zero()),
             ..ClusterConfig::default()
         },
+        cache_capacity: 128,
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();
@@ -158,6 +159,92 @@ fn h2cloud_concurrent_writers_one_middleware_lose_nothing() {
 }
 
 #[test]
+fn submit_patch_chain_survives_concurrent_merges() {
+    // Regression for a double-lock race in `submit_patch`: the patch number
+    // used to be allocated in one lock scope and recorded in the pending
+    // chain in a *second* lock scope after the PUT. A merge cycle racing the
+    // PUT could run in between, consume the (not yet chained) number's
+    // object as NotFound, and leave the freshly written patch object
+    // orphaned in the cloud — referenced by no chain, never merged, never
+    // deleted — while `is_quiescent` reported a quiet layer. This hammers
+    // direct patch submissions against a concurrent merger and asserts
+    // nothing is lost and nothing leaks.
+    const WRITERS: usize = 4;
+    const PATCHES: usize = 50;
+
+    let fs = Arc::new(H2Cloud::new(H2Config {
+        middlewares: 1,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig {
+            cost: Arc::new(CostModel::zero()),
+            ..ClusterConfig::default()
+        },
+        cache_capacity: 128,
+    }));
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+
+    let mw = fs.layer().mw(0).clone();
+    let keys = H2Keys::new("team");
+    let ns = NamespaceId::ROOT;
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let mw = mw.clone();
+            let keys = keys.clone();
+            scope.spawn(move || {
+                let mut ctx = OpCtx::for_test();
+                for i in 0..PATCHES {
+                    let mut patch = NameRing::new();
+                    patch.apply(&format!("w{w}-f{i:03}"), Tuple::file(mw.tick(), 1));
+                    mw.submit_patch(&mut ctx, &keys, ns, patch).unwrap();
+                }
+            });
+        }
+        // Merger: runs merge cycles concurrently with the submissions. The
+        // race window is a cycle consuming the chain while a patch PUT is
+        // still in flight.
+        {
+            let mw = mw.clone();
+            scope.spawn(move || {
+                for _ in 0..400 {
+                    mw.step_merges().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    fs.quiesce();
+    assert_eq!(mw.pending_descriptors(), 0, "quiesce left pending chains");
+
+    // No lost updates: every submitted entry made it into the global ring.
+    let mut ctx = OpCtx::for_test();
+    let global = mw.fetch_global_ring(&mut ctx, &keys, ns).unwrap();
+    for w in 0..WRITERS {
+        for i in 0..PATCHES {
+            let name = format!("w{w}-f{i:03}");
+            assert!(
+                global.get(&name).is_some(),
+                "update {name} lost in the submit/merge race"
+            );
+        }
+    }
+    assert_eq!(global.live_len(), WRITERS * PATCHES);
+
+    // No orphaned patch objects: numbers are allocated densely from 0, so
+    // every object a writer ever PUT lives at one of these keys — all must
+    // have been merged and deleted (probe a little past the end too).
+    let total = (WRITERS * PATCHES) as u32;
+    for no in 0..total + 8 {
+        let key = keys.patch(ns, mw.node(), no);
+        assert!(
+            matches!(fs.cluster().get(&mut ctx, &key), Err(H2Error::NotFound(_))),
+            "orphaned patch object #{no} left in the cloud"
+        );
+    }
+}
+
+#[test]
 fn h2cloud_concurrent_structure_churn_stays_consistent() {
     // Threads repeatedly create + remove their own directories while one
     // thread GCs concurrently — the tree must end consistent and fsck
@@ -169,6 +256,7 @@ fn h2cloud_concurrent_structure_churn_stays_consistent() {
             cost: Arc::new(CostModel::zero()),
             ..ClusterConfig::default()
         },
+        cache_capacity: 128,
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();

@@ -22,6 +22,9 @@ fn h2(middlewares: usize) -> H2Cloud {
             cost: std::sync::Arc::new(h2util::CostModel::zero()),
             ..ClusterConfig::default()
         },
+        // These tests read through specific middlewares (`via`) after lossy
+        // gossip and rely on read-through-global freshness — cache off.
+        cache_capacity: 0,
     })
 }
 
@@ -55,7 +58,11 @@ fn concurrent_updates_to_one_directory_converge() {
     let reference = listing_on(&fs, 0, &p("/shared"));
     assert_eq!(reference.len(), 20);
     for mw in 1..4 {
-        assert_eq!(listing_on(&fs, mw, &p("/shared")), reference, "mw {mw} diverged");
+        assert_eq!(
+            listing_on(&fs, mw, &p("/shared")),
+            reference,
+            "mw {mw} diverged"
+        );
     }
 }
 
@@ -71,15 +78,27 @@ fn create_delete_races_resolve_by_timestamp() {
     // newer recreate must win deterministically.
     let mut c0 = OpCtx::for_test();
     fs.via(0)
-        .write(&mut c0, "team", &p("/d/contested"), FileContent::from_str("v1"))
+        .write(
+            &mut c0,
+            "team",
+            &p("/d/contested"),
+            FileContent::from_str("v1"),
+        )
         .unwrap();
     fs.quiesce();
     let mut c1 = OpCtx::for_test();
-    fs.via(1).delete_file(&mut c1, "team", &p("/d/contested")).unwrap();
+    fs.via(1)
+        .delete_file(&mut c1, "team", &p("/d/contested"))
+        .unwrap();
     let mut c0 = OpCtx::for_test();
     // mw0 has not yet heard the delete (it's unmerged on mw1)...
     fs.via(0)
-        .write(&mut c0, "team", &p("/d/contested"), FileContent::from_str("v2"))
+        .write(
+            &mut c0,
+            "team",
+            &p("/d/contested"),
+            FileContent::from_str("v2"),
+        )
         .unwrap();
     fs.quiesce();
     // Both views agree; hybrid timestamps give a total order. (Which write

@@ -98,7 +98,11 @@ fn depth_twenty_plus_paths_work_everywhere() {
         // Move the depth-1 ancestor: the whole chain relocates.
         fs.mv(&mut ctx, "u", &p("/L00"), &p("/moved")).unwrap();
         let moved_leaf = leaf.replacen("/L00", "/moved", 1);
-        assert!(fs.stat(&mut ctx, "u", &p(&moved_leaf)).is_ok(), "{}", fs.name());
+        assert!(
+            fs.stat(&mut ctx, "u", &p(&moved_leaf)).is_ok(),
+            "{}",
+            fs.name()
+        );
     }
 }
 
@@ -109,8 +113,13 @@ fn accounts_are_fully_isolated() {
         fs.create_account(&mut ctx, "alice").unwrap();
         fs.create_account(&mut ctx, "bob").unwrap();
         // Identical paths, different content, no interference.
-        fs.write(&mut ctx, "alice", &p("/same"), FileContent::from_str("alice's"))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/same"),
+            FileContent::from_str("alice's"),
+        )
+        .unwrap();
         fs.write(&mut ctx, "bob", &p("/same"), FileContent::from_str("bob's"))
             .unwrap();
         assert_eq!(
@@ -146,7 +155,10 @@ fn h2_stays_consistent_under_hostile_names_and_depth() {
     fs.write(
         &mut ctx,
         "u",
-        &FsPath::parse("/目录").unwrap().child("文件 με space").unwrap(),
+        &FsPath::parse("/目录")
+            .unwrap()
+            .child("文件 με space")
+            .unwrap(),
         FileContent::Simulated(9),
     )
     .unwrap();
@@ -173,7 +185,11 @@ fn empty_directories_list_and_remove_cleanly() {
             .unwrap()
             .is_empty());
         fs.rmdir(&mut ctx, "u", &p("/empty")).unwrap();
-        assert!(fs.list(&mut ctx, "u", &p("/empty")).is_err(), "{}", fs.name());
+        assert!(
+            fs.list(&mut ctx, "u", &p("/empty")).is_err(),
+            "{}",
+            fs.name()
+        );
     }
 }
 

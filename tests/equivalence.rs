@@ -19,6 +19,7 @@ fn backends() -> Vec<Box<dyn CloudFs>> {
             middlewares: 1,
             mode: MaintenanceMode::Deferred,
             cluster: ClusterConfig::tiny(),
+            cache_capacity: 64,
         })),
         Box::new(SwiftFs::new(tiny(), true)),
         Box::new(SwiftFs::new(tiny(), false)),
@@ -68,12 +69,7 @@ fn random_traces_agree_with_the_model_on_every_backend() {
     for seed in [1u64, 7, 1234] {
         // Generate a valid trace once (against a throwaway model).
         let mut gen_model = ModelFs::new();
-        let trace = Trace::generate(
-            &mut rng(seed),
-            &mut gen_model,
-            250,
-            &TraceMix::dir_heavy(),
-        );
+        let trace = Trace::generate(&mut rng(seed), &mut gen_model, 250, &TraceMix::dir_heavy());
         for fs in backends() {
             let label = format!("{} (seed {seed})", fs.name());
             let mut ctx = OpCtx::for_test();

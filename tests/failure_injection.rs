@@ -21,6 +21,9 @@ fn h2_rack() -> H2Cloud {
             cost: std::sync::Arc::new(h2util::CostModel::zero()),
             ..ClusterConfig::default()
         },
+        // Failure tests assert reads fail while the cluster is down — a
+        // cache hit would mask the outage, so keep it off here.
+        cache_capacity: 0,
     })
 }
 
@@ -44,7 +47,8 @@ fn filesystem_survives_single_node_outage() {
     fs.cluster().set_node_down(DeviceId(2), true);
     for i in 0..30 {
         assert_eq!(
-            fs.read(&mut ctx, "alice", &p(&format!("/docs/f{i}"))).unwrap(),
+            fs.read(&mut ctx, "alice", &p(&format!("/docs/f{i}")))
+                .unwrap(),
             FileContent::from_str("pre-outage"),
             "read of f{i} failed during outage"
         );
@@ -58,7 +62,8 @@ fn filesystem_survives_single_node_outage() {
         )
         .unwrap();
     }
-    fs.mkdir(&mut ctx, "alice", &p("/new-dir-during-outage")).unwrap();
+    fs.mkdir(&mut ctx, "alice", &p("/new-dir-during-outage"))
+        .unwrap();
     assert_eq!(fs.list(&mut ctx, "alice", &p("/docs")).unwrap().len(), 60);
 
     // Node returns; the replicator moves handoff copies home.
@@ -67,7 +72,9 @@ fn filesystem_survives_single_node_outage() {
     assert!(moved > 0, "repair had nothing to do after an outage");
     assert_eq!(fs.cluster().repair(), 0, "repair is not idempotent");
     for i in 0..60 {
-        assert!(fs.read(&mut ctx, "alice", &p(&format!("/docs/f{i}"))).is_ok());
+        assert!(fs
+            .read(&mut ctx, "alice", &p(&format!("/docs/f{i}")))
+            .is_ok());
     }
 }
 
@@ -95,7 +102,8 @@ fn two_node_outage_with_three_replicas_still_serves() {
     }
     // Directory operations (NameRing reads/patches) also survive.
     fs.mkdir(&mut ctx, "alice", &p("/survivor")).unwrap();
-    fs.mv(&mut ctx, "alice", &p("/f0"), &p("/survivor/f0")).unwrap();
+    fs.mv(&mut ctx, "alice", &p("/f0"), &p("/survivor/f0"))
+        .unwrap();
     assert!(fs.read(&mut ctx, "alice", &p("/survivor/f0")).is_ok());
 }
 
@@ -131,8 +139,13 @@ fn stale_replica_never_wins_after_outage() {
     let fs = h2_rack();
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "alice").unwrap();
-    fs.write(&mut ctx, "alice", &p("/versioned"), FileContent::from_str("v1"))
-        .unwrap();
+    fs.write(
+        &mut ctx,
+        "alice",
+        &p("/versioned"),
+        FileContent::from_str("v1"),
+    )
+    .unwrap();
     // Every node in turn goes down while the file is overwritten, so the
     // downed node holds a stale replica on return.
     for (node, version) in [(1u16, "v2"), (4, "v3"), (6, "v4")] {

@@ -67,11 +67,20 @@ fn fig10_list_scales_with_m_and_swift_is_slowest() {
     // All three grow with m…
     for (col, name) in [(1, "Swift"), (2, "H2"), (3, "DP")] {
         let growth = t.value(last, col) / t.value(0, col);
-        assert!(growth > 3.0, "{name} LIST should grow with m, grew {growth:.1}x");
+        assert!(
+            growth > 3.0,
+            "{name} LIST should grow with m, grew {growth:.1}x"
+        );
     }
     // …and Swift is the slowest at m = 1000.
-    assert!(t.value(last, 1) > t.value(last, 2), "Swift not slower than H2");
-    assert!(t.value(last, 1) > t.value(last, 3), "Swift not slower than DP");
+    assert!(
+        t.value(last, 1) > t.value(last, 2),
+        "Swift not slower than H2"
+    );
+    assert!(
+        t.value(last, 1) > t.value(last, 3),
+        "Swift not slower than DP"
+    );
     // H2 LIST of 1000 files lands near the paper's 0.35 s (±50%).
     let h2_1000_s = t.value(last, 2) / 1000.0; // value() normalises to ms
     assert!(
@@ -86,7 +95,10 @@ fn fig11_copy_similar_for_all_and_linear() {
     let last = t.rows.len() - 1;
     for (col, name) in [(1, "Swift"), (2, "H2"), (3, "DP")] {
         let growth = t.value(last, col) / t.value(0, col);
-        assert!(growth > 10.0, "{name} COPY should be O(n), grew {growth:.1}x");
+        assert!(
+            growth > 10.0,
+            "{name} COPY should be O(n), grew {growth:.1}x"
+        );
     }
     // Similar magnitudes: within 3x of each other at the largest n.
     let vals = [t.value(last, 1), t.value(last, 2), t.value(last, 3)];
@@ -103,7 +115,10 @@ fn fig12_mkdir_constant_and_ordered() {
     let last = t.rows.len() - 1;
     for (col, name) in [(1, "Swift"), (2, "H2"), (3, "DP")] {
         let growth = t.value(last, col) / t.value(0, col);
-        assert!(growth < 1.3, "{name} MKDIR should be constant, grew {growth:.1}x");
+        assert!(
+            growth < 1.3,
+            "{name} MKDIR should be constant, grew {growth:.1}x"
+        );
     }
     // Swift fastest; H2 and DP in the 100–260 ms band.
     assert!(t.value(0, 1) < t.value(0, 2) && t.value(0, 1) < t.value(0, 3));
@@ -118,7 +133,10 @@ fn fig13_access_swift_flat_h2_linear_in_d() {
     let t = experiments::fig13(true); // d = 1, 4, 8
     let last = t.rows.len() - 1;
     let swift_growth = t.value(last, 1) / t.value(0, 1);
-    assert!(swift_growth < 1.2, "Swift access should be flat, grew {swift_growth:.1}x");
+    assert!(
+        swift_growth < 1.2,
+        "Swift access should be flat, grew {swift_growth:.1}x"
+    );
     let h2_growth = t.value(last, 2) / t.value(0, 2);
     assert!(
         h2_growth > 4.0,
@@ -126,9 +144,15 @@ fn fig13_access_swift_flat_h2_linear_in_d() {
     );
     // Swift ≈ 10 ms; H2 at d = 4 near the paper's 61 ms.
     let swift = t.value(0, 1);
-    assert!((6.0..16.0).contains(&swift), "Swift access {swift:.1}ms, expected ≈10ms");
+    assert!(
+        (6.0..16.0).contains(&swift),
+        "Swift access {swift:.1}ms, expected ≈10ms"
+    );
     let h2_d4 = experiments::h2_access_ms_at_depth(4);
-    assert!((40.0..85.0).contains(&h2_d4), "H2 access at d=4 {h2_d4:.1}ms, expected ≈61ms");
+    assert!(
+        (40.0..85.0).contains(&h2_d4),
+        "H2 access at d=4 {h2_d4:.1}ms, expected ≈61ms"
+    );
 }
 
 #[test]
@@ -184,7 +208,11 @@ fn table1_h2_row_matches_paper() {
     assert!(h2[9].starts_with("O(x)"), "H2 LIST: {}", h2[9]); // O(m)
     assert!(h2[11].starts_with("O(x)"), "H2 COPY: {}", h2[11]); // O(n)
     let swift = &t.rows[1];
-    assert!(swift[1].starts_with("O(1)"), "Swift FileAccess: {}", swift[1]);
+    assert!(
+        swift[1].starts_with("O(1)"),
+        "Swift FileAccess: {}",
+        swift[1]
+    );
     assert!(swift[5].starts_with("O(x)"), "Swift RMDIR: {}", swift[5]);
     assert!(swift[7].starts_with("O(x)"), "Swift MOVE: {}", swift[7]);
 }

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 
 use h2baselines::SwiftFs;
 use h2cloud::check::fsck;
-use h2cloud::{H2Cloud, H2Config};
+use h2cloud::layer::GossipFaults;
+use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
 use h2fsapi::{CloudFs, FsPath};
 use h2util::OpCtx;
 use h2workload::{ModelFs, Op, Trace};
@@ -33,6 +34,42 @@ fn arb_op() -> impl Strategy<Value = Op> {
         arb_path().prop_map(Op::ListDetailed),
         arb_path().prop_map(Op::Stat),
     ]
+}
+
+/// Multi-middleware Deferred-mode H2Cloud with the given NameRing cache
+/// capacity — everything else identical, so any observable difference
+/// between two instances is the cache's fault.
+fn h2_deferred(cache_capacity: usize) -> H2Cloud {
+    H2Cloud::new(H2Config {
+        middlewares: 3,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig::tiny(),
+        cache_capacity,
+    })
+}
+
+/// Flatten the whole tree (paths, kinds, file sizes) into a sorted,
+/// comparable snapshot.
+fn tree_snapshot(fs: &dyn CloudFs, account: &str) -> Vec<String> {
+    let mut ctx = OpCtx::for_test();
+    let mut out = Vec::new();
+    let mut stack = vec![FsPath::root()];
+    while let Some(dir) = stack.pop() {
+        let mut entries = fs
+            .list_detailed(&mut ctx, account, &dir)
+            .unwrap_or_else(|e| panic!("LIST {dir} failed: {e}"));
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in entries {
+            if e.kind == h2fsapi::EntryKind::Directory {
+                out.push(format!("{dir} {} dir", e.name));
+                stack.push(dir.child(&e.name).expect("valid name"));
+            } else {
+                out.push(format!("{dir} {} file {}", e.name, e.size));
+            }
+        }
+    }
+    out.sort();
+    out
 }
 
 proptest! {
@@ -78,6 +115,64 @@ proptest! {
 
         // However hostile the sequence, H2's representation is consistent.
         let report = fsck(&h2, &mut ctx, "u").unwrap();
+        prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn namering_cache_is_observably_transparent(
+        ops in prop::collection::vec(arb_op(), 1..60)
+    ) {
+        // Same random sequence against a cache-on and a cache-off H2Cloud —
+        // three middlewares, Deferred maintenance, gossip pumped with drops
+        // and duplicates mid-sequence. Clients go through the sticky
+        // `CloudFs` routing (one middleware per account), which is exactly
+        // the regime where the per-middleware cache must be invisible:
+        // every outcome, error class and final tree must match the
+        // uncached instance's.
+        let cached = h2_deferred(64);
+        let plain = h2_deferred(0);
+        let mut ctx = OpCtx::for_test();
+        cached.create_account(&mut ctx, "u").unwrap();
+        plain.create_account(&mut ctx, "u").unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let with_cache = Trace::apply_fs(&cached, &mut ctx, "u", op);
+            let without = Trace::apply_fs(&plain, &mut ctx, "u", op);
+            match (&with_cache, &without) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.class(), b.class(),
+                    "{:?}: cached={} plain={}", op, a, b
+                ),
+                _ => prop_assert!(
+                    false,
+                    "{:?} diverged: cached={:?} plain={:?}", op, with_cache, without
+                ),
+            }
+            // Periodically run lossy gossip on both instances: a third of
+            // notifications dropped, a quarter duplicated.
+            if i % 3 == 2 {
+                for fs in [&cached, &plain] {
+                    fs.layer()
+                        .pump_with_faults(GossipFaults {
+                            drop_every: 3,
+                            duplicate_every: 4,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+
+        // Drain maintenance on both; observable state must be identical.
+        cached.quiesce();
+        plain.quiesce();
+        prop_assert_eq!(
+            tree_snapshot(&cached, "u"),
+            tree_snapshot(&plain, "u"),
+            "cache changed the observable filesystem"
+        );
+        // And the cached instance's on-cloud representation is consistent.
+        let report = fsck(&cached, &mut ctx, "u").unwrap();
         prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
     }
 

@@ -48,10 +48,7 @@ fn bulk_import_equals_slow_population_on_h2() {
     }
     // Same object count in the cloud (a descriptor + ring per dir, one
     // object per file, one root ring).
-    assert_eq!(
-        fast.storage_stats().objects,
-        slow.storage_stats().objects
-    );
+    assert_eq!(fast.storage_stats().objects, slow.storage_stats().objects);
 }
 
 #[test]
@@ -134,7 +131,11 @@ fn long_mixed_trace_replays_identically_on_h2_and_swift() {
         let mut ctx = OpCtx::for_test();
         fs.create_account(&mut ctx, "u").unwrap();
         let results = trace
-            .replay(fs.as_ref(), "u", std::sync::Arc::new(h2util::CostModel::zero()))
+            .replay(
+                fs.as_ref(),
+                "u",
+                std::sync::Arc::new(h2util::CostModel::zero()),
+            )
             .unwrap();
         assert_eq!(results.len(), trace.ops.len());
         fs.quiesce();
