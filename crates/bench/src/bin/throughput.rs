@@ -1,0 +1,183 @@
+//! Multi-client throughput benchmark: H2 vs the Swift baseline.
+//!
+//! Sweeps client-thread counts, replaying identical closed-loop workloads
+//! (see [`h2bench::loadgen`]) against both systems, and writes the results
+//! as `BENCH_throughput.json`.
+//!
+//! ```bash
+//! cargo run --release -p h2bench --bin throughput            # full sweep
+//! cargo run --release -p h2bench --bin throughput -- --quick # CI smoke
+//! ```
+//!
+//! Flags: `--quick` (T=1,2 and fewer ops), `--threads 1,2,4,8`,
+//! `--pace F` (real seconds slept per virtual second; 0 disables),
+//! `--out PATH` (default `BENCH_throughput.json`).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use h2bench::loadgen::{run_h2, run_swift, LoadResult, LoadgenConfig};
+
+struct Args {
+    threads: Vec<usize>,
+    pace: f64,
+    ops_per_client: usize,
+    out: String,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: vec![1, 2, 4, 8],
+        pace: 0.05,
+        ops_per_client: 250,
+        out: "BENCH_throughput.json".to_string(),
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.threads = vec![1, 2];
+                args.ops_per_client = 60;
+            }
+            "--threads" => {
+                let v = it.next().expect("--threads needs a comma-separated list");
+                args.threads = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("thread count"))
+                    .collect();
+            }
+            "--pace" => {
+                args.pace = it
+                    .next()
+                    .expect("--pace needs a value")
+                    .parse()
+                    .expect("pace");
+            }
+            "--ops" => {
+                args.ops_per_client = it
+                    .next()
+                    .expect("--ops needs a value")
+                    .parse()
+                    .expect("ops");
+            }
+            "--out" => {
+                args.out = it.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: throughput [--quick] [--threads 1,2,4,8] [--pace F] [--ops N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn ms_f(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn result_json(r: &LoadResult) -> String {
+    format!(
+        concat!(
+            "    {{\"system\": \"{}\", \"threads\": {}, \"ops\": {}, \"errors\": {}, ",
+            "\"wall_s\": {:.3}, \"ops_per_sec\": {:.1}, \"latency_ms\": ",
+            "{{\"mean\": {:.2}, \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}}}}}"
+        ),
+        r.system,
+        r.clients,
+        r.ops,
+        r.errors,
+        r.wall.as_secs_f64(),
+        r.ops_per_sec(),
+        ms_f(r.latency.mean),
+        ms_f(r.latency.p50),
+        ms_f(r.latency.p95),
+        ms_f(r.latency.p99),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+
+    println!(
+        "throughput sweep: T={:?} pace={} ops/client={} ({} cores, {}/{})",
+        args.threads,
+        args.pace,
+        args.ops_per_client,
+        cores,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    );
+
+    let mut results: Vec<LoadResult> = Vec::new();
+    for &t in &args.threads {
+        let cfg = LoadgenConfig {
+            clients: t,
+            ops_per_client: args.ops_per_client,
+            pace: args.pace,
+            ..Default::default()
+        };
+        let h2 = run_h2(&cfg);
+        println!("{}", h2.render());
+        let swift = run_swift(&cfg);
+        println!("{}", swift.render());
+        results.push(h2);
+        results.push(swift);
+    }
+
+    // Scaling headline: H2 aggregate ops/sec at max T vs T=1.
+    let h2_at = |t: usize| {
+        results
+            .iter()
+            .find(|r| r.system == "H2Cloud" && r.clients == t)
+            .map(LoadResult::ops_per_sec)
+    };
+    if let (Some(base), Some(&tmax)) = (h2_at(args.threads[0]), args.threads.iter().max()) {
+        if let Some(top) = h2_at(tmax) {
+            println!(
+                "H2 scaling {}→{} threads: {:.2}x",
+                args.threads[0],
+                tmax,
+                top / base
+            );
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"machine\": {{\"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\"}},",
+        cores,
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"quick\": {}, \"pace\": {}, \"ops_per_client\": {}, \"threads\": [{}]}},",
+        args.quick,
+        args.pace,
+        args.ops_per_client,
+        args.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "{}{}", result_json(r), comma);
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&args.out, &json).expect("write results file");
+    println!("wrote {}", args.out);
+}

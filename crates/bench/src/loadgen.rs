@@ -1,0 +1,316 @@
+//! Closed-loop multi-client load generator.
+//!
+//! The figure harness replays workloads one operation at a time; this
+//! module measures what the ROADMAP actually cares about — aggregate
+//! throughput under *concurrent* clients. T client threads, each bound to
+//! its own account, replay independent mixed [`h2workload`] operation
+//! streams against a shared filesystem, closed-loop (a client issues its
+//! next operation as soon as the previous one completes).
+//!
+//! # Pacing: replaying virtual service time in real time
+//!
+//! Operations in this simulation are pure CPU in real time — all I/O
+//! latency is *charged* to the [`OpCtx`] as virtual time. A closed loop of
+//! pure-CPU operations measures nothing but core count. To make the
+//! benchmark reflect the system it models, each client sleeps
+//! `pace × charged_virtual_time` after every operation: the cost model's
+//! service time is replayed (scaled) in real time, so clients genuinely
+//! overlap their simulated I/O waits the way real clients overlap real
+//! disk/network waits. Lock contention, gossip threads and the striped
+//! store are exercised for real; only the device/network wait is scaled.
+//! With the default `pace`, a ~20 ms virtual op costs ~1 ms of wall sleep.
+//!
+//! Clients map to middlewares by account stickiness
+//! ([`H2Layer::mw_for_account`]): account names are chosen so T clients
+//! spread round-robin across the layer (client *c* lands on middleware
+//! `c % m`), mirroring a session-affine load balancer.
+//!
+//! [`H2Layer::mw_for_account`]: h2cloud::H2Layer::mw_for_account
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use h2baselines::SwiftFs;
+use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
+use h2fsapi::CloudFs;
+use h2util::metrics::{Histogram, Summary};
+use h2util::rng::{derive_seed, rng};
+use h2util::{CostModel, OpCtx};
+use h2workload::{FsSpec, Trace, TraceMix, UserProfile};
+use swiftsim::{Cluster, ClusterConfig};
+
+/// Shape of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client threads (one account each).
+    pub clients: usize,
+    /// Operations each client replays.
+    pub ops_per_client: usize,
+    /// Real seconds slept per virtual second charged (see module docs).
+    /// 0 disables pacing and degenerates into a pure CPU benchmark.
+    pub pace: f64,
+    /// Workload seed: traces are deterministic given the seed.
+    pub seed: u64,
+    /// H2 layer width (ignored by the Swift baseline).
+    pub middlewares: usize,
+    /// Pre-population size multiplier for each client's Light-profile
+    /// filesystem (files the trace then reads, moves, lists, …).
+    pub prepop_scale: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            ops_per_client: 250,
+            pace: 0.05,
+            seed: 42,
+            middlewares: 4,
+            prepop_scale: 0.25,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// Small shape for CI smoke runs: finishes in a few seconds.
+    pub fn quick() -> Self {
+        LoadgenConfig {
+            clients: 2,
+            ops_per_client: 60,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+}
+
+/// Outcome of one run: totals plus the wall-clock latency distribution.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    pub system: String,
+    pub clients: usize,
+    /// Operations completed (successes + failures).
+    pub ops: u64,
+    /// Operations that returned an error (0 on a healthy run — every
+    /// trace is validated against its model at generation time).
+    pub errors: u64,
+    pub wall: Duration,
+    /// Per-operation wall-clock latency (pacing sleep included — it is
+    /// the simulated service time).
+    pub latency: Summary,
+}
+
+impl LoadResult {
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// One human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<10} T={} ops={} errs={} wall={:.2}s {:>8.1} ops/s p50={} p95={} p99={}",
+            self.system,
+            self.clients,
+            self.ops,
+            self.errors,
+            self.wall.as_secs_f64(),
+            self.ops_per_sec(),
+            h2util::fmt::millis(self.latency.p50),
+            h2util::fmt::millis(self.latency.p95),
+            h2util::fmt::millis(self.latency.p99),
+        )
+    }
+}
+
+/// Account name for client `c` chosen so sticky routing lands it on
+/// middleware `c % width` — clients spread round-robin across the layer.
+pub fn account_for(width: usize, c: usize) -> String {
+    if width <= 1 {
+        return format!("user{c}");
+    }
+    let want = c % width;
+    for k in 0u32.. {
+        let name = if k == 0 {
+            format!("user{c}")
+        } else {
+            format!("user{c}-{k}")
+        };
+        if h2util::hash64(name.as_bytes()) as usize % width == want {
+            return name;
+        }
+    }
+    unreachable!("some suffix always hashes to the wanted middleware")
+}
+
+/// One client's prepared workload: its account (already populated on the
+/// target system) and the operation stream to replay.
+pub struct ClientPlan {
+    pub account: String,
+    pub trace: Trace,
+}
+
+/// Create + populate one account per client on `fs` and generate each
+/// client's trace. Deterministic given `cfg.seed`.
+pub fn prepare<F: CloudFs>(fs: &F, cost: &Arc<CostModel>, cfg: &LoadgenConfig) -> Vec<ClientPlan> {
+    (0..cfg.clients)
+        .map(|c| {
+            let account = account_for(cfg.middlewares, c);
+            let mut r = rng(derive_seed(cfg.seed, &account));
+            let mut ctx = OpCtx::new(cost.clone());
+            fs.create_account(&mut ctx, &account)
+                .expect("fresh account");
+            let spec = FsSpec::generate(&mut r, UserProfile::Light, cfg.prepop_scale);
+            spec.populate(fs, &mut ctx, &account).expect("bulk import");
+            let mut model = spec.to_model();
+            let trace =
+                Trace::generate(&mut r, &mut model, cfg.ops_per_client, &TraceMix::default());
+            ClientPlan { account, trace }
+        })
+        .collect()
+}
+
+/// Replay the plans against `fs`, one thread per client, closed-loop with
+/// pacing. Returns aggregate throughput and the latency distribution.
+pub fn drive<F: CloudFs + Sync>(
+    system: &str,
+    fs: &F,
+    cost: &Arc<CostModel>,
+    plans: &[ClientPlan],
+    pace: f64,
+) -> LoadResult {
+    let hist = Histogram::new();
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for plan in plans {
+            let (hist, errors) = (&hist, &errors);
+            let cost = cost.clone();
+            s.spawn(move || {
+                for op in &plan.trace.ops {
+                    let t0 = Instant::now();
+                    let mut ctx = OpCtx::new(cost.clone());
+                    if Trace::apply_fs(fs, &mut ctx, &plan.account, op).is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if pace > 0.0 {
+                        std::thread::sleep(ctx.elapsed().mul_f64(pace));
+                    }
+                    hist.record(t0.elapsed());
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    LoadResult {
+        system: system.to_string(),
+        clients: plans.len(),
+        ops: hist.count(),
+        errors: errors.load(Ordering::Relaxed),
+        wall,
+        latency: hist.summary(),
+    }
+}
+
+/// Full H2 run: Deferred maintenance, threaded gossip underneath, clients
+/// spread across `cfg.middlewares` middlewares by sticky routing.
+pub fn run_h2(cfg: &LoadgenConfig) -> LoadResult {
+    let fs = H2Cloud::new(H2Config {
+        middlewares: cfg.middlewares,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig::default(),
+        cache_capacity: 256,
+    });
+    let cost = fs.cost_model();
+    let plans = prepare(&fs, &cost, cfg);
+    let gossip = fs.layer().run_threaded();
+    let result = drive("H2Cloud", &fs, &cost, &plans, cfg.pace);
+    gossip.stop();
+    result
+}
+
+/// Swift (CH + file-path DB) baseline under the identical workload.
+pub fn run_swift(cfg: &LoadgenConfig) -> LoadResult {
+    let fs = SwiftFs::new(Cluster::new(ClusterConfig::default()), true);
+    let cost = Arc::new(CostModel::rack_default());
+    let plans = prepare(&fs, &cost, cfg);
+    drive("SwiftFs", &fs, &cost, &plans, cfg.pace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounts_spread_round_robin_across_middlewares() {
+        for width in [1usize, 2, 4] {
+            for c in 0..8 {
+                let name = account_for(width, c);
+                if width > 1 {
+                    assert_eq!(
+                        h2util::hash64(name.as_bytes()) as usize % width,
+                        c % width,
+                        "client {c} ({name}) landed on the wrong middleware"
+                    );
+                }
+            }
+        }
+        // Deterministic.
+        assert_eq!(account_for(4, 3), account_for(4, 3));
+    }
+
+    #[test]
+    fn h2_run_completes_every_op_without_errors() {
+        let cfg = LoadgenConfig {
+            clients: 2,
+            ops_per_client: 40,
+            pace: 0.0, // no pacing: keep the test fast
+            ..Default::default()
+        };
+        let r = run_h2(&cfg);
+        assert_eq!(r.ops, 80);
+        assert_eq!(r.errors, 0, "trace ops are pre-validated; none may fail");
+        assert_eq!(r.clients, 2);
+        assert_eq!(r.latency.count, 80);
+    }
+
+    #[test]
+    fn swift_run_completes_every_op_without_errors() {
+        let cfg = LoadgenConfig {
+            clients: 2,
+            ops_per_client: 40,
+            pace: 0.0,
+            ..Default::default()
+        };
+        let r = run_swift(&cfg);
+        assert_eq!(r.ops, 80);
+        assert_eq!(r.errors, 0);
+    }
+
+    #[test]
+    fn pacing_slows_a_run_down() {
+        // Same workload, paced vs unpaced: the paced run must take at
+        // least the summed scaled virtual time of its slowest client.
+        let base = LoadgenConfig {
+            clients: 1,
+            ops_per_client: 20,
+            pace: 0.0,
+            ..Default::default()
+        };
+        let unpaced = run_swift(&base);
+        let paced = run_swift(&LoadgenConfig { pace: 0.05, ..base });
+        assert!(
+            paced.wall > unpaced.wall,
+            "pacing added no time: {:?} vs {:?}",
+            paced.wall,
+            unpaced.wall
+        );
+    }
+}

@@ -466,6 +466,10 @@ mod tests {
                 assert!(text.contains("WRITE"), "{text}");
                 assert!(text.contains("READ"), "{text}");
                 assert!(text.contains("n=1"), "{text}");
+                // Latency percentiles are part of the monitoring surface.
+                assert!(text.contains("p50="), "{text}");
+                assert!(text.contains("p95="), "{text}");
+                assert!(text.contains("p99="), "{text}");
             }
             other => panic!("expected message, got {other:?}"),
         }

@@ -184,6 +184,96 @@ pub trait CloudFs {
     fn storage_stats(&self) -> StoreStats;
 }
 
+/// References forward to the underlying implementation, so generic drivers
+/// (the multi-client load generator in particular) can treat an owned view
+/// and a shared `&SwiftFs` uniformly as `V: CloudFs`.
+impl<T: CloudFs + ?Sized> CloudFs for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn uses_separate_index(&self) -> bool {
+        (**self).uses_separate_index()
+    }
+
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        (**self).create_account(ctx, account)
+    }
+
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        (**self).delete_account(ctx, account)
+    }
+
+    fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        (**self).mkdir(ctx, account, path)
+    }
+
+    fn rmdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        (**self).rmdir(ctx, account, path)
+    }
+
+    fn mv(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
+        (**self).mv(ctx, account, from, to)
+    }
+
+    fn copy(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
+        (**self).copy(ctx, account, from, to)
+    }
+
+    fn list(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<Vec<String>> {
+        (**self).list(ctx, account, path)
+    }
+
+    fn list_detailed(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+    ) -> Result<Vec<DirEntry>> {
+        (**self).list_detailed(ctx, account, path)
+    }
+
+    fn write(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &FsPath,
+        content: FileContent,
+    ) -> Result<()> {
+        (**self).write(ctx, account, path, content)
+    }
+
+    fn read(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<FileContent> {
+        (**self).read(ctx, account, path)
+    }
+
+    fn delete_file(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
+        (**self).delete_file(ctx, account, path)
+    }
+
+    fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
+        (**self).stat(ctx, account, path)
+    }
+
+    fn bulk_import(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        dirs: &[FsPath],
+        files: &[(FsPath, u64)],
+    ) -> Result<()> {
+        (**self).bulk_import(ctx, account, dirs, files)
+    }
+
+    fn quiesce(&self) {
+        (**self).quiesce()
+    }
+
+    fn storage_stats(&self) -> StoreStats {
+        (**self).storage_stats()
+    }
+}
+
 /// Convenience: run `op` in a fresh context derived from `model` and return
 /// its report together with the result.
 pub fn measured<T>(

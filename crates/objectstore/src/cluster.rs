@@ -6,19 +6,42 @@
 //! ones are down); reads return the newest replica reachable; a background
 //! `repair` pass plays the role of Swift's object replicator, moving handoff
 //! copies home and reclaiming tombstones.
+//!
+//! # Concurrency
+//!
+//! The cluster is safe to drive from many client threads at once and holds
+//! no whole-cluster lock on the object hot path:
+//!
+//! * every [`StorageNode`]'s replica map is lock-striped internally;
+//! * the proxy's `containers` and `catalog` maps are split into shards,
+//!   each behind its own lock, keyed by container / ring-key hash;
+//! * writes (`put`/`delete`/`copy`-destination) take a **per-key op
+//!   stripe** for the mutate-and-account critical section, so two writers
+//!   of the same key — or a writer racing [`Cluster::repair`] — serialize,
+//!   while writers of different keys proceed in parallel.
+//!
+//! `repair` takes the same per-key op stripe for each key it reconciles and
+//! only ever purges replicas *not newer than* the version it decided on
+//! ([`StorageNode::purge_upto`]), so a concurrent write can never be undone
+//! by the replicator.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use h2ring::{DeviceId, Ring, RingBuilder};
-use h2util::{CostModel, H2Error, OpCtx, PrimKind, Result};
+use h2util::{hash64, CostModel, H2Error, OpCtx, PrimKind, Result};
 
 use crate::container::{ContainerIndex, IndexRecord, ListEntry, ListOptions};
 use crate::node::StorageNode;
 use crate::object::{Meta, Object, ObjectInfo, ObjectKey, Payload};
 use crate::ObjectStore;
+
+/// Default shard count for the proxy's container/catalog maps and the
+/// per-key write stripes. 16 keeps contention negligible for any realistic
+/// client-thread count while costing nothing when idle.
+pub const DEFAULT_CLUSTER_STRIPES: usize = 16;
 
 /// Cluster shape. Defaults follow the paper: 8 storage nodes (each its own
 /// zone, like the 8 rack servers), 3 replicas.
@@ -59,17 +82,26 @@ struct ContainerState {
     index: ContainerIndex,
 }
 
+type ContainerShard = RwLock<HashMap<(String, String), ContainerState>>;
+type CatalogShard = RwLock<HashMap<String, u64>>;
+
 /// The simulated object storage cloud.
 pub struct Cluster {
     ring: Ring,
     nodes: Vec<Arc<StorageNode>>,
     cfg: ClusterConfig,
     accounts: RwLock<HashSet<String>>,
-    containers: RwLock<HashMap<(String, String), ContainerState>>,
+    /// Container states, sharded by (account, container) hash so listing
+    /// and index updates for different containers never contend.
+    containers: Box<[ContainerShard]>,
     /// Simulator bookkeeping (not visible to designs): logical catalog of
-    /// live objects for Figures 14/15. Maps ring key → logical size.
-    catalog: RwLock<HashMap<String, u64>>,
+    /// live objects for Figures 14/15. Maps ring key → logical size,
+    /// sharded by ring-key hash.
+    catalog: Box<[CatalogShard]>,
     catalog_bytes: AtomicU64,
+    /// Per-key write stripes: `op_locks[hash(ring_key) % n]` serializes
+    /// mutations (and repair) of the same key without blocking other keys.
+    op_locks: Box<[Mutex<()>]>,
     /// Millisecond stamp source for writes: strictly increasing.
     ms: AtomicU64,
     /// Eventual-consistency mode for the container listing DB: real Swift
@@ -97,22 +129,44 @@ enum IndexUpdate {
 
 impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        Cluster::with_stripes(cfg, DEFAULT_CLUSTER_STRIPES)
+    }
+
+    /// Cluster with an explicit lock-stripe count for the proxy maps and
+    /// storage-node stores. `stripes == 1` reproduces the seed's
+    /// one-big-lock behavior; equivalence tests compare against it.
+    pub fn with_stripes(cfg: ClusterConfig, stripes: usize) -> Arc<Self> {
         assert!(cfg.nodes as usize >= cfg.replicas, "need nodes >= replicas");
+        assert!(stripes >= 1, "need at least one stripe");
         let mut rb = RingBuilder::new(cfg.part_power, cfg.replicas);
         let mut nodes = Vec::with_capacity(cfg.nodes as usize);
         for i in 0..cfg.nodes {
             // One zone per node, like one rack server per failure domain.
             rb.add_device(DeviceId(i), (i % u8::MAX as u16) as u8, 1.0);
-            nodes.push(Arc::new(StorageNode::new(DeviceId(i), i as u8)));
+            nodes.push(Arc::new(StorageNode::with_stripes(
+                DeviceId(i),
+                i as u8,
+                stripes,
+            )));
         }
         Arc::new(Cluster {
             ring: rb.build(),
             nodes,
             cfg,
             accounts: RwLock::new(HashSet::new()),
-            containers: RwLock::new(HashMap::new()),
-            catalog: RwLock::new(HashMap::new()),
+            containers: (0..stripes)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            catalog: (0..stripes)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             catalog_bytes: AtomicU64::new(0),
+            op_locks: (0..stripes)
+                .map(|_| Mutex::new(()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             ms: AtomicU64::new(1_600_000_000_000),
             async_index: std::sync::atomic::AtomicBool::new(false),
             pending_index: RwLock::new(std::collections::VecDeque::new()),
@@ -177,6 +231,19 @@ impl Cluster {
         &self.nodes[id.0 as usize]
     }
 
+    fn container_shard(&self, account: &str, container: &str) -> &ContainerShard {
+        let h = hash64(account.as_bytes()) ^ hash64(container.as_bytes()).rotate_left(1);
+        &self.containers[h as usize % self.containers.len()]
+    }
+
+    fn catalog_shard(&self, ring_key: &str) -> &CatalogShard {
+        &self.catalog[hash64(ring_key.as_bytes()) as usize % self.catalog.len()]
+    }
+
+    fn op_lock(&self, ring_key: &str) -> &Mutex<()> {
+        &self.op_locks[hash64(ring_key.as_bytes()) as usize % self.op_locks.len()]
+    }
+
     /// Failure injection: take a storage node down / bring it back.
     pub fn set_node_down(&self, id: DeviceId, down: bool) {
         self.node(id).set_down(down);
@@ -195,25 +262,41 @@ impl Cluster {
         Ok(())
     }
 
+    /// Delete an account, its containers, and its objects. Replicas on
+    /// downed devices are deliberately left in place — a down node cannot
+    /// be asked to do anything, exactly as in a real cluster — and are
+    /// reconciled by [`Cluster::repair`] once the node returns (repair
+    /// purges replicas whose account no longer exists).
     pub fn delete_account(&self, name: &str) -> Result<()> {
         if !self.accounts.write().remove(name) {
             return Err(H2Error::NoSuchAccount(name.to_string()));
         }
-        self.containers.write().retain(|(a, _), _| a != name);
-        // Drop the account's objects from nodes and catalog.
+        for shard in self.containers.iter() {
+            shard.write().retain(|(a, _), _| a != name);
+        }
+        // Drop the account's objects from reachable nodes and the catalog.
         let prefix = format!("/{name}/");
-        let mut catalog = self.catalog.write();
-        let doomed: Vec<String> = catalog
-            .keys()
-            .filter(|k| k.starts_with(&prefix))
-            .cloned()
+        let doomed: Vec<String> = self
+            .catalog
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .keys()
+                    .filter(|k| k.starts_with(&prefix))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
             .collect();
         for key in doomed {
-            if let Some(size) = catalog.remove(&key) {
+            let _guard = self.op_lock(&key).lock();
+            if let Some(size) = self.catalog_shard(&key).write().remove(&key) {
                 self.catalog_bytes.fetch_sub(size, Ordering::Relaxed);
             }
             for n in &self.nodes {
-                n.purge(&key);
+                if !n.is_down() {
+                    n.purge(&key);
+                }
             }
         }
         Ok(())
@@ -229,14 +312,14 @@ impl Cluster {
         if !self.account_exists(account) {
             return Err(H2Error::NoSuchAccount(account.to_string()));
         }
-        let mut c = self.containers.write();
+        let mut shard = self.container_shard(account, container).write();
         let key = (account.to_string(), container.to_string());
-        if c.contains_key(&key) {
+        if shard.contains_key(&key) {
             return Err(H2Error::AlreadyExists(format!(
                 "container {account}/{container}"
             )));
         }
-        c.insert(
+        shard.insert(
             key,
             ContainerState {
                 indexed,
@@ -248,7 +331,7 @@ impl Cluster {
 
     fn check_container(&self, account: &str, container: &str) -> Result<()> {
         if self
-            .containers
+            .container_shard(account, container)
             .read()
             .contains_key(&(account.to_string(), container.to_string()))
         {
@@ -262,7 +345,7 @@ impl Cluster {
 
     /// Rows currently held in this container's listing DB (0 if unindexed).
     pub fn index_rows(&self, account: &str, container: &str) -> u64 {
-        self.containers
+        self.container_shard(account, container)
             .read()
             .get(&(account.to_string(), container.to_string()))
             .map(|c| c.index.len() as u64)
@@ -272,20 +355,30 @@ impl Cluster {
     /// Bytes occupied by listing-DB rows across all containers.
     pub fn total_index_bytes(&self) -> u64 {
         self.containers
-            .read()
-            .values()
-            .filter(|c| c.indexed)
-            .map(|c| c.index.index_bytes())
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .values()
+                    .filter(|c| c.indexed)
+                    .map(|c| c.index.index_bytes())
+                    .sum::<u64>()
+            })
             .sum()
     }
 
     /// Rows across all indexed containers.
     pub fn total_index_rows(&self) -> u64 {
         self.containers
-            .read()
-            .values()
-            .filter(|c| c.indexed)
-            .map(|c| c.index.len() as u64)
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .values()
+                    .filter(|c| c.indexed)
+                    .map(|c| c.index.len() as u64)
+                    .sum::<u64>()
+            })
             .sum()
     }
 
@@ -293,7 +386,10 @@ impl Cluster {
 
     /// Logical live objects in the cloud (replicas not multiple-counted).
     pub fn object_count(&self) -> u64 {
-        self.catalog.read().len() as u64
+        self.catalog
+            .iter()
+            .map(|shard| shard.read().len() as u64)
+            .sum()
     }
 
     /// Logical live bytes in the cloud.
@@ -364,6 +460,17 @@ impl Cluster {
     /// Newest reachable replica. `Ok(None)` means the object verifiably
     /// does not exist on any reachable device; `Err(Unavailable)` means no
     /// assigned device could even be asked, so absence cannot be concluded.
+    ///
+    /// Handoff devices are consulted not only when no assigned replica was
+    /// found, but whenever the assigned set *might* be stale: some assigned
+    /// device is down, or an up assigned device is missing the newest
+    /// assigned version. In both situations a write may have landed on a
+    /// handoff with a newer timestamp than anything assigned (the
+    /// stale-read window: all assigned down at write time, then one
+    /// returns with an old copy). If all assigned devices are up and
+    /// agree, handoffs cannot hold anything newer that matters — agreement
+    /// after a full outage is repaired by [`Cluster::repair`], as in real
+    /// Swift.
     fn read_replica(&self, ring_key: &str) -> Result<Option<crate::node::StoredReplica>> {
         fn consider(best: &mut Option<crate::node::StoredReplica>, r: crate::node::StoredReplica) {
             if best.as_ref().is_none_or(|b| r.modified_ms > b.modified_ms) {
@@ -373,15 +480,26 @@ impl Cluster {
         let part = self.ring.partition_of(ring_key.as_bytes());
         let mut best: Option<crate::node::StoredReplica> = None;
         let mut reachable = 0usize;
+        let mut any_assigned_down = false;
+        // Stamps seen on *up* assigned devices (None = no replica there).
+        let mut up_stamps: Vec<Option<u64>> = Vec::new();
         for &dev in self.ring.devices_for_part(part) {
-            if !self.node(dev).is_down() {
-                reachable += 1;
+            let n = self.node(dev);
+            if n.is_down() {
+                any_assigned_down = true;
+                continue;
             }
-            if let Some(r) = self.node(dev).get_raw(ring_key) {
+            reachable += 1;
+            let r = n.get_raw(ring_key);
+            up_stamps.push(r.as_ref().map(|r| r.modified_ms));
+            if let Some(r) = r {
                 consider(&mut best, r);
             }
         }
-        if best.is_none() {
+        let best_ms = best.as_ref().map(|r| r.modified_ms);
+        let assigned_suspect =
+            any_assigned_down || best.is_none() || up_stamps.iter().any(|s| *s != best_ms);
+        if assigned_suspect {
             for dev in self.ring.handoffs(part) {
                 if !self.node(dev).is_down() {
                     reachable += 1;
@@ -408,7 +526,7 @@ impl Cluster {
     }
 
     fn container_indexed(&self, key: &ObjectKey) -> bool {
-        self.containers
+        self.container_shard(&key.account, &key.container)
             .read()
             .get(&(key.account.to_string(), key.container.to_string()))
             .map(|s| s.indexed)
@@ -416,8 +534,8 @@ impl Cluster {
     }
 
     fn index_apply_upsert(&self, key: &ObjectKey, size: u64, ms: u64, ctype: &str) {
-        let mut c = self.containers.write();
-        if let Some(state) = c.get_mut(&(key.account.to_string(), key.container.to_string())) {
+        let mut shard = self.container_shard(&key.account, &key.container).write();
+        if let Some(state) = shard.get_mut(&(key.account.to_string(), key.container.to_string())) {
             if state.indexed {
                 state.index.upsert(
                     &key.name,
@@ -432,8 +550,8 @@ impl Cluster {
     }
 
     fn index_apply_remove(&self, key: &ObjectKey) -> bool {
-        let mut c = self.containers.write();
-        match c.get_mut(&(key.account.to_string(), key.container.to_string())) {
+        let mut shard = self.container_shard(&key.account, &key.container).write();
+        match shard.get_mut(&(key.account.to_string(), key.container.to_string())) {
             Some(state) if state.indexed => state.index.remove(&key.name),
             _ => false,
         }
@@ -472,7 +590,7 @@ impl Cluster {
     }
 
     fn catalog_put(&self, ring_key: &str, size: u64) {
-        let mut cat = self.catalog.write();
+        let mut cat = self.catalog_shard(ring_key).write();
         match cat.insert(ring_key.to_string(), size) {
             Some(old) => {
                 self.catalog_bytes.fetch_sub(old, Ordering::Relaxed);
@@ -485,7 +603,7 @@ impl Cluster {
     }
 
     fn catalog_remove(&self, ring_key: &str) {
-        if let Some(size) = self.catalog.write().remove(ring_key) {
+        if let Some(size) = self.catalog_shard(ring_key).write().remove(ring_key) {
             self.catalog_bytes.fetch_sub(size, Ordering::Relaxed);
         }
     }
@@ -496,6 +614,11 @@ impl Cluster {
     /// on the assigned (reachable) devices, drop handoff copies that made it
     /// home, and reclaim fully propagated tombstones. Returns the number of
     /// replicas moved or created.
+    ///
+    /// Safe to run concurrently with client writers: each key is
+    /// reconciled under its op stripe (the same lock writers hold), and
+    /// purges are bounded by the reconciled version's timestamp, so a
+    /// racing newer write is never removed or resurrected.
     pub fn repair(&self) -> usize {
         let mut moved = 0usize;
         // Collect the union of keys present anywhere.
@@ -506,6 +629,20 @@ impl Cluster {
             }
         }
         for key in keys {
+            let _guard = self.op_lock(&key).lock();
+            // Replicas of a deleted account linger on devices that were
+            // down during `delete_account`; drop them once reachable.
+            if let Some(account) = key.strip_prefix('/').and_then(|k| k.split('/').next()) {
+                if !self.account_exists(account) {
+                    for n in &self.nodes {
+                        if !n.is_down() && n.get_raw(&key).is_some() {
+                            n.purge(&key);
+                            moved += 1;
+                        }
+                    }
+                    continue;
+                }
+            }
             let part = self.ring.partition_of(key.as_bytes());
             let assigned: Vec<DeviceId> = self.ring.devices_for_part(part).to_vec();
             // Find newest version anywhere reachable (incl. tombstones).
@@ -533,7 +670,7 @@ impl Cluster {
                 // (the reason real Swift keeps tombstones for reclaim_age).
                 if all_devs.iter().all(|&d| !self.node(d).is_down()) {
                     for &dev in &all_devs {
-                        self.node(dev).purge(&key);
+                        self.node(dev).purge_upto(&key, newest.modified_ms);
                     }
                 } else {
                     // Propagate the tombstone to reachable devices that
@@ -568,7 +705,9 @@ impl Cluster {
                     moved += 1;
                 }
             }
-            // Drop handoff copies once all reachable assigned devices hold it.
+            // Drop handoff copies once all reachable assigned devices hold
+            // it — but never a handoff copy newer than the version we
+            // reconciled (a concurrent writer may have just landed there).
             let all_assigned_have = assigned.iter().all(|&d| {
                 self.node(d).is_down()
                     || self.node(d).get_raw(&key).map(|r| r.modified_ms) == Some(newest.modified_ms)
@@ -576,8 +715,7 @@ impl Cluster {
             if all_assigned_have {
                 for dev in self.ring.handoffs(part) {
                     let n = self.node(dev);
-                    if !n.is_down() && n.get_raw(&key).is_some() {
-                        n.purge(&key);
+                    if !n.is_down() && n.purge_upto(&key, newest.modified_ms) {
                         moved += 1;
                     }
                 }
@@ -591,11 +729,12 @@ impl ObjectStore for Cluster {
     fn put(&self, ctx: &mut OpCtx, key: &ObjectKey, payload: Payload, meta: Meta) -> Result<()> {
         self.check_container(&key.account, &key.container)?;
         let ring_key = key.ring_key();
-        let ms = self.next_ms();
         let size = payload.len();
         ctx.charge(PrimKind::Put, std::time::Duration::ZERO);
         self.charge_replica_time(ctx, self.cfg.cost.put_cost(size as usize));
         let ctype = meta.get("content-type").cloned().unwrap_or_default();
+        let _guard = self.op_lock(&ring_key).lock();
+        let ms = self.next_ms();
         self.replicated_put(&ring_key, &payload, &meta, ms, false)?;
         self.catalog_put(&ring_key, size);
         self.index_upsert(ctx, key, size, ms, &ctype);
@@ -633,6 +772,7 @@ impl ObjectStore for Cluster {
     fn delete(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<()> {
         self.check_container(&key.account, &key.container)?;
         let ring_key = key.ring_key();
+        let _guard = self.op_lock(&ring_key).lock();
         if self.read_replica(&ring_key)?.is_none() {
             ctx.charge(PrimKind::Delete, self.cfg.cost.delete_cost());
             return Err(H2Error::NotFound(ring_key));
@@ -662,10 +802,12 @@ impl ObjectStore for Cluster {
         };
         let size = r.payload.len();
         ctx.charge(PrimKind::Copy, self.cfg.cost.copy_cost(size as usize));
-        let ms = self.next_ms();
+        let dst_key = dst.ring_key();
         let ctype = r.meta.get("content-type").cloned().unwrap_or_default();
-        self.replicated_put(&dst.ring_key(), &r.payload, &r.meta, ms, false)?;
-        self.catalog_put(&dst.ring_key(), size);
+        let _guard = self.op_lock(&dst_key).lock();
+        let ms = self.next_ms();
+        self.replicated_put(&dst_key, &r.payload, &r.meta, ms, false)?;
+        self.catalog_put(&dst_key, size);
         self.index_upsert(ctx, dst, size, ms, &ctype);
         Ok(())
     }
@@ -677,8 +819,8 @@ impl ObjectStore for Cluster {
         container: &str,
         opts: &ListOptions,
     ) -> Result<Vec<ListEntry>> {
-        let containers = self.containers.read();
-        let state = containers
+        let shard = self.container_shard(account, container).read();
+        let state = shard
             .get(&(account.to_string(), container.to_string()))
             .ok_or_else(|| H2Error::NotFound(format!("container {account}/{container}")))?;
         if !state.indexed {
@@ -952,6 +1094,41 @@ mod tests {
     }
 
     #[test]
+    fn handoff_write_beats_returning_stale_assigned_replica() {
+        // Regression for the stale-read window: v1 lands on all assigned
+        // devices; ALL of them go down; v2 lands entirely on handoffs; one
+        // assigned device returns with its stale v1. The read must still
+        // find v2 on the handoffs, not serve the shadowing stale copy.
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("f"), Payload::from_static("v1"), Meta::new())
+            .unwrap();
+        let part = c.ring().partition_of(key("f").ring_key().as_bytes());
+        let assigned: Vec<DeviceId> = c.ring().devices_for_part(part).to_vec();
+        for &d in &assigned {
+            c.set_node_down(d, true);
+        }
+        c.put(&mut ctx, &key("f"), Payload::from_static("v2"), Meta::new())
+            .unwrap();
+        c.set_node_down(assigned[0], false);
+        assert_eq!(
+            c.get(&mut ctx, &key("f")).unwrap().payload.as_str(),
+            Some("v2"),
+            "stale assigned replica shadowed the newer handoff copy"
+        );
+        // Same window for deletes: tombstone lands on handoffs only, then a
+        // stale live assigned copy must not resurrect the object.
+        c.delete(&mut ctx, &key("f")).unwrap();
+        assert!(c.get(&mut ctx, &key("f")).is_err());
+        // Full recovery converges via repair.
+        for &d in &assigned {
+            c.set_node_down(d, false);
+        }
+        c.repair();
+        assert!(c.get(&mut ctx, &key("f")).is_err());
+    }
+
+    #[test]
     fn delete_account_purges_objects() {
         let c = cluster();
         let mut ctx = OpCtx::for_test();
@@ -961,6 +1138,34 @@ mod tests {
         assert_eq!(c.object_count(), 0);
         assert!(!c.account_exists("alice"));
         assert!(c.delete_account("alice").is_err());
+    }
+
+    #[test]
+    fn delete_account_skips_down_nodes_and_repair_reconciles() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        c.put(&mut ctx, &key("f"), Payload::from_static("x"), Meta::new())
+            .unwrap();
+        // One replica holder goes down before the account is deleted.
+        let part = c.ring().partition_of(key("f").ring_key().as_bytes());
+        let dev = c.ring().devices_for_part(part)[0];
+        c.set_node_down(dev, true);
+        c.delete_account("alice").unwrap();
+        assert_eq!(c.object_count(), 0);
+        // The downed node was not asked to purge (it can't be): its stale
+        // replica survives the account deletion.
+        c.set_node_down(dev, false);
+        assert!(
+            c.node(dev).get_raw(&key("f").ring_key()).is_some(),
+            "down node should have kept its replica"
+        );
+        // Repair reconciles: the account is gone, so the orphan is purged.
+        assert!(c.repair() > 0);
+        assert!(c.node(dev).get_raw(&key("f").ring_key()).is_none());
+        // A recreated account starts clean — no resurrected objects.
+        c.create_account("alice").unwrap();
+        c.create_container("alice", "fs", true).unwrap();
+        assert_eq!(c.get(&mut ctx, &key("f")).unwrap_err().code(), "not-found");
     }
 
     #[test]
@@ -1063,5 +1268,47 @@ mod tests {
         assert!(after_put > std::time::Duration::ZERO);
         c.get(&mut ctx, &k).unwrap();
         assert!(ctx.elapsed() > after_put);
+    }
+
+    #[test]
+    fn single_stripe_cluster_matches_default_striping() {
+        // with_stripes(1) is the seed's one-big-lock layout; the default 16
+        // stripes must be observably identical over a mixed op sequence.
+        let run = |stripes: usize| {
+            let c = Cluster::with_stripes(
+                ClusterConfig {
+                    nodes: 8,
+                    replicas: 3,
+                    part_power: 8,
+                    cost: Arc::new(CostModel::zero()),
+                },
+                stripes,
+            );
+            c.create_account("alice").unwrap();
+            c.create_container("alice", "fs", true).unwrap();
+            let mut ctx = OpCtx::for_test();
+            for i in 0..60 {
+                c.put(
+                    &mut ctx,
+                    &key(&format!("d/f{i}")),
+                    Payload::from_string(format!("v{i}")),
+                    Meta::new(),
+                )
+                .unwrap();
+            }
+            for i in (0..60).step_by(3) {
+                c.delete(&mut ctx, &key(&format!("d/f{i}"))).unwrap();
+            }
+            c.copy(&mut ctx, &key("d/f1"), &key("d/c1")).unwrap();
+            let mut loads = c.device_loads();
+            loads.sort();
+            (
+                c.object_count(),
+                c.byte_count(),
+                c.total_index_rows(),
+                loads,
+            )
+        };
+        assert_eq!(run(1), run(16));
     }
 }

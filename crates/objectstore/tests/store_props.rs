@@ -123,6 +123,102 @@ proptest! {
         prop_assert_eq!(cluster.object_count() as usize, model.len());
     }
 
+    // The lock-striped cluster (16 node stripes + 16 map shards) must be
+    // observably equivalent to the seed's single-lock layout
+    // (`with_stripes(1)`): same op results, same final content, same
+    // replica placement. Striping is a pure concurrency optimisation.
+    #[test]
+    fn striped_cluster_is_observably_equivalent_to_single_lock(
+        ops in prop::collection::vec(arb_op(), 1..100)
+    ) {
+        let cfg = || ClusterConfig {
+            nodes: 8,
+            replicas: 3,
+            part_power: 7,
+            cost: Arc::new(CostModel::zero()),
+        };
+        let seed = Cluster::with_stripes(cfg(), 1);
+        let sharded = Cluster::with_stripes(cfg(), 16);
+        for c in [&seed, &sharded] {
+            c.create_account("a").unwrap();
+            c.create_container("a", "c", true).unwrap();
+        }
+        let mut ctx = OpCtx::for_test();
+        let key = |k: u8| ObjectKey::new("a", "c", &format!("obj{k:02}"));
+        let mut down: Option<u8> = None;
+
+        for op in &ops {
+            match op {
+                StoreOp::Put(k, v) => {
+                    let a = seed.put(&mut ctx, &key(*k), Payload::from_string(v.to_string()), Meta::new());
+                    let b = sharded.put(&mut ctx, &key(*k), Payload::from_string(v.to_string()), Meta::new());
+                    prop_assert_eq!(a.is_ok(), b.is_ok());
+                }
+                StoreOp::Get(k) => {
+                    match (seed.get(&mut ctx, &key(*k)), sharded.get(&mut ctx, &key(*k))) {
+                        (Ok(x), Ok(y)) => prop_assert_eq!(x.payload, y.payload),
+                        (Err(x), Err(y)) => prop_assert_eq!(x.code(), y.code()),
+                        (x, y) => prop_assert!(false, "GET diverged: {:?} vs {:?}", x, y),
+                    }
+                }
+                StoreOp::Head(k) => {
+                    prop_assert_eq!(
+                        seed.head(&mut ctx, &key(*k)).is_ok(),
+                        sharded.head(&mut ctx, &key(*k)).is_ok()
+                    );
+                }
+                StoreOp::Delete(k) => {
+                    prop_assert_eq!(
+                        seed.delete(&mut ctx, &key(*k)).is_ok(),
+                        sharded.delete(&mut ctx, &key(*k)).is_ok()
+                    );
+                }
+                StoreOp::Copy(a, b) => {
+                    prop_assert_eq!(
+                        seed.copy(&mut ctx, &key(*a), &key(*b)).is_ok(),
+                        sharded.copy(&mut ctx, &key(*a), &key(*b)).is_ok()
+                    );
+                }
+                StoreOp::NodeFlap(n) => {
+                    if let Some(prev) = down.take() {
+                        seed.set_node_down(DeviceId(prev as u16), false);
+                        sharded.set_node_down(DeviceId(prev as u16), false);
+                    }
+                    seed.set_node_down(DeviceId(*n as u16), true);
+                    sharded.set_node_down(DeviceId(*n as u16), true);
+                    down = Some(*n);
+                }
+                StoreOp::Repair => {
+                    seed.repair();
+                    sharded.repair();
+                }
+            }
+        }
+
+        // Recover both, repair home, and compare every observable surface.
+        if let Some(prev) = down {
+            seed.set_node_down(DeviceId(prev as u16), false);
+            sharded.set_node_down(DeviceId(prev as u16), false);
+        }
+        seed.repair();
+        sharded.repair();
+        prop_assert_eq!(seed.object_count(), sharded.object_count());
+        prop_assert_eq!(seed.byte_count(), sharded.byte_count());
+        prop_assert_eq!(seed.total_index_rows(), sharded.total_index_rows());
+        for k in 0u8..12 {
+            match (seed.get(&mut ctx, &key(k)), sharded.get(&mut ctx, &key(k))) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x.payload, y.payload),
+                (Err(x), Err(y)) => prop_assert_eq!(x.code(), y.code()),
+                (x, y) => prop_assert!(false, "final GET diverged for {}: {:?} vs {:?}", k, x, y),
+            }
+        }
+        let mut la = seed.device_loads();
+        let mut lb = sharded.device_loads();
+        la.sort();
+        lb.sort();
+        prop_assert_eq!(la, lb, "replica placement diverged");
+    }
+
     #[test]
     fn listing_always_reflects_model(ops in prop::collection::vec(arb_op(), 1..60)) {
         // Synchronous index mode: the listing DB is always exact.

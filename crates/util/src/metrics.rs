@@ -81,16 +81,39 @@ impl Histogram {
         Duration::from_micros(Self::bucket_floor_us(BUCKETS - 1))
     }
 
-    /// `count / mean / p50 / p99` on one line.
+    /// Consistent point-in-time view of the distribution.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+        }
+    }
+
+    /// `count / mean / p50 / p95 / p99` on one line.
     pub fn render(&self) -> String {
+        let s = self.summary();
         format!(
-            "n={} mean={} p50={} p99={}",
-            self.count(),
-            crate::fmt::millis(self.mean()),
-            crate::fmt::millis(self.percentile(0.50)),
-            crate::fmt::millis(self.percentile(0.99)),
+            "n={} mean={} p50={} p95={} p99={}",
+            s.count,
+            crate::fmt::millis(s.mean),
+            crate::fmt::millis(s.p50),
+            crate::fmt::millis(s.p95),
+            crate::fmt::millis(s.p99),
         )
     }
+}
+
+/// One histogram's headline numbers, as sampled by [`Histogram::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    pub count: u64,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
 }
 
 /// A monotonically increasing event counter.
@@ -241,6 +264,24 @@ mod tests {
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.percentile(0.99), Duration::ZERO);
         assert!(h.render().starts_with("n=0"));
+    }
+
+    #[test]
+    fn summary_matches_point_queries_and_renders_p95() {
+        let h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, h.mean());
+        assert_eq!(s.p50, h.percentile(0.50));
+        assert_eq!(s.p95, h.percentile(0.95));
+        assert_eq!(s.p99, h.percentile(0.99));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "{s:?}");
+        // p95 over 1..100 ms lands in the 64 ms bucket, well above p50.
+        assert!(s.p95 >= Duration::from_millis(64), "{:?}", s.p95);
+        assert!(h.render().contains("p95="), "{}", h.render());
     }
 
     #[test]

@@ -92,6 +92,124 @@ fn cluster_survives_concurrent_writers_readers_and_flapping_nodes() {
 }
 
 #[test]
+fn repair_loop_under_concurrent_puts_and_deletes_loses_nothing() {
+    // The replicator runs as a loop *while* clients mutate the store and a
+    // node flaps. Two invariants must hold once the dust settles: no live
+    // object is lost (repair must never purge a replica a racing writer
+    // just wrote), and no deleted object is resurrected (tombstones may
+    // only be reclaimed once every holder of a stale copy is reachable).
+    const LIVE: usize = 24;
+    const DOOMED: usize = 16;
+    const WRITERS: usize = 3;
+    const ROUNDS: usize = 24;
+
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 8,
+        replicas: 3,
+        part_power: 8,
+        cost: Arc::new(CostModel::zero()),
+    });
+    cluster.create_account("acct").unwrap();
+    cluster.create_container("acct", "c", true).unwrap();
+
+    // Pre-populate the keys the deleter will remove mid-churn.
+    let mut ctx = OpCtx::for_test();
+    for d in 0..DOOMED {
+        cluster
+            .put(
+                &mut ctx,
+                &ObjectKey::new("acct", "c", &format!("doomed{d:02}")),
+                Payload::from_string(format!("d{d}")),
+                Meta::new(),
+            )
+            .unwrap();
+    }
+
+    std::thread::scope(|scope| {
+        // Writers: together they cover every live key (writer w steps by
+        // WRITERS from offset w).
+        for w in 0..WRITERS {
+            let cluster = cluster.clone();
+            scope.spawn(move || {
+                let mut ctx = OpCtx::for_test();
+                for r in 0..ROUNDS {
+                    let key = ObjectKey::new(
+                        "acct",
+                        "c",
+                        &format!("live{:02}", (w + WRITERS * r) % LIVE),
+                    );
+                    cluster
+                        .put(
+                            &mut ctx,
+                            &key,
+                            Payload::from_string(format!("w{w}-r{r}")),
+                            Meta::new(),
+                        )
+                        .unwrap();
+                }
+            });
+        }
+        // Deleter: removes every doomed key exactly once, racing repair.
+        {
+            let cluster = cluster.clone();
+            scope.spawn(move || {
+                let mut ctx = OpCtx::for_test();
+                for d in 0..DOOMED {
+                    cluster
+                        .delete(
+                            &mut ctx,
+                            &ObjectKey::new("acct", "c", &format!("doomed{d:02}")),
+                        )
+                        .unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Repair loop + node chaos: one node down at a time, replicator
+        // passes interleaved with the mutations above.
+        {
+            let cluster = cluster.clone();
+            scope.spawn(move || {
+                for i in 0..20u16 {
+                    let dev = DeviceId(i % 8);
+                    cluster.set_node_down(dev, true);
+                    cluster.repair();
+                    std::thread::yield_now();
+                    cluster.set_node_down(dev, false);
+                    cluster.repair();
+                }
+            });
+        }
+    });
+
+    // All nodes up: repair to convergence (tombstone reclaim may take an
+    // extra pass after the flapped replicas come home).
+    for _ in 0..4 {
+        cluster.repair();
+    }
+    assert_eq!(cluster.repair(), 0, "repair did not converge");
+
+    let mut ctx = OpCtx::for_test();
+    for k in 0..LIVE {
+        let key = ObjectKey::new("acct", "c", &format!("live{k:02}"));
+        let got = cluster
+            .get(&mut ctx, &key)
+            .unwrap_or_else(|e| panic!("live{k:02} lost: {e:?}"))
+            .payload;
+        let s = got.as_str().expect("string payload");
+        assert!(s.starts_with('w'), "corrupt payload {s:?}");
+    }
+    for d in 0..DOOMED {
+        let key = ObjectKey::new("acct", "c", &format!("doomed{d:02}"));
+        assert!(
+            cluster.get(&mut ctx, &key).is_err(),
+            "doomed{d:02} resurrected after repair"
+        );
+    }
+    assert_eq!(cluster.object_count() as usize, LIVE);
+}
+
+#[test]
 fn h2cloud_concurrent_writers_one_middleware_lose_nothing() {
     const THREADS: usize = 6;
     const FILES: usize = 30;
