@@ -51,7 +51,7 @@ pub fn abl_sync() -> ExpTable {
         for i in 0..50 {
             let mut ctx = OpCtx::new(cost.clone());
             fs.mkdir(&mut ctx, "user", &p(&format!("/d{i:02}")))
-                .expect("mkdir");
+                .expect("mkdir"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             mkdir_total += ctx.elapsed();
             client_total += ctx.elapsed();
         }
@@ -63,7 +63,7 @@ pub fn abl_sync() -> ExpTable {
                 &p(&format!("/d{:02}/f{i:04}", i % 50)),
                 FileContent::Simulated(64 * 1024),
             )
-            .expect("write");
+            .expect("write"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             write_total += ctx.elapsed();
             client_total += ctx.elapsed();
         }
@@ -117,7 +117,7 @@ pub fn abl_gossip() -> ExpTable {
                     &p(&format!("/shared/m{i}-f{j}")),
                     FileContent::Simulated(1024),
                 )
-                .expect("write");
+                .expect("write"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             }
         }
         let deliveries = fs.layer().pump().expect("pump");
@@ -128,7 +128,7 @@ pub fn abl_gossip() -> ExpTable {
             let listing = fs
                 .via(i)
                 .list(&mut ctx, "user", &p("/shared"))
-                .expect("list");
+                .expect("list"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             if listing.len() != n * 10 {
                 converged = false;
             }
@@ -243,7 +243,7 @@ pub fn abl_cache() -> ExpTable {
             let (h0, m0) = mw.ring_cache_stats();
             let mut ctx = OpCtx::new(cost.clone());
             for _ in 0..REPEATS {
-                fs.read(&mut ctx, "user", &p(&path)).expect("read");
+                fs.read(&mut ctx, "user", &p(&path)).expect("read"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             }
             let (h1, m1) = mw.ring_cache_stats();
             measured.push((ctx.counts().gets, h1 - h0, m1 - m0));

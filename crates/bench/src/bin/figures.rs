@@ -90,7 +90,7 @@ fn main() {
     }
 
     let run = |id: &str| -> Option<ExpTable> {
-        let started = std::time::Instant::now();
+        let started = h2util::clock::wall_now();
         let table = match id {
             "table1" => table1::table1(&SystemKind::ALL),
             "fig7" => experiments::fig7(quick),

@@ -44,7 +44,7 @@ fn setup_flat(sys: &Sys, n: usize) {
         .expect("populate");
     sys.fs
         .mkdir(&mut ctx, "user", &p("/dst"))
-        .expect("mkdir /dst");
+        .expect("mkdir /dst"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
 }
 
 /// Figure 7: MOVE and RENAME operation time vs n.
@@ -65,11 +65,11 @@ pub fn fig7(quick: bool) -> ExpTable {
             setup_flat(&sys, n);
             let mv = measure(&sys, |fs, ctx| {
                 fs.mv(ctx, "user", &p("/work"), &p("/dst/moved"))
-                    .expect("move");
+                    .expect("move"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             });
             let rn = measure(&sys, |fs, ctx| {
                 fs.mv(ctx, "user", &p("/dst/moved"), &p("/dst/renamed"))
-                    .expect("rename");
+                    .expect("rename"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             });
             row.push(ms(mv.time));
             row.push(ms(rn.time));
@@ -97,7 +97,7 @@ pub fn fig8(quick: bool) -> ExpTable {
             let sys = build_system(kind);
             setup_flat(&sys, n);
             let rep = measure(&sys, |fs, ctx| {
-                fs.rmdir(ctx, "user", &p("/work")).expect("rmdir");
+                fs.rmdir(ctx, "user", &p("/work")).expect("rmdir"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             });
             row.push(ms(rep.time));
         }
@@ -144,7 +144,7 @@ pub fn fig9(quick: bool) -> ExpTable {
             spec.populate(sys.fs.as_ref(), &mut ctx, "user")
                 .expect("populate");
             let rep = measure(&sys, |fs, ctx| {
-                let rows = fs.list_detailed(ctx, "user", &p("/work")).expect("list");
+                let rows = fs.list_detailed(ctx, "user", &p("/work")).expect("list"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
                 assert_eq!(rows.len(), M);
             });
             row.push(ms(rep.time));
@@ -171,7 +171,7 @@ pub fn fig10(quick: bool) -> ExpTable {
             let sys = build_system(kind);
             setup_flat(&sys, m);
             let rep = measure(&sys, |fs, ctx| {
-                let rows = fs.list_detailed(ctx, "user", &p("/work")).expect("list");
+                let rows = fs.list_detailed(ctx, "user", &p("/work")).expect("list"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
                 assert_eq!(rows.len(), m);
             });
             row.push(ms(rep.time));
@@ -205,7 +205,7 @@ pub fn fig11(quick: bool) -> ExpTable {
             let sys = build_system(kind);
             setup_flat(&sys, n);
             let rep = measure(&sys, |fs, ctx| {
-                fs.copy(ctx, "user", &p("/work"), &p("/dst/copy"))
+                fs.copy(ctx, "user", &p("/work"), &p("/dst/copy")) // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
                     .expect("copy");
             });
             row.push(ms(rep.time));
@@ -238,6 +238,7 @@ pub fn fig12(quick: bool) -> ExpTable {
             let sys = build_system(kind);
             setup_flat(&sys, n_bg);
             let rep = measure(&sys, |fs, ctx| {
+                // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
                 fs.mkdir(ctx, "user", &p("/dst/newdir")).expect("mkdir");
             });
             row.push(ms(rep.time));
@@ -282,6 +283,7 @@ pub fn fig13(quick: bool) -> ExpTable {
                 p(&path)
             };
             let rep = measure(&sys, |fs, ctx| {
+                // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
                 fs.stat(ctx, "user", &leaf).expect("stat");
             });
             row.push(ms(rep.time));
@@ -400,7 +402,7 @@ pub fn h2_access_ms_at_depth(d: usize) -> f64 {
     }
     path.push_str("/leaf.dat");
     let rep = measure(&sys, |fs, ctx| {
-        fs.stat(ctx, "user", &p(&path)).expect("stat");
+        fs.stat(ctx, "user", &p(&path)).expect("stat"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
     });
     ms_f(rep.time)
 }

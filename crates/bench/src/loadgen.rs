@@ -29,7 +29,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use h2util::clock::{wall_now, wall_sleep};
 
 use h2baselines::SwiftFs;
 use h2cloud::{H2Cloud, H2Config, MaintenanceMode};
@@ -166,7 +168,7 @@ pub fn prepare<F: CloudFs>(fs: &F, cost: &Arc<CostModel>, cfg: &LoadgenConfig) -
             let mut r = rng(derive_seed(cfg.seed, &account));
             let mut ctx = OpCtx::new(cost.clone());
             fs.create_account(&mut ctx, &account)
-                .expect("fresh account");
+                .expect("fresh account"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
             let spec = FsSpec::generate(&mut r, UserProfile::Light, cfg.prepop_scale);
             spec.populate(fs, &mut ctx, &account).expect("bulk import");
             let mut model = spec.to_model();
@@ -188,20 +190,20 @@ pub fn drive<F: CloudFs + Sync>(
 ) -> LoadResult {
     let hist = Histogram::new();
     let errors = AtomicU64::new(0);
-    let started = Instant::now();
+    let started = wall_now();
     std::thread::scope(|s| {
         for plan in plans {
             let (hist, errors) = (&hist, &errors);
             let cost = cost.clone();
             s.spawn(move || {
                 for op in &plan.trace.ops {
-                    let t0 = Instant::now();
+                    let t0 = wall_now();
                     let mut ctx = OpCtx::new(cost.clone());
                     if Trace::apply_fs(fs, &mut ctx, &plan.account, op).is_err() {
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
                     if pace > 0.0 {
-                        std::thread::sleep(ctx.elapsed().mul_f64(pace));
+                        wall_sleep(ctx.elapsed().mul_f64(pace));
                     }
                     hist.record(t0.elapsed());
                 }

@@ -96,7 +96,7 @@ pub fn build_system(kind: SystemKind) -> Sys {
     let cost = Arc::new(CostModel::rack_default());
     let mut ctx = h2util::OpCtx::new(cost.clone());
     fs.create_account(&mut ctx, "user")
-        .expect("fresh system accepts the account");
+        .expect("fresh system accepts the account"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
     Sys { kind, fs, cost }
 }
 

@@ -207,7 +207,7 @@ impl H2Layer {
                         worked = true;
                     }
                     if !worked {
-                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        h2util::clock::wall_sleep(std::time::Duration::from_micros(200));
                     }
                 }
             }));
@@ -333,7 +333,7 @@ mod tests {
             mw.submit_patch(&mut ctx, &keys, ns(2), p).unwrap();
         }
         // Wait (bounded) for the threads to merge and gossip everything.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let deadline = h2util::clock::wall_now() + std::time::Duration::from_secs(10);
         loop {
             let done = layer.middlewares().iter().all(|mw| {
                 let mut c = OpCtx::for_test();
@@ -345,10 +345,10 @@ mod tests {
                 break;
             }
             assert!(
-                std::time::Instant::now() < deadline,
+                h2util::clock::wall_now() < deadline,
                 "threaded gossip failed to converge within 10s"
             );
-            std::thread::sleep(std::time::Duration::from_millis(5));
+            h2util::clock::wall_sleep(std::time::Duration::from_millis(5));
         }
         handle.stop();
     }

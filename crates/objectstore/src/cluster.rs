@@ -25,15 +25,16 @@
 //! ([`StorageNode::purge_upto`]), so a concurrent write can never be undone
 //! by the replicator.
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use h2ring::{DeviceId, Ring, RingBuilder};
-use h2util::{hash64, CostModel, H2Error, OpCtx, PrimKind, Result};
+use h2util::{hash64, CostModel, H2Error, OpCtx, OrderedMutex, OrderedRwLock, PrimKind, Result};
 
 use crate::container::{ContainerIndex, IndexRecord, ListEntry, ListOptions};
+use crate::lock_rank;
 use crate::node::StorageNode;
 use crate::object::{Meta, Object, ObjectInfo, ObjectKey, Payload};
 use crate::ObjectStore;
@@ -82,8 +83,8 @@ struct ContainerState {
     index: ContainerIndex,
 }
 
-type ContainerShard = RwLock<HashMap<(String, String), ContainerState>>;
-type CatalogShard = RwLock<HashMap<String, u64>>;
+type ContainerShard = OrderedRwLock<HashMap<(String, String), ContainerState>>;
+type CatalogShard = OrderedRwLock<HashMap<String, u64>>;
 
 /// The simulated object storage cloud.
 pub struct Cluster {
@@ -101,7 +102,10 @@ pub struct Cluster {
     catalog_bytes: AtomicU64,
     /// Per-key write stripes: `op_locks[hash(ring_key) % n]` serializes
     /// mutations (and repair) of the same key without blocking other keys.
-    op_locks: Box<[Mutex<()>]>,
+    /// Rank [`lock_rank::OP_STRIPE`], the hierarchy's outermost tier: it
+    /// must be taken before any node stripe or map shard, and never two at
+    /// once (validated at runtime in debug builds).
+    op_locks: Box<[OrderedMutex<()>]>,
     /// Millisecond stamp source for writes: strictly increasing.
     ms: AtomicU64,
     /// Eventual-consistency mode for the container listing DB: real Swift
@@ -155,16 +159,28 @@ impl Cluster {
             cfg,
             accounts: RwLock::new(HashSet::new()),
             containers: (0..stripes)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| {
+                    OrderedRwLock::new(
+                        lock_rank::MAP_SHARD,
+                        "objectstore.container_shard",
+                        HashMap::new(),
+                    )
+                })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             catalog: (0..stripes)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| {
+                    OrderedRwLock::new(
+                        lock_rank::MAP_SHARD,
+                        "objectstore.catalog_shard",
+                        HashMap::new(),
+                    )
+                })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             catalog_bytes: AtomicU64::new(0),
             op_locks: (0..stripes)
-                .map(|_| Mutex::new(()))
+                .map(|_| OrderedMutex::new(lock_rank::OP_STRIPE, "objectstore.op_stripe", ()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             ms: AtomicU64::new(1_600_000_000_000),
@@ -240,7 +256,7 @@ impl Cluster {
         &self.catalog[hash64(ring_key.as_bytes()) as usize % self.catalog.len()]
     }
 
-    fn op_lock(&self, ring_key: &str) -> &Mutex<()> {
+    fn op_lock(&self, ring_key: &str) -> &OrderedMutex<()> {
         &self.op_locks[hash64(ring_key.as_bytes()) as usize % self.op_locks.len()]
     }
 

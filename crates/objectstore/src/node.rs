@@ -10,12 +10,13 @@
 //! handoff devices, and [`crate::cluster::Cluster::repair`] later restores
 //! proper placement — the moral equivalent of Swift's object replicator.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::lock_rank;
 use crate::object::{Meta, Object, ObjectKey, Payload};
 use h2ring::DeviceId;
+use h2util::OrderedRwLock;
 
 /// Default lock-stripe count per device. Sixteen stripes keep the per-key
 /// critical sections independent for any realistic client count while the
@@ -43,7 +44,9 @@ pub struct StorageNode {
     zone: u8,
     /// Lock stripes: `stripes[hash(key) % n]` owns every replica whose ring
     /// key hashes there. All per-key operations touch exactly one stripe.
-    stripes: Box<[RwLock<HashMap<String, StoredReplica>>]>,
+    /// Rank [`lock_rank::NODE_STRIPE`]: acquired after the proxy's op
+    /// stripe, before any map shard (validated in debug builds).
+    stripes: Box<[OrderedRwLock<HashMap<String, StoredReplica>>]>,
     down: AtomicBool,
 }
 
@@ -60,7 +63,13 @@ impl StorageNode {
             id,
             zone,
             stripes: (0..stripes)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| {
+                    OrderedRwLock::new(
+                        lock_rank::NODE_STRIPE,
+                        "objectstore.node_stripe",
+                        HashMap::new(),
+                    )
+                })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             down: AtomicBool::new(false),
@@ -75,7 +84,7 @@ impl StorageNode {
         self.zone
     }
 
-    fn stripe(&self, ring_key: &str) -> &RwLock<HashMap<String, StoredReplica>> {
+    fn stripe(&self, ring_key: &str) -> &OrderedRwLock<HashMap<String, StoredReplica>> {
         let i = h2util::hash64(ring_key.as_bytes()) as usize % self.stripes.len();
         &self.stripes[i]
     }

@@ -15,6 +15,37 @@ use std::str::FromStr;
 
 use crate::id::NodeId;
 
+// ---------------------------------------------------------------------------
+// Wall-clock facade
+// ---------------------------------------------------------------------------
+//
+// This file is the single sanctioned gateway to real time. Everything else
+// in the workspace is virtual-time (`CostModel`/`OpCtx`) and must stay
+// deterministic; `h2lint`'s determinism rule flags `Instant::now`,
+// `SystemTime::now` and `thread::sleep` in any other file. Code that has a
+// legitimate real-time need — pacing sleeps in the load generator, the
+// threaded-gossip idle backoff, convergence deadlines in threaded tests —
+// calls through here, which keeps every wall-clock touchpoint greppable
+// and auditable in one place.
+
+/// Read the real monotonic clock. The only sanctioned `Instant::now`.
+pub fn wall_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// Sleep for real. The only sanctioned `thread::sleep`.
+pub fn wall_sleep(d: std::time::Duration) {
+    std::thread::sleep(d);
+}
+
+/// Real Unix time in milliseconds. The only sanctioned `SystemTime::now`.
+pub fn wall_unix_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
 /// A hybrid timestamp: `(millis, seq, node)` compared lexicographically.
 ///
 /// Serialized (by the Formatter) as `millis.seq.node`, e.g.

@@ -11,6 +11,10 @@
 //! * [`cost`] — the virtual-time cost model ([`cost::CostModel`],
 //!   [`cost::OpCtx`]) that replaces the paper's rack-scale wall-clock
 //!   measurements with calibrated, deterministic latency accounting.
+//! * [`lockorder`] — rank-carrying [`lockorder::OrderedMutex`] /
+//!   [`lockorder::OrderedRwLock`] newtypes that validate the workspace lock
+//!   hierarchy at runtime (debug builds / `lock-order-validation` feature)
+//!   and recover from poisoning instead of unwrapping.
 //! * [`lru`] — a bounded LRU map backing the middleware's NameRing cache.
 //! * [`rng`] — seeded random-number helpers and the distributions used by the
 //!   workload generator.
@@ -22,6 +26,7 @@ pub mod error;
 pub mod fmt;
 pub mod hash;
 pub mod id;
+pub mod lockorder;
 pub mod lru;
 pub mod metrics;
 pub mod rng;
@@ -31,4 +36,5 @@ pub use cost::{BackendCounts, CostModel, OpCtx, PrimKind, RttModel};
 pub use error::{H2Error, Result};
 pub use hash::{hash128, hash64, Digest128};
 pub use id::{NamespaceId, NodeId};
+pub use lockorder::{lock_or_recover, OrderedMutex, OrderedRwLock};
 pub use lru::LruCache;

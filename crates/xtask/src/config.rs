@@ -1,0 +1,263 @@
+//! `h2lint.toml` loading. Registry access is unavailable, so this is a
+//! hand-rolled parser for the TOML subset the config actually uses:
+//! `[tables]`, `[[arrays.of.tables]]`, and `key = value` where value is a
+//! string, integer, boolean, or (possibly multi-line) array of strings.
+
+/// One tier of the lock hierarchy as declared in `[[lockorder.rank]]`.
+#[derive(Debug, Clone)]
+pub struct RankEntry {
+    pub rank: u16,
+    pub label: String,
+    /// Field / accessor identifiers that acquire a lock of this rank
+    /// (e.g. `op_lock`, `op_locks` for the op-stripe tier).
+    pub names: Vec<String>,
+    /// When true, two locks of this rank must never be held at once.
+    pub exclusive: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path substrings to skip entirely (shims, fixtures, target).
+    pub skip: Vec<String>,
+    /// Lock-order rule only runs on files whose path contains one of these.
+    pub lockorder_files: Vec<String>,
+    pub ranks: Vec<RankEntry>,
+    /// Files exempt from the determinism rule (the clock facade).
+    pub determinism_exempt: Vec<String>,
+    /// Method names whose `Result` must not be unwrapped outside tests.
+    pub cloud_ops: Vec<String>,
+}
+
+impl Config {
+    pub fn rank_of(&self, name: &str) -> Option<&RankEntry> {
+        self.ranks
+            .iter()
+            .find(|r| r.names.iter().any(|n| n == name))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+
+    // Join physical lines into logical ones: an array value may span
+    // lines until its brackets balance.
+    let mut lines: Vec<String> = Vec::new();
+    let mut pending = String::new();
+    for raw in text.lines() {
+        let line = strip_comment(raw);
+        if pending.is_empty() {
+            pending = line.trim().to_string();
+        } else {
+            pending.push(' ');
+            pending.push_str(line.trim());
+        }
+        let opens = pending.matches('[').count();
+        let closes = pending.matches(']').count();
+        if opens <= closes {
+            if !pending.is_empty() {
+                lines.push(std::mem::take(&mut pending));
+            }
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        lines.push(pending);
+    }
+
+    for line in lines {
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            section = format!("[[{}]]", name.trim());
+            if section == "[[lockorder.rank]]" {
+                cfg.ranks.push(RankEntry {
+                    rank: 0,
+                    label: String::new(),
+                    names: Vec::new(),
+                    exclusive: false,
+                });
+            }
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("h2lint.toml: can't parse line `{line}`"));
+        };
+        let key = line[..eq].trim();
+        let val = parse_value(line[eq + 1..].trim())?;
+        apply(&mut cfg, &section, key, val)?;
+    }
+    Ok(cfg)
+}
+
+/// Strip a `#` comment, respecting `"` strings.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_str = false;
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => in_str = !in_str,
+            '\\' if in_str => {
+                out.push(c);
+                if let Some(n) = chars.next() {
+                    out.push(n);
+                }
+                continue;
+            }
+            '#' if !in_str => break,
+            _ => {}
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array: `{s}`"))?;
+        let mut items = Vec::new();
+        for part in split_top(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(v) => items.push(v),
+                other => return Err(format!("only string arrays supported, got {other:?}")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string: `{s}`"))?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("can't parse value `{s}`"))
+}
+
+/// Split an array body on top-level commas (commas inside strings don't
+/// count).
+fn split_top(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn apply(cfg: &mut Config, section: &str, key: &str, val: Value) -> Result<(), String> {
+    let want_strs = |v: Value| -> Result<Vec<String>, String> {
+        match v {
+            Value::StrArray(a) => Ok(a),
+            other => Err(format!("expected string array for `{key}`, got {other:?}")),
+        }
+    };
+    match (section, key) {
+        ("lint", "skip") => cfg.skip = want_strs(val)?,
+        ("lockorder", "files") => cfg.lockorder_files = want_strs(val)?,
+        ("determinism", "exempt") => cfg.determinism_exempt = want_strs(val)?,
+        ("panic_safety", "cloud_ops") => cfg.cloud_ops = want_strs(val)?,
+        ("[[lockorder.rank]]", _) => {
+            let entry = cfg
+                .ranks
+                .last_mut()
+                .ok_or("rank key outside [[lockorder.rank]]")?;
+            match (key, val) {
+                ("rank", Value::Int(n)) => entry.rank = n as u16,
+                ("label", Value::Str(s)) => entry.label = s,
+                ("names", v) => entry.names = want_strs(v)?,
+                ("exclusive", Value::Bool(b)) => entry.exclusive = b,
+                (k, v) => return Err(format!("unknown rank key `{k}` = {v:?}")),
+            }
+        }
+        (s, k) => return Err(format!("unknown config key `{k}` in section `{s}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let cfg = parse(
+            r#"
+# comment
+[lint]
+skip = ["crates/shims/", "fixtures/"]
+
+[lockorder]
+files = ["cluster.rs"]
+
+[[lockorder.rank]]
+rank = 1
+label = "op-stripe"
+names = [
+    "op_lock",
+    "op_locks",
+]
+exclusive = true
+
+[[lockorder.rank]]
+rank = 2
+label = "node-stripe"
+names = ["stripe"]
+
+[determinism]
+exempt = ["clock.rs"]
+
+[panic_safety]
+cloud_ops = ["put", "get"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.skip.len(), 2);
+        assert_eq!(cfg.ranks.len(), 2);
+        assert!(cfg.ranks[0].exclusive);
+        assert_eq!(cfg.ranks[0].names, vec!["op_lock", "op_locks"]);
+        assert_eq!(cfg.rank_of("stripe").unwrap().rank, 2);
+        assert!(cfg.rank_of("missing").is_none());
+        assert_eq!(cfg.cloud_ops, vec!["put", "get"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("nonsense").is_err());
+        assert!(parse("[lint]\nskip = 5").is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! `xtask` — workspace automation, dependency-free by design (the build
+//! environment has no registry access).
+//!
+//! The one task so far is **h2lint** (`cargo run -p xtask -- lint`), a
+//! static analyzer that enforces the workspace's concurrency and
+//! determinism invariants (DESIGN.md "Concurrency model"):
+//!
+//! * [`rules`] `lock-order` — the op-stripe → node-stripe → map-shard
+//!   hierarchy must be acquired in strictly increasing rank order, and
+//!   never two op stripes at once. Ranks come from `h2lint.toml`, which
+//!   mirrors `swiftsim::lock_rank` and the runtime-validated
+//!   `OrderedMutex`/`OrderedRwLock` ranks.
+//! * [`rules`] `panic-safety` — no `.unwrap()`/`.expect()` on lock
+//!   results or cloud-op `Result`s outside test code.
+//! * [`rules`] `determinism` — wall-clock reads and real sleeps only in
+//!   the `h2util::clock` facade.
+//!
+//! Findings are suppressed by a justified allow comment on the same line
+//! or the line above; see README "Static analysis".
+
+pub mod config;
+pub mod lexer;
+pub mod lint;
+pub mod rules;

@@ -1,0 +1,99 @@
+//! The h2lint driver: walk the workspace, lex each Rust source, run the
+//! rules, and report findings.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::{self, Config};
+use crate::lexer;
+use crate::rules::{self, Finding};
+
+/// Lint every workspace `.rs` file under `root`, using the config at
+/// `root/h2lint.toml` unless `config_path` overrides it.
+pub fn lint_tree(root: &Path, config_path: Option<&Path>) -> Result<Vec<Finding>, String> {
+    let cfg_file = config_path
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("h2lint.toml"));
+    let text = std::fs::read_to_string(&cfg_file)
+        .map_err(|e| format!("can't read {}: {e}", cfg_file.display()))?;
+    let cfg = config::parse(&text)?;
+
+    let mut files = Vec::new();
+    walk(root, root, &cfg, &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("can't read {rel}: {e}"))?;
+        findings.extend(lint_source(rel, &src, &cfg));
+    }
+    Ok(findings)
+}
+
+/// Lint a single source text under a given workspace-relative path. The
+/// fixture tests drive this directly.
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    rules::lint_file(rel_path, &lexed, cfg)
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("can't read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            let rel = rel_str(root, &path);
+            if cfg
+                .skip
+                .iter()
+                .any(|s| format!("{rel}/").contains(s.as_str()))
+            {
+                continue;
+            }
+            walk(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_str(root, &path);
+            if cfg.skip.iter().any(|s| rel.contains(s.as_str())) {
+                continue;
+            }
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Render findings and per-rule totals; returns the process exit code.
+pub fn report(findings: &[Finding]) -> i32 {
+    if findings.is_empty() {
+        println!("h2lint: clean — no findings");
+        return 0;
+    }
+    for f in findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let mut by_rule: Vec<(&str, usize)> = Vec::new();
+    for f in findings {
+        match by_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((f.rule, 1)),
+        }
+    }
+    let total: usize = by_rule.iter().map(|(_, n)| n).sum();
+    let breakdown: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+    println!("h2lint: {total} finding(s) ({})", breakdown.join(", "));
+    1
+}

@@ -1,0 +1,47 @@
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::lint;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--config <h2lint.toml>] [<workspace-root>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    if cmd != "lint" {
+        return usage();
+    }
+    let mut config_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => match it.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            p if root.is_none() => root = Some(PathBuf::from(p)),
+            _ => return usage(),
+        }
+    }
+    // Default to the workspace root: xtask lives at <root>/crates/xtask.
+    let root = root.unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("xtask sits two levels below the workspace root")
+            .to_path_buf()
+    });
+    match lint::lint_tree(&root, config_path.as_deref()) {
+        Ok(findings) => ExitCode::from(lint::report(&findings) as u8),
+        Err(e) => {
+            eprintln!("h2lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! The h2lint rules: lock-order, panic-safety, determinism, plus the
+//! shared token-stream passes they build on (macro_rules masking,
+//! `#[cfg(test)]` region detection, function spans).
+
+use crate::config::Config;
+use crate::lexer::{AllowDirective, Lexed, TokKind, Token};
+
+/// One reported problem. `rule` is the name an allow directive must use
+/// to suppress it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_PANIC_SAFETY: &str = "panic-safety";
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// Lint one lexed file. `path` is workspace-relative with `/` separators.
+pub fn lint_file(path: &str, lexed: &Lexed, cfg: &Config) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mut masked = macro_mask(tokens);
+    let test_mask = test_regions(tokens, &masked);
+
+    let mut findings = Vec::new();
+    if cfg
+        .lockorder_files
+        .iter()
+        .any(|f| path.contains(f.as_str()))
+    {
+        findings.extend(lock_order(path, tokens, &masked, cfg));
+    }
+    // Panic-safety skips test regions (asserting via unwrap in tests is
+    // idiomatic); determinism applies everywhere because even tests must
+    // go through the clock facade.
+    let in_tests =
+        path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/");
+    if !in_tests {
+        for (i, m) in test_mask.iter().enumerate() {
+            if *m {
+                masked[i] = true;
+            }
+        }
+        findings.extend(panic_safety(path, tokens, &masked, cfg));
+    }
+    let exempt = cfg
+        .determinism_exempt
+        .iter()
+        .any(|f| path.contains(f.as_str()));
+    if !exempt {
+        findings.extend(determinism(path, tokens, &macro_mask(tokens)));
+    }
+
+    // Apply allow directives, flagging malformed or unjustified ones.
+    for a in &lexed.allows {
+        if !a.well_formed {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: a.line,
+                rule: RULE_ALLOW_SYNTAX,
+                message: "malformed h2lint directive; expected \
+                          `// h2lint: allow(rule): justification`"
+                    .into(),
+            });
+        } else if !a.justified {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: a.line,
+                rule: RULE_ALLOW_SYNTAX,
+                message: format!(
+                    "allow({}) needs a justification: \
+                     `// h2lint: allow({}): why this is safe`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+    findings.retain(|f| !suppressed(f, &lexed.allows));
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// A justified allow on the finding's line (trailing comment) or the line
+/// directly above suppresses it.
+fn suppressed(f: &Finding, allows: &[AllowDirective]) -> bool {
+    f.rule != RULE_ALLOW_SYNTAX
+        && allows.iter().any(|a| {
+            a.well_formed
+                && a.justified
+                && a.rule == f.rule
+                && (a.line == f.line || a.line + 1 == f.line)
+        })
+}
+
+/// Mask tokens inside `macro_rules! name { ... }` bodies: their fragment
+/// matchers (`$x:expr`) and repeated arms are not expression code.
+pub fn macro_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("macro_rules")
+            && tokens.get(i + 1).map(|t| t.is_punct('!')) == Some(true)
+        {
+            // macro_rules ! name { ... }  — find the opening brace, then
+            // mask through its matching close.
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                j += 1;
+            }
+            let end = match_brace(tokens, j);
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Mask tokens inside `#[cfg(test)] mod`, `#[cfg(test)] fn` and
+/// `#[test] fn` items. `#[cfg(not(test))]` must NOT match: the pattern
+/// requires the token right after `(` to be `test`.
+pub fn test_regions(tokens: &[Token], macro_masked: &[bool]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if macro_masked[i] {
+            i += 1;
+            continue;
+        }
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens.get(i + 1).map(|t| t.is_punct('[')) == Some(true)
+            && tokens.get(i + 2).map(|t| t.is_ident("cfg")) == Some(true)
+            && tokens.get(i + 3).map(|t| t.is_punct('(')) == Some(true)
+            && tokens.get(i + 4).map(|t| t.is_ident("test")) == Some(true)
+            && tokens.get(i + 5).map(|t| t.is_punct(')')) == Some(true);
+        let is_test_attr = tokens[i].is_punct('#')
+            && tokens.get(i + 1).map(|t| t.is_punct('[')) == Some(true)
+            && tokens.get(i + 2).map(|t| t.is_ident("test")) == Some(true)
+            && tokens.get(i + 3).map(|t| t.is_punct(']')) == Some(true);
+        if is_cfg_test || is_test_attr {
+            // Mask from the attribute through the end of the annotated
+            // item's body: the first `{` at zero paren/bracket depth,
+            // through its matching `}`.
+            let mut j = i + 1;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                    // Body-less item (e.g. `#[cfg(test)] use ...;`).
+                    break;
+                } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+                    j = match_brace(tokens, j);
+                    break;
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take(j.min(tokens.len() - 1) + 1).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the `}` matching the `{` at `open` (returns the last token
+/// index if unbalanced).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Skip one balanced `(...)` or `[...]` group starting at `open`;
+/// returns the index just past the closing delimiter.
+fn skip_group(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = if tokens[open].is_punct('(') {
+        ('(', ')')
+    } else {
+        ('[', ']')
+    };
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct(o) {
+            depth += 1;
+        } else if tokens[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+const LOCK_METHODS: [&str; 4] = ["lock", "try_lock", "read", "write"];
+
+/// A recognized lock acquisition: `ranked_ident [(...)|[...]] . method ( )`
+/// ending at token index `end` (just past the `)`).
+struct Acquisition {
+    rank: u16,
+    exclusive: bool,
+    label: String,
+    name: String,
+    line: u32,
+    end: usize,
+}
+
+/// Try to match an acquisition whose ranked identifier sits at `i`.
+fn match_acquisition(tokens: &[Token], i: usize, cfg: &Config) -> Option<Acquisition> {
+    let entry = cfg.rank_of(&tokens[i].text)?;
+    let mut j = i + 1;
+    // Optional one balanced group: `op_lock(&key)` or `op_locks[idx]`.
+    if tokens.get(j).map(|t| t.is_punct('(') || t.is_punct('[')) == Some(true) {
+        j = skip_group(tokens, j);
+    }
+    if tokens.get(j).map(|t| t.is_punct('.')) != Some(true) {
+        return None;
+    }
+    let method = tokens.get(j + 1)?;
+    if method.kind != TokKind::Ident || !LOCK_METHODS.contains(&method.text.as_str()) {
+        return None;
+    }
+    // Zero-argument call: `.lock()` — anything with arguments is a
+    // different method that merely shares the name (e.g. `fs.write(ctx,..)`).
+    if tokens.get(j + 2).map(|t| t.is_punct('(')) != Some(true)
+        || tokens.get(j + 3).map(|t| t.is_punct(')')) != Some(true)
+    {
+        return None;
+    }
+    Some(Acquisition {
+        rank: entry.rank,
+        exclusive: entry.exclusive,
+        label: entry.label.clone(),
+        name: tokens[i].text.clone(),
+        line: method.line,
+        end: j + 4,
+    })
+}
+
+struct HeldLock {
+    rank: u16,
+    label: String,
+    name: String,
+    line: u32,
+    /// `Some(depth)`: a let-bound guard, live until the brace at `depth`
+    /// closes. `None`: a temporary, dropped at the next `;`/`{`/`}`.
+    binding_depth: Option<i32>,
+}
+
+/// The lock-order rule: within each function of a configured file, model
+/// guard lifetimes and flag (a) acquiring a lower- or equal-rank lock
+/// while a higher- or equal-rank one is held (rank inversion), and (b)
+/// taking two locks of an `exclusive` rank at once.
+fn lock_order(path: &str, tokens: &[Token], masked: &[bool], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Find the next fn body at this level.
+        if !masked[i] && tokens[i].is_ident("fn") {
+            let (body_start, body_end) = match fn_body(tokens, i) {
+                Some(span) => span,
+                None => {
+                    i += 1;
+                    continue;
+                }
+            };
+            analyze_fn(
+                path,
+                tokens,
+                masked,
+                cfg,
+                body_start,
+                body_end,
+                &mut findings,
+            );
+            i = body_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Locate the body of the fn whose `fn` keyword is at `kw`: the first
+/// `{` at zero paren/bracket depth (skipping the signature), through its
+/// matching `}`. Returns None for trait-method declarations (`;`).
+fn fn_body(tokens: &[Token], kw: usize) -> Option<(usize, usize)> {
+    let mut j = kw + 1;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+            return None;
+        } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+            return Some((j, match_brace(tokens, j)));
+        }
+        j += 1;
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_fn(
+    path: &str,
+    tokens: &[Token],
+    masked: &[bool],
+    cfg: &Config,
+    body_start: usize,
+    body_end: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let mut held: Vec<HeldLock> = Vec::new();
+    let mut depth = 0i32;
+    let mut stmt_is_let = false;
+    let mut at_stmt_start = true;
+    let mut i = body_start;
+    while i <= body_end {
+        let t = &tokens[i];
+        if !masked[i] && t.is_ident("fn") && i > body_start {
+            // Nested fn: its body is a separate scope — skip it here
+            // (the outer loop in `lock_order` does not see it, so
+            // analyze it now, independently).
+            if let Some((s, e)) = fn_body(tokens, i) {
+                analyze_fn(path, tokens, masked, cfg, s, e, findings);
+                i = e + 1;
+                at_stmt_start = true;
+                stmt_is_let = false;
+                continue;
+            }
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            held.retain(|h| h.binding_depth.is_some());
+            at_stmt_start = true;
+            stmt_is_let = false;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| h.binding_depth.is_some_and(|d| d <= depth) && depth > 0);
+            at_stmt_start = true;
+            stmt_is_let = false;
+        } else if t.is_punct(';') {
+            held.retain(|h| h.binding_depth.is_some());
+            at_stmt_start = true;
+            stmt_is_let = false;
+        } else if !masked[i] {
+            if at_stmt_start {
+                stmt_is_let = t.is_ident("let");
+                at_stmt_start = false;
+            }
+            if let Some(acq) = match_acquisition(tokens, i, cfg) {
+                for h in &held {
+                    if h.rank > acq.rank {
+                        findings.push(Finding {
+                            file: path.to_string(),
+                            line: acq.line,
+                            rule: RULE_LOCK_ORDER,
+                            message: format!(
+                                "acquiring `{}` ({}, rank {}) while holding `{}` \
+                                 ({}, rank {}) taken on line {} — ranks must be \
+                                 acquired in strictly increasing order",
+                                acq.name, acq.label, acq.rank, h.name, h.label, h.rank, h.line
+                            ),
+                        });
+                    } else if h.rank == acq.rank && acq.exclusive {
+                        findings.push(Finding {
+                            file: path.to_string(),
+                            line: acq.line,
+                            rule: RULE_LOCK_ORDER,
+                            message: format!(
+                                "acquiring a second `{}` lock ({}, rank {}) while \
+                                 one is already held (line {}) — this rank is \
+                                 exclusive and double acquisition can deadlock",
+                                acq.name, acq.label, acq.rank, h.line
+                            ),
+                        });
+                    }
+                }
+                // A let-bound guard (statement starts with `let`, and the
+                // acquisition is the whole initializer) stays held to the
+                // end of the enclosing block; any other acquisition is a
+                // temporary dropped at the end of the statement.
+                let let_bound =
+                    stmt_is_let && tokens.get(acq.end).map(|t| t.is_punct(';')) == Some(true);
+                held.push(HeldLock {
+                    rank: acq.rank,
+                    label: acq.label,
+                    name: acq.name,
+                    line: acq.line,
+                    binding_depth: if let_bound { Some(depth) } else { None },
+                });
+                i = acq.end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The panic-safety rule: flag `.unwrap()`/`.expect(` on lock-acquisition
+/// results and on cloud-op `Result`s in non-test code.
+fn panic_safety(path: &str, tokens: &[Token], masked: &[bool], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..tokens.len() {
+        if masked[i] || tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = tokens[i].text.as_str();
+        // Pattern A: `.lock().unwrap()` / `.read().expect(...)` etc.
+        if LOCK_METHODS.contains(&name)
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).map(|t| t.is_punct('(')) == Some(true)
+            && tokens.get(i + 2).map(|t| t.is_punct(')')) == Some(true)
+            && tokens.get(i + 3).map(|t| t.is_punct('.')) == Some(true)
+        {
+            if let Some(u) = tokens.get(i + 4) {
+                if (u.is_ident("unwrap") || u.is_ident("expect"))
+                    && tokens.get(i + 5).map(|t| t.is_punct('(')) == Some(true)
+                {
+                    findings.push(Finding {
+                        file: path.to_string(),
+                        line: u.line,
+                        rule: RULE_PANIC_SAFETY,
+                        message: format!(
+                            ".{}().{}() on a lock can poison-cascade across \
+                             threads; use h2util::lock_or_recover (or the \
+                             Ordered* types) instead",
+                            name, u.text
+                        ),
+                    });
+                }
+            }
+        }
+        // Pattern B: `fs.write(&mut ctx, ...).unwrap()` — a cloud-op call
+        // (recognized by carrying an OpCtx argument) whose Result is
+        // unwrapped.
+        if cfg.cloud_ops.iter().any(|m| m == name)
+            && tokens.get(i + 1).map(|t| t.is_punct('(')) == Some(true)
+        {
+            let close = skip_group(tokens, i + 1);
+            let has_ctx_arg = tokens[i + 1..close.saturating_sub(1)]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains("ctx"));
+            if has_ctx_arg && tokens.get(close).map(|t| t.is_punct('.')) == Some(true) {
+                if let Some(u) = tokens.get(close + 1) {
+                    if (u.is_ident("unwrap") || u.is_ident("expect"))
+                        && tokens.get(close + 2).map(|t| t.is_punct('(')) == Some(true)
+                    {
+                        findings.push(Finding {
+                            file: path.to_string(),
+                            line: u.line,
+                            rule: RULE_PANIC_SAFETY,
+                            message: format!(
+                                "cloud op `{}` returns a Result that is {}()ed; \
+                                 cloud calls fail routinely (NotFound, quorum \
+                                 loss) — propagate the error instead",
+                                name, u.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// The determinism rule: wall-clock reads and real sleeps belong in the
+/// clock facade only, so that everything else stays on virtual time.
+fn determinism(path: &str, tokens: &[Token], masked: &[bool]) -> Vec<Finding> {
+    const BANNED: [(&str, &str, &str); 3] = [
+        ("thread", "sleep", "h2util::clock::wall_sleep"),
+        ("Instant", "now", "h2util::clock::wall_now"),
+        ("SystemTime", "now", "h2util::clock::wall_unix_millis"),
+    ];
+    let mut findings = Vec::new();
+    for i in 0..tokens.len() {
+        if masked[i] {
+            continue;
+        }
+        for (head, tail, fix) in BANNED {
+            if tokens[i].is_ident(head)
+                && tokens.get(i + 1).map(|t| t.is_punct(':')) == Some(true)
+                && tokens.get(i + 2).map(|t| t.is_punct(':')) == Some(true)
+                && tokens.get(i + 3).map(|t| t.is_ident(tail)) == Some(true)
+            {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: tokens[i + 3].line,
+                    rule: RULE_DETERMINISM,
+                    message: format!(
+                        "{head}::{tail} outside the clock facade breaks virtual-time \
+                         determinism; call {fix} instead"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,11 @@
+// Fixture: a justified allow suppresses the finding, whether it sits on
+// the offending line or the line above.
+
+fn pace(d: Duration) {
+    // h2lint: allow(determinism): pacing replays virtual service time in real time
+    std::thread::sleep(d);
+}
+
+fn stamp() -> Instant {
+    std::time::Instant::now() // h2lint: allow(determinism): coarse wall probe for logs only
+}

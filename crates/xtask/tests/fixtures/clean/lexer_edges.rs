@@ -1,0 +1,57 @@
+// Fixture: lexer edge cases that must produce ZERO findings — every
+// apparent violation below is inside a string, comment, or macro body.
+
+fn edge_cases() -> &'static str {
+    // A plain string containing an acquisition and an unwrap:
+    let a = "self.op_lock(key).lock().unwrap()";
+    // A raw string with hashes, quotes, and wall-clock calls:
+    let b = r#"std::thread::sleep(d); "Instant::now()" inside"#;
+    let b2 = r##"r#"nested raw with SystemTime::now()"#"##;
+    // A byte string and a char that looks like a quote starter:
+    let c = b"Instant::now()";
+    let d = '"';
+    let lt: &'static str = a; // lifetime, not a char literal
+    /* block comment with std::thread::sleep(d)
+       /* nested: self.containers[0].write(); self.op_lock(k).lock(); */
+       still inside the outer comment */
+    let _ = (b, b2, c, d, lt);
+    a
+}
+
+// Escaped quotes and line continuations must not desync the lexer.
+fn strings_with_escapes() {
+    let s = "quote: \" backslash: \\ then more";
+    let t = "continued \
+             across lines with Instant::now() inside";
+    let _ = (s, t);
+}
+
+// macro_rules bodies are masked: fragment matchers and arms are not
+// expression code.
+macro_rules! timed {
+    ($body:expr) => {{
+        let t0 = std::time::Instant::now();
+        let out = $body;
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        out
+    }};
+}
+
+#[rustfmt::skip]
+fn oddly_formatted(map: &Registry) {
+    let x
+        =
+        map . entries_len ( ) ;
+    let _ = x;
+}
+
+// Numeric literals must not swallow range dots: `0..stripes` keeps the
+// ident visible (and harmless — no acquisition method follows).
+fn ranges(stripes: usize) -> usize {
+    (0..stripes).map(|i| i * 2).sum()
+}
+
+// Raw identifiers lex as their unprefixed name.
+fn r#match(r#type: usize) -> usize {
+    r#type + 1
+}

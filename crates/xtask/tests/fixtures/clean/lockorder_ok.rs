@@ -1,0 +1,36 @@
+// Fixture: lock usage that respects the hierarchy — strictly increasing
+// ranks when nested, and same-rank acquisitions only sequentially (the
+// previous guard's scope has closed before the next acquisition).
+
+impl Cluster {
+    fn put_path(&self, key: &ObjectKey) {
+        let _guard = self.op_lock(&key.ring_key()).lock();
+        {
+            let mut map = self.stripe(&key.ring_key()).write();
+            map.insert(key.clone(), StoredReplica::default());
+        }
+        let mut shard = self.containers[self.shard_idx(key)].write();
+        shard.insert(key.pair(), ContainerState::default());
+    }
+
+    fn scan_all(&self) -> usize {
+        let mut total = 0;
+        for i in 0..self.op_locks.len() {
+            {
+                let _g = self.op_locks[i].lock();
+                total += 1;
+            }
+            // The previous stripe guard is gone: sequential same-rank
+            // acquisition is fine, only *nested* acquisition is flagged.
+            let _g2 = self.op_locks[i].lock();
+        }
+        total
+    }
+
+    fn read_two_shards(&self, a: &ObjectKey) {
+        // Non-exclusive ranks may nest at the same rank.
+        let c = self.containers[0].read();
+        let k = self.catalog[1].read();
+        drop((c, k));
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: unwrap/expect inside test code is idiomatic and exempt from
+// the panic-safety rule. (Determinism still applies in tests — which is
+// why nothing here touches the wall clock.)
+
+fn production_path(fs: &impl CloudFs, ctx: &mut OpCtx) -> Result<()> {
+    fs.mkdir(ctx, "user", &p("/ok"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkdir_succeeds() {
+        let (fs, cost) = harness();
+        let mut ctx = OpCtx::new(cost);
+        fs.mkdir(&mut ctx, "user", &p("/t")).unwrap();
+        fs.write(&mut ctx, "user", &p("/t/a"), FileContent::Simulated(1))
+            .expect("write");
+        let m = fs.state.lock().unwrap();
+        assert!(m.contains("t"));
+    }
+}
+
+// `cfg(not(test))` is NOT a test region: violations under it must still
+// be reported — this one is allowed with a justification instead.
+#[cfg(not(test))]
+fn guarded(fs: &impl CloudFs, ctx: &mut OpCtx) {
+    // h2lint: allow(panic-safety): startup path — failure means the binary cannot run
+    fs.mkdir(ctx, "user", &p("/boot")).unwrap();
+}

@@ -1,0 +1,7 @@
+// Fixture: an allow directive without a justification does not suppress
+// the finding, and is itself flagged by the allow-syntax rule.
+
+fn pace(d: Duration) {
+    // h2lint: allow(determinism)
+    std::thread::sleep(d); // still a VIOLATION: the allow has no justification
+}

@@ -1,0 +1,12 @@
+// Fixture: raw wall-clock access outside the clock facade breaks
+// virtual-time determinism.
+
+fn backoff_and_stamp(d: Duration) -> u64 {
+    std::thread::sleep(d); // VIOLATION
+    let t0 = std::time::Instant::now(); // VIOLATION
+    let _ = t0;
+    SystemTime::now() // VIOLATION
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis() as u64
+}

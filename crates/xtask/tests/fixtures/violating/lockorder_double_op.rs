@@ -1,0 +1,13 @@
+// Fixture: holds two op stripes at once. The op-stripe rank is exclusive:
+// two keys can hash to stripes in either order, so cross-key operations
+// that take both can deadlock (ABBA).
+
+impl Cluster {
+    fn copy_locked(&self, src: &ObjectKey, dst: &ObjectKey) {
+        let a = self.op_lock(&src.ring_key()).lock();
+        let b = self.op_lock(&dst.ring_key()).lock(); // VIOLATION: second op stripe
+        self.do_copy(src, dst);
+        drop(b);
+        drop(a);
+    }
+}

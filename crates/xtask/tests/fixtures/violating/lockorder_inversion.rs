@@ -1,0 +1,12 @@
+// Fixture: acquires a map shard (rank 3) and then an op stripe (rank 1)
+// while the shard guard is still live — a rank inversion that can
+// deadlock against the normal op-stripe-first path.
+
+impl Cluster {
+    fn rebuild_entry(&self, key: &ObjectKey) {
+        let shard = self.containers[self.shard_idx(key)].write();
+        let guard = self.op_lock(&key.ring_key()).lock(); // VIOLATION: rank 1 after rank 3
+        shard.insert(key.clone(), ContainerState::default());
+        drop(guard);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: a temporary acquisition nested inside a statement that already
+// holds a higher-rank let-bound guard still counts as an inversion.
+
+impl StorageNode {
+    fn peek_then_lock(&self, ring_key: &str) -> bool {
+        let map = self.stripe(ring_key).read();
+        let busy = self.op_lock(ring_key).try_lock(); // VIOLATION: rank 1 under rank 2
+        map.contains_key(ring_key) && busy.is_some()
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: unwrapping cloud-op Results in non-test code. Cloud calls fail
+// routinely (NotFound, quorum loss); the error must propagate.
+
+fn seed_account(fs: &impl CloudFs, cost: &Arc<CostModel>) {
+    let mut ctx = OpCtx::new(cost.clone());
+    fs.mkdir(&mut ctx, "user", &p("/inbox")).unwrap(); // VIOLATION
+    fs.write(&mut ctx, "user", &p("/inbox/a"), FileContent::Simulated(1))
+        .expect("write"); // VIOLATION
+    let listing = fs.read(&mut ctx, "user", &p("/inbox/a")).expect("read"); // VIOLATION
+    drop(listing);
+}

@@ -1,0 +1,11 @@
+// Fixture: unwrapping a lock result in non-test code. A panic while a
+// std::sync lock is held poisons it for every other thread.
+
+impl Registry {
+    fn bump(&self) {
+        let mut map = self.entries.lock().unwrap(); // VIOLATION: lock().unwrap()
+        *map.entry("hits").or_insert(0) += 1;
+        let snapshot = self.index.read().expect("index poisoned"); // VIOLATION: read().expect()
+        drop(snapshot);
+    }
+}

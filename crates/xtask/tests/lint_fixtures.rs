@@ -1,0 +1,133 @@
+//! Fixture self-tests: every violating fixture must be flagged (with the
+//! expected rule and count), and no clean fixture may produce a single
+//! finding — the lexer/rule edge cases live in `fixtures/clean/`.
+
+use std::path::Path;
+
+use xtask::config::{self, Config};
+use xtask::lint::lint_source;
+use xtask::rules::Finding;
+
+/// Rank table mirroring `h2lint.toml`, but scoped to the fixture tree.
+const FIXTURE_CONFIG: &str = r#"
+[lint]
+skip = []
+
+[lockorder]
+files = ["fixtures/"]
+
+[[lockorder.rank]]
+rank = 1
+label = "op-stripe"
+names = ["op_lock", "op_locks"]
+exclusive = true
+
+[[lockorder.rank]]
+rank = 2
+label = "node-stripe"
+names = ["stripe", "stripes"]
+
+[[lockorder.rank]]
+rank = 3
+label = "map-shard"
+names = ["container_shard", "containers", "catalog_shard", "catalog"]
+
+[determinism]
+exempt = ["crates/util/src/clock.rs"]
+
+[panic_safety]
+cloud_ops = ["mkdir", "write", "read", "stat", "create_account"]
+"#;
+
+fn cfg() -> Config {
+    config::parse(FIXTURE_CONFIG).expect("fixture config parses")
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    lint_source(&format!("fixtures/{name}"), &src, &cfg())
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn violating_fixtures_are_flagged() {
+    // (fixture, rule, expected findings of that rule)
+    let expected = [
+        ("violating/lockorder_inversion.rs", "lock-order", 1),
+        ("violating/lockorder_double_op.rs", "lock-order", 1),
+        ("violating/lockorder_nested_temp.rs", "lock-order", 1),
+        ("violating/panic_unwrap_lock.rs", "panic-safety", 2),
+        ("violating/panic_cloud_expect.rs", "panic-safety", 3),
+        ("violating/determinism_wall_time.rs", "determinism", 3),
+        ("violating/allow_unjustified.rs", "determinism", 1),
+        ("violating/allow_unjustified.rs", "allow-syntax", 1),
+    ];
+    for (fixture, rule, n) in expected {
+        let findings = lint_fixture(fixture);
+        assert_eq!(
+            count(&findings, rule),
+            n,
+            "{fixture}: wanted {n} `{rule}` finding(s), got: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn violating_fixtures_have_no_stray_findings() {
+    // The violations are deliberate and specific: a fixture must not trip
+    // rules it doesn't target (that would be a false positive).
+    let only = [
+        ("violating/lockorder_inversion.rs", vec!["lock-order"]),
+        ("violating/lockorder_double_op.rs", vec!["lock-order"]),
+        ("violating/lockorder_nested_temp.rs", vec!["lock-order"]),
+        ("violating/panic_unwrap_lock.rs", vec!["panic-safety"]),
+        ("violating/panic_cloud_expect.rs", vec!["panic-safety"]),
+        ("violating/determinism_wall_time.rs", vec!["determinism"]),
+        (
+            "violating/allow_unjustified.rs",
+            vec!["determinism", "allow-syntax"],
+        ),
+    ];
+    for (fixture, rules) in only {
+        for f in lint_fixture(fixture) {
+            assert!(
+                rules.contains(&f.rule),
+                "{fixture}: unexpected `{}` finding: {f:?}",
+                f.rule
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_produce_zero_findings() {
+    for fixture in [
+        "clean/lockorder_ok.rs",
+        "clean/lexer_edges.rs",
+        "clean/tests_ok.rs",
+        "clean/allow_justified.rs",
+    ] {
+        let findings = lint_fixture(fixture);
+        assert!(
+            findings.is_empty(),
+            "{fixture}: expected zero findings, got: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn findings_carry_usable_locations() {
+    let findings = lint_fixture("violating/lockorder_inversion.rs");
+    assert_eq!(findings.len(), 1);
+    // The inversion is on the line acquiring the op stripe.
+    assert_eq!(findings[0].line, 8);
+    assert!(findings[0].message.contains("op-stripe"));
+    assert!(findings[0].message.contains("map-shard"));
+}

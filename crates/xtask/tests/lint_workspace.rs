@@ -1,0 +1,24 @@
+//! The gate: `cargo test` fails if the real workspace tree has any lint
+//! finding, so invariant regressions surface in tier-1, not just in the
+//! dedicated CI job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let findings = xtask::lint::lint_tree(root, None).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "h2lint found {} problem(s) in the workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

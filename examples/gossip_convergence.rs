@@ -47,7 +47,7 @@ fn main() -> Result<()> {
                     for i in 0..FILES_PER_WRITER {
                         let mut ctx = OpCtx::new(fs.cost_model());
                         let path = FsPath::parse(&format!("/shared/mw{mw}-w{w}-f{i:03}")).unwrap();
-                        view.write(&mut ctx, "team", &path, FileContent::Simulated(1024))
+                        view.write(&mut ctx, "team", &path, FileContent::Simulated(1024)) // h2lint: allow(panic-safety): demo exits on first error by design
                             .expect("write");
                     }
                 });
@@ -57,7 +57,7 @@ fn main() -> Result<()> {
 
     // Wait for every middleware to see every file.
     let expected = MIDDLEWARES * WRITERS_PER_MW * FILES_PER_WRITER;
-    let start = std::time::Instant::now();
+    let start = h2util::clock::wall_now();
     loop {
         let counts: Vec<usize> = (0..MIDDLEWARES)
             .map(|i| {
@@ -82,7 +82,7 @@ fn main() -> Result<()> {
             println!("\ndid not converge within 30s — gossip threads starved?");
             break;
         }
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        h2util::clock::wall_sleep(std::time::Duration::from_millis(20));
     }
     gossip.stop();
 

@@ -171,7 +171,7 @@ fn threaded_writers_with_threaded_gossip_converge() {
         }
     });
     // Wait for convergence (bounded).
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+    let deadline = h2util::clock::wall_now() + std::time::Duration::from_secs(15);
     loop {
         let views: Vec<usize> = (0..3)
             .map(|mw| listing_on(&fs, mw, &p("/hot")).len())
@@ -180,10 +180,10 @@ fn threaded_writers_with_threaded_gossip_converge() {
             break;
         }
         assert!(
-            std::time::Instant::now() < deadline,
+            h2util::clock::wall_now() < deadline,
             "no convergence; views {views:?}"
         );
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        h2util::clock::wall_sleep(std::time::Duration::from_millis(10));
     }
     gossip.stop();
     // And the contents agree everywhere.
