@@ -107,6 +107,9 @@ fn main() {
             "abl-lookup" => ablations::abl_lookup(),
             "abl-ring" => ablations::abl_ring(),
             "abl-cache" => ablations::abl_cache(),
+            // Not in the default set: the default figure run must stay
+            // byte-identical whether or not the fault plane exists.
+            "abl-faults" => ablations::abl_faults(),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 return None;

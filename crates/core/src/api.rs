@@ -520,6 +520,28 @@ mod tests {
     }
 
     #[test]
+    fn metrics_route_reports_fault_and_retry_counters() {
+        // The loss-path counters are pre-registered at layer construction,
+        // so operators see them (at 0) before the first failure — a flat-
+        // lining gauge is monitorable, an absent one is not.
+        let fs = api_fs();
+        let api = H2Api::new(&fs);
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
+        let r =
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice").with_query("op", "metrics")));
+        match r.body {
+            ResponseBody::Message(text) => {
+                assert!(text.contains(crate::layer::GOSSIP_APPLY_FAILURES), "{text}");
+                assert!(text.contains(crate::layer::MERGE_FAILURES), "{text}");
+                assert!(text.contains(h2util::retry::OP_RETRIES), "{text}");
+                assert!(text.contains(h2util::retry::OP_GAVE_UP), "{text}");
+                assert!(text.contains(h2util::retry::RETRY_BACKOFF_MS), "{text}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn root_listing_works() {
         let fs = api_fs();
         let api = H2Api::new(&fs);

@@ -655,8 +655,11 @@ impl H2Cloud {
         meta.insert("content-type".into(), "h2/file".into());
         // §3.3.3(b) blocking: the content stream completes before the patch
         // is submitted, so no merge can observe the tuple without the data.
-        self.cluster()
-            .put(ctx, &keys.child(parent_ns, name), payload, meta)?;
+        let content_key = keys.child(parent_ns, name);
+        mw.with_retry(ctx, "put_content", |ctx| {
+            self.cluster()
+                .put(ctx, &content_key, payload.clone(), meta.clone())
+        })?;
         let mut patch = NameRing::new();
         patch.apply(name, Tuple::file(mw.tick(), size));
         mw.submit_patch(ctx, &keys, parent_ns, patch)
@@ -675,7 +678,10 @@ impl H2Cloud {
             Resolved::File {
                 parent_ns, name, ..
             } => {
-                let obj = self.cluster().get(ctx, &keys.child(parent_ns, &name))?;
+                let content_key = keys.child(parent_ns, &name);
+                let obj = mw.with_retry(ctx, "get_content", |ctx| {
+                    self.cluster().get(ctx, &content_key)
+                })?;
                 Ok(payload_to_content(obj.payload))
             }
             _ => Err(H2Error::IsADirectory(path.to_string())),
@@ -698,12 +704,23 @@ impl H2Cloud {
                 size,
                 ..
             } => {
-                // Fake deletion (§3.3.3a): tombstone the tuple. The content
-                // object is reclaimed eagerly — it is a single DELETE.
-                self.cluster().delete(ctx, &keys.child(parent_ns, &name))?;
+                // Fake deletion (§3.3.3a): tombstone the tuple FIRST. An
+                // earlier revision deleted the content object before the
+                // patch; if the patch submission then failed, the client
+                // saw a failed delete while the data was already gone — a
+                // live name pointing at nothing. Tombstone-first means a
+                // failed delete changes nothing visible.
                 let mut patch = NameRing::new();
                 patch.apply(&name, Tuple::file(mw.tick(), size).tombstone(mw.tick()));
-                mw.submit_patch(ctx, &keys, parent_ns, patch)
+                mw.submit_patch(ctx, &keys, parent_ns, patch)?;
+                // Eager content reclaim is best-effort: the tombstone is
+                // durable, so if this DELETE fails the object is merely
+                // garbage — GC deletes it when it compacts the tombstone.
+                let content_key = keys.child(parent_ns, &name);
+                let _ = mw.with_retry(ctx, "delete_content", |ctx| {
+                    self.cluster().delete(ctx, &content_key)
+                });
+                Ok(())
             }
             _ => Err(H2Error::IsADirectory(path.to_string())),
         }

@@ -68,6 +68,9 @@ pub fn collect(
     Ok(report)
 }
 
+/// Worklist traversal, not recursion: directory chains can be arbitrarily
+/// deep (one stack frame per level overflowed around a few thousand), so
+/// every tree walk in this module drives an explicit stack instead.
 fn collect_live(
     mw: &H2Middleware,
     ctx: &mut OpCtx,
@@ -75,11 +78,14 @@ fn collect_live(
     ns: NamespaceId,
     live: &mut std::collections::HashSet<NamespaceId>,
 ) -> Result<()> {
-    let ring = mw.read_ring(ctx, keys, ns)?;
-    for (_, tuple) in ring.live() {
-        if let ChildRef::Dir { ns: child } = tuple.child {
-            if live.insert(child) {
-                collect_live(mw, ctx, keys, child, live)?;
+    let mut stack = vec![ns];
+    while let Some(ns) = stack.pop() {
+        let ring = mw.read_ring(ctx, keys, ns)?;
+        for (_, tuple) in ring.live() {
+            if let ChildRef::Dir { ns: child } = tuple.child {
+                if live.insert(child) {
+                    stack.push(child);
+                }
             }
         }
     }
@@ -97,37 +103,43 @@ fn walk_and_compact(
     live: &std::collections::HashSet<NamespaceId>,
     report: &mut GcReport,
 ) -> Result<()> {
-    let mut ring = mw.read_ring(ctx, keys, ns)?;
-    let removed = ring.compact(horizon);
-    if !removed.is_empty() {
-        mw.write_ring(ctx, keys, ns, &ring)?;
-        report.rings_rewritten += 1;
-        report.tuples_compacted += removed.len();
-        for (name, tuple) in removed {
-            match tuple.child {
-                ChildRef::File { .. } => {
-                    delete_quiet(fs, ctx, keys, ns, &name, report)?;
+    let mut stack = vec![ns];
+    while let Some(ns) = stack.pop() {
+        let mut ring = mw.read_ring(ctx, keys, ns)?;
+        let removed = ring.compact(horizon);
+        if !removed.is_empty() {
+            mw.write_ring(ctx, keys, ns, &ring)?;
+            // Floor every middleware's local ring to the GC horizon. A peer
+            // whose local version still held a compacted tombstone would
+            // otherwise fold it back into the global object on its next
+            // merge — resurrecting the tuple GC just reclaimed.
+            for m in fs.layer().middlewares() {
+                m.gc_floor(keys.account(), ns, horizon);
+            }
+            report.rings_rewritten += 1;
+            report.tuples_compacted += removed.len();
+            for (name, tuple) in removed {
+                match tuple.child {
+                    ChildRef::File { .. } => {
+                        delete_quiet(fs, ctx, keys, ns, &name, report)?;
+                    }
+                    // Only reclaim subtrees nothing live points at: a MOVE's
+                    // tombstone still names the (re-parented, live) namespace.
+                    ChildRef::Dir { ns: dead_ns } if !live.contains(&dead_ns) => {
+                        delete_subtree(fs, mw, ctx, keys, dead_ns, report)?;
+                        delete_quiet(fs, ctx, keys, ns, &name, report)?; // descriptor
+                    }
+                    ChildRef::Dir { .. } => {}
                 }
-                // Only reclaim subtrees nothing live points at: a MOVE's
-                // tombstone still names the (re-parented, live) namespace.
-                ChildRef::Dir { ns: dead_ns } if !live.contains(&dead_ns) => {
-                    delete_subtree(fs, mw, ctx, keys, dead_ns, report)?;
-                    delete_quiet(fs, ctx, keys, ns, &name, report)?; // descriptor
-                }
-                ChildRef::Dir { .. } => {}
             }
         }
-    }
-    // Recurse into live children.
-    let live_dirs: Vec<NamespaceId> = ring
-        .live()
-        .filter_map(|(_, t)| match t.child {
-            ChildRef::Dir { ns } => Some(ns),
-            ChildRef::File { .. } => None,
-        })
-        .collect();
-    for child in live_dirs {
-        walk_and_compact(fs, mw, ctx, keys, child, horizon, live, report)?;
+        // Visit live children (worklist, not recursion — sibling order is
+        // irrelevant, compaction is per-namespace).
+        for (_, t) in ring.live() {
+            if let ChildRef::Dir { ns: child } = t.child {
+                stack.push(child);
+            }
+        }
     }
     Ok(())
 }
@@ -142,27 +154,32 @@ fn delete_subtree(
     ns: NamespaceId,
     report: &mut GcReport,
 ) -> Result<()> {
-    let ring = mw.read_ring(ctx, keys, ns)?;
-    for (name, tuple) in ring.iter() {
-        match tuple.child {
-            ChildRef::File { .. } => {
-                delete_quiet_name(fs, ctx, keys, ns, name, report)?;
-            }
-            ChildRef::Dir { ns: child_ns } => {
-                delete_subtree(fs, mw, ctx, keys, child_ns, report)?;
-                delete_quiet_name(fs, ctx, keys, ns, name, report)?; // descriptor
+    let mut stack = vec![ns];
+    while let Some(ns) = stack.pop() {
+        let ring = mw.read_ring(ctx, keys, ns)?;
+        for (name, tuple) in ring.iter() {
+            match tuple.child {
+                ChildRef::File { .. } => {
+                    delete_quiet_name(fs, ctx, keys, ns, name, report)?;
+                }
+                ChildRef::Dir { ns: child_ns } => {
+                    stack.push(child_ns);
+                    delete_quiet_name(fs, ctx, keys, ns, name, report)?; // descriptor
+                }
             }
         }
-    }
-    // The ring object itself.
-    match fs.cluster().delete(ctx, &keys.namering(ns)) {
-        Ok(()) => report.objects_deleted += 1,
-        Err(H2Error::NotFound(_)) => {}
-        Err(e) => return Err(e),
-    }
-    // The object is gone; cached copies of it must go too.
-    for m in fs.layer().middlewares() {
-        m.invalidate_ring(keys.account(), ns);
+        // The ring object itself.
+        match fs.cluster().delete(ctx, &keys.namering(ns)) {
+            Ok(()) => report.objects_deleted += 1,
+            Err(H2Error::NotFound(_)) => {}
+            Err(e) => return Err(e),
+        }
+        // The object is gone; every middleware's local state for it (cached
+        // global copy, local overlay, pending chain) must go too, or a peer
+        // could write the dead ring straight back into the cloud.
+        for m in fs.layer().middlewares() {
+            m.forget_ring(keys.account(), ns);
+        }
     }
     Ok(())
 }
@@ -314,6 +331,55 @@ mod tests {
             .unwrap();
         collect(&fs, &mut ctx, "alice", far_future()).unwrap();
         assert!(fs.read(&mut ctx, "alice", &p("/final/trip.jpg")).is_ok());
+    }
+
+    #[test]
+    fn deep_directory_chains_do_not_overflow_the_stack() {
+        // Regression: collect_live / walk_and_compact / delete_subtree were
+        // recursive — one stack frame per directory level — and blew the
+        // stack on chains a few thousand deep. Built through middleware
+        // primitives (O(depth)); fs.mkdir would resolve from the root each
+        // time (O(depth²)).
+        use crate::keys::DirDescriptor;
+        use crate::namering::{NameRing, Tuple};
+        let (fs, mut ctx) = setup();
+        let mw = fs.layer().mw_for_account("alice").clone();
+        let keys = H2Keys::new("alice");
+        const DEPTH: usize = 5000;
+        let mut parent = NamespaceId::ROOT;
+        for i in 0..DEPTH {
+            let child = mw.allocate_namespace();
+            mw.create_ring(&mut ctx, &keys, child).unwrap();
+            let name = format!("d{i}");
+            mw.put_descriptor(
+                &mut ctx,
+                &keys,
+                parent,
+                &name,
+                &DirDescriptor {
+                    ns: child,
+                    name: name.clone(),
+                    created: mw.tick(),
+                },
+            )
+            .unwrap();
+            let mut patch = NameRing::new();
+            patch.apply(&name, Tuple::dir(mw.tick(), child));
+            mw.submit_patch(&mut ctx, &keys, parent, patch).unwrap();
+            parent = child;
+        }
+        // The live walk must traverse all 5k levels without recursing.
+        let report = collect(&fs, &mut ctx, "alice", far_future()).unwrap();
+        assert_eq!(report.tuples_compacted, 0);
+        // Tombstone the chain's top link, then reclaim every level.
+        fs.rmdir(&mut ctx, "alice", &p("/d0")).unwrap();
+        let report = collect(&fs, &mut ctx, "alice", far_future()).unwrap();
+        assert!(
+            report.objects_deleted >= 2 * DEPTH - 1,
+            "expected ~2 objects per level, got {report:?}"
+        );
+        // Only the root ring remains.
+        assert_eq!(fs.storage_stats().objects, 1);
     }
 
     #[test]

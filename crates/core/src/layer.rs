@@ -17,6 +17,7 @@
 //! is a CRDT join, so duplicates and reordering are harmless, and the tests
 //! inject both.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -25,6 +26,20 @@ use h2util::{NodeId, Result};
 use swiftsim::Cluster;
 
 use crate::middleware::{GossipMsg, H2Middleware, MaintenanceMode};
+
+/// Counter bumped when applying an incoming gossip message fails (the
+/// message is requeued with bounded attempts, not dropped).
+pub const GOSSIP_APPLY_FAILURES: &str = "gossip_apply_failures";
+/// Counter bumped when a background merge round fails (the patch chain is
+/// restored internally, so the next round retries it).
+pub const MERGE_FAILURES: &str = "merge_failures";
+
+/// How many times a gossip message that fails to apply is re-attempted
+/// before it is finally dropped. Transient faults redraw on every attempt,
+/// so even sustained high error rates survive this budget; a message that
+/// exhausts it was facing a persistent outage, and the next merge on the
+/// same ring re-gossips the state anyway.
+const MAX_GOSSIP_ATTEMPTS: u32 = 32;
 
 /// Gossip delivery fault injection for the convergence tests.
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,6 +75,13 @@ impl H2Layer {
         cache_capacity: usize,
     ) -> Self {
         assert!(n >= 1, "need at least one middleware");
+        // Pre-register the layer's failure counters so `op=metrics` always
+        // lists them, even before the first failure.
+        metrics.counter(GOSSIP_APPLY_FAILURES);
+        metrics.counter(MERGE_FAILURES);
+        metrics.counter(h2util::retry::OP_RETRIES);
+        metrics.counter(h2util::retry::OP_GAVE_UP);
+        metrics.histogram(h2util::retry::RETRY_BACKOFF_MS);
         let middlewares = (1..=n as u16)
             .map(|i| {
                 H2Middleware::with_cache(
@@ -129,6 +151,9 @@ impl H2Layer {
                     batch.push((mw.node(), msg));
                 }
             }
+            // Expand the batch into per-target deliveries so one failing
+            // target can be retried without re-applying to the others.
+            let mut queue: VecDeque<(usize, GossipMsg, u32)> = VecDeque::new();
             for (origin, msg) in batch {
                 msg_seq += 1;
                 if faults.drop_every > 0 && msg_seq.is_multiple_of(faults.drop_every) {
@@ -142,14 +167,31 @@ impl H2Layer {
                     1
                 };
                 for _ in 0..copies {
-                    for mw in &self.middlewares {
+                    for (idx, mw) in self.middlewares.iter().enumerate() {
                         if mw.node() != origin {
-                            mw.on_gossip(&msg)?;
-                            deliveries += 1;
+                            queue.push_back((idx, msg.clone(), 0));
                         }
                     }
                 }
                 progressed = true;
+            }
+            while let Some((idx, msg, attempts)) = queue.pop_front() {
+                let mw = &self.middlewares[idx];
+                match mw.on_gossip(&msg) {
+                    Ok(_) => deliveries += 1,
+                    Err(e) => {
+                        // An earlier revision `?`-propagated here, silently
+                        // losing the message (it was already drained from
+                        // the outbox). Requeue with bounded attempts —
+                        // transient faults redraw on retry — and only
+                        // propagate once the budget is spent.
+                        mw.metrics().counter(GOSSIP_APPLY_FAILURES).incr();
+                        if attempts + 1 >= MAX_GOSSIP_ATTEMPTS {
+                            return Err(e);
+                        }
+                        queue.push_back((idx, msg, attempts + 1));
+                    }
+                }
             }
             if !progressed {
                 return Ok(deliveries);
@@ -184,10 +226,25 @@ impl H2Layer {
                 .collect();
             let stop = stop.clone();
             handles.push(std::thread::spawn(move || {
+                // Messages whose application failed, waiting for another
+                // attempt. An earlier revision `unwrap_or`-swallowed the
+                // error and dropped the message permanently — a peer that
+                // hit a transient fault stayed stale until some unrelated
+                // merge happened to re-gossip the same ring.
+                let mut backlog: VecDeque<(GossipMsg, u32)> = VecDeque::new();
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let mut worked = false;
-                    if mw.step_merges().unwrap_or(0) > 0 {
-                        worked = true;
+                    match mw.step_merges() {
+                        Ok(n) => {
+                            if n > 0 {
+                                worked = true;
+                            }
+                        }
+                        Err(_) => {
+                            // The chain was restored inside merge_ns; the
+                            // next round retries it.
+                            mw.metrics().counter(MERGE_FAILURES).incr();
+                        }
                     }
                     for msg in mw.take_outbox() {
                         for p in &peers {
@@ -196,17 +253,41 @@ impl H2Layer {
                         worked = true;
                     }
                     while let Ok(msg) = rx.try_recv() {
-                        // A failed gossip application is retried on the
-                        // next merge/gossip round; losing one message is
-                        // safe because merges re-gossip.
-                        if mw.on_gossip(&msg).unwrap_or(false) {
-                            for p in &peers {
-                                let _ = p.send(msg.clone());
-                            }
-                        }
+                        backlog.push_back((msg, 0));
                         worked = true;
                     }
-                    if !worked {
+                    // One application attempt per backlog entry per round.
+                    let mut max_requeued_attempt: Option<u32> = None;
+                    for _ in 0..backlog.len() {
+                        let (msg, attempts) = backlog.pop_front().expect("len checked");
+                        match mw.on_gossip(&msg) {
+                            Ok(forward) => {
+                                if forward {
+                                    for p in &peers {
+                                        let _ = p.send(msg.clone());
+                                    }
+                                }
+                                worked = true;
+                            }
+                            Err(_) => {
+                                mw.metrics().counter(GOSSIP_APPLY_FAILURES).incr();
+                                if attempts + 1 < MAX_GOSSIP_ATTEMPTS {
+                                    max_requeued_attempt =
+                                        Some(max_requeued_attempt.unwrap_or(0).max(attempts + 1));
+                                    backlog.push_back((msg, attempts + 1));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(attempt) = max_requeued_attempt {
+                        // Back off before the next application round so a
+                        // sustained outage doesn't burn the attempt budget
+                        // in microseconds.
+                        let backoff = std::time::Duration::from_millis(1)
+                            .saturating_mul(1u32 << attempt.min(5))
+                            .min(std::time::Duration::from_millis(20));
+                        h2util::clock::wall_sleep(backoff);
+                    } else if !worked {
                         h2util::clock::wall_sleep(std::time::Duration::from_micros(200));
                     }
                 }
@@ -255,6 +336,7 @@ mod tests {
             replicas: 3,
             part_power: 6,
             cost: Arc::new(h2util::CostModel::zero()),
+            faults: None,
         });
         cluster.create_account("alice").unwrap();
         cluster
@@ -351,6 +433,52 @@ mod tests {
             h2util::clock::wall_sleep(std::time::Duration::from_millis(5));
         }
         handle.stop();
+    }
+
+    #[test]
+    fn threaded_gossip_survives_transient_apply_failures() {
+        use h2util::faults::{FaultPlan, FaultSpec, OpClass};
+        let layer = layer(3, MaintenanceMode::Deferred);
+        let keys = H2Keys::new("alice");
+        let mut ctx = OpCtx::for_test();
+        // Heavy transient GET faults: merge cycles and gossip applications
+        // fail often — even through the middleware's retry budget — until
+        // the plan is cleared. Patch PUTs stay clean so submission works.
+        let plan = FaultPlan::new(21).set(OpClass::Get, FaultSpec::errors(0.9));
+        layer.cluster().set_fault_plan(Some(plan));
+        for (i, mw) in layer.middlewares().iter().enumerate() {
+            let mut p = NameRing::new();
+            p.apply(&format!("g{i}"), Tuple::file(mw.tick(), i as u64));
+            mw.submit_patch(&mut ctx, &keys, ns(3), p).unwrap();
+        }
+        let handle = layer.run_threaded();
+        // Let the workers run into the fault wall, then clear it.
+        h2util::clock::wall_sleep(std::time::Duration::from_millis(100));
+        layer.cluster().set_fault_plan(None);
+        let deadline = h2util::clock::wall_now() + std::time::Duration::from_secs(20);
+        loop {
+            let done = layer.middlewares().iter().all(|mw| {
+                let mut c = OpCtx::for_test();
+                mw.read_ring(&mut c, &keys, ns(3))
+                    .map(|r| r.live_len() == 3)
+                    .unwrap_or(false)
+            });
+            if done {
+                break;
+            }
+            assert!(
+                h2util::clock::wall_now() < deadline,
+                "gossip did not recover from transient apply failures"
+            );
+            h2util::clock::wall_sleep(std::time::Duration::from_millis(5));
+        }
+        handle.stop();
+        // The failures were observed, counted, and survived.
+        let m = layer.mw(0).metrics();
+        assert!(
+            m.counter_value(GOSSIP_APPLY_FAILURES) + m.counter_value(MERGE_FAILURES) > 0,
+            "expected at least one counted transient failure"
+        );
     }
 
     #[test]

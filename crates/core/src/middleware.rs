@@ -30,7 +30,9 @@ use std::sync::Arc;
 
 use h2util::id::NamespaceAllocator;
 use h2util::metrics::{Counter, MetricsRegistry};
-use h2util::{H2Error, HybridClock, LruCache, NamespaceId, NodeId, OpCtx, Result, Timestamp};
+use h2util::{
+    H2Error, HybridClock, LruCache, NamespaceId, NodeId, OpCtx, Result, RetryPolicy, Timestamp,
+};
 use swiftsim::{Cluster, Meta, ObjectKey, ObjectStore, Payload};
 
 use crate::formatter;
@@ -113,6 +115,11 @@ pub struct H2Middleware {
     /// this node could overwrite each other. (Cycles on *different* nodes
     /// are reconciled by gossip, by design.)
     merge_locks: Mutex<HashMap<FdKey, Arc<Mutex<()>>>>,
+    /// Backoff schedule for transient cloud failures (`Unavailable` /
+    /// `Conflict`) on the middleware's own cloud ops — ring reads/writes,
+    /// patch submission, descriptor I/O. Seeded per node so independent
+    /// middlewares draw decorrelated jitter, yet replays are identical.
+    retry: RetryPolicy,
     outbox: Mutex<Vec<GossipMsg>>,
     /// Virtual time + op counts spent on background maintenance (merges and
     /// gossip handling in Deferred mode) — the ablation benches report it.
@@ -154,6 +161,7 @@ impl H2Middleware {
             cache_counters,
             fds: Mutex::new(HashMap::new()),
             merge_locks: Mutex::new(HashMap::new()),
+            retry: RetryPolicy::new(0x4852_5452 ^ node.0 as u64),
             outbox: Mutex::new(Vec::new()),
             background: Mutex::new(Default::default()),
         })
@@ -189,6 +197,23 @@ impl H2Middleware {
     /// Total background maintenance spend so far.
     pub fn background_spend(&self) -> (std::time::Duration, h2util::BackendCounts) {
         *self.background.lock()
+    }
+
+    /// The retry policy this middleware applies to its own cloud ops.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Run a cloud operation under this middleware's retry policy, charging
+    /// backoff as virtual latency and recording `op_retries` / `op_gave_up`
+    /// in the middleware's registry. The fs layer routes content-object I/O
+    /// through here so file data gets the same availability treatment as
+    /// metadata.
+    pub fn with_retry<T, F>(&self, ctx: &mut OpCtx, op: &str, f: F) -> Result<T>
+    where
+        F: FnMut(&mut OpCtx) -> Result<T>,
+    {
+        self.retry.run_virtual(ctx, Some(&self.metrics), op, f)
     }
 
     fn absorb_background(&self, ctx: &OpCtx) {
@@ -264,6 +289,30 @@ impl H2Middleware {
         self.ring_cache.lock().remove(&(account.to_string(), ns));
     }
 
+    /// GC notification: the global ring for `(account, ns)` was compacted
+    /// at `horizon`. Floor this middleware's local version to the same
+    /// horizon, so a tombstone GC already reclaimed can't re-enter the
+    /// global object through a later merge's local-overlay join (tombstone
+    /// resurrection). The cached global copy is dropped too — it predates
+    /// the compaction.
+    pub fn gc_floor(&self, account: &str, ns: NamespaceId, horizon: Timestamp) {
+        {
+            let mut fds = self.fds.lock();
+            if let Some(fd) = fds.get_mut(&(account.to_string(), ns)) {
+                fd.local.floor_tombstones(horizon);
+            }
+        }
+        self.invalidate_ring(account, ns);
+    }
+
+    /// GC notification: the ring object for `(account, ns)` was deleted
+    /// (its directory is unreachable). Drop every bit of local state that
+    /// refers to it, so this middleware can't write the dead ring back.
+    pub fn forget_ring(&self, account: &str, ns: NamespaceId) {
+        self.fds.lock().remove(&(account.to_string(), ns));
+        self.invalidate_ring(account, ns);
+    }
+
     /// NameRing-cache `(hits, misses)` so far (zeros when disabled).
     pub fn ring_cache_stats(&self) -> (u64, u64) {
         match &self.cache_counters {
@@ -300,7 +349,8 @@ impl H2Middleware {
         keys: &H2Keys,
         ns: NamespaceId,
     ) -> Result<NameRing> {
-        match self.store.get(ctx, &keys.namering(ns)) {
+        let key = keys.namering(ns);
+        match self.with_retry(ctx, "fetch_ring", |ctx| self.store.get(ctx, &key)) {
             Ok(obj) => {
                 let s = obj.payload.as_str().ok_or_else(|| {
                     H2Error::Corrupt(format!("NameRing {ns} is not a string object"))
@@ -325,12 +375,11 @@ impl H2Middleware {
         ring: &NameRing,
     ) -> Result<()> {
         let body = formatter::namering_to_string(ring);
-        self.store.put(
-            ctx,
-            &keys.namering(ns),
-            Payload::from_string(body),
-            Meta::new(),
-        )?;
+        let key = keys.namering(ns);
+        self.with_retry(ctx, "put_ring", |ctx| {
+            self.store
+                .put(ctx, &key, Payload::from_string(body.clone()), Meta::new())
+        })?;
         self.cache_store_written((keys.account().to_string(), ns), ring);
         Ok(())
     }
@@ -388,12 +437,15 @@ impl H2Middleware {
             no
         };
         let body = formatter::patch_to_string(&patch);
-        let put = self.store.put(
-            ctx,
-            &keys.patch(ns, self.node, patch_no),
-            Payload::from_string(body),
-            Meta::new(),
-        );
+        let patch_key = keys.patch(ns, self.node, patch_no);
+        let put = self.with_retry(ctx, "submit_patch", |ctx| {
+            self.store.put(
+                ctx,
+                &patch_key,
+                Payload::from_string(body.clone()),
+                Meta::new(),
+            )
+        });
         // Re-validate under the lock now that the PUT has settled.
         {
             let mut fds = self.fds.lock();
@@ -507,7 +559,7 @@ impl H2Middleware {
         let mut big = NameRing::new();
         for &no in chain {
             let key = keys.patch(ns, self.node, no);
-            match self.store.get(ctx, &key) {
+            match self.with_retry(ctx, "fetch_patch", |ctx| self.store.get(ctx, &key)) {
                 Ok(obj) => {
                     let s = obj.payload.as_str().ok_or_else(|| {
                         H2Error::Corrupt(format!("patch {key} is not a string object"))
@@ -535,7 +587,8 @@ impl H2Middleware {
         self.put_global_ring(ctx, keys, ns, &ring)?;
         for &no in chain {
             // Patch objects are transient; a NotFound here is harmless.
-            match self.store.delete(ctx, &keys.patch(ns, self.node, no)) {
+            let key = keys.patch(ns, self.node, no);
+            match self.with_retry(ctx, "delete_patch", |ctx| self.store.delete(ctx, &key)) {
                 Ok(()) | Err(H2Error::NotFound(_)) => {}
                 Err(e) => return Err(e),
             }
@@ -636,12 +689,12 @@ impl H2Middleware {
     ) -> Result<()> {
         let mut meta = Meta::new();
         meta.insert("content-type".into(), "h2/dir".into());
-        self.store.put(
-            ctx,
-            &keys.child(parent_ns, name),
-            Payload::from_string(formatter::dir_to_string(desc)),
-            meta,
-        )
+        let key = keys.child(parent_ns, name);
+        let body = formatter::dir_to_string(desc);
+        self.with_retry(ctx, "put_descriptor", |ctx| {
+            self.store
+                .put(ctx, &key, Payload::from_string(body.clone()), meta.clone())
+        })
     }
 
     /// GET and parse a directory descriptor.
@@ -652,7 +705,8 @@ impl H2Middleware {
         parent_ns: NamespaceId,
         name: &str,
     ) -> Result<DirDescriptor> {
-        let obj = self.store.get(ctx, &keys.child(parent_ns, name))?;
+        let key = keys.child(parent_ns, name);
+        let obj = self.with_retry(ctx, "get_descriptor", |ctx| self.store.get(ctx, &key))?;
         let s = obj
             .payload
             .as_str()
@@ -694,6 +748,7 @@ mod tests {
             replicas: 3,
             part_power: 6,
             cost: Arc::new(h2util::CostModel::zero()),
+            faults: None,
         });
         cluster.create_account("alice").unwrap();
         cluster

@@ -195,6 +195,16 @@ impl NameRing {
             .collect()
     }
 
+    /// Drop tombstones below `horizon` without reporting them. GC floors
+    /// every middleware's *local* ring with this after compacting the
+    /// global object: a stale local tombstone that survived here would
+    /// re-enter the global ring through the next merge's
+    /// `merge_from(&fd.local)` join — resurrecting a tuple GC already
+    /// reclaimed. Returns how many tombstones were dropped.
+    pub fn floor_tombstones(&mut self, horizon: Timestamp) -> usize {
+        self.compact(horizon).len()
+    }
+
     /// Newest timestamp in the ring (ZERO when empty). Gossip uses this as
     /// the version stamp for loop-back avoidance.
     pub fn version(&self) -> Timestamp {

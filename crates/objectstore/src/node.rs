@@ -12,10 +12,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use crate::lock_rank;
 use crate::object::{Meta, Object, ObjectKey, Payload};
 use h2ring::DeviceId;
+use h2util::faults::{FaultInjector, OpClass};
 use h2util::OrderedRwLock;
 
 /// Default lock-stripe count per device. Sixteen stripes keep the per-key
@@ -48,6 +52,12 @@ pub struct StorageNode {
     /// stripe, before any map shard (validated in debug builds).
     stripes: Box<[OrderedRwLock<HashMap<String, StoredReplica>>]>,
     down: AtomicBool,
+    /// Shared request-level fault injector (chaos harness). When set, each
+    /// client-path put/delete draws a per-replica fault and may behave as
+    /// unreachable for that one request. Repair-path variants bypass it:
+    /// the replicator's sweep order is nondeterministic, so drawing faults
+    /// there would break seeded replay.
+    fault: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl StorageNode {
@@ -73,7 +83,21 @@ impl StorageNode {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             down: AtomicBool::new(false),
+            fault: RwLock::new(None),
         }
+    }
+
+    /// Install (or clear) the shared fault injector for this device.
+    pub fn set_fault_injector(&self, inj: Option<Arc<FaultInjector>>) {
+        *self.fault.write() = inj;
+    }
+
+    /// One per-replica fault draw for this request class.
+    fn request_fails(&self, class: OpClass) -> bool {
+        self.fault
+            .read()
+            .as_ref()
+            .is_some_and(|i| i.replica_fails(class))
     }
 
     pub fn id(&self) -> DeviceId {
@@ -100,8 +124,26 @@ impl StorageNode {
 
     /// Write (or overwrite) a replica. Last-writer-wins by `modified_ms`:
     /// a stale write never clobbers a newer replica or tombstone.
-    /// Returns false if the node is down.
+    /// Returns false if the node is down or an injected per-replica fault
+    /// makes it unreachable for this request.
     pub fn put(
+        &self,
+        ring_key: &str,
+        payload: Payload,
+        meta: Meta,
+        modified_ms: u64,
+        handoff: bool,
+    ) -> bool {
+        if self.is_down() || self.request_fails(OpClass::Put) {
+            return false;
+        }
+        self.apply_put(ring_key, payload, meta, modified_ms, handoff);
+        true
+    }
+
+    /// Repair-path put: identical semantics but never consults the fault
+    /// injector (see the `fault` field note on replay determinism).
+    pub fn put_repair(
         &self,
         ring_key: &str,
         payload: Payload,
@@ -112,6 +154,18 @@ impl StorageNode {
         if self.is_down() {
             return false;
         }
+        self.apply_put(ring_key, payload, meta, modified_ms, handoff);
+        true
+    }
+
+    fn apply_put(
+        &self,
+        ring_key: &str,
+        payload: Payload,
+        meta: Meta,
+        modified_ms: u64,
+        handoff: bool,
+    ) {
         let mut store = self.stripe(ring_key).write();
         match store.get(ring_key) {
             Some(existing) if existing.modified_ms > modified_ms => {}
@@ -128,7 +182,6 @@ impl StorageNode {
                 );
             }
         }
-        true
     }
 
     /// Read a replica (not tombstoned). `None` when down or absent.
@@ -151,11 +204,26 @@ impl StorageNode {
         self.stripe(ring_key).read().get(ring_key).cloned()
     }
 
-    /// Tombstone a replica. Returns false if the node is down.
+    /// Tombstone a replica. Returns false if the node is down or an
+    /// injected per-replica fault makes it unreachable for this request.
     pub fn delete(&self, ring_key: &str, modified_ms: u64) -> bool {
+        if self.is_down() || self.request_fails(OpClass::Delete) {
+            return false;
+        }
+        self.apply_delete(ring_key, modified_ms);
+        true
+    }
+
+    /// Repair-path delete: never consults the fault injector.
+    pub fn delete_repair(&self, ring_key: &str, modified_ms: u64) -> bool {
         if self.is_down() {
             return false;
         }
+        self.apply_delete(ring_key, modified_ms);
+        true
+    }
+
+    fn apply_delete(&self, ring_key: &str, modified_ms: u64) {
         let mut store = self.stripe(ring_key).write();
         match store.get_mut(ring_key) {
             Some(r) => {
@@ -181,7 +249,6 @@ impl StorageNode {
                 );
             }
         }
-        true
     }
 
     /// Drop a replica entirely (used by repair when moving handoffs home,
@@ -367,6 +434,27 @@ mod tests {
                 many.get(&key).unwrap().payload
             );
         }
+    }
+
+    #[test]
+    fn replica_faults_reject_requests_but_repair_path_bypasses() {
+        use h2util::faults::{FaultInjector, FaultPlan};
+        let n = node();
+        n.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            FaultPlan::new(1).with_replica_errors(1.0),
+        ))));
+        assert!(!n.put("/k", Payload::from_static("x"), Meta::new(), 1, false));
+        assert!(n.get_raw("/k").is_none());
+        assert!(!n.delete("/k", 2));
+        // The repair path ignores injection entirely.
+        assert!(n.put_repair("/k", Payload::from_static("x"), Meta::new(), 3, false));
+        assert_eq!(n.get("/k").unwrap().payload.as_str(), Some("x"));
+        assert!(n.delete_repair("/k", 4));
+        assert!(n.get_raw("/k").unwrap().deleted);
+        // Clearing the injector restores normal behavior.
+        n.set_fault_injector(None);
+        assert!(n.put("/k", Payload::from_static("y"), Meta::new(), 5, false));
+        assert_eq!(n.get("/k").unwrap().payload.as_str(), Some("y"));
     }
 
     #[test]

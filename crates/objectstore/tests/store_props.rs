@@ -45,6 +45,7 @@ proptest! {
             replicas: 3,
             part_power: 7,
             cost: Arc::new(CostModel::zero()),
+            faults: None,
         });
         cluster.create_account("a").unwrap();
         cluster.create_container("a", "c", true).unwrap();
@@ -136,6 +137,7 @@ proptest! {
             replicas: 3,
             part_power: 7,
             cost: Arc::new(CostModel::zero()),
+            faults: None,
         };
         let seed = Cluster::with_stripes(cfg(), 1);
         let sharded = Cluster::with_stripes(cfg(), 16);
@@ -227,6 +229,7 @@ proptest! {
             replicas: 1,
             part_power: 6,
             cost: Arc::new(CostModel::zero()),
+            faults: None,
         });
         cluster.create_account("a").unwrap();
         cluster.create_container("a", "c", true).unwrap();

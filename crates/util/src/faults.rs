@@ -1,0 +1,420 @@
+//! Deterministic request-level fault injection.
+//!
+//! The paper's protocol is built for an unreliable substrate — gossip is
+//! at-least-once and unordered, NameRing merges are a CRDT join (§3.3.2) —
+//! but binary node-down faults never exercise the *transient* failure
+//! paths: sporadic request errors, slow replicas, and torn quorum writes.
+//! A [`FaultPlan`] describes those hazards per operation class; a
+//! [`FaultInjector`] turns the plan into per-request decisions.
+//!
+//! Determinism: every decision is a pure function of `(seed, sequence
+//! number, op-class label)` via [`crate::hash::hash64_seeded`], so a run
+//! that issues the same requests in the same order replays the exact same
+//! faults. The injector draws nothing when the plan is inactive, and the
+//! store must not consult it from paths with nondeterministic iteration
+//! order (e.g. repair sweeps) — see `swiftsim` for the wiring contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::hash::hash64_seeded;
+use crate::metrics::Counter;
+
+/// Object-store request classes, mirroring the `ObjectStore` trait surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    Put,
+    Get,
+    Head,
+    Delete,
+    Copy,
+    List,
+}
+
+impl OpClass {
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Put,
+        OpClass::Get,
+        OpClass::Head,
+        OpClass::Delete,
+        OpClass::Copy,
+        OpClass::List,
+    ];
+
+    /// Stable label; part of the deterministic draw, never change it
+    /// without accepting that seeds replay differently.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Put => "put",
+            OpClass::Get => "get",
+            OpClass::Head => "head",
+            OpClass::Delete => "delete",
+            OpClass::Copy => "copy",
+            OpClass::List => "list",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Put => 0,
+            OpClass::Get => 1,
+            OpClass::Head => 2,
+            OpClass::Delete => 3,
+            OpClass::Copy => 4,
+            OpClass::List => 5,
+        }
+    }
+
+    /// Classes that mutate replicas and can therefore tear.
+    pub fn is_write(self) -> bool {
+        matches!(self, OpClass::Put | OpClass::Delete | OpClass::Copy)
+    }
+}
+
+/// Fault probabilities for one op class. All rates are in `[0, 1]` and
+/// mutually exclusive per request (a single uniform draw is partitioned
+/// `torn | error | slow | clean`, in that priority order).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability the request fails up front with `Unavailable` — no
+    /// state is touched.
+    pub error_rate: f64,
+    /// Probability the request succeeds but is charged `slow_by` extra
+    /// virtual latency (a slow replica / retransmit).
+    pub slow_rate: f64,
+    /// Latency inflation applied when the slow draw hits.
+    pub slow_by: Duration,
+    /// Write classes only: probability the request applies to a strict
+    /// subset of replicas and then reports `Unavailable` — the classic
+    /// fail-after-write torn quorum. Ignored for read classes.
+    pub torn_rate: f64,
+}
+
+impl FaultSpec {
+    /// A spec that only injects up-front errors.
+    pub fn errors(rate: f64) -> Self {
+        FaultSpec {
+            error_rate: rate,
+            ..FaultSpec::default()
+        }
+    }
+
+    pub fn with_slow(mut self, rate: f64, by: Duration) -> Self {
+        self.slow_rate = rate;
+        self.slow_by = by;
+        self
+    }
+
+    pub fn with_torn(mut self, rate: f64) -> Self {
+        self.torn_rate = rate;
+        self
+    }
+
+    fn is_active(&self) -> bool {
+        self.error_rate > 0.0 || self.slow_rate > 0.0 || self.torn_rate > 0.0
+    }
+}
+
+/// A complete fault schedule: one [`FaultSpec`] per request class at the
+/// cluster front door, one per-replica spec applied inside `StorageNode`
+/// request handling, and the seed that makes it all replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    specs: [FaultSpec; 6],
+    /// Per-replica error rate consulted by storage nodes on put/get/delete:
+    /// the replica behaves as unreachable for that one request, engaging
+    /// handoff and quorum machinery without marking the node down.
+    pub replica_error_rate: f64,
+}
+
+impl FaultPlan {
+    /// An inert plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: [FaultSpec::default(); 6],
+            replica_error_rate: 0.0,
+        }
+    }
+
+    /// The same spec for every request class.
+    pub fn uniform(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan {
+            seed,
+            specs: [spec; 6],
+            replica_error_rate: 0.0,
+        }
+    }
+
+    /// Replace the spec for one class (builder style).
+    pub fn set(mut self, class: OpClass, spec: FaultSpec) -> Self {
+        self.specs[class.index()] = spec;
+        self
+    }
+
+    /// Set the per-replica error rate (builder style).
+    pub fn with_replica_errors(mut self, rate: f64) -> Self {
+        self.replica_error_rate = rate;
+        self
+    }
+
+    pub fn spec(&self, class: OpClass) -> &FaultSpec {
+        &self.specs[class.index()]
+    }
+
+    /// Whether any rate is non-zero.
+    pub fn is_active(&self) -> bool {
+        self.replica_error_rate > 0.0 || self.specs.iter().any(|s| s.is_active())
+    }
+}
+
+/// What the injector decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Proceed normally.
+    Clean,
+    /// Proceed, but charge this much extra latency.
+    Slow(Duration),
+    /// Fail with `Unavailable` before touching any state.
+    Error,
+    /// Write classes: apply the write to [`torn_survivors`] replicas, then
+    /// fail with `Unavailable` (state partially applied — the hazard the
+    /// repair/gossip machinery must absorb). `raw` feeds the survivor draw.
+    Torn { raw: u64 },
+}
+
+/// Map a torn draw onto a survivor count: how many replicas the torn write
+/// actually reached before "crashing". Always a strict subset
+/// (`0..replicas`); with a single replica a torn write degenerates to an
+/// up-front error.
+pub fn torn_survivors(raw: u64, replicas: usize) -> usize {
+    if replicas <= 1 {
+        0
+    } else {
+        (raw % replicas as u64) as usize
+    }
+}
+
+/// Snapshot of everything an injector did — comparable across runs to
+/// assert byte-identical replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    pub draws: u64,
+    pub errors: u64,
+    pub slowdowns: u64,
+    pub torn: u64,
+    pub replica_errors: u64,
+}
+
+/// Turns a [`FaultPlan`] into per-request [`FaultDecision`]s.
+///
+/// Thread-safe; the sequence counter is atomic. Replay is exact whenever
+/// the *order* of decisions is deterministic, which the chaos suite
+/// guarantees by driving the cluster single-threaded.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seq: AtomicU64,
+    draws: Counter,
+    errors: Counter,
+    slowdowns: Counter,
+    torn: Counter,
+    replica_errors: Counter,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            seq: AtomicU64::new(0),
+            draws: Counter::new(),
+            errors: Counter::new(),
+            slowdowns: Counter::new(),
+            torn: Counter::new(),
+            replica_errors: Counter::new(),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// One deterministic 64-bit draw for the next request of `label`.
+    fn draw_bits(&self, label: &str) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.draws.incr();
+        hash64_seeded(
+            label.as_bytes(),
+            self.plan.seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits of a draw.
+    fn unit(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decide the fate of one cluster-level request.
+    pub fn decide(&self, class: OpClass) -> FaultDecision {
+        let spec = self.plan.spec(class);
+        if !spec.is_active() {
+            return FaultDecision::Clean;
+        }
+        let bits = self.draw_bits(class.label());
+        let u = Self::unit(bits);
+        let torn_rate = if class.is_write() {
+            spec.torn_rate
+        } else {
+            0.0
+        };
+        if u < torn_rate {
+            self.torn.incr();
+            return FaultDecision::Torn {
+                raw: hash64_seeded(b"torn", bits),
+            };
+        }
+        if u < torn_rate + spec.error_rate {
+            self.errors.incr();
+            return FaultDecision::Error;
+        }
+        if u < torn_rate + spec.error_rate + spec.slow_rate {
+            self.slowdowns.incr();
+            return FaultDecision::Slow(spec.slow_by);
+        }
+        FaultDecision::Clean
+    }
+
+    /// Decide whether one replica-level request on a storage node fails
+    /// (the node behaves as unreachable for this request only).
+    pub fn replica_fails(&self, class: OpClass) -> bool {
+        if self.plan.replica_error_rate <= 0.0 {
+            return false;
+        }
+        let bits = self.draw_bits("replica");
+        let _ = class; // one shared stream; the class is implied by call order
+        let hit = Self::unit(bits) < self.plan.replica_error_rate;
+        if hit {
+            self.replica_errors.incr();
+        }
+        hit
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            draws: self.draws.get(),
+            errors: self.errors.get(),
+            slowdowns: self.slowdowns.get(),
+            torn: self.torn.get(),
+            replica_errors: self.replica_errors.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_never_draws() {
+        let inj = FaultInjector::new(FaultPlan::new(42));
+        for class in OpClass::ALL {
+            assert_eq!(inj.decide(class), FaultDecision::Clean);
+        }
+        assert!(!inj.replica_fails(OpClass::Get));
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::uniform(
+            7,
+            FaultSpec::errors(0.2)
+                .with_slow(0.2, Duration::from_millis(40))
+                .with_torn(0.1),
+        );
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let classes = [OpClass::Put, OpClass::Get, OpClass::Delete, OpClass::List];
+        for i in 0..2000 {
+            let class = classes[i % classes.len()];
+            assert_eq!(a.decide(class), b.decide(class), "draw {i}");
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let spec = FaultSpec::errors(0.5);
+        let a = FaultInjector::new(FaultPlan::uniform(1, spec));
+        let b = FaultInjector::new(FaultPlan::uniform(2, spec));
+        let mut same = 0;
+        for _ in 0..500 {
+            if a.decide(OpClass::Put) == b.decide(OpClass::Put) {
+                same += 1;
+            }
+        }
+        assert!(same < 500, "independent seeds produced identical streams");
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::uniform(
+            99,
+            FaultSpec::errors(0.10)
+                .with_slow(0.10, Duration::from_millis(5))
+                .with_torn(0.05),
+        );
+        let inj = FaultInjector::new(plan);
+        for _ in 0..20_000 {
+            inj.decide(OpClass::Put);
+        }
+        let s = inj.stats();
+        let frac = |n: u64| n as f64 / 20_000.0;
+        assert!((frac(s.errors) - 0.10).abs() < 0.02, "{s:?}");
+        assert!((frac(s.slowdowns) - 0.10).abs() < 0.02, "{s:?}");
+        assert!((frac(s.torn) - 0.05).abs() < 0.02, "{s:?}");
+    }
+
+    #[test]
+    fn reads_never_tear() {
+        let plan = FaultPlan::uniform(3, FaultSpec::default().with_torn(1.0));
+        let inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            assert_eq!(inj.decide(OpClass::Get), FaultDecision::Clean);
+            assert!(matches!(
+                inj.decide(OpClass::Put),
+                FaultDecision::Torn { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn torn_survivors_is_a_strict_subset() {
+        for raw in 0..100u64 {
+            assert_eq!(torn_survivors(raw, 1), 0);
+            assert!(torn_survivors(raw, 3) < 3);
+        }
+        // All survivor counts are reachable for 3 replicas.
+        let seen: std::collections::BTreeSet<usize> =
+            (0..100u64).map(|raw| torn_survivors(raw, 3)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn replica_rate_draws_independently() {
+        let plan = FaultPlan::new(5).with_replica_errors(0.5);
+        assert!(plan.is_active());
+        let inj = FaultInjector::new(plan);
+        // Cluster-level classes stay clean; only replica draws fire.
+        assert_eq!(inj.decide(OpClass::Put), FaultDecision::Clean);
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            if inj.replica_fails(OpClass::Get) {
+                hits += 1;
+            }
+        }
+        assert!((hits as f64 / 10_000.0 - 0.5).abs() < 0.05, "{hits}");
+        assert_eq!(inj.stats().replica_errors, hits);
+    }
+}

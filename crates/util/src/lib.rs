@@ -15,6 +15,12 @@
 //!   [`lockorder::OrderedRwLock`] newtypes that validate the workspace lock
 //!   hierarchy at runtime (debug builds / `lock-order-validation` feature)
 //!   and recover from poisoning instead of unwrapping.
+//! * [`faults`] — deterministic request-level fault injection
+//!   ([`faults::FaultPlan`] / [`faults::FaultInjector`]) for the chaos
+//!   harness.
+//! * [`retry`] — capped-exponential-backoff [`retry::RetryPolicy`] with
+//!   deterministic jitter, charging virtual time on the client path and
+//!   sleeping through the clock facade on background threads.
 //! * [`lru`] — a bounded LRU map backing the middleware's NameRing cache.
 //! * [`rng`] — seeded random-number helpers and the distributions used by the
 //!   workload generator.
@@ -23,18 +29,22 @@
 pub mod clock;
 pub mod cost;
 pub mod error;
+pub mod faults;
 pub mod fmt;
 pub mod hash;
 pub mod id;
 pub mod lockorder;
 pub mod lru;
 pub mod metrics;
+pub mod retry;
 pub mod rng;
 
 pub use clock::{HybridClock, Timestamp};
 pub use cost::{BackendCounts, CostModel, OpCtx, PrimKind, RttModel};
 pub use error::{H2Error, Result};
+pub use faults::{FaultDecision, FaultInjector, FaultPlan, FaultSpec, FaultStats, OpClass};
 pub use hash::{hash128, hash64, Digest128};
 pub use id::{NamespaceId, NodeId};
 pub use lockorder::{lock_or_recover, OrderedMutex, OrderedRwLock};
 pub use lru::LruCache;
+pub use retry::RetryPolicy;

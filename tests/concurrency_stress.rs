@@ -28,6 +28,7 @@ fn cluster_survives_concurrent_writers_readers_and_flapping_nodes() {
         replicas: 3,
         part_power: 8,
         cost: Arc::new(CostModel::zero()),
+        faults: None,
     });
     cluster.create_account("acct").unwrap();
     cluster.create_container("acct", "c", true).unwrap();
@@ -108,6 +109,7 @@ fn repair_loop_under_concurrent_puts_and_deletes_loses_nothing() {
         replicas: 3,
         part_power: 8,
         cost: Arc::new(CostModel::zero()),
+        faults: None,
     });
     cluster.create_account("acct").unwrap();
     cluster.create_container("acct", "c", true).unwrap();

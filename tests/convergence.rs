@@ -194,6 +194,55 @@ fn threaded_writers_with_threaded_gossip_converge() {
 }
 
 #[test]
+fn gc_compaction_is_not_resurrected_by_peer_local_rings() {
+    // Regression for a tombstone-resurrection hazard: GC compacts a
+    // tombstone out of the global ring, but a peer middleware's *local*
+    // ring still holds it. That peer's next merge cycle folds its local
+    // overlay into the global object — before the fix, the reclaimed
+    // tombstone re-entered the ring and GC had to compact it all over
+    // again (and a recreate racing that window could be shadowed).
+    use h2cloud::H2Keys;
+    use h2util::{NamespaceId, NodeId, Timestamp};
+    let far_future = Timestamp::new(u64::MAX, 0, NodeId(0));
+    let fs = h2(2);
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    fs.via(0)
+        .write(&mut ctx, "team", &p("/zombie"), FileContent::from_str("z"))
+        .unwrap();
+    fs.quiesce(); // both middlewares now hold the tuple locally
+    fs.via(0)
+        .delete_file(&mut ctx, "team", &p("/zombie"))
+        .unwrap();
+    fs.quiesce(); // ... and now the tombstone
+    let report = h2cloud::gc::collect(&fs, &mut ctx, "team", far_future).unwrap();
+    assert!(report.tuples_compacted >= 1, "{report:?}");
+    // mw1 touches the same ring and merges. Its stale local tombstone must
+    // NOT rejoin the global object.
+    let mut c1 = OpCtx::for_test();
+    fs.via(1)
+        .write(&mut c1, "team", &p("/fresh"), FileContent::from_str("f"))
+        .unwrap();
+    fs.quiesce();
+    let keys = H2Keys::new("team");
+    let mut c = OpCtx::for_test();
+    let global = fs
+        .layer()
+        .mw(0)
+        .fetch_global_ring(&mut c, &keys, NamespaceId::ROOT)
+        .unwrap();
+    assert!(
+        global.get_raw("zombie").is_none(),
+        "compacted tombstone resurrected into the global ring"
+    );
+    // A second pass finds nothing to re-reclaim, and views agree.
+    let second = h2cloud::gc::collect(&fs, &mut ctx, "team", far_future).unwrap();
+    assert_eq!(second.tuples_compacted, 0, "{second:?}");
+    assert_eq!(listing_on(&fs, 0, &p("/")), vec!["fresh"]);
+    assert_eq!(listing_on(&fs, 0, &p("/")), listing_on(&fs, 1, &p("/")));
+}
+
+#[test]
 fn deferred_mode_reads_your_own_writes_before_merge() {
     let fs = h2(2);
     let mut ctx = OpCtx::for_test();
