@@ -21,6 +21,7 @@ fn h2(mode: MaintenanceMode, middlewares: usize) -> H2Cloud {
             ..ClusterConfig::default()
         },
         cache_capacity: 0,
+        trace_sample: 0.0,
     });
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "user").unwrap();

@@ -20,6 +20,7 @@ fn deep_fs(cache_capacity: usize, depth: usize) -> (H2Cloud, FsPath) {
             ..ClusterConfig::default()
         },
         cache_capacity,
+        trace_sample: 0.0,
     });
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "user").unwrap();

@@ -17,6 +17,7 @@ fn h2_with(mode: MaintenanceMode, middlewares: usize) -> H2Cloud {
         mode,
         cluster: ClusterConfig::default(),
         cache_capacity: 0,
+        trace_sample: 0.0,
     })
 }
 
@@ -227,6 +228,7 @@ pub fn abl_cache() -> ExpTable {
                 mode: MaintenanceMode::Eager,
                 cluster: ClusterConfig::default(),
                 cache_capacity,
+                trace_sample: 0.0,
             });
             let cost = fs.cost_model();
             let mut setup = OpCtx::new(cost.clone());

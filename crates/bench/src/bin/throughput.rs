@@ -11,18 +11,22 @@
 //!
 //! Flags: `--quick` (T=1,2 and fewer ops), `--threads 1,2,4,8`,
 //! `--pace F` (real seconds slept per virtual second; 0 disables),
-//! `--out PATH` (default `BENCH_throughput.json`).
+//! `--out PATH` (default `BENCH_throughput.json`),
+//! `--trace-out PATH` (after the measured sweep, replay one extra H2 run
+//! with every op traced and write the spans as chrome://tracing /
+//! Perfetto-openable JSON — the measured numbers stay trace-free).
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use h2bench::loadgen::{run_h2, run_swift, LoadResult, LoadgenConfig};
+use h2bench::loadgen::{run_h2, run_h2_capture, run_swift, LoadResult, LoadgenConfig};
 
 struct Args {
     threads: Vec<usize>,
     pace: f64,
     ops_per_client: usize,
     out: String,
+    trace_out: Option<String>,
     quick: bool,
 }
 
@@ -32,6 +36,7 @@ fn parse_args() -> Args {
         pace: 0.05,
         ops_per_client: 250,
         out: "BENCH_throughput.json".to_string(),
+        trace_out: None,
         quick: false,
     };
     let mut it = std::env::args().skip(1);
@@ -66,9 +71,12 @@ fn parse_args() -> Args {
             "--out" => {
                 args.out = it.next().expect("--out needs a path");
             }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().expect("--trace-out needs a path"));
+            }
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: throughput [--quick] [--threads 1,2,4,8] [--pace F] [--ops N] [--out PATH]");
+                eprintln!("usage: throughput [--quick] [--threads 1,2,4,8] [--pace F] [--ops N] [--out PATH] [--trace-out PATH]");
                 std::process::exit(2);
             }
         }
@@ -180,4 +188,24 @@ fn main() {
 
     std::fs::write(&args.out, &json).expect("write results file");
     println!("wrote {}", args.out);
+
+    // Optional timeline export. This is a *separate* fully-traced replay —
+    // the sweep above always runs with tracing off so the measured numbers
+    // never include collector overhead.
+    if let Some(path) = &args.trace_out {
+        let cfg = LoadgenConfig {
+            clients: *args.threads.iter().max().unwrap_or(&2),
+            ops_per_client: args.ops_per_client.min(60),
+            pace: args.pace,
+            trace_sample: 1.0,
+            ..Default::default()
+        };
+        let (_, traces) = run_h2_capture(&cfg);
+        std::fs::write(path, h2util::trace::chrome_trace_json(&traces)).expect("write trace file");
+        println!(
+            "wrote {} ({} root spans; open in chrome://tracing or ui.perfetto.dev)",
+            path,
+            traces.len()
+        );
+    }
 }

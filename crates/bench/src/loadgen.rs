@@ -59,6 +59,11 @@ pub struct LoadgenConfig {
     /// Pre-population size multiplier for each client's Light-profile
     /// filesystem (files the trace then reads, moves, lists, …).
     pub prepop_scale: f64,
+    /// Fraction of filesystem ops traced end-to-end (see
+    /// [`H2Config::trace_sample`]). 0 — the benchmarking default — keeps
+    /// the collector disabled so measured runs pay no tracing cost.
+    /// Ignored by the Swift baseline.
+    pub trace_sample: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -70,6 +75,7 @@ impl Default for LoadgenConfig {
             seed: 42,
             middlewares: 4,
             prepop_scale: 0.25,
+            trace_sample: 0.0,
         }
     }
 }
@@ -224,18 +230,28 @@ pub fn drive<F: CloudFs + Sync>(
 /// Full H2 run: Deferred maintenance, threaded gossip underneath, clients
 /// spread across `cfg.middlewares` middlewares by sticky routing.
 pub fn run_h2(cfg: &LoadgenConfig) -> LoadResult {
+    run_h2_capture(cfg).0
+}
+
+/// Like [`run_h2`], but also drains the sampled root traces collected
+/// during the run (newest first; empty when `cfg.trace_sample` is 0).
+/// Feed them to [`h2util::trace::chrome_trace_json`] for a
+/// chrome://tracing / Perfetto-openable timeline.
+pub fn run_h2_capture(cfg: &LoadgenConfig) -> (LoadResult, Vec<h2util::RootTrace>) {
     let fs = H2Cloud::new(H2Config {
         middlewares: cfg.middlewares,
         mode: MaintenanceMode::Deferred,
         cluster: ClusterConfig::default(),
         cache_capacity: 256,
+        trace_sample: cfg.trace_sample,
     });
     let cost = fs.cost_model();
     let plans = prepare(&fs, &cost, cfg);
     let gossip = fs.layer().run_threaded();
     let result = drive("H2Cloud", &fs, &cost, &plans, cfg.pace);
     gossip.stop();
-    result
+    let traces = fs.recent_traces(h2util::trace::DEFAULT_TRACE_CAP * cfg.middlewares.max(1));
+    (result, traces)
 }
 
 /// Swift (CH + file-path DB) baseline under the identical workload.

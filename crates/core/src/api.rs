@@ -185,6 +185,19 @@ impl<'a> H2Api<'a> {
                 // System monitoring (§4.2): per-operation latency summary.
                 Ok((200, ResponseBody::Message(self.fs.metrics().render())))
             }
+            (Method::Get, None) if req.q("op") == Some("trace") => {
+                // Most recent sampled operation traces as JSON (`n` caps the
+                // count, default 32). Empty unless `trace_sample` > 0.
+                let n = req
+                    .q("n")
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or(32);
+                let traces = self.fs.recent_traces(n);
+                Ok((
+                    200,
+                    ResponseBody::Message(h2util::trace::trace_json(&traces)),
+                ))
+            }
             (_, None) => Err(H2Error::Unsupported("method on account route")),
 
             // ----- Directory & File Content APIs -----
@@ -536,6 +549,68 @@ mod tests {
                 assert!(text.contains(h2util::retry::OP_RETRIES), "{text}");
                 assert!(text.contains(h2util::retry::OP_GAVE_UP), "{text}");
                 assert!(text.contains(h2util::retry::RETRY_BACKOFF_MS), "{text}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_route_returns_recent_root_spans() {
+        // `for_test()` samples every op, so client traffic must surface as
+        // root spans with nested middleware/cloud/replica stages, and the
+        // per-stage histograms must land on the metrics route.
+        let fs = api_fs();
+        let api = H2Api::new(&fs);
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice")));
+        ok(api.handle(&WebRequest::new(Method::Put, "/v1/alice/fs/d").with_query("type", "dir")));
+        ok(api.handle(
+            &WebRequest::new(Method::Put, "/v1/alice/fs/d/f").with_body(FileContent::from_str("x")),
+        ));
+        ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice/fs/d/f")));
+        let r =
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice").with_query("op", "trace")));
+        match r.body {
+            ResponseBody::Message(text) => {
+                assert!(text.contains("\"traces\""), "{text}");
+                assert!(text.contains("\"op\": \"WRITE\""), "{text}");
+                assert!(text.contains("\"op\": \"READ\""), "{text}");
+                // Stages from every layer of the stack appear.
+                for stage in ["mw", "cloud", "quorum", "replica"] {
+                    assert!(
+                        text.contains(&format!("\"stage\": \"{stage}\"")),
+                        "missing stage {stage}:\n{text}"
+                    );
+                }
+                // Per-replica votes are recorded on the span notes.
+                assert!(text.contains("\"vote\""), "{text}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        // `n` bounds the number of root traces returned.
+        let r = ok(api.handle(
+            &WebRequest::new(Method::Get, "/v1/alice")
+                .with_query("op", "trace")
+                .with_query("n", "1"),
+        ));
+        match r.body {
+            ResponseBody::Message(text) => {
+                assert_eq!(text.matches("\"seq\"").count(), 1, "{text}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        // Closed spans fed the per-stage latency histograms.
+        let r =
+            ok(api.handle(&WebRequest::new(Method::Get, "/v1/alice").with_query("op", "metrics")));
+        match r.body {
+            ResponseBody::Message(text) => {
+                for h in [
+                    h2util::trace::STAGE_RING_MS,
+                    h2util::trace::STAGE_CONTENT_MS,
+                    h2util::trace::STAGE_QUORUM_MS,
+                    h2util::trace::STAGE_BACKOFF_MS,
+                ] {
+                    assert!(text.contains(h), "missing {h}:\n{text}");
+                }
             }
             other => panic!("expected message, got {other:?}"),
         }

@@ -52,6 +52,14 @@ pub struct H2Config {
     /// — within the eventual consistency the paper already accepts, but a
     /// behaviour change operators must opt into.
     pub cache_capacity: usize,
+    /// Fraction of operations sampled into span traces, in `[0, 1]`
+    /// (0 disables tracing; `for_test()` samples everything). Sampled ops
+    /// record per-stage spans into a bounded per-middleware ring buffer,
+    /// served by the API `op=trace` route; closed spans also feed the
+    /// `stage_*` histograms on `op=metrics`. Sampling is deterministic
+    /// (every ⌈1/rate⌉-th candidate), and tracing never charges virtual
+    /// time, so traced and untraced runs behave identically.
+    pub trace_sample: f64,
 }
 
 impl Default for H2Config {
@@ -61,6 +69,7 @@ impl Default for H2Config {
             mode: MaintenanceMode::Eager,
             cluster: ClusterConfig::default(),
             cache_capacity: 0,
+            trace_sample: 0.0,
         }
     }
 }
@@ -77,6 +86,7 @@ impl H2Config {
             mode: MaintenanceMode::Eager,
             cluster: ClusterConfig::tiny(),
             cache_capacity: 128,
+            trace_sample: 1.0,
         }
     }
 }
@@ -113,12 +123,13 @@ impl H2Cloud {
         let cluster = Cluster::new(cfg.cluster.clone());
         let metrics = Arc::new(h2util::metrics::MetricsRegistry::new());
         H2Cloud {
-            layer: H2Layer::with_cache(
+            layer: H2Layer::with_observability(
                 cluster,
                 cfg.middlewares,
                 cfg.mode,
                 metrics.clone(),
                 cfg.cache_capacity,
+                cfg.trace_sample,
             ),
             metrics,
         }
@@ -131,18 +142,47 @@ impl H2Cloud {
     }
 
     /// Record an operation's virtual service time (the delta this op added
-    /// to `ctx`).
+    /// to `ctx`) and, when `mw`'s collector samples this op, wrap it in a
+    /// root span flushed to the collector on completion.
     fn observe<T>(
         &self,
+        mw: &H2Middleware,
         name: &str,
         ctx: &mut OpCtx,
         f: impl FnOnce(&mut OpCtx) -> Result<T>,
     ) -> Result<T> {
+        // Ops arriving on an already-traced context (none today) keep their
+        // existing root span.
+        let sampled = !ctx.trace_active() && mw.tracer().sample_next();
+        if sampled {
+            ctx.begin_trace(h2util::trace::STAGE_OP, name);
+        }
         let before = ctx.elapsed();
         let result = f(ctx);
         self.metrics
             .record(name, ctx.elapsed().saturating_sub(before));
+        if sampled {
+            let err = result.as_ref().err().map(|e| e.to_string());
+            if let Some(spans) = ctx.end_trace(err) {
+                mw.tracer().offer(spans, &self.metrics);
+            }
+        }
         result
+    }
+
+    /// The most recent `n` sampled operation traces across every middleware
+    /// in the layer, newest first (interleaved by per-collector sequence —
+    /// there is no global order across middlewares).
+    pub fn recent_traces(&self, n: usize) -> Vec<h2util::trace::RootTrace> {
+        let mut all: Vec<h2util::trace::RootTrace> = self
+            .layer
+            .middlewares()
+            .iter()
+            .flat_map(|mw| mw.tracer().recent(n))
+            .collect();
+        all.sort_by(|a, b| b.seq.cmp(&a.seq).then(a.node.cmp(&b.node)));
+        all.truncate(n);
+        all
     }
 
     /// Rack-shaped instance with calibrated costs (the figure harness's
@@ -793,27 +833,37 @@ impl CloudFs for H2Cloud {
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
         let mw = self.mw(account);
-        self.observe("MKDIR", ctx, |ctx| self.op_mkdir(&mw, ctx, account, path))
+        self.observe(&mw, "MKDIR", ctx, |ctx| {
+            self.op_mkdir(&mw, ctx, account, path)
+        })
     }
 
     fn rmdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
         let mw = self.mw(account);
-        self.observe("RMDIR", ctx, |ctx| self.op_rmdir(&mw, ctx, account, path))
+        self.observe(&mw, "RMDIR", ctx, |ctx| {
+            self.op_rmdir(&mw, ctx, account, path)
+        })
     }
 
     fn mv(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
         let mw = self.mw(account);
-        self.observe("MOVE", ctx, |ctx| self.op_mv(&mw, ctx, account, from, to))
+        self.observe(&mw, "MOVE", ctx, |ctx| {
+            self.op_mv(&mw, ctx, account, from, to)
+        })
     }
 
     fn copy(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
         let mw = self.mw(account);
-        self.observe("COPY", ctx, |ctx| self.op_copy(&mw, ctx, account, from, to))
+        self.observe(&mw, "COPY", ctx, |ctx| {
+            self.op_copy(&mw, ctx, account, from, to)
+        })
     }
 
     fn list(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<Vec<String>> {
         let mw = self.mw(account);
-        self.observe("LIST", ctx, |ctx| self.op_list(&mw, ctx, account, path))
+        self.observe(&mw, "LIST", ctx, |ctx| {
+            self.op_list(&mw, ctx, account, path)
+        })
     }
 
     fn list_detailed(
@@ -823,7 +873,7 @@ impl CloudFs for H2Cloud {
         path: &FsPath,
     ) -> Result<Vec<DirEntry>> {
         let mw = self.mw(account);
-        self.observe("LIST-DETAIL", ctx, |ctx| {
+        self.observe(&mw, "LIST-DETAIL", ctx, |ctx| {
             self.op_list_detailed(&mw, ctx, account, path)
         })
     }
@@ -836,26 +886,30 @@ impl CloudFs for H2Cloud {
         content: FileContent,
     ) -> Result<()> {
         let mw = self.mw(account);
-        self.observe("WRITE", ctx, |ctx| {
+        self.observe(&mw, "WRITE", ctx, |ctx| {
             self.op_write(&mw, ctx, account, path, content)
         })
     }
 
     fn read(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<FileContent> {
         let mw = self.mw(account);
-        self.observe("READ", ctx, |ctx| self.op_read(&mw, ctx, account, path))
+        self.observe(&mw, "READ", ctx, |ctx| {
+            self.op_read(&mw, ctx, account, path)
+        })
     }
 
     fn delete_file(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
         let mw = self.mw(account);
-        self.observe("DELETE", ctx, |ctx| {
+        self.observe(&mw, "DELETE", ctx, |ctx| {
             self.op_delete_file(&mw, ctx, account, path)
         })
     }
 
     fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
         let mw = self.mw(account);
-        self.observe("STAT", ctx, |ctx| self.op_stat(&mw, ctx, account, path))
+        self.observe(&mw, "STAT", ctx, |ctx| {
+            self.op_stat(&mw, ctx, account, path)
+        })
     }
 
     fn quiesce(&self) {
@@ -995,23 +1049,33 @@ impl CloudFs for H2View<'_> {
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
-        self.fs.op_mkdir(&self.mw, ctx, account, path)
+        self.fs.observe(&self.mw, "MKDIR", ctx, |ctx| {
+            self.fs.op_mkdir(&self.mw, ctx, account, path)
+        })
     }
 
     fn rmdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
-        self.fs.op_rmdir(&self.mw, ctx, account, path)
+        self.fs.observe(&self.mw, "RMDIR", ctx, |ctx| {
+            self.fs.op_rmdir(&self.mw, ctx, account, path)
+        })
     }
 
     fn mv(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
-        self.fs.op_mv(&self.mw, ctx, account, from, to)
+        self.fs.observe(&self.mw, "MOVE", ctx, |ctx| {
+            self.fs.op_mv(&self.mw, ctx, account, from, to)
+        })
     }
 
     fn copy(&self, ctx: &mut OpCtx, account: &str, from: &FsPath, to: &FsPath) -> Result<()> {
-        self.fs.op_copy(&self.mw, ctx, account, from, to)
+        self.fs.observe(&self.mw, "COPY", ctx, |ctx| {
+            self.fs.op_copy(&self.mw, ctx, account, from, to)
+        })
     }
 
     fn list(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<Vec<String>> {
-        self.fs.op_list(&self.mw, ctx, account, path)
+        self.fs.observe(&self.mw, "LIST", ctx, |ctx| {
+            self.fs.op_list(&self.mw, ctx, account, path)
+        })
     }
 
     fn list_detailed(
@@ -1020,7 +1084,9 @@ impl CloudFs for H2View<'_> {
         account: &str,
         path: &FsPath,
     ) -> Result<Vec<DirEntry>> {
-        self.fs.op_list_detailed(&self.mw, ctx, account, path)
+        self.fs.observe(&self.mw, "LIST-DETAIL", ctx, |ctx| {
+            self.fs.op_list_detailed(&self.mw, ctx, account, path)
+        })
     }
 
     fn write(
@@ -1030,19 +1096,27 @@ impl CloudFs for H2View<'_> {
         path: &FsPath,
         content: FileContent,
     ) -> Result<()> {
-        self.fs.op_write(&self.mw, ctx, account, path, content)
+        self.fs.observe(&self.mw, "WRITE", ctx, |ctx| {
+            self.fs.op_write(&self.mw, ctx, account, path, content)
+        })
     }
 
     fn read(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<FileContent> {
-        self.fs.op_read(&self.mw, ctx, account, path)
+        self.fs.observe(&self.mw, "READ", ctx, |ctx| {
+            self.fs.op_read(&self.mw, ctx, account, path)
+        })
     }
 
     fn delete_file(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
-        self.fs.op_delete_file(&self.mw, ctx, account, path)
+        self.fs.observe(&self.mw, "DELETE", ctx, |ctx| {
+            self.fs.op_delete_file(&self.mw, ctx, account, path)
+        })
     }
 
     fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
-        self.fs.op_stat(&self.mw, ctx, account, path)
+        self.fs.observe(&self.mw, "STAT", ctx, |ctx| {
+            self.fs.op_stat(&self.mw, ctx, account, path)
+        })
     }
 
     fn quiesce(&self) {

@@ -74,6 +74,20 @@ impl H2Layer {
         metrics: Arc<MetricsRegistry>,
         cache_capacity: usize,
     ) -> Self {
+        Self::with_observability(cluster, n, mode, metrics, cache_capacity, 0.0)
+    }
+
+    /// Like [`with_cache`](Self::with_cache), plus span tracing: each
+    /// middleware gets a bounded [`h2util::trace::TraceCollector`] sampling
+    /// `trace_sample` of its operations (0 disables tracing entirely).
+    pub fn with_observability(
+        cluster: Arc<Cluster>,
+        n: usize,
+        mode: MaintenanceMode,
+        metrics: Arc<MetricsRegistry>,
+        cache_capacity: usize,
+        trace_sample: f64,
+    ) -> Self {
         assert!(n >= 1, "need at least one middleware");
         // Pre-register the layer's failure counters so `op=metrics` always
         // lists them, even before the first failure.
@@ -82,14 +96,27 @@ impl H2Layer {
         metrics.counter(h2util::retry::OP_RETRIES);
         metrics.counter(h2util::retry::OP_GAVE_UP);
         metrics.histogram(h2util::retry::RETRY_BACKOFF_MS);
+        if trace_sample > 0.0 {
+            // Same idea for the per-stage breakdown histograms: only listed
+            // when tracing can actually feed them.
+            metrics.histogram(h2util::trace::STAGE_RING_MS);
+            metrics.histogram(h2util::trace::STAGE_CONTENT_MS);
+            metrics.histogram(h2util::trace::STAGE_QUORUM_MS);
+            metrics.histogram(h2util::trace::STAGE_BACKOFF_MS);
+        }
         let middlewares = (1..=n as u16)
             .map(|i| {
-                H2Middleware::with_cache(
+                H2Middleware::with_observability(
                     NodeId(i),
                     cluster.clone(),
                     mode,
                     metrics.clone(),
                     cache_capacity,
+                    Arc::new(h2util::trace::TraceCollector::new(
+                        trace_sample,
+                        h2util::trace::DEFAULT_TRACE_CAP,
+                        i,
+                    )),
                 )
             })
             .collect();

@@ -30,6 +30,7 @@ use std::sync::Arc;
 
 use h2util::id::NamespaceAllocator;
 use h2util::metrics::{Counter, MetricsRegistry};
+use h2util::trace::{TraceCollector, STAGE_GOSSIP, STAGE_MERGE, STAGE_MW, STAGE_RESOLVE};
 use h2util::{
     H2Error, HybridClock, LruCache, NamespaceId, NodeId, OpCtx, Result, RetryPolicy, Timestamp,
 };
@@ -120,6 +121,9 @@ pub struct H2Middleware {
     /// patch submission, descriptor I/O. Seeded per node so independent
     /// middlewares draw decorrelated jitter, yet replays are identical.
     retry: RetryPolicy,
+    /// Bounded ring buffer of sampled operation traces served by `op=trace`;
+    /// a disabled collector (the default) keeps the span machinery inert.
+    tracer: Arc<TraceCollector>,
     outbox: Mutex<Vec<GossipMsg>>,
     /// Virtual time + op counts spent on background maintenance (merges and
     /// gossip handling in Deferred mode) — the ablation benches report it.
@@ -140,6 +144,26 @@ impl H2Middleware {
         mode: MaintenanceMode,
         metrics: Arc<MetricsRegistry>,
         cache_capacity: usize,
+    ) -> Arc<Self> {
+        Self::with_observability(
+            node,
+            store,
+            mode,
+            metrics,
+            cache_capacity,
+            Arc::new(TraceCollector::disabled()),
+        )
+    }
+
+    /// Full constructor: like [`with_cache`](Self::with_cache), plus a span
+    /// collector for sampled operation traces.
+    pub fn with_observability(
+        node: NodeId,
+        store: Arc<Cluster>,
+        mode: MaintenanceMode,
+        metrics: Arc<MetricsRegistry>,
+        cache_capacity: usize,
+        tracer: Arc<TraceCollector>,
     ) -> Arc<Self> {
         assert!(
             node.0 > 0,
@@ -162,6 +186,7 @@ impl H2Middleware {
             fds: Mutex::new(HashMap::new()),
             merge_locks: Mutex::new(HashMap::new()),
             retry: RetryPolicy::new(0x4852_5452 ^ node.0 as u64),
+            tracer,
             outbox: Mutex::new(Vec::new()),
             background: Mutex::new(Default::default()),
         })
@@ -204,6 +229,11 @@ impl H2Middleware {
         &self.retry
     }
 
+    /// The span collector holding this middleware's sampled traces.
+    pub fn tracer(&self) -> &Arc<TraceCollector> {
+        &self.tracer
+    }
+
     /// Run a cloud operation under this middleware's retry policy, charging
     /// backoff as virtual latency and recording `op_retries` / `op_gave_up`
     /// in the middleware's registry. The fs layer routes content-object I/O
@@ -213,7 +243,9 @@ impl H2Middleware {
     where
         F: FnMut(&mut OpCtx) -> Result<T>,
     {
-        self.retry.run_virtual(ctx, Some(&self.metrics), op, f)
+        ctx.span(STAGE_MW, op, |ctx| {
+            self.retry.run_virtual(ctx, Some(&self.metrics), op, f)
+        })
     }
 
     fn absorb_background(&self, ctx: &OpCtx) {
@@ -326,20 +358,29 @@ impl H2Middleware {
     /// yet) — and join it with this node's local version, so the caller
     /// sees both global state and this node's own not-yet-merged updates.
     pub fn read_ring(&self, ctx: &mut OpCtx, keys: &H2Keys, ns: NamespaceId) -> Result<NameRing> {
-        let key = (keys.account().to_string(), ns);
-        let mut ring = match self.cached_global(&key) {
-            Some(cached) => cached,
-            None => {
-                let global = self.fetch_global_ring(ctx, keys, ns)?;
-                self.cache_store_fetched(key.clone(), &global);
-                global
+        ctx.span(STAGE_RESOLVE, "read_ring", |ctx| {
+            ctx.span_note("ns", || ns.to_string());
+            let key = (keys.account().to_string(), ns);
+            let mut ring = match self.cached_global(&key) {
+                Some(cached) => {
+                    ctx.span_note("ring_cache", || "hit".to_string());
+                    cached
+                }
+                None => {
+                    if self.cache_counters.is_some() {
+                        ctx.span_note("ring_cache", || "miss".to_string());
+                    }
+                    let global = self.fetch_global_ring(ctx, keys, ns)?;
+                    self.cache_store_fetched(key.clone(), &global);
+                    global
+                }
+            };
+            let fds = self.fds.lock();
+            if let Some(fd) = fds.get(&key) {
+                ring.merge_from(&fd.local);
             }
-        };
-        let fds = self.fds.lock();
-        if let Some(fd) = fds.get(&key) {
-            ring.merge_from(&fd.local);
-        }
-        Ok(ring)
+            Ok(ring)
+        })
     }
 
     /// The ring object exactly as stored (no local overlay).
@@ -497,6 +538,13 @@ impl H2Middleware {
     /// objects, and queue a gossip notification. Returns true if any patch
     /// was merged.
     pub fn merge_ns(&self, ctx: &mut OpCtx, keys: &H2Keys, ns: NamespaceId) -> Result<bool> {
+        ctx.span(STAGE_MERGE, "merge_ns", |ctx| {
+            ctx.span_note("ns", || ns.to_string());
+            self.merge_ns_inner(ctx, keys, ns)
+        })
+    }
+
+    fn merge_ns_inner(&self, ctx: &mut OpCtx, keys: &H2Keys, ns: NamespaceId) -> Result<bool> {
         // One merge cycle per ring at a time on this node.
         let gate = self
             .merge_locks
@@ -609,11 +657,32 @@ impl H2Middleware {
         };
         let mut merged = 0usize;
         let mut ctx = OpCtx::new(self.store.cost_model());
+        // Background merge pumps are sampled like client ops, so Deferred
+        // mode's maintenance shows up as MERGE-PUMP root traces.
+        let sampled = !work.is_empty() && self.tracer.sample_next();
+        if sampled {
+            ctx.begin_trace(STAGE_MERGE, "MERGE-PUMP");
+        }
+        let mut failure = None;
         for (account, ns) in work {
             let keys = H2Keys::new(&account);
-            if self.merge_ns(&mut ctx, &keys, ns)? {
-                merged += 1;
+            match self.merge_ns(&mut ctx, &keys, ns) {
+                Ok(true) => merged += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
             }
+        }
+        if sampled {
+            let err = failure.as_ref().map(|e| e.to_string());
+            if let Some(spans) = ctx.end_trace(err) {
+                self.tracer.offer(spans, &self.metrics);
+            }
+        }
+        if let Some(e) = failure {
+            return Err(e);
         }
         self.absorb_background(&ctx);
         Ok(merged)
@@ -639,12 +708,36 @@ impl H2Middleware {
                 }
             }
         }
+        let mut ctx = OpCtx::new(self.store.cost_model());
+        // Gossip hops run on their own context, so they self-sample into
+        // GOSSIP-APPLY root traces.
+        let sampled = self.tracer.sample_next();
+        if sampled {
+            ctx.begin_trace(STAGE_GOSSIP, "GOSSIP-APPLY");
+            ctx.span_note("ns", || msg.ns.to_string());
+            ctx.span_note("from", || msg.from.0.to_string());
+        }
+        let result = self.apply_gossip(&mut ctx, msg);
+        if sampled {
+            let err = result.as_ref().err().map(|e| e.to_string());
+            if let Some(spans) = ctx.end_trace(err) {
+                self.tracer.offer(spans, &self.metrics);
+            }
+        }
+        result?;
+        self.clock.observe(msg.version);
+        self.absorb_background(&ctx);
+        Ok(true)
+    }
+
+    /// The fallible portion of one gossip application (split out so the
+    /// wrapper can flush the trace on both outcomes).
+    fn apply_gossip(&self, ctx: &mut OpCtx, msg: &GossipMsg) -> Result<()> {
         // Fetch the updated ring version and merge it into the local view.
         // The fresh global also refreshes the NameRing cache — gossip is
         // what keeps cached rings from going stale across middlewares.
         let keys = H2Keys::new(&msg.account);
-        let mut ctx = OpCtx::new(self.store.cost_model());
-        let global = self.fetch_global_ring(&mut ctx, &keys, msg.ns)?;
+        let global = self.fetch_global_ring(ctx, &keys, msg.ns)?;
         self.cache_store_fetched((msg.account.clone(), msg.ns), &global);
         let had_extra = {
             let mut fds = self.fds.lock();
@@ -663,7 +756,10 @@ impl H2Middleware {
                 let fds = self.fds.lock();
                 fds[&(msg.account.clone(), msg.ns)].local.clone()
             };
-            self.put_global_ring(&mut ctx, &keys, msg.ns, &local)?;
+            ctx.span_note("write_back", || {
+                "local updates joined into global".to_string()
+            });
+            self.put_global_ring(ctx, &keys, msg.ns, &local)?;
             self.outbox.lock().push(GossipMsg {
                 account: msg.account.clone(),
                 ns: msg.ns,
@@ -671,9 +767,7 @@ impl H2Middleware {
                 version: local.version(),
             });
         }
-        self.clock.observe(msg.version);
-        self.absorb_background(&ctx);
-        Ok(true)
+        Ok(())
     }
 
     // ----- descriptor objects ----------------------------------------------

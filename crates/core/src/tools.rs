@@ -230,6 +230,7 @@ mod tests {
             mode: crate::middleware::MaintenanceMode::Deferred,
             cluster: swiftsim::ClusterConfig::tiny(),
             cache_capacity: 0,
+            trace_sample: 0.0,
         });
         let mut ctx2 = OpCtx::for_test();
         dst.create_account(&mut ctx2, "carol").unwrap();

@@ -34,6 +34,7 @@ use h2ring::{DeviceId, Ring, RingBuilder};
 use h2util::faults::{
     torn_survivors, FaultDecision, FaultInjector, FaultPlan, FaultStats, OpClass,
 };
+use h2util::trace::{STAGE_CLOUD, STAGE_QUORUM, STAGE_REPLICA};
 use h2util::{hash64, CostModel, H2Error, OpCtx, OrderedMutex, OrderedRwLock, PrimKind, Result};
 
 use crate::container::{ContainerIndex, IndexRecord, ListEntry, ListOptions};
@@ -478,14 +479,22 @@ impl Cluster {
         match inj.decide(class) {
             FaultDecision::Clean => Ok(None),
             FaultDecision::Slow(d) => {
+                ctx.span_note("fault", || format!("slow +{}us", d.as_micros()));
                 ctx.charge_time(d);
                 Ok(None)
             }
-            FaultDecision::Error => Err(H2Error::Unavailable(format!(
-                "injected {} fault for {target}",
-                class.label()
-            ))),
-            FaultDecision::Torn { raw } => Ok(Some(torn_survivors(raw, self.cfg.replicas))),
+            FaultDecision::Error => {
+                ctx.span_note("fault", || format!("injected {} error", class.label()));
+                Err(H2Error::Unavailable(format!(
+                    "injected {} fault for {target}",
+                    class.label()
+                )))
+            }
+            FaultDecision::Torn { raw } => {
+                let cap = torn_survivors(raw, self.cfg.replicas);
+                ctx.span_note("fault", || format!("torn write, cap {cap}"));
+                Ok(Some(cap))
+            }
         }
     }
 
@@ -507,8 +516,10 @@ impl Cluster {
     /// replicas are written and the call always reports `Unavailable` —
     /// the proxy "crashed" mid-replication (fail-after-write). State is
     /// partially applied; repair and the retry layer must absorb it.
+    #[allow(clippy::too_many_arguments)]
     fn replicated_put_capped(
         &self,
+        ctx: &mut OpCtx,
         ring_key: &str,
         payload: &Payload,
         meta: &Meta,
@@ -516,6 +527,7 @@ impl Cluster {
         tombstone: bool,
         cap: Option<usize>,
     ) -> Result<()> {
+        let verb = if tombstone { "delete" } else { "put" };
         let part = self.ring.partition_of(ring_key.as_bytes());
         let assigned = self.ring.devices_for_part(part);
         let quorum = self.cfg.replicas / 2 + 1;
@@ -530,6 +542,15 @@ impl Cluster {
                 self.node(dev)
                     .put(ring_key, payload.clone(), meta.clone(), ms, false)
             };
+            ctx.span_instant(STAGE_REPLICA, verb, || {
+                vec![
+                    ("dev", dev.0.to_string()),
+                    (
+                        "vote",
+                        if ok { "stored" } else { "unreachable" }.to_string(),
+                    ),
+                ]
+            });
             if ok {
                 placed += 1;
             }
@@ -545,11 +566,24 @@ impl Cluster {
                     self.node(dev)
                         .put(ring_key, payload.clone(), meta.clone(), ms, true)
                 };
+                ctx.span_instant(STAGE_REPLICA, verb, || {
+                    vec![
+                        ("dev", dev.0.to_string()),
+                        ("handoff", "yes".to_string()),
+                        (
+                            "vote",
+                            if ok { "stored" } else { "unreachable" }.to_string(),
+                        ),
+                    ]
+                });
                 if ok {
                     placed += 1;
                 }
             }
         }
+        ctx.span_note("quorum", || {
+            format!("{placed}/{} placed", self.cfg.replicas)
+        });
         if cap.is_some() {
             return Err(H2Error::Unavailable(format!(
                 "injected torn write: {placed}/{} replicas applied for {ring_key}",
@@ -579,7 +613,11 @@ impl Cluster {
     /// agree, handoffs cannot hold anything newer that matters — agreement
     /// after a full outage is repaired by [`Cluster::repair`], as in real
     /// Swift.
-    fn read_replica(&self, ring_key: &str) -> Result<Option<crate::node::StoredReplica>> {
+    fn read_replica(
+        &self,
+        ctx: &mut OpCtx,
+        ring_key: &str,
+    ) -> Result<Option<crate::node::StoredReplica>> {
         fn consider(best: &mut Option<crate::node::StoredReplica>, r: crate::node::StoredReplica) {
             if best.as_ref().is_none_or(|b| r.modified_ms > b.modified_ms) {
                 *best = Some(r);
@@ -596,6 +634,9 @@ impl Cluster {
             let n = self.node(dev);
             if n.is_down() {
                 any_assigned_down = true;
+                ctx.span_instant(STAGE_REPLICA, "read", || {
+                    vec![("dev", dev.0.to_string()), ("vote", "down".to_string())]
+                });
                 continue;
             }
             if self.replica_read_faulted() {
@@ -604,11 +645,17 @@ impl Cluster {
                 // reachability not counted), same as a transient timeout.
                 any_assigned_down = true;
                 any_replica_faulted = true;
+                ctx.span_instant(STAGE_REPLICA, "read", || {
+                    vec![("dev", dev.0.to_string()), ("vote", "faulted".to_string())]
+                });
                 continue;
             }
             reachable += 1;
-            let r = n.get_raw(ring_key);
+            let (r, probe) = n.probe(ring_key);
             up_stamps.push(r.as_ref().map(|r| r.modified_ms));
+            ctx.span_instant(STAGE_REPLICA, "read", || {
+                vec![("dev", dev.0.to_string()), ("vote", probe.vote())]
+            });
             if let Some(r) = r {
                 consider(&mut best, r);
             }
@@ -617,11 +664,27 @@ impl Cluster {
         let assigned_suspect =
             any_assigned_down || best.is_none() || up_stamps.iter().any(|s| *s != best_ms);
         if assigned_suspect {
+            ctx.span_note("handoff_scan", || {
+                if any_assigned_down {
+                    "assigned device down or faulted".to_string()
+                } else {
+                    "assigned replicas missing or disagreeing".to_string()
+                }
+            });
             for dev in self.ring.handoffs(part) {
-                if !self.node(dev).is_down() {
+                let n = self.node(dev);
+                if !n.is_down() {
                     reachable += 1;
                 }
-                if let Some(r) = self.node(dev).get_raw(ring_key) {
+                let (r, probe) = n.probe(ring_key);
+                ctx.span_instant(STAGE_REPLICA, "read", || {
+                    vec![
+                        ("dev", dev.0.to_string()),
+                        ("handoff", "yes".to_string()),
+                        ("vote", probe.vote()),
+                    ]
+                });
+                if let Some(r) = r {
                     consider(&mut best, r);
                 }
             }
@@ -855,99 +918,128 @@ impl ObjectStore for Cluster {
     fn put(&self, ctx: &mut OpCtx, key: &ObjectKey, payload: Payload, meta: Meta) -> Result<()> {
         self.check_container(&key.account, &key.container)?;
         let ring_key = key.ring_key();
-        let torn = self.fault_gate(ctx, OpClass::Put, &ring_key)?;
-        let size = payload.len();
-        ctx.charge(PrimKind::Put, std::time::Duration::ZERO);
-        self.charge_replica_time(ctx, self.cfg.cost.put_cost(size as usize));
-        let ctype = meta.get("content-type").cloned().unwrap_or_default();
-        let _guard = self.op_lock(&ring_key).lock();
-        let ms = self.next_ms();
-        // A torn write applies to a strict subset of replicas, then errors
-        // out before the catalog/index updates — fail-after-write.
-        self.replicated_put_capped(&ring_key, &payload, &meta, ms, false, torn)?;
-        self.catalog_put(&ring_key, size);
-        self.index_upsert(ctx, key, size, ms, &ctype);
-        Ok(())
+        ctx.span(STAGE_CLOUD, "PUT", |ctx| {
+            ctx.span_note("key", || ring_key.clone());
+            let torn = self.fault_gate(ctx, OpClass::Put, &ring_key)?;
+            let size = payload.len();
+            ctx.charge(PrimKind::Put, std::time::Duration::ZERO);
+            let ctype = meta.get("content-type").cloned().unwrap_or_default();
+            let _guard = self.op_lock(&ring_key).lock();
+            let ms = self.next_ms();
+            // A torn write applies to a strict subset of replicas, then
+            // errors out before the catalog/index updates — fail-after-write.
+            ctx.span(STAGE_QUORUM, "replicate", |ctx| {
+                self.charge_replica_time(ctx, self.cfg.cost.put_cost(size as usize));
+                self.replicated_put_capped(ctx, &ring_key, &payload, &meta, ms, false, torn)
+            })?;
+            self.catalog_put(&ring_key, size);
+            self.index_upsert(ctx, key, size, ms, &ctype);
+            Ok(())
+        })
     }
 
     fn get(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<Object> {
         self.check_container(&key.account, &key.container)?;
         let ring_key = key.ring_key();
-        self.fault_gate(ctx, OpClass::Get, &ring_key)?;
-        match self.read_replica(&ring_key)? {
-            Some(r) => {
-                ctx.charge(
-                    PrimKind::Get,
-                    self.cfg.cost.get_cost(r.payload.len() as usize),
-                );
-                Ok(StorageNode::to_object(key, r))
+        ctx.span(STAGE_CLOUD, "GET", |ctx| {
+            ctx.span_note("key", || ring_key.clone());
+            self.fault_gate(ctx, OpClass::Get, &ring_key)?;
+            let found = ctx.span(STAGE_QUORUM, "read-replicas", |ctx| {
+                let r = self.read_replica(ctx, &ring_key)?;
+                let len = r.as_ref().map_or(0, |r| r.payload.len() as usize);
+                ctx.charge(PrimKind::Get, self.cfg.cost.get_cost(len));
+                Ok(r)
+            })?;
+            match found {
+                Some(r) => Ok(StorageNode::to_object(key, r)),
+                None => Err(H2Error::NotFound(ring_key.clone())),
             }
-            None => {
-                ctx.charge(PrimKind::Get, self.cfg.cost.get_cost(0));
-                Err(H2Error::NotFound(ring_key))
-            }
-        }
+        })
     }
 
     fn head(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<ObjectInfo> {
         self.check_container(&key.account, &key.container)?;
-        ctx.charge(PrimKind::Head, self.cfg.cost.head_cost());
         let ring_key = key.ring_key();
-        self.fault_gate(ctx, OpClass::Head, &ring_key)?;
-        match self.read_replica(&ring_key)? {
-            Some(r) => Ok(StorageNode::to_object(key, r).info()),
-            None => Err(H2Error::NotFound(ring_key)),
-        }
+        ctx.span(STAGE_CLOUD, "HEAD", |ctx| {
+            ctx.span_note("key", || ring_key.clone());
+            ctx.charge(PrimKind::Head, self.cfg.cost.head_cost());
+            self.fault_gate(ctx, OpClass::Head, &ring_key)?;
+            let found = ctx.span(STAGE_QUORUM, "read-replicas", |ctx| {
+                self.read_replica(ctx, &ring_key)
+            })?;
+            match found {
+                Some(r) => Ok(StorageNode::to_object(key, r).info()),
+                None => Err(H2Error::NotFound(ring_key.clone())),
+            }
+        })
     }
 
     fn delete(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<()> {
         self.check_container(&key.account, &key.container)?;
         let ring_key = key.ring_key();
-        let torn = self.fault_gate(ctx, OpClass::Delete, &ring_key)?;
-        let _guard = self.op_lock(&ring_key).lock();
-        if self.read_replica(&ring_key)?.is_none() {
-            ctx.charge(PrimKind::Delete, self.cfg.cost.delete_cost());
-            // An earlier torn delete may have tombstoned every replica
-            // without reaching the catalog; absence is now confirmed, so
-            // heal that divergence (a no-op in the common case).
+        ctx.span(STAGE_CLOUD, "DELETE", |ctx| {
+            ctx.span_note("key", || ring_key.clone());
+            let torn = self.fault_gate(ctx, OpClass::Delete, &ring_key)?;
+            let _guard = self.op_lock(&ring_key).lock();
+            let existing = ctx.span(STAGE_QUORUM, "read-replicas", |ctx| {
+                self.read_replica(ctx, &ring_key)
+            })?;
+            if existing.is_none() {
+                ctx.charge(PrimKind::Delete, self.cfg.cost.delete_cost());
+                // An earlier torn delete may have tombstoned every replica
+                // without reaching the catalog; absence is now confirmed, so
+                // heal that divergence (a no-op in the common case).
+                self.catalog_remove(&ring_key);
+                return Err(H2Error::NotFound(ring_key.clone()));
+            }
+            let ms = self.next_ms();
+            ctx.charge(PrimKind::Delete, std::time::Duration::ZERO);
+            ctx.span(STAGE_QUORUM, "replicate", |ctx| {
+                self.charge_replica_time(ctx, self.cfg.cost.delete_cost());
+                self.replicated_put_capped(
+                    ctx,
+                    &ring_key,
+                    &Payload::Inline(bytes::Bytes::new()),
+                    &Meta::new(),
+                    ms,
+                    true,
+                    torn,
+                )
+            })?;
             self.catalog_remove(&ring_key);
-            return Err(H2Error::NotFound(ring_key));
-        }
-        let ms = self.next_ms();
-        ctx.charge(PrimKind::Delete, std::time::Duration::ZERO);
-        self.charge_replica_time(ctx, self.cfg.cost.delete_cost());
-        self.replicated_put_capped(
-            &ring_key,
-            &Payload::Inline(bytes::Bytes::new()),
-            &Meta::new(),
-            ms,
-            true,
-            torn,
-        )?;
-        self.catalog_remove(&ring_key);
-        self.index_remove(ctx, key);
-        Ok(())
+            self.index_remove(ctx, key);
+            Ok(())
+        })
     }
 
     fn copy(&self, ctx: &mut OpCtx, src: &ObjectKey, dst: &ObjectKey) -> Result<()> {
         self.check_container(&src.account, &src.container)?;
         self.check_container(&dst.account, &dst.container)?;
         let src_key = src.ring_key();
-        let torn = self.fault_gate(ctx, OpClass::Copy, &src_key)?;
-        let Some(r) = self.read_replica(&src_key)? else {
-            ctx.charge(PrimKind::Copy, self.cfg.cost.copy_cost(0));
-            return Err(H2Error::NotFound(src_key));
-        };
-        let size = r.payload.len();
-        ctx.charge(PrimKind::Copy, self.cfg.cost.copy_cost(size as usize));
         let dst_key = dst.ring_key();
-        let ctype = r.meta.get("content-type").cloned().unwrap_or_default();
-        let _guard = self.op_lock(&dst_key).lock();
-        let ms = self.next_ms();
-        self.replicated_put_capped(&dst_key, &r.payload, &r.meta, ms, false, torn)?;
-        self.catalog_put(&dst_key, size);
-        self.index_upsert(ctx, dst, size, ms, &ctype);
-        Ok(())
+        ctx.span(STAGE_CLOUD, "COPY", |ctx| {
+            ctx.span_note("src", || src_key.clone());
+            ctx.span_note("dst", || dst_key.clone());
+            let torn = self.fault_gate(ctx, OpClass::Copy, &src_key)?;
+            let found = ctx.span(STAGE_QUORUM, "read-replicas", |ctx| {
+                self.read_replica(ctx, &src_key)
+            })?;
+            let Some(r) = found else {
+                ctx.charge(PrimKind::Copy, self.cfg.cost.copy_cost(0));
+                return Err(H2Error::NotFound(src_key.clone()));
+            };
+            let size = r.payload.len();
+            ctx.charge(PrimKind::Copy, self.cfg.cost.copy_cost(size as usize));
+            let ctype = r.meta.get("content-type").cloned().unwrap_or_default();
+            let _guard = self.op_lock(&dst_key).lock();
+            let ms = self.next_ms();
+            ctx.span(STAGE_QUORUM, "replicate", |ctx| {
+                self.replicated_put_capped(ctx, &dst_key, &r.payload, &r.meta, ms, false, torn)
+            })?;
+            self.catalog_put(&dst_key, size);
+            self.index_upsert(ctx, dst, size, ms, &ctype);
+            Ok(())
+        })
     }
 
     fn list(
@@ -957,23 +1049,26 @@ impl ObjectStore for Cluster {
         container: &str,
         opts: &ListOptions,
     ) -> Result<Vec<ListEntry>> {
-        self.fault_gate(ctx, OpClass::List, container)?;
-        let shard = self.container_shard(account, container).read();
-        let state = shard
-            .get(&(account.to_string(), container.to_string()))
-            .ok_or_else(|| H2Error::NotFound(format!("container {account}/{container}")))?;
-        if !state.indexed {
-            return Err(H2Error::Unsupported(
-                "container has no listing index (created unindexed)",
-            ));
-        }
-        let rows = state.index.list(opts);
-        ctx.charge(
-            PrimKind::DbQuery,
-            self.cfg.cost.db_query_cost(state.index.len() as u64),
-        );
-        ctx.charge_time(self.cfg.cost.per_entry_cpu * rows.len() as u32);
-        Ok(rows)
+        ctx.span(STAGE_CLOUD, "LIST", |ctx| {
+            ctx.span_note("container", || format!("{account}/{container}"));
+            self.fault_gate(ctx, OpClass::List, container)?;
+            let shard = self.container_shard(account, container).read();
+            let state = shard
+                .get(&(account.to_string(), container.to_string()))
+                .ok_or_else(|| H2Error::NotFound(format!("container {account}/{container}")))?;
+            if !state.indexed {
+                return Err(H2Error::Unsupported(
+                    "container has no listing index (created unindexed)",
+                ));
+            }
+            let rows = state.index.list(opts);
+            ctx.charge(
+                PrimKind::DbQuery,
+                self.cfg.cost.db_query_cost(state.index.len() as u64),
+            );
+            ctx.charge_time(self.cfg.cost.per_entry_cpu * rows.len() as u32);
+            Ok(rows)
+        })
     }
 }
 

@@ -25,7 +25,7 @@ pub mod object;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use container::{ContainerIndex, IndexRecord, ListEntry, ListOptions};
-pub use node::StorageNode;
+pub use node::{ReplicaProbe, StorageNode};
 pub use object::{Meta, Object, ObjectInfo, ObjectKey, Payload};
 
 /// The store's three-tier lock hierarchy, outermost first. These ranks are

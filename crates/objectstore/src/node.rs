@@ -41,6 +41,41 @@ pub struct StoredReplica {
     pub deleted: bool,
 }
 
+/// Outcome of one replica probe, as observed by the cluster read path.
+///
+/// This is the vote a device casts during a quorum read, shaped for the
+/// trace layer: reachability, the stamp it answered with, and whether the
+/// stored replica is a tombstone. Defining it here keeps the vote
+/// vocabulary next to the storage it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaProbe {
+    /// Device down (or treated as unreachable for this request).
+    Down,
+    /// Device up but holds nothing under this key.
+    Miss,
+    /// Device answered with a replica (possibly a tombstone).
+    Hit { modified_ms: u64, tombstone: bool },
+}
+
+impl ReplicaProbe {
+    /// Short label recorded as the device's vote in trace span notes:
+    /// `down` / `miss` / `ms=17` / `tomb ms=17`.
+    pub fn vote(&self) -> String {
+        match self {
+            ReplicaProbe::Down => "down".to_string(),
+            ReplicaProbe::Miss => "miss".to_string(),
+            ReplicaProbe::Hit {
+                modified_ms,
+                tombstone: false,
+            } => format!("ms={modified_ms}"),
+            ReplicaProbe::Hit {
+                modified_ms,
+                tombstone: true,
+            } => format!("tomb ms={modified_ms}"),
+        }
+    }
+}
+
 /// An in-memory storage device.
 #[derive(Debug)]
 pub struct StorageNode {
@@ -204,6 +239,25 @@ impl StorageNode {
         self.stripe(ring_key).read().get(ring_key).cloned()
     }
 
+    /// Raw fetch plus the structured outcome the trace layer records as
+    /// this device's quorum vote. Equivalent to [`StorageNode::get_raw`]
+    /// with the reason for `None` made explicit.
+    pub fn probe(&self, ring_key: &str) -> (Option<StoredReplica>, ReplicaProbe) {
+        if self.is_down() {
+            return (None, ReplicaProbe::Down);
+        }
+        match self.get_raw(ring_key) {
+            Some(r) => {
+                let p = ReplicaProbe::Hit {
+                    modified_ms: r.modified_ms,
+                    tombstone: r.deleted,
+                };
+                (Some(r), p)
+            }
+            None => (None, ReplicaProbe::Miss),
+        }
+    }
+
     /// Tombstone a replica. Returns false if the node is down or an
     /// injected per-replica fault makes it unreachable for this request.
     pub fn delete(&self, ring_key: &str, modified_ms: u64) -> bool {
@@ -320,6 +374,31 @@ mod tests {
 
     fn node() -> StorageNode {
         StorageNode::new(DeviceId(0), 0)
+    }
+
+    #[test]
+    fn probe_reports_down_miss_hit_and_tombstone() {
+        let n = node();
+        assert_eq!(n.probe("/k").1, ReplicaProbe::Miss);
+        assert!(n.put("/k", Payload::from_static("x"), Meta::new(), 7, false));
+        let (r, p) = n.probe("/k");
+        assert_eq!(r.unwrap().modified_ms, 7);
+        assert_eq!(
+            p,
+            ReplicaProbe::Hit {
+                modified_ms: 7,
+                tombstone: false
+            }
+        );
+        assert_eq!(p.vote(), "ms=7");
+        assert!(n.delete("/k", 9));
+        let (_, p) = n.probe("/k");
+        assert_eq!(p.vote(), "tomb ms=9");
+        n.set_down(true);
+        let (r, p) = n.probe("/k");
+        assert!(r.is_none());
+        assert_eq!(p, ReplicaProbe::Down);
+        assert_eq!(p.vote(), "down");
     }
 
     #[test]

@@ -278,6 +278,9 @@ pub struct OpCtx {
     /// Depth of `parallel(..)` nesting; inside a parallel section,
     /// `charge` contributions are collected by the section instead.
     batch: Option<BatchState>,
+    /// Live span buffer when this op was sampled for tracing (boxed so the
+    /// untraced fast path only pays a null check).
+    trace: Option<Box<crate::trace::TraceBuf>>,
 }
 
 #[derive(Debug, Clone)]
@@ -286,6 +289,8 @@ struct BatchState {
     items: Vec<Duration>,
     /// Time charged to the currently open item.
     current: Duration,
+    /// Virtual time at which the section opened (for span timing).
+    base: Duration,
 }
 
 impl OpCtx {
@@ -295,6 +300,7 @@ impl OpCtx {
             elapsed: Duration::ZERO,
             counts: BackendCounts::default(),
             batch: None,
+            trace: None,
         }
     }
 
@@ -339,10 +345,12 @@ impl OpCtx {
         if k == 0 {
             return Ok(());
         }
+        let base = self.vnow();
         let prev = self.batch.take();
         self.batch = Some(BatchState {
             items: Vec::with_capacity(k),
             current: Duration::ZERO,
+            base,
         });
         let mut result = Ok(());
         for i in 0..k {
@@ -377,6 +385,103 @@ impl OpCtx {
     pub fn absorb(&mut self, other: &OpCtx) {
         self.counts.add(&other.counts);
         self.charge_time(other.elapsed);
+    }
+
+    // ---- span tracing ----------------------------------------------------
+    //
+    // Spans observe virtual time; they never charge it, so a traced run
+    // accumulates exactly the same `elapsed()` as an untraced one. Inside a
+    // `parallel` section items are drawn serialized (each item's spans start
+    // where the previous item's ended) — a readable approximation of the
+    // fan-out; the section total still uses wave packing.
+
+    /// Current virtual time, including any in-flight `parallel` section.
+    pub fn vnow(&self) -> Duration {
+        match &self.batch {
+            None => self.elapsed,
+            Some(b) => b.base + b.items.iter().sum::<Duration>() + b.current,
+        }
+    }
+
+    /// Whether this op is currently being traced.
+    pub fn trace_active(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Start tracing this op with a root span (used by the sampling layer;
+    /// no-op spans everywhere else stay free because `trace` is `None`).
+    pub fn begin_trace(&mut self, stage: &'static str, name: &str) {
+        let mut buf = crate::trace::TraceBuf::new();
+        buf.open(stage, name, self.vnow());
+        self.trace = Some(Box::new(buf));
+    }
+
+    /// Close the root span (and any leaked children) and hand back the
+    /// recorded spans; `None` when the op was not traced.
+    pub fn end_trace(&mut self, err: Option<String>) -> Option<Vec<crate::trace::Span>> {
+        let buf = self.trace.take()?;
+        let end = self.vnow();
+        Some(buf.finish(end, err))
+    }
+
+    /// Run `f` inside a child span named `name` at stage `stage`. When the
+    /// op is untraced this is a direct call with zero overhead beyond the
+    /// null check; when traced, the span records virtual start/duration and
+    /// the error rendering of a failed result.
+    pub fn span<T, F>(&mut self, stage: &'static str, name: &str, f: F) -> Result<T>
+    where
+        F: FnOnce(&mut OpCtx) -> Result<T>,
+    {
+        if self.trace.is_none() {
+            return f(self);
+        }
+        let start = self.vnow();
+        if let Some(buf) = &mut self.trace {
+            buf.open(stage, name, start);
+        }
+        let result = f(self);
+        let end = self.vnow();
+        if let Some(buf) = &mut self.trace {
+            buf.close(end, result.as_ref().err().map(|e| e.to_string()));
+        }
+        result
+    }
+
+    /// Attach a note to the innermost open span. The value closure only runs
+    /// when the op is traced, so formatting costs nothing on the fast path.
+    pub fn span_note<F>(&mut self, key: &'static str, value: F)
+    where
+        F: FnOnce() -> String,
+    {
+        if let Some(buf) = &mut self.trace {
+            buf.note(key, value());
+        }
+    }
+
+    /// Record an instant (zero-duration) child span with notes; the notes
+    /// closure only runs when the op is traced.
+    pub fn span_instant<F>(&mut self, stage: &'static str, name: &str, notes: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, String)>,
+    {
+        if let Some(buf) = &mut self.trace {
+            let at = match &self.batch {
+                None => self.elapsed,
+                Some(b) => b.base + b.items.iter().sum::<Duration>() + b.current,
+            };
+            buf.event(stage, name, at, Duration::ZERO, notes());
+        }
+    }
+
+    /// Charge `d` of virtual time (like [`OpCtx::charge_time`]) and record a
+    /// child span covering exactly that interval — used for retry backoff
+    /// waits, where the wait *is* the time charged.
+    pub fn span_charge(&mut self, stage: &'static str, name: &str, d: Duration) {
+        let start = self.vnow();
+        self.charge_time(d);
+        if let Some(buf) = &mut self.trace {
+            buf.event(stage, name, start, d, Vec::new());
+        }
     }
 }
 
@@ -536,6 +641,103 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.elapsed(), Duration::from_millis(5));
         assert_eq!(a.counts().puts, 1);
+    }
+
+    #[test]
+    fn spans_observe_but_never_charge_virtual_time() {
+        let mut traced = ctx();
+        let mut plain = ctx();
+        let body = |c: &mut OpCtx| {
+            c.charge(PrimKind::Get, Duration::from_millis(7));
+            Ok::<(), H2Error>(())
+        };
+        traced.begin_trace("op", "READ");
+        traced.span("mw", "fetch_ring", body).unwrap();
+        traced.span_charge("backoff", "fetch_ring", Duration::from_millis(3));
+        plain.span("mw", "fetch_ring", body).unwrap();
+        plain.span_charge("backoff", "fetch_ring", Duration::from_millis(3));
+        assert_eq!(traced.elapsed(), plain.elapsed());
+        assert_eq!(traced.counts(), plain.counts());
+
+        let spans = traced.end_trace(None).unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "READ");
+        assert_eq!(spans[0].dur, Duration::from_millis(10));
+        assert_eq!(spans[1].dur, Duration::from_millis(7));
+        assert_eq!(spans[2].stage, "backoff");
+        assert_eq!(spans[2].start, Duration::from_millis(7));
+        assert_eq!(spans[2].dur, Duration::from_millis(3));
+        assert!(traced.end_trace(None).is_none());
+        assert!(plain.end_trace(None).is_none());
+    }
+
+    #[test]
+    fn vnow_is_monotone_inside_parallel_sections() {
+        let mut c = ctx();
+        c.charge_time(Duration::from_millis(10));
+        c.begin_trace("op", "LIST");
+        let mut seen = Vec::new();
+        c.parallel(3, |ctx, i| {
+            ctx.span("cloud", &format!("GET{i}"), |ctx| {
+                ctx.charge(PrimKind::Get, Duration::from_millis(2));
+                Ok(())
+            })?;
+            seen.push(ctx.vnow());
+            Ok(())
+        })
+        .unwrap();
+        // Items are drawn serialized: 12, 14, 16 ms from a 10 ms base.
+        assert_eq!(
+            seen,
+            vec![
+                Duration::from_millis(12),
+                Duration::from_millis(14),
+                Duration::from_millis(16)
+            ]
+        );
+        let spans = c.end_trace(None).unwrap();
+        assert_eq!(spans[1].start, Duration::from_millis(10));
+        assert_eq!(spans[2].start, Duration::from_millis(12));
+        assert_eq!(spans[3].start, Duration::from_millis(14));
+        // Wave packing still applies to the charged total (3 fit one wave).
+        assert_eq!(c.elapsed(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn span_errors_propagate_and_are_recorded() {
+        let mut c = OpCtx::for_test();
+        c.begin_trace("op", "READ");
+        let r: Result<()> = c.span("mw", "fetch_ring", |_| Err(H2Error::NotFound("f".into())));
+        assert!(r.is_err());
+        c.span_note("after", || "note lands on root".to_string());
+        c.span_instant("replica", "read", || vec![("dev", "3".to_string())]);
+        let spans = c.end_trace(r.err().map(|e| e.to_string())).unwrap();
+        assert!(spans[1].err.as_deref().unwrap_or("").contains("f"));
+        assert_eq!(spans[0].notes[0].0, "after");
+        assert_eq!(spans[2].stage, "replica");
+        assert!(spans[0].err.is_some());
+    }
+
+    #[test]
+    fn untraced_span_helpers_are_inert() {
+        let mut c = OpCtx::for_test();
+        assert!(!c.trace_active());
+        let mut ran = false;
+        c.span_note("k", || {
+            ran = true;
+            String::new()
+        });
+        c.span_instant("replica", "x", || {
+            ran = true;
+            Vec::new()
+        });
+        assert!(!ran, "note/instant closures must not run untraced");
+        c.span("mw", "fetch_ring", |c| {
+            c.charge(PrimKind::Get, Duration::ZERO);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.counts().gets, 1);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`retry`] — capped-exponential-backoff [`retry::RetryPolicy`] with
 //!   deterministic jitter, charging virtual time on the client path and
 //!   sleeping through the clock facade on background threads.
+//! * [`trace`] — deterministic span tracing ([`trace::TraceCollector`],
+//!   chrome-trace export) with per-stage latency breakdown, timed by the
+//!   virtual clock in [`cost::OpCtx`].
 //! * [`lru`] — a bounded LRU map backing the middleware's NameRing cache.
 //! * [`rng`] — seeded random-number helpers and the distributions used by the
 //!   workload generator.
@@ -38,6 +41,7 @@ pub mod lru;
 pub mod metrics;
 pub mod retry;
 pub mod rng;
+pub mod trace;
 
 pub use clock::{HybridClock, Timestamp};
 pub use cost::{BackendCounts, CostModel, OpCtx, PrimKind, RttModel};
@@ -48,3 +52,4 @@ pub use id::{NamespaceId, NodeId};
 pub use lockorder::{lock_or_recover, OrderedMutex, OrderedRwLock};
 pub use lru::LruCache;
 pub use retry::RetryPolicy;
+pub use trace::{RootTrace, Span, TraceCollector};

@@ -194,19 +194,19 @@ impl MetricsRegistry {
             .collect()
     }
 
-    /// All entries, name-sorted, rendered one per line: histograms first,
-    /// then counters.
+    /// All entries rendered one per line in a single name-sorted stream
+    /// (histograms and counters interleaved), so responses diff stably
+    /// across runs and in CI logs.
     pub fn render(&self) -> String {
-        let entries = self.entries.read();
-        let mut out = String::new();
-        for (name, h) in entries.iter() {
-            out.push_str(&format!("{name:<16} {}\n", h.render()));
+        let mut lines: Vec<(String, String)> = Vec::new();
+        for (name, h) in self.entries.read().iter() {
+            lines.push((name.clone(), format!("{name:<16} {}\n", h.render())));
         }
-        drop(entries);
         for (name, c) in self.counters.read().iter() {
-            out.push_str(&format!("{name:<16} {}\n", c.get()));
+            lines.push((name.clone(), format!("{name:<16} {}\n", c.get())));
         }
-        out
+        lines.sort_by(|a, b| a.0.cmp(&b.0));
+        lines.into_iter().map(|(_, l)| l).collect()
     }
 
     /// Snapshot of (name, count) pairs.
@@ -318,6 +318,28 @@ mod tests {
         let out = m.render();
         assert!(out.contains("cache_hits"), "{out}");
         assert!(out.contains("4"), "{out}");
+    }
+
+    #[test]
+    fn render_is_one_name_sorted_stream() {
+        let m = MetricsRegistry::new();
+        // Deliberately chosen so a histogram name sorts between two counter
+        // names: a blocked (histograms-then-counters) render would not be
+        // globally sorted.
+        m.record("m_hist", Duration::from_millis(5));
+        m.counter("a_counter").incr();
+        m.counter("z_counter").incr();
+        let out = m.render();
+        let names: Vec<&str> = out
+            .lines()
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(names, vec!["a_counter", "m_hist", "z_counter"]);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        // Two renders diff identically.
+        assert_eq!(out, m.render());
     }
 
     #[test]

@@ -110,7 +110,12 @@ impl RetryPolicy {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     if let Some(delay) = self.next_backoff(metrics, op, &e, attempt) {
-                        ctx.charge_time(delay);
+                        ctx.span_note("retry", || {
+                            format!("attempt {attempt} failed: {e}; backing off {delay:?}")
+                        });
+                        // Identical charge to the untraced path; the span
+                        // merely records the interval.
+                        ctx.span_charge(crate::trace::STAGE_BACKOFF, op, delay);
                         attempt += 1;
                     } else {
                         return Err(e);

@@ -1,0 +1,328 @@
+//! `benchcmp` — the CI perf-regression gate.
+//!
+//! Compares a freshly produced `BENCH_throughput.json` against the
+//! checked-in baseline and fails (exit 1) when throughput regressed by
+//! more than the allowed fraction, or tail latency blew past both the
+//! relative threshold and an absolute slack.
+//!
+//! Only `(system, threads)` pairs present in **both** files are compared:
+//! the baseline may have been produced with a wider sweep than a `--quick`
+//! CI run, and a quick run must still gate on the rows it has.
+//!
+//! Two gates per pair:
+//!
+//! * **ops/sec** — fail when `current < baseline × (1 − allowed)`.
+//! * **p99 latency** — fail when `current > baseline × (1 + allowed)`
+//!   *and* `current − baseline > slack_ms`. The latency histogram is
+//!   log2-bucketed, so p99 moves in ~2× steps (16.38 ms → 32.77 ms) even
+//!   on a healthy run; the absolute slack absorbs that quantization while
+//!   still catching genuine order-of-magnitude blowups.
+//!
+//! Hand-rolled JSON scanning, like every other (de)serializer in this
+//! workspace — the build environment has no registry access.
+
+use std::fmt::Write as _;
+
+/// One comparable row extracted from a throughput results file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    pub system: String,
+    pub threads: u64,
+    pub ops_per_sec: f64,
+    pub p99_ms: f64,
+}
+
+/// Gate thresholds. `allowed` is a fraction (0.25 = 25%); `p99_slack_ms`
+/// is the absolute extra the p99 gate tolerates on top of the fraction.
+#[derive(Debug, Clone, Copy)]
+pub struct Gate {
+    pub allowed: f64,
+    pub p99_slack_ms: f64,
+}
+
+impl Default for Gate {
+    fn default() -> Self {
+        Gate {
+            allowed: 0.25,
+            p99_slack_ms: 40.0,
+        }
+    }
+}
+
+/// Outcome of one comparison run: human-readable report lines plus the
+/// number of failed gates.
+#[derive(Debug, Default)]
+pub struct CmpReport {
+    pub lines: Vec<String>,
+    pub failures: usize,
+    pub compared: usize,
+}
+
+impl CmpReport {
+    pub fn passed(&self) -> bool {
+        self.failures == 0 && self.compared > 0
+    }
+}
+
+/// Extract the string value of `"key": "..."` starting at (or after)
+/// `from` within `obj`.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// Extract the numeric value of `"key": 123.4` within `obj`.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse every result row out of a `BENCH_throughput.json`-shaped string.
+/// Rows that fail to parse are skipped (the gate then fails on "nothing
+/// compared" rather than a panic).
+pub fn parse_rows(json: &str) -> Vec<BenchRow> {
+    let Some(results_at) = json.find("\"results\"") else {
+        return Vec::new();
+    };
+    let body = &json[results_at..];
+    let mut rows = Vec::new();
+    // Each row object is brace-balanced and contains a nested latency_ms
+    // object; scan for top-level-in-array `{ ... }` groups.
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        let obj = &body[s..=i];
+                        let parsed = (|| {
+                            let system = str_field(obj, "system")?;
+                            let threads = num_field(obj, "threads")? as u64;
+                            let ops_per_sec = num_field(obj, "ops_per_sec")?;
+                            let lat_at = obj.find("\"latency_ms\"")?;
+                            let p99_ms = num_field(&obj[lat_at..], "p99")?;
+                            Some(BenchRow {
+                                system,
+                                threads,
+                                ops_per_sec,
+                                p99_ms,
+                            })
+                        })();
+                        if let Some(row) = parsed {
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Compare `current` rows against `baseline` rows under `gate`.
+pub fn compare(baseline: &[BenchRow], current: &[BenchRow], gate: Gate) -> CmpReport {
+    let mut report = CmpReport::default();
+    for base in baseline {
+        let Some(cur) = current
+            .iter()
+            .find(|r| r.system == base.system && r.threads == base.threads)
+        else {
+            continue;
+        };
+        report.compared += 1;
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{:<10} T={}: {:>8.1} -> {:>8.1} ops/s, p99 {:>7.2} -> {:>7.2} ms",
+            base.system, base.threads, base.ops_per_sec, cur.ops_per_sec, base.p99_ms, cur.p99_ms,
+        );
+        let ops_floor = base.ops_per_sec * (1.0 - gate.allowed);
+        let mut failed = false;
+        if cur.ops_per_sec < ops_floor {
+            failed = true;
+            let _ = write!(
+                line,
+                "  FAIL ops/sec {:.1} below floor {:.1} ({:.0}% allowed)",
+                cur.ops_per_sec,
+                ops_floor,
+                gate.allowed * 100.0
+            );
+        }
+        let p99_ceiling = base.p99_ms * (1.0 + gate.allowed);
+        if cur.p99_ms > p99_ceiling && cur.p99_ms - base.p99_ms > gate.p99_slack_ms {
+            failed = true;
+            let _ = write!(
+                line,
+                "  FAIL p99 {:.2}ms above ceiling {:.2}ms (+{:.0}ms slack)",
+                cur.p99_ms, p99_ceiling, gate.p99_slack_ms
+            );
+        }
+        if failed {
+            report.failures += 1;
+        } else {
+            line.push_str("  ok");
+        }
+        report.lines.push(line);
+    }
+    if report.compared == 0 {
+        report
+            .lines
+            .push("no comparable (system, threads) rows found".to_string());
+    }
+    report
+}
+
+/// File-level entry point: returns the process exit code (0 pass, 1 gate
+/// failure or nothing comparable, 2 usage/IO error).
+pub fn run(baseline_path: &std::path::Path, current_path: &std::path::Path, gate: Gate) -> u8 {
+    let read = |p: &std::path::Path| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("benchcmp: cannot read {}: {e}", p.display());
+            None
+        }
+    };
+    let (Some(base), Some(cur)) = (read(baseline_path), read(current_path)) else {
+        return 2;
+    };
+    let report = compare(&parse_rows(&base), &parse_rows(&cur), gate);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if report.passed() {
+        println!(
+            "benchcmp: {} rows compared, all within {:.0}%",
+            report.compared,
+            gate.allowed * 100.0
+        );
+        0
+    } else {
+        println!(
+            "benchcmp: {} of {} rows regressed",
+            report.failures, report.compared
+        );
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ops: f64, p99: f64) -> String {
+        format!(
+            concat!(
+                "{{\n  \"bench\": \"throughput\",\n",
+                "  \"machine\": {{\"cores\": 4, \"os\": \"linux\", \"arch\": \"x86_64\"}},\n",
+                "  \"config\": {{\"quick\": true, \"pace\": 0.05, \"ops_per_client\": 60, \"threads\": [1, 2]}},\n",
+                "  \"results\": [\n",
+                "    {{\"system\": \"H2Cloud\", \"threads\": 1, \"ops\": 60, \"errors\": 0, ",
+                "\"wall_s\": 0.1, \"ops_per_sec\": {ops:.1}, \"latency_ms\": ",
+                "{{\"mean\": 1.0, \"p50\": 0.5, \"p95\": 2.0, \"p99\": {p99:.2}}}}},\n",
+                "    {{\"system\": \"SwiftFs\", \"threads\": 2, \"ops\": 120, \"errors\": 0, ",
+                "\"wall_s\": 0.1, \"ops_per_sec\": 900.0, \"latency_ms\": ",
+                "{{\"mean\": 1.0, \"p50\": 0.5, \"p95\": 2.0, \"p99\": 16.38}}}}\n",
+                "  ]\n}}\n"
+            ),
+            ops = ops,
+            p99 = p99,
+        )
+    }
+
+    #[test]
+    fn parses_the_checked_in_shape() {
+        let rows = parse_rows(&sample(600.0, 16.38));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].system, "H2Cloud");
+        assert_eq!(rows[0].threads, 1);
+        assert!((rows[0].ops_per_sec - 600.0).abs() < 1e-9);
+        assert!((rows[0].p99_ms - 16.38).abs() < 1e-9);
+        assert_eq!(rows[1].system, "SwiftFs");
+        assert_eq!(rows[1].threads, 2);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let rows = parse_rows(&sample(600.0, 16.38));
+        let report = compare(&rows, &rows, Gate::default());
+        assert!(report.passed(), "{:?}", report.lines);
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn synthetic_throughput_regression_fails() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        // 50% ops/sec drop: well past the 25% gate.
+        let cur = parse_rows(&sample(300.0, 16.38));
+        let report = compare(&base, &cur, Gate::default());
+        assert!(!report.passed());
+        assert_eq!(report.failures, 1);
+        assert!(
+            report.lines[0].contains("FAIL ops/sec"),
+            "{:?}",
+            report.lines
+        );
+    }
+
+    #[test]
+    fn p99_blowup_fails_but_bucket_noise_does_not() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        // One log2 bucket up (16.38 -> 32.77 ms): relative gate exceeded
+        // but inside the absolute slack — histogram quantization, not a
+        // regression.
+        let bucket_step = parse_rows(&sample(600.0, 32.77));
+        assert!(compare(&base, &bucket_step, Gate::default()).passed());
+        // A genuine tail blowup clears both the fraction and the slack.
+        let blowup = parse_rows(&sample(600.0, 160.0));
+        let report = compare(&base, &blowup, Gate::default());
+        assert!(!report.passed());
+        assert!(report.lines[0].contains("FAIL p99"), "{:?}", report.lines);
+    }
+
+    #[test]
+    fn quick_run_compares_only_shared_rows() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        // Current run only has the T=1 H2Cloud row.
+        let cur = vec![BenchRow {
+            system: "H2Cloud".to_string(),
+            threads: 1,
+            ops_per_sec: 610.0,
+            p99_ms: 16.38,
+        }];
+        let report = compare(&base, &cur, Gate::default());
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+    }
+
+    #[test]
+    fn nothing_comparable_is_a_failure() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        let report = compare(&base, &[], Gate::default());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn garbage_input_yields_no_rows() {
+        assert!(parse_rows("not json at all").is_empty());
+        assert!(parse_rows("{\"results\": []}").is_empty());
+    }
+}

@@ -17,7 +17,14 @@
 //!
 //! Findings are suppressed by a justified allow comment on the same line
 //! or the line above; see README "Static analysis".
+//!
+//! The second task is **benchcmp** (`cargo run -p xtask -- benchcmp`),
+//! the CI perf-regression gate: it compares a fresh
+//! `BENCH_throughput.json` against the checked-in baseline and exits
+//! non-zero on a >25% throughput or tail-latency regression — see
+//! [`benchcmp`].
 
+pub mod benchcmp;
 pub mod config;
 pub mod lexer;
 pub mod lint;

@@ -1,24 +1,21 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::lint;
+use xtask::{benchcmp, lint};
 
 fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- lint [--config <h2lint.toml>] [<workspace-root>]");
+    eprintln!(
+        "       cargo run -p xtask -- benchcmp <baseline.json> <current.json> \
+         [--allowed-pct N] [--p99-slack-ms N]"
+    );
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
-        return usage();
-    };
-    if cmd != "lint" {
-        return usage();
-    }
+fn run_lint(args: &[String]) -> ExitCode {
     let mut config_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--config" => match it.next() {
@@ -43,5 +40,38 @@ fn main() -> ExitCode {
             eprintln!("h2lint: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+fn run_benchcmp(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut gate = benchcmp::Gate::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--allowed-pct" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) => gate.allowed = pct / 100.0,
+                None => return usage(),
+            },
+            "--p99-slack-ms" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(ms) => gate.p99_slack_ms = ms,
+                None => return usage(),
+            },
+            p if paths.len() < 2 => paths.push(PathBuf::from(p)),
+            _ => return usage(),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        return usage();
+    };
+    ExitCode::from(benchcmp::run(baseline, current, gate))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("benchcmp") => run_benchcmp(&args[1..]),
+        _ => usage(),
     }
 }

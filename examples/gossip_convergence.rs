@@ -21,6 +21,7 @@ fn main() -> Result<()> {
         mode: MaintenanceMode::Deferred,
         cluster: ClusterConfig::default(),
         cache_capacity: 0,
+        trace_sample: 0.0,
     }));
     let mut ctx = OpCtx::new(fs.cost_model());
     fs.create_account(&mut ctx, "team")?;

@@ -35,6 +35,7 @@ fn h2() -> H2Cloud {
             ..ClusterConfig::default()
         },
         cache_capacity: 0,
+        trace_sample: 0.0,
     })
 }
 
@@ -208,6 +209,79 @@ fn chaos_at_ten_percent_converges_even_if_ops_fail() {
     let out = run_chaos(0xD00D, 0.10);
     assert!(out.faults.errors > 0, "{out:?}");
     assert!(!out.listing.is_empty());
+}
+
+#[test]
+fn traced_chaos_run_exports_valid_chrome_trace() {
+    // Tracing every op through a faulty run must yield a chrome://tracing-
+    // loadable export in which the injected failures are visible: backoff
+    // intervals from the retry layer and per-replica votes from the quorum
+    // paths.
+    let fs = H2Cloud::new(H2Config {
+        middlewares: 3,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig {
+            cost: Arc::new(h2util::CostModel::zero()),
+            ..ClusterConfig::default()
+        },
+        cache_capacity: 0,
+        trace_sample: 1.0,
+    });
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    fs.mkdir(&mut ctx, "team", &p("/chaos")).unwrap();
+    fs.quiesce();
+    let spec = FaultSpec::errors(0.10).with_slow(0.10, Duration::from_millis(2));
+    fs.cluster().set_fault_plan(Some(
+        FaultPlan::uniform(0xFACADE, spec).with_replica_errors(0.10),
+    ));
+    for i in 0..60usize {
+        let mut c = OpCtx::for_test();
+        let path = p(&format!("/chaos/f{:02}", i % 12));
+        let _ = fs.via(i % 3).write(
+            &mut c,
+            "team",
+            &path,
+            FileContent::from_str(&format!("v{i}")),
+        );
+        let mut c = OpCtx::for_test();
+        let _ = fs.via(i % 3).read(&mut c, "team", &path);
+    }
+    fs.cluster().set_fault_plan(None);
+
+    let traces = fs.recent_traces(usize::MAX);
+    assert!(!traces.is_empty(), "sampling at 1.0 collected nothing");
+    let json = h2util::trace::chrome_trace_json(&traces);
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"displayTimeUnit\""), "{json}");
+    // Injected faults left their marks: retry backoffs and replica votes.
+    for cat in ["op", "mw", "cloud", "quorum", "replica", "backoff"] {
+        assert!(
+            json.contains(&format!("\"cat\": \"{cat}\"")),
+            "no {cat} events in the export"
+        );
+    }
+    assert!(json.contains("\"vote\""), "replica votes missing");
+    assert!(json.contains("retry"), "retry annotations missing");
+    // Structurally valid JSON: braces and brackets balance outside strings.
+    let (mut braces, mut brackets, mut in_str, mut esc) = (0i64, 0i64, false, false);
+    for ch in json.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => braces += 1,
+            '}' if !in_str => braces -= 1,
+            '[' if !in_str => brackets += 1,
+            ']' if !in_str => brackets -= 1,
+            _ => {}
+        }
+        assert!(braces >= 0 && brackets >= 0, "negative nesting");
+    }
+    assert_eq!((braces, brackets, in_str), (0, 0, false), "unbalanced JSON");
 }
 
 #[test]

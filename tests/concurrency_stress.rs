@@ -224,6 +224,7 @@ fn h2cloud_concurrent_writers_one_middleware_lose_nothing() {
             ..ClusterConfig::default()
         },
         cache_capacity: 128,
+        trace_sample: 0.0,
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();
@@ -300,6 +301,7 @@ fn submit_patch_chain_survives_concurrent_merges() {
             ..ClusterConfig::default()
         },
         cache_capacity: 128,
+        trace_sample: 0.0,
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();
@@ -377,6 +379,7 @@ fn h2cloud_concurrent_structure_churn_stays_consistent() {
             ..ClusterConfig::default()
         },
         cache_capacity: 128,
+        trace_sample: 0.0,
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();

@@ -25,6 +25,7 @@ fn h2(middlewares: usize) -> H2Cloud {
         // These tests read through specific middlewares (`via`) after lossy
         // gossip and rely on read-through-global freshness — cache off.
         cache_capacity: 0,
+        trace_sample: 0.0,
     })
 }
 

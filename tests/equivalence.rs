@@ -20,6 +20,7 @@ fn backends() -> Vec<Box<dyn CloudFs>> {
             mode: MaintenanceMode::Deferred,
             cluster: ClusterConfig::tiny(),
             cache_capacity: 64,
+            trace_sample: 0.0,
         })),
         Box::new(SwiftFs::new(tiny(), true)),
         Box::new(SwiftFs::new(tiny(), false)),

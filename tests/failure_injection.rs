@@ -24,6 +24,7 @@ fn h2_rack() -> H2Cloud {
         // Failure tests assert reads fail while the cluster is down — a
         // cache hit would mask the outage, so keep it off here.
         cache_capacity: 0,
+        trace_sample: 0.0,
     })
 }
 

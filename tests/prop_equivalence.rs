@@ -37,14 +37,15 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 /// Multi-middleware Deferred-mode H2Cloud with the given NameRing cache
-/// capacity — everything else identical, so any observable difference
-/// between two instances is the cache's fault.
-fn h2_deferred(cache_capacity: usize) -> H2Cloud {
+/// capacity and trace sampling rate — everything else identical, so any
+/// observable difference between two instances is that knob's fault.
+fn h2_deferred(cache_capacity: usize, trace_sample: f64) -> H2Cloud {
     H2Cloud::new(H2Config {
         middlewares: 3,
         mode: MaintenanceMode::Deferred,
         cluster: ClusterConfig::tiny(),
         cache_capacity,
+        trace_sample,
     })
 }
 
@@ -129,8 +130,8 @@ proptest! {
         // the regime where the per-middleware cache must be invisible:
         // every outcome, error class and final tree must match the
         // uncached instance's.
-        let cached = h2_deferred(64);
-        let plain = h2_deferred(0);
+        let cached = h2_deferred(64, 0.0);
+        let plain = h2_deferred(0, 0.0);
         let mut ctx = OpCtx::for_test();
         cached.create_account(&mut ctx, "u").unwrap();
         plain.create_account(&mut ctx, "u").unwrap();
@@ -173,6 +174,65 @@ proptest! {
         );
         // And the cached instance's on-cloud representation is consistent.
         let report = fsck(&cached, &mut ctx, "u").unwrap();
+        prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn tracing_is_observably_transparent(
+        ops in prop::collection::vec(arb_op(), 1..60)
+    ) {
+        // Same random sequence against a trace-everything and a trace-off
+        // H2Cloud (both with the NameRing cache on, gossip pumped lossily
+        // mid-sequence). Spans observe virtual time but never charge it,
+        // so every ack, error class, listing and final tree must be
+        // identical — tracing is pure observation.
+        let traced = h2_deferred(64, 1.0);
+        let silent = h2_deferred(64, 0.0);
+        let mut ctx = OpCtx::for_test();
+        traced.create_account(&mut ctx, "u").unwrap();
+        silent.create_account(&mut ctx, "u").unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let with_trace = Trace::apply_fs(&traced, &mut ctx, "u", op);
+            let without = Trace::apply_fs(&silent, &mut ctx, "u", op);
+            match (&with_trace, &without) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.class(), b.class(),
+                    "{:?}: traced={} silent={}", op, a, b
+                ),
+                _ => prop_assert!(
+                    false,
+                    "{:?} diverged: traced={:?} silent={:?}", op, with_trace, without
+                ),
+            }
+            if i % 3 == 2 {
+                for fs in [&traced, &silent] {
+                    fs.layer()
+                        .pump_with_faults(GossipFaults {
+                            drop_every: 3,
+                            duplicate_every: 4,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+
+        traced.quiesce();
+        silent.quiesce();
+        prop_assert_eq!(
+            tree_snapshot(&traced, "u"),
+            tree_snapshot(&silent, "u"),
+            "tracing changed the observable filesystem"
+        );
+        // Sampling at 1.0 really did collect something: every client op
+        // went through a middleware whose collector kept its root span.
+        let collected = traced.recent_traces(usize::MAX);
+        prop_assert!(
+            !collected.is_empty(),
+            "trace_sample = 1.0 collected no traces over {} ops", ops.len()
+        );
+        let report = fsck(&traced, &mut ctx, "u").unwrap();
         prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
     }
 
