@@ -145,7 +145,7 @@ impl CasFs {
     ) -> Result<FileContent> {
         let obj = self.cluster.get(ctx, &self.key(account, hash))?;
         Ok(match obj.payload {
-            Payload::Inline(b) => FileContent::Inline(b.to_vec()),
+            Payload::Inline(b) => FileContent::Inline(h2util::SharedBuf::from_bytes(b)),
             Payload::Simulated { size, .. } => FileContent::Simulated(size),
         })
     }
@@ -467,7 +467,7 @@ impl CloudFs for CasFs {
         content: FileContent,
     ) -> Result<()> {
         let payload = match content {
-            FileContent::Inline(v) => Payload::Inline(bytes::Bytes::from(v)),
+            FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
             FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
         };
         let size = payload.len();

@@ -490,7 +490,7 @@ impl CloudFs for CumulusFs {
             // Stream the content into the current segment: one PUT of the
             // item's own bytes (appends never re-upload the segment).
             let payload = match content {
-                FileContent::Inline(v) => Payload::Inline(bytes::Bytes::from(v)),
+                FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
                 FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
             };
             self.cluster
@@ -528,7 +528,7 @@ impl CloudFs for CumulusFs {
                 .cluster
                 .get(ctx, &self.seg_key(account, rec.segment, rec.item))?;
             Ok(match obj.payload {
-                Payload::Inline(b) => FileContent::Inline(b.to_vec()),
+                Payload::Inline(b) => FileContent::Inline(h2util::SharedBuf::from_bytes(b)),
                 Payload::Simulated { size, .. } => FileContent::Simulated(size),
             })
         })

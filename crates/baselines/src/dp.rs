@@ -482,7 +482,7 @@ impl CloudFs for DpFs {
             Ok(())
         })?;
         let payload = match content {
-            FileContent::Inline(v) => Payload::Inline(bytes::Bytes::from(v)),
+            FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
             FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
         };
         let size = payload.len();
@@ -511,7 +511,7 @@ impl CloudFs for DpFs {
         })?;
         let obj = self.cluster.get(ctx, &self.key(account, &object))?;
         Ok(match obj.payload {
-            Payload::Inline(b) => FileContent::Inline(b.to_vec()),
+            Payload::Inline(b) => FileContent::Inline(h2util::SharedBuf::from_bytes(b)),
             Payload::Simulated { size, .. } => FileContent::Simulated(size),
         })
     }

@@ -312,7 +312,7 @@ impl CloudFs for SingleIndexFs {
             Ok(())
         })?;
         let payload = match content {
-            FileContent::Inline(v) => Payload::Inline(bytes::Bytes::from(v)),
+            FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
             FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
         };
         let size = payload.len();
@@ -340,7 +340,7 @@ impl CloudFs for SingleIndexFs {
         })?;
         let obj = self.cluster.get(ctx, &self.key(account, &object))?;
         Ok(match obj.payload {
-            Payload::Inline(b) => FileContent::Inline(b.to_vec()),
+            Payload::Inline(b) => FileContent::Inline(h2util::SharedBuf::from_bytes(b)),
             Payload::Simulated { size, .. } => FileContent::Simulated(size),
         })
     }

@@ -407,7 +407,7 @@ impl CloudFs for SwiftFs {
             return Err(H2Error::IsADirectory(path.to_string()));
         }
         let payload = match content {
-            FileContent::Inline(v) => Payload::Inline(bytes::Bytes::from(v)),
+            FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
             FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
         };
         let mut meta = Meta::new();
@@ -431,7 +431,7 @@ impl CloudFs for SwiftFs {
             .get(ctx, &self.key(account, &Self::obj_name(path)))
         {
             Ok(obj) => Ok(match obj.payload {
-                Payload::Inline(b) => FileContent::Inline(b.to_vec()),
+                Payload::Inline(b) => FileContent::Inline(h2util::SharedBuf::from_bytes(b)),
                 Payload::Simulated { size, .. } => FileContent::Simulated(size),
             }),
             Err(H2Error::NotFound(_)) if self.dir_exists(ctx, account, path)? => {

@@ -22,6 +22,7 @@ fn h2(mode: MaintenanceMode, middlewares: usize) -> H2Cloud {
         },
         cache_capacity: 0,
         trace_sample: 0.0,
+        ..H2Config::default()
     });
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "user").unwrap();

@@ -21,6 +21,7 @@ fn deep_fs(cache_capacity: usize, depth: usize) -> (H2Cloud, FsPath) {
         },
         cache_capacity,
         trace_sample: 0.0,
+        ..H2Config::default()
     });
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "user").unwrap();

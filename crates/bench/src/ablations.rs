@@ -18,6 +18,7 @@ fn h2_with(mode: MaintenanceMode, middlewares: usize) -> H2Cloud {
         cluster: ClusterConfig::default(),
         cache_capacity: 0,
         trace_sample: 0.0,
+        ..H2Config::default()
     })
 }
 
@@ -229,6 +230,7 @@ pub fn abl_cache() -> ExpTable {
                 cluster: ClusterConfig::default(),
                 cache_capacity,
                 trace_sample: 0.0,
+                ..H2Config::default()
             });
             let cost = fs.cost_model();
             let mut setup = OpCtx::new(cost.clone());

@@ -244,6 +244,7 @@ pub fn run_h2_capture(cfg: &LoadgenConfig) -> (LoadResult, Vec<h2util::RootTrace
         cluster: ClusterConfig::default(),
         cache_capacity: 256,
         trace_sample: cfg.trace_sample,
+        group_commit: true,
     });
     let cost = fs.cost_model();
     let plans = prepare(&fs, &cost, cfg);

@@ -83,6 +83,7 @@ pub fn build_system(kind: SystemKind) -> Sys {
             // Figures reproduce the paper's uncached O(d) resolution.
             cache_capacity: 0,
             trace_sample: 0.0,
+            ..H2Config::default()
         })),
         SystemKind::SwiftDb => Box::new(SwiftFs::new(rack_cluster(), true)),
         SystemKind::PlainCh => Box::new(SwiftFs::new(rack_cluster(), false)),

@@ -23,12 +23,12 @@ use std::sync::Arc;
 
 use h2fsapi::{CloudFs, DirEntry, EntryKind, FileContent, FsPath, StoreStats};
 use h2util::{H2Error, NamespaceId, OpCtx, Result, Timestamp};
-use swiftsim::{Cluster, ClusterConfig, Meta, ObjectStore, Payload};
+use swiftsim::{Cluster, ClusterConfig, ObjectStore, Payload};
 
 use crate::keys::{DirDescriptor, H2Keys, H2_CONTAINER};
 use crate::layer::H2Layer;
-use crate::middleware::H2Middleware;
 pub use crate::middleware::MaintenanceMode;
+use crate::middleware::{H2Middleware, META_LOGICAL_BYTES};
 use crate::namering::{ChildRef, NameRing, Tuple};
 
 /// Configuration of an H2Cloud instance.
@@ -60,6 +60,16 @@ pub struct H2Config {
     /// (every ⌈1/rate⌉-th candidate), and tracing never charges virtual
     /// time, so traced and untraced runs behave identically.
     pub trace_sample: f64,
+    /// Group-commit patch submission: concurrent `submit_patch` calls to
+    /// the same NameRing coalesce behind a per-ring commit leader that
+    /// allocates a contiguous patch-number range and PUTs one combined
+    /// patch object for the whole batch (see DESIGN.md, "Concurrency
+    /// model"). Observationally equivalent to per-call submission — the
+    /// equivalence suite proves it — but collapses the per-submitter PUT
+    /// (and, in Eager mode, the per-submitter merge cycle) under
+    /// contention. Defaults to the `group-commit` cargo feature so the CI
+    /// matrix exercises both paths.
+    pub group_commit: bool,
 }
 
 impl Default for H2Config {
@@ -70,6 +80,7 @@ impl Default for H2Config {
             cluster: ClusterConfig::default(),
             cache_capacity: 0,
             trace_sample: 0.0,
+            group_commit: cfg!(feature = "group-commit"),
         }
     }
 }
@@ -87,6 +98,7 @@ impl H2Config {
             cluster: ClusterConfig::tiny(),
             cache_capacity: 128,
             trace_sample: 1.0,
+            group_commit: cfg!(feature = "group-commit"),
         }
     }
 }
@@ -130,6 +142,7 @@ impl H2Cloud {
                 metrics.clone(),
                 cfg.cache_capacity,
                 cfg.trace_sample,
+                cfg.group_commit,
             ),
             metrics,
         }
@@ -219,54 +232,49 @@ impl H2Cloud {
 
     // ----- path resolution (§3.2 regular method, O(d)) ---------------------
 
-    /// Walk `path` level by level along NameRings. Returns the target and,
-    /// if the final component's parent ring was read, that ring (so callers
-    /// that patch the parent skip a second GET).
+    /// Walk `path` level by level along NameRings. Each level reads a
+    /// [`crate::namering::RingView`] — a lazy join of the fetched global
+    /// ring and the middleware's local overlay — so resolution never
+    /// materialises (deep-clones) a ring per level.
     fn resolve(
         &self,
         mw: &H2Middleware,
         ctx: &mut OpCtx,
         keys: &H2Keys,
         path: &FsPath,
-    ) -> Result<(Resolved, Option<NameRing>)> {
+    ) -> Result<Resolved> {
         if path.is_root() {
-            return Ok((Resolved::Root, None));
+            return Ok(Resolved::Root);
         }
         let mut ns = NamespaceId::ROOT;
         let comps = path.components();
         for (i, comp) in comps.iter().enumerate() {
-            let ring = mw.read_ring(ctx, keys, ns)?;
-            mw.charge_lookup_cpu(ctx);
-            let tuple = ring
+            let view = mw.read_ring_view(ctx, keys, ns)?;
+            mw.charge_lookup_step(ctx, view.from_cache());
+            let tuple = view
                 .get(comp)
                 .ok_or_else(|| H2Error::NotFound(path.to_string()))?;
             let last = i + 1 == comps.len();
             match tuple.child {
                 ChildRef::Dir { ns: child_ns } => {
                     if last {
-                        return Ok((
-                            Resolved::Dir {
-                                parent_ns: ns,
-                                name: comp.clone(),
-                                ns: child_ns,
-                                ts: tuple.ts,
-                            },
-                            Some(ring),
-                        ));
+                        return Ok(Resolved::Dir {
+                            parent_ns: ns,
+                            name: comp.clone(),
+                            ns: child_ns,
+                            ts: tuple.ts,
+                        });
                     }
                     ns = child_ns;
                 }
                 ChildRef::File { size } => {
                     if last {
-                        return Ok((
-                            Resolved::File {
-                                parent_ns: ns,
-                                name: comp.clone(),
-                                size,
-                                ts: tuple.ts,
-                            },
-                            Some(ring),
-                        ));
+                        return Ok(Resolved::File {
+                            parent_ns: ns,
+                            name: comp.clone(),
+                            size,
+                            ts: tuple.ts,
+                        });
                     }
                     return Err(H2Error::NotADirectory(path.to_string()));
                 }
@@ -283,7 +291,7 @@ impl H2Cloud {
         keys: &H2Keys,
         path: &FsPath,
     ) -> Result<NamespaceId> {
-        match self.resolve(mw, ctx, keys, path)?.0 {
+        match self.resolve(mw, ctx, keys, path)? {
             Resolved::Root => Ok(NamespaceId::ROOT),
             Resolved::Dir { ns, .. } => Ok(ns),
             Resolved::File { .. } => Err(H2Error::NotADirectory(path.to_string())),
@@ -311,11 +319,13 @@ impl H2Cloud {
         name: &str,
     ) -> Result<FileContent> {
         let keys = H2Keys::new(account);
-        let obj = self.cluster().get(ctx, &keys.child(ns, name))?;
-        Ok(payload_to_content(obj.payload))
+        let mw = self.mw(account);
+        Ok(payload_to_content(mw.get_content(ctx, &keys, ns, name)?))
     }
 
     /// O(1) existence/metadata check through a relative path (one HEAD).
+    /// For multipart files the HEAD lands on the manifest, whose meta
+    /// carries the logical size — still one request.
     pub fn stat_relative(
         &self,
         ctx: &mut OpCtx,
@@ -325,7 +335,13 @@ impl H2Cloud {
     ) -> Result<(u64, u64)> {
         let keys = H2Keys::new(account);
         let info = self.cluster().head(ctx, &keys.child(ns, name))?;
-        Ok((info.size, info.modified_ms))
+        let size = match info.meta.get(META_LOGICAL_BYTES) {
+            Some(s) => s
+                .parse()
+                .map_err(|_| H2Error::Corrupt(format!("bad {META_LOGICAL_BYTES} meta {s:?}")))?,
+            None => info.size,
+        };
+        Ok((size, info.modified_ms))
     }
 
     // ----- operations shared by CloudFs and H2View --------------------------
@@ -353,24 +369,28 @@ impl H2Cloud {
             .ok_or_else(|| H2Error::AlreadyExists("/".into()))?;
         let parent = path.parent().expect("non-root path has a parent");
         let parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &parent)?;
-        let ring = mw.read_ring(ctx, &keys, parent_ns)?;
-        if ring.get(name).is_some() {
+        let view = mw.read_ring_view(ctx, &keys, parent_ns)?;
+        if view.get(name).is_some() {
             return Err(H2Error::AlreadyExists(path.to_string()));
         }
+        drop(view);
         let ns = mw.allocate_namespace();
         let ts = mw.tick();
-        mw.put_descriptor(
-            ctx,
-            &keys,
-            parent_ns,
-            name,
-            &DirDescriptor {
-                ns,
-                name: name.to_string(),
-                created: ts,
-            },
-        )?;
-        mw.create_ring(ctx, &keys, ns)?;
+        let desc = DirDescriptor {
+            ns,
+            name: name.to_string(),
+            created: ts,
+        };
+        // The new directory's descriptor and its empty NameRing live under
+        // independent keys; neither is reachable until the parent patch
+        // below lands, so the two PUTs go out in one parallel wave.
+        ctx.parallel(2, |ctx, i| {
+            if i == 0 {
+                mw.put_descriptor(ctx, &keys, parent_ns, name, &desc)
+            } else {
+                mw.create_ring(ctx, &keys, ns)
+            }
+        })?;
         let mut patch = NameRing::new();
         patch.apply(name, Tuple::dir(ts, ns));
         mw.submit_patch(ctx, &keys, parent_ns, patch)
@@ -385,7 +405,7 @@ impl H2Cloud {
     ) -> Result<()> {
         self.check_account(account)?;
         let keys = H2Keys::new(account);
-        let (resolved, _) = self.resolve(mw, ctx, &keys, path)?;
+        let resolved = self.resolve(mw, ctx, &keys, path)?;
         match resolved {
             Resolved::Root => Err(H2Error::InvalidPath("cannot remove /".into())),
             Resolved::File { .. } => Err(H2Error::NotADirectory(path.to_string())),
@@ -426,12 +446,12 @@ impl H2Cloud {
             )));
         }
         let keys = H2Keys::new(account);
-        let (src, _) = self.resolve(mw, ctx, &keys, from)?;
+        let src = self.resolve(mw, ctx, &keys, from)?;
         let to_name = to.name().expect("non-root");
         let to_parent = to.parent().expect("non-root");
         let dst_parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &to_parent)?;
-        let dst_ring = mw.read_ring(ctx, &keys, dst_parent_ns)?;
-        if dst_ring.get(to_name).is_some() {
+        let dst_view = mw.read_ring_view(ctx, &keys, dst_parent_ns)?;
+        if dst_view.get(to_name).is_some() {
             return Err(H2Error::AlreadyExists(to.to_string()));
         }
         match src {
@@ -474,11 +494,10 @@ impl H2Cloud {
             } => {
                 // A file's content object is keyed by its parent namespace,
                 // so moving it re-keys the object: one server-side copy +
-                // delete, then the two parent patches.
-                let src_key = keys.child(parent_ns, &name);
-                let dst_key = keys.child(dst_parent_ns, to_name);
-                self.cluster().copy(ctx, &src_key, &dst_key)?;
-                self.cluster().delete(ctx, &src_key)?;
+                // delete (per part, fanned out, for multipart files), then
+                // the two parent patches.
+                mw.copy_content(ctx, &keys, parent_ns, &name, dst_parent_ns, to_name, size)?;
+                mw.delete_content(ctx, &keys, parent_ns, &name, size)?;
                 let mut out_patch = NameRing::new();
                 out_patch.apply(&name, Tuple::file(mw.tick(), size).tombstone(mw.tick()));
                 mw.submit_patch(ctx, &keys, parent_ns, out_patch)?;
@@ -507,12 +526,12 @@ impl H2Cloud {
             )));
         }
         let keys = H2Keys::new(account);
-        let (src, _) = self.resolve(mw, ctx, &keys, from)?;
+        let src = self.resolve(mw, ctx, &keys, from)?;
         let to_name = to.name().expect("non-root");
         let to_parent = to.parent().expect("non-root");
         let dst_parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &to_parent)?;
-        let dst_ring = mw.read_ring(ctx, &keys, dst_parent_ns)?;
-        if dst_ring.get(to_name).is_some() {
+        let dst_view = mw.read_ring_view(ctx, &keys, dst_parent_ns)?;
+        if dst_view.get(to_name).is_some() {
             return Err(H2Error::AlreadyExists(to.to_string()));
         }
         match src {
@@ -523,11 +542,7 @@ impl H2Cloud {
                 size,
                 ..
             } => {
-                self.cluster().copy(
-                    ctx,
-                    &keys.child(parent_ns, &name),
-                    &keys.child(dst_parent_ns, to_name),
-                )?;
+                mw.copy_content(ctx, &keys, parent_ns, &name, dst_parent_ns, to_name, size)?;
                 let mut patch = NameRing::new();
                 patch.apply(to_name, Tuple::file(mw.tick(), size));
                 mw.submit_patch(ctx, &keys, dst_parent_ns, patch)
@@ -564,16 +579,12 @@ impl H2Cloud {
         new_name: &str,
     ) -> Result<NamespaceId> {
         let new_ns = mw.allocate_namespace();
-        let src_ring = mw.read_ring(ctx, keys, src_ns)?;
+        let src_view = mw.read_ring_view(ctx, keys, src_ns)?;
         let mut new_ring = NameRing::new();
-        for (child, tuple) in src_ring.live() {
+        for (child, tuple) in src_view.live() {
             match tuple.child {
                 ChildRef::File { size } => {
-                    self.cluster().copy(
-                        ctx,
-                        &keys.child(src_ns, child),
-                        &keys.child(new_ns, child),
-                    )?;
+                    mw.copy_content(ctx, keys, src_ns, child, new_ns, child, size)?;
                     new_ring.apply(child, Tuple::file(mw.tick(), size));
                 }
                 ChildRef::Dir { ns: child_ns } => {
@@ -611,8 +622,8 @@ impl H2Cloud {
         self.check_account(account)?;
         let keys = H2Keys::new(account);
         let ns = self.resolve_dir_ns(mw, ctx, &keys, path)?;
-        let ring = mw.read_ring(ctx, &keys, ns)?;
-        let names: Vec<String> = ring.live().map(|(n, _)| n.to_string()).collect();
+        let view = mw.read_ring_view(ctx, &keys, ns)?;
+        let names: Vec<String> = view.live().map(|(n, _)| n.to_string()).collect();
         mw.charge_listing_cpu(ctx, names.len());
         Ok(names)
     }
@@ -627,9 +638,9 @@ impl H2Cloud {
         self.check_account(account)?;
         let keys = H2Keys::new(account);
         let ns = self.resolve_dir_ns(mw, ctx, &keys, path)?;
-        let ring = mw.read_ring(ctx, &keys, ns)?;
+        let view = mw.read_ring_view(ctx, &keys, ns)?;
         let children: Vec<(String, Tuple)> =
-            ring.live().map(|(n, t)| (n.to_string(), *t)).collect();
+            view.live().map(|(n, t)| (n.to_string(), *t)).collect();
         mw.charge_listing_cpu(ctx, children.len());
         // O(m): fetch each child's own object for its detailed information
         // (the middleware fans the HEADs out with bounded parallelism —
@@ -683,23 +694,20 @@ impl H2Cloud {
             .ok_or_else(|| H2Error::IsADirectory("/".into()))?;
         let parent = path.parent().expect("non-root");
         let parent_ns = self.resolve_dir_ns(mw, ctx, &keys, &parent)?;
-        let ring = mw.read_ring(ctx, &keys, parent_ns)?;
-        if let Some(t) = ring.get(name) {
-            if t.child.is_dir() {
-                return Err(H2Error::IsADirectory(path.to_string()));
+        let view = mw.read_ring_view(ctx, &keys, parent_ns)?;
+        let mut prev_size = None;
+        if let Some(t) = view.get(name) {
+            match t.child {
+                ChildRef::Dir { .. } => return Err(H2Error::IsADirectory(path.to_string())),
+                ChildRef::File { size } => prev_size = Some(size),
             }
         }
+        drop(view);
         let size = content.len();
         let payload = content_to_payload(content, &path.to_string());
-        let mut meta = Meta::new();
-        meta.insert("content-type".into(), "h2/file".into());
         // §3.3.3(b) blocking: the content stream completes before the patch
         // is submitted, so no merge can observe the tuple without the data.
-        let content_key = keys.child(parent_ns, name);
-        mw.with_retry(ctx, "put_content", |ctx| {
-            self.cluster()
-                .put(ctx, &content_key, payload.clone(), meta.clone())
-        })?;
+        mw.put_content(ctx, &keys, parent_ns, name, payload, prev_size)?;
         let mut patch = NameRing::new();
         patch.apply(name, Tuple::file(mw.tick(), size));
         mw.submit_patch(ctx, &keys, parent_ns, patch)
@@ -714,16 +722,12 @@ impl H2Cloud {
     ) -> Result<FileContent> {
         self.check_account(account)?;
         let keys = H2Keys::new(account);
-        match self.resolve(mw, ctx, &keys, path)?.0 {
+        match self.resolve(mw, ctx, &keys, path)? {
             Resolved::File {
                 parent_ns, name, ..
-            } => {
-                let content_key = keys.child(parent_ns, &name);
-                let obj = mw.with_retry(ctx, "get_content", |ctx| {
-                    self.cluster().get(ctx, &content_key)
-                })?;
-                Ok(payload_to_content(obj.payload))
-            }
+            } => Ok(payload_to_content(
+                mw.get_content(ctx, &keys, parent_ns, &name)?,
+            )),
             _ => Err(H2Error::IsADirectory(path.to_string())),
         }
     }
@@ -737,7 +741,7 @@ impl H2Cloud {
     ) -> Result<()> {
         self.check_account(account)?;
         let keys = H2Keys::new(account);
-        match self.resolve(mw, ctx, &keys, path)?.0 {
+        match self.resolve(mw, ctx, &keys, path)? {
             Resolved::File {
                 parent_ns,
                 name,
@@ -756,10 +760,7 @@ impl H2Cloud {
                 // Eager content reclaim is best-effort: the tombstone is
                 // durable, so if this DELETE fails the object is merely
                 // garbage — GC deletes it when it compacts the tombstone.
-                let content_key = keys.child(parent_ns, &name);
-                let _ = mw.with_retry(ctx, "delete_content", |ctx| {
-                    self.cluster().delete(ctx, &content_key)
-                });
+                let _ = mw.delete_content(ctx, &keys, parent_ns, &name, size);
                 Ok(())
             }
             _ => Err(H2Error::IsADirectory(path.to_string())),
@@ -775,7 +776,7 @@ impl H2Cloud {
     ) -> Result<DirEntry> {
         self.check_account(account)?;
         let keys = H2Keys::new(account);
-        let (resolved, _) = self.resolve(mw, ctx, &keys, path)?;
+        let resolved = self.resolve(mw, ctx, &keys, path)?;
         Ok(match &resolved {
             Resolved::Root => DirEntry {
                 name: "/".into(),
@@ -801,14 +802,14 @@ impl H2Cloud {
 
 fn content_to_payload(content: FileContent, seed: &str) -> Payload {
     match content {
-        FileContent::Inline(v) => Payload::Inline(bytes::Bytes::from(v)),
+        FileContent::Inline(b) => Payload::Inline(b.into_bytes()),
         FileContent::Simulated(size) => Payload::simulated(size, seed),
     }
 }
 
 fn payload_to_content(p: Payload) -> FileContent {
     match p {
-        Payload::Inline(b) => FileContent::Inline(b.to_vec()),
+        Payload::Inline(b) => FileContent::Inline(h2util::SharedBuf::from_bytes(b)),
         Payload::Simulated { size, .. } => FileContent::Simulated(size),
     }
 }
@@ -989,13 +990,13 @@ impl CloudFs for H2Cloud {
             ns_of.insert(parent.clone(), parent_ns);
             ring_of(&mw, ctx, &mut rings, parent_ns)?;
             let name = f.name().expect("non-root");
-            let mut meta = Meta::new();
-            meta.insert("content-type".into(), "h2/file".into());
-            self.cluster().put(
+            mw.put_content(
                 ctx,
-                &keys.child(parent_ns, name),
+                &keys,
+                parent_ns,
+                name,
                 Payload::simulated(*size, &f.to_string()),
-                meta,
+                None,
             )?;
             rings
                 .get_mut(&parent_ns)

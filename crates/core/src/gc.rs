@@ -120,14 +120,15 @@ fn walk_and_compact(
             report.tuples_compacted += removed.len();
             for (name, tuple) in removed {
                 match tuple.child {
-                    ChildRef::File { .. } => {
-                        delete_quiet(fs, ctx, keys, ns, &name, report)?;
+                    ChildRef::File { size } => {
+                        delete_quiet(fs, mw, ctx, keys, ns, &name, Some(size), report)?;
                     }
                     // Only reclaim subtrees nothing live points at: a MOVE's
                     // tombstone still names the (re-parented, live) namespace.
                     ChildRef::Dir { ns: dead_ns } if !live.contains(&dead_ns) => {
                         delete_subtree(fs, mw, ctx, keys, dead_ns, report)?;
-                        delete_quiet(fs, ctx, keys, ns, &name, report)?; // descriptor
+                        delete_quiet(fs, mw, ctx, keys, ns, &name, None, report)?;
+                        // descriptor
                     }
                     ChildRef::Dir { .. } => {}
                 }
@@ -159,12 +160,12 @@ fn delete_subtree(
         let ring = mw.read_ring(ctx, keys, ns)?;
         for (name, tuple) in ring.iter() {
             match tuple.child {
-                ChildRef::File { .. } => {
-                    delete_quiet_name(fs, ctx, keys, ns, name, report)?;
+                ChildRef::File { size } => {
+                    delete_quiet(fs, mw, ctx, keys, ns, name, Some(size), report)?;
                 }
                 ChildRef::Dir { ns: child_ns } => {
                     stack.push(child_ns);
-                    delete_quiet_name(fs, ctx, keys, ns, name, report)?; // descriptor
+                    delete_quiet(fs, mw, ctx, keys, ns, name, None, report)?; // descriptor
                 }
             }
         }
@@ -184,26 +185,26 @@ fn delete_subtree(
     Ok(())
 }
 
+/// Delete one child object, tolerating its prior eager reclaim.
+/// `content_size` is the tuple's size for file content (`None` for
+/// descriptors) — multipart generations are reclaimed along with their
+/// manifest.
+#[allow(clippy::too_many_arguments)]
 fn delete_quiet(
     fs: &H2Cloud,
+    mw: &H2Middleware,
     ctx: &mut OpCtx,
     keys: &H2Keys,
     ns: NamespaceId,
     name: &str,
+    content_size: Option<u64>,
     report: &mut GcReport,
 ) -> Result<()> {
-    delete_quiet_name(fs, ctx, keys, ns, name, report)
-}
-
-fn delete_quiet_name(
-    fs: &H2Cloud,
-    ctx: &mut OpCtx,
-    keys: &H2Keys,
-    ns: NamespaceId,
-    name: &str,
-    report: &mut GcReport,
-) -> Result<()> {
-    match fs.cluster().delete(ctx, &keys.child(ns, name)) {
+    let outcome = match content_size {
+        Some(size) => mw.delete_content(ctx, keys, ns, name, size),
+        None => fs.cluster().delete(ctx, &keys.child(ns, name)),
+    };
+    match outcome {
         Ok(()) => {
             report.objects_deleted += 1;
             Ok(())

@@ -26,13 +26,13 @@ use h2util::{NodeId, Result};
 use swiftsim::Cluster;
 
 use crate::middleware::{GossipMsg, H2Middleware, MaintenanceMode};
+// Historically defined here; the middleware now owns the counter (it bumps
+// it inside `step_merges`), so the layer re-exports the name.
+pub use crate::middleware::MERGE_FAILURES;
 
 /// Counter bumped when applying an incoming gossip message fails (the
 /// message is requeued with bounded attempts, not dropped).
 pub const GOSSIP_APPLY_FAILURES: &str = "gossip_apply_failures";
-/// Counter bumped when a background merge round fails (the patch chain is
-/// restored internally, so the next round retries it).
-pub const MERGE_FAILURES: &str = "merge_failures";
 
 /// How many times a gossip message that fails to apply is re-attempted
 /// before it is finally dropped. Transient faults redraw on every attempt,
@@ -74,12 +74,14 @@ impl H2Layer {
         metrics: Arc<MetricsRegistry>,
         cache_capacity: usize,
     ) -> Self {
-        Self::with_observability(cluster, n, mode, metrics, cache_capacity, 0.0)
+        Self::with_observability(cluster, n, mode, metrics, cache_capacity, 0.0, false)
     }
 
     /// Like [`with_cache`](Self::with_cache), plus span tracing: each
     /// middleware gets a bounded [`h2util::trace::TraceCollector`] sampling
-    /// `trace_sample` of its operations (0 disables tracing entirely).
+    /// `trace_sample` of its operations (0 disables tracing entirely), and
+    /// the group-commit switch (see
+    /// [`H2Middleware::submit_patch`](crate::middleware::H2Middleware)).
     pub fn with_observability(
         cluster: Arc<Cluster>,
         n: usize,
@@ -87,6 +89,7 @@ impl H2Layer {
         metrics: Arc<MetricsRegistry>,
         cache_capacity: usize,
         trace_sample: f64,
+        group_commit: bool,
     ) -> Self {
         assert!(n >= 1, "need at least one middleware");
         // Pre-register the layer's failure counters so `op=metrics` always
@@ -117,6 +120,7 @@ impl H2Layer {
                         h2util::trace::DEFAULT_TRACE_CAP,
                         i,
                     )),
+                    group_commit,
                 )
             })
             .collect();
@@ -161,14 +165,32 @@ impl H2Layer {
         self.pump_with_faults(GossipFaults::default())
     }
 
+    /// [`pump`](Self::pump) but delivering each round's messages to a
+    /// target middleware as one [`H2Middleware::on_gossip_batch`] call
+    /// (single lock acquisition per target), the way the threaded fabric
+    /// applies its inbox. Observationally equivalent to per-message
+    /// delivery; the equivalence suite proves it.
+    pub fn pump_batched(&self) -> Result<usize> {
+        self.pump_batched_with_faults(GossipFaults::default())
+    }
+
+    /// [`pump_batched`](Self::pump_batched) with fault injection.
+    pub fn pump_batched_with_faults(&self, faults: GossipFaults) -> Result<usize> {
+        self.pump_impl(faults, true)
+    }
+
     /// [`pump`](Self::pump) with fault injection.
     pub fn pump_with_faults(&self, faults: GossipFaults) -> Result<usize> {
+        self.pump_impl(faults, false)
+    }
+
+    fn pump_impl(&self, faults: GossipFaults, batched: bool) -> Result<usize> {
         let mut deliveries = 0usize;
         let mut msg_seq = 0usize;
         loop {
             let mut progressed = false;
             for mw in &self.middlewares {
-                if mw.step_merges()? > 0 {
+                if mw.step_merges().applied > 0 {
                     progressed = true;
                 }
             }
@@ -202,21 +224,55 @@ impl H2Layer {
                 }
                 progressed = true;
             }
-            while let Some((idx, msg, attempts)) = queue.pop_front() {
-                let mw = &self.middlewares[idx];
-                match mw.on_gossip(&msg) {
-                    Ok(_) => deliveries += 1,
-                    Err(e) => {
-                        // An earlier revision `?`-propagated here, silently
-                        // losing the message (it was already drained from
-                        // the outbox). Requeue with bounded attempts —
-                        // transient faults redraw on retry — and only
-                        // propagate once the budget is spent.
-                        mw.metrics().counter(GOSSIP_APPLY_FAILURES).incr();
-                        if attempts + 1 >= MAX_GOSSIP_ATTEMPTS {
-                            return Err(e);
+            if batched {
+                // Drain the queue in rounds: all messages bound for one
+                // target this round go down in a single batch application.
+                // Failures requeue individually for the next round.
+                while !queue.is_empty() {
+                    let mut per_target: Vec<Vec<(GossipMsg, u32)>> =
+                        vec![Vec::new(); self.middlewares.len()];
+                    for (idx, msg, attempts) in queue.drain(..) {
+                        per_target[idx].push((msg, attempts));
+                    }
+                    for (idx, entries) in per_target.into_iter().enumerate() {
+                        if entries.is_empty() {
+                            continue;
                         }
-                        queue.push_back((idx, msg, attempts + 1));
+                        let mw = &self.middlewares[idx];
+                        let msgs: Vec<GossipMsg> = entries.iter().map(|(m, _)| m.clone()).collect();
+                        for ((msg, attempts), res) in
+                            entries.into_iter().zip(mw.on_gossip_batch(&msgs))
+                        {
+                            match res {
+                                Ok(_) => deliveries += 1,
+                                Err(e) => {
+                                    mw.metrics().counter(GOSSIP_APPLY_FAILURES).incr();
+                                    if attempts + 1 >= MAX_GOSSIP_ATTEMPTS {
+                                        return Err(e);
+                                    }
+                                    queue.push_back((idx, msg, attempts + 1));
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                while let Some((idx, msg, attempts)) = queue.pop_front() {
+                    let mw = &self.middlewares[idx];
+                    match mw.on_gossip(&msg) {
+                        Ok(_) => deliveries += 1,
+                        Err(e) => {
+                            // An earlier revision `?`-propagated here,
+                            // silently losing the message (it was already
+                            // drained from the outbox). Requeue with bounded
+                            // attempts — transient faults redraw on retry —
+                            // and only propagate once the budget is spent.
+                            mw.metrics().counter(GOSSIP_APPLY_FAILURES).incr();
+                            if attempts + 1 >= MAX_GOSSIP_ATTEMPTS {
+                                return Err(e);
+                            }
+                            queue.push_back((idx, msg, attempts + 1));
+                        }
                     }
                 }
             }
@@ -259,19 +315,13 @@ impl H2Layer {
                 // hit a transient fault stayed stale until some unrelated
                 // merge happened to re-gossip the same ring.
                 let mut backlog: VecDeque<(GossipMsg, u32)> = VecDeque::new();
+                let mut idle_rounds = 0u32;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let mut worked = false;
-                    match mw.step_merges() {
-                        Ok(n) => {
-                            if n > 0 {
-                                worked = true;
-                            }
-                        }
-                        Err(_) => {
-                            // The chain was restored inside merge_ns; the
-                            // next round retries it.
-                            mw.metrics().counter(MERGE_FAILURES).incr();
-                        }
+                    // Merge failures restore the chain internally and are
+                    // counted by the middleware; the next round retries.
+                    if mw.step_merges().applied > 0 {
+                        worked = true;
                     }
                     for msg in mw.take_outbox() {
                         for p in &peers {
@@ -283,25 +333,35 @@ impl H2Layer {
                         backlog.push_back((msg, 0));
                         worked = true;
                     }
-                    // One application attempt per backlog entry per round.
+                    // One application attempt per backlog entry per round,
+                    // the whole backlog applied as a single batch (one lock
+                    // acquisition, one ring fetch per distinct ring).
+                    // Failing messages requeue individually — a bad message
+                    // never holds the rest of the batch hostage.
                     let mut max_requeued_attempt: Option<u32> = None;
-                    for _ in 0..backlog.len() {
-                        let (msg, attempts) = backlog.pop_front().expect("len checked");
-                        match mw.on_gossip(&msg) {
-                            Ok(forward) => {
-                                if forward {
-                                    for p in &peers {
-                                        let _ = p.send(msg.clone());
+                    if !backlog.is_empty() {
+                        let entries: Vec<(GossipMsg, u32)> = backlog.drain(..).collect();
+                        let msgs: Vec<GossipMsg> = entries.iter().map(|(m, _)| m.clone()).collect();
+                        for ((msg, attempts), res) in
+                            entries.into_iter().zip(mw.on_gossip_batch(&msgs))
+                        {
+                            match res {
+                                Ok(forward) => {
+                                    if forward {
+                                        for p in &peers {
+                                            let _ = p.send(msg.clone());
+                                        }
                                     }
+                                    worked = true;
                                 }
-                                worked = true;
-                            }
-                            Err(_) => {
-                                mw.metrics().counter(GOSSIP_APPLY_FAILURES).incr();
-                                if attempts + 1 < MAX_GOSSIP_ATTEMPTS {
-                                    max_requeued_attempt =
-                                        Some(max_requeued_attempt.unwrap_or(0).max(attempts + 1));
-                                    backlog.push_back((msg, attempts + 1));
+                                Err(_) => {
+                                    mw.metrics().counter(GOSSIP_APPLY_FAILURES).incr();
+                                    if attempts + 1 < MAX_GOSSIP_ATTEMPTS {
+                                        max_requeued_attempt = Some(
+                                            max_requeued_attempt.unwrap_or(0).max(attempts + 1),
+                                        );
+                                        backlog.push_back((msg, attempts + 1));
+                                    }
                                 }
                             }
                         }
@@ -310,12 +370,22 @@ impl H2Layer {
                         // Back off before the next application round so a
                         // sustained outage doesn't burn the attempt budget
                         // in microseconds.
+                        idle_rounds = 0;
                         let backoff = std::time::Duration::from_millis(1)
                             .saturating_mul(1u32 << attempt.min(5))
                             .min(std::time::Duration::from_millis(20));
                         h2util::clock::wall_sleep(backoff);
                     } else if !worked {
-                        h2util::clock::wall_sleep(std::time::Duration::from_micros(200));
+                        // Adaptive idle: poll tightly right after real work
+                        // (more is probably coming) and ramp towards ~5ms
+                        // naps on a quiet fabric instead of burning a core.
+                        let nap = std::time::Duration::from_micros(200)
+                            .saturating_mul(1u32 << idle_rounds.min(5))
+                            .min(std::time::Duration::from_millis(5));
+                        idle_rounds = idle_rounds.saturating_add(1);
+                        h2util::clock::wall_sleep(nap);
+                    } else {
+                        idle_rounds = 0;
                     }
                 }
             }));
@@ -424,6 +494,36 @@ mod tests {
         assert_eq!(g.live_len(), 12);
         // … and a clean pump round brings every local view up to date.
         layer.pump().unwrap();
+        for mw in layer.middlewares() {
+            let local_plus_global = mw.read_ring(&mut ctx, &keys, ns(1)).unwrap();
+            assert_eq!(local_plus_global.live_len(), 12);
+        }
+    }
+
+    #[test]
+    fn batched_pump_survives_dropped_and_duplicated_gossip() {
+        let layer = layer(4, MaintenanceMode::Deferred);
+        let keys = H2Keys::new("alice");
+        let mut ctx = OpCtx::for_test();
+        for round in 0..3 {
+            for (i, mw) in layer.middlewares().iter().enumerate() {
+                let mut p = NameRing::new();
+                p.apply(&format!("r{round}-f{i}"), Tuple::file(mw.tick(), i as u64));
+                mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
+            }
+            layer
+                .pump_batched_with_faults(GossipFaults {
+                    drop_every: 3,
+                    duplicate_every: 4,
+                })
+                .unwrap();
+        }
+        let g = layer
+            .mw(0)
+            .fetch_global_ring(&mut ctx, &keys, ns(1))
+            .unwrap();
+        assert_eq!(g.live_len(), 12);
+        layer.pump_batched().unwrap();
         for mw in layer.middlewares() {
             let local_plus_global = mw.read_ring(&mut ctx, &keys, ns(1)).unwrap();
             assert_eq!(local_plus_global.live_len(), 12);

@@ -45,4 +45,4 @@ pub use fs::{H2Cloud, H2Config, MaintenanceMode};
 pub use keys::{DirDescriptor, H2Keys};
 pub use layer::H2Layer;
 pub use middleware::H2Middleware;
-pub use namering::{ChildRef, NameRing, Tuple};
+pub use namering::{ChildRef, NameRing, RingView, Tuple};

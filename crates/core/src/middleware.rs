@@ -24,7 +24,7 @@
 //!   merge when [`H2Middleware::step_merges`] (or the layer's pump/threads)
 //!   runs, the paper's actual asynchronous protocol.
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -38,7 +38,32 @@ use swiftsim::{Cluster, Meta, ObjectKey, ObjectStore, Payload};
 
 use crate::formatter;
 use crate::keys::{DirDescriptor, H2Keys};
-use crate::namering::NameRing;
+use crate::namering::{NameRing, RingView};
+
+/// Counter name for merge cycles that failed and were left for retry
+/// (chain restored). Incremented by [`H2Middleware::step_merges`].
+pub const MERGE_FAILURES: &str = "merge_failures";
+
+/// Counter name for global-ring GETs actually issued against the cloud
+/// (cache hits and group-commit coalescing both avoid these).
+pub const RING_FETCHES: &str = "ring_fetches";
+
+/// Files larger than this are striped into fixed-size part objects moved
+/// with bounded parallel fan-out ([`OpCtx::parallel`]) — the way real
+/// object stores move big blobs (S3 multipart upload, Azure block blobs).
+/// 4 MiB keeps per-part request overhead under ~2% of the part's transfer.
+pub const PART_BYTES: u64 = 4 * 1024 * 1024;
+
+/// `content-type` meta of a plain single-object file.
+pub const CONTENT_TYPE_FILE: &str = "h2/file";
+
+/// `content-type` meta of a multipart manifest stored at a file's content
+/// key (the parts live under the reserved `::/Part/` namespace).
+pub const CONTENT_TYPE_MULTIPART: &str = "h2/multipart";
+
+/// Meta key on a manifest carrying the file's logical byte size, so one
+/// HEAD answers STAT for multipart files without fetching the manifest.
+pub const META_LOGICAL_BYTES: &str = "h2-logical-bytes";
 
 /// When patches are merged into their NameRings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,15 +84,100 @@ pub struct GossipMsg {
     pub version: Timestamp,
 }
 
+/// The patch chain: patch numbers submitted but not yet merged, with an
+/// O(1) membership index.
+///
+/// Acking a patch used to run `pending.retain(|&no| no != patch_no)` — a
+/// linear scan under the descriptor lock, O(chain) per acked patch and
+/// O(chain²) across a deep chain. The index makes removal a swap-remove
+/// plus one index fix-up. Physical order in `order` is *not* submission
+/// order after a removal; [`PatchChain::take`] sorts on drain, and patch
+/// numbers are allocated monotonically, so merge cycles still walk the
+/// chain in submission order — order is preserved everywhere it is
+/// observable (the merge itself is a commutative CRDT join regardless).
+#[derive(Debug, Default)]
+struct PatchChain {
+    order: Vec<u32>,
+    pos: HashMap<u32, usize>,
+}
+
+impl PatchChain {
+    fn push(&mut self, no: u32) {
+        if self.pos.contains_key(&no) {
+            return;
+        }
+        self.pos.insert(no, self.order.len());
+        self.order.push(no);
+    }
+
+    /// O(1) removal: swap-remove and re-point the moved element's index.
+    fn remove(&mut self, no: u32) {
+        if let Some(idx) = self.pos.remove(&no) {
+            self.order.swap_remove(idx);
+            if let Some(&moved) = self.order.get(idx) {
+                self.pos.insert(moved, idx);
+            }
+        }
+    }
+
+    fn contains(&self, no: u32) -> bool {
+        self.pos.contains_key(&no)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Drain the chain in submission order (patch numbers are monotone).
+    fn take(&mut self) -> Vec<u32> {
+        self.pos.clear();
+        let mut chain = std::mem::take(&mut self.order);
+        chain.sort_unstable();
+        chain
+    }
+
+    /// Re-chain numbers after a failed merge cycle (order is restored by
+    /// the sort in `take`, so a plain re-insert suffices).
+    fn restore(&mut self, chain: &[u32]) {
+        for &no in chain {
+            self.push(no);
+        }
+    }
+}
+
+/// What one Background Merger sweep accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Rings whose chains merged into the cloud this sweep.
+    pub applied: usize,
+    /// Rings whose merge cycle failed (chain restored for retry; also
+    /// counted in the [`MERGE_FAILURES`] metric).
+    pub failed: usize,
+}
+
+impl MergeOutcome {
+    /// Total rings attempted this sweep.
+    pub fn attempted(&self) -> usize {
+        self.applied + self.failed
+    }
+}
+
 /// Per-NameRing state in the File Descriptor Cache.
 #[derive(Debug, Default)]
 struct FileDescriptor {
     /// This node's local version of the ring (its own submitted patches are
     /// always folded in, giving read-your-writes on this middleware).
-    local: NameRing,
+    /// `Arc`-backed so the resolve path can snapshot it without cloning the
+    /// tuple map; writers go through `Arc::make_mut`.
+    local: Arc<NameRing>,
     /// Patch numbers submitted but not yet merged (the patch chain,
     /// starting at 0 like the paper's "patch No. 0").
-    pending: Vec<u32>,
+    pending: PatchChain,
     /// Next patch number to hand out.
     next_patch: u32,
 }
@@ -77,9 +187,41 @@ type FdKey = (String, NamespaceId);
 
 /// A parsed global ring held by the NameRing cache, stamped with the
 /// version (max tuple timestamp) it carried when it entered the cache.
+/// The ring is shared: a cache hit hands out a refcount bump, not a clone
+/// of the tuple map.
 struct CachedRing {
     version: Timestamp,
-    ring: NameRing,
+    ring: Arc<NameRing>,
+}
+
+/// The outcome one group-commit waiter receives: the shared batch result
+/// plus the virtual time the leader spent on the batch (charged to each
+/// waiter's context — every submitter waited out the same PUT).
+#[derive(Debug, Clone)]
+struct CommitResult {
+    outcome: Result<()>,
+    cost: std::time::Duration,
+}
+
+/// Per-ring group-commit coordination point. Arrivals enqueue their patch;
+/// whoever finds the queue idle becomes the commit leader, drains the
+/// batch, performs one combined submission, posts per-ticket results and
+/// wakes the waiters parked on `cv`.
+#[derive(Default)]
+struct CommitQueue {
+    state: Mutex<CommitState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CommitState {
+    /// True while a leader is processing; arrivals during that window park.
+    busy: bool,
+    /// Waiting patches, tagged with their wake-up tickets.
+    batch: Vec<(u64, NameRing)>,
+    /// Finished results, keyed by ticket, awaiting pickup.
+    results: HashMap<u64, CommitResult>,
+    next_ticket: u64,
 }
 
 /// Hit/miss accounting for the NameRing cache, shared with the owning
@@ -116,6 +258,19 @@ pub struct H2Middleware {
     /// this node could overwrite each other. (Cycles on *different* nodes
     /// are reconciled by gossip, by design.)
     merge_locks: Mutex<HashMap<FdKey, Arc<Mutex<()>>>>,
+    /// When true, concurrent `submit_patch` calls against the same ring
+    /// coalesce behind a per-ring commit leader (one combined patch PUT per
+    /// batch) instead of each issuing their own PUT.
+    group_commit: bool,
+    /// Per-ring group-commit queues (populated lazily, like `merge_locks`).
+    commit_queues: Mutex<HashMap<FdKey, Arc<CommitQueue>>>,
+    /// Upload-generation counter for multipart part keys; combined with the
+    /// node id so generations are unique across middlewares.
+    part_stamp: std::sync::atomic::AtomicU64,
+    /// Global-ring GETs actually issued (see [`RING_FETCHES`]).
+    ring_fetches: Arc<Counter>,
+    /// Merge cycles that failed and were restored for retry.
+    merge_failures: Arc<Counter>,
     /// Backoff schedule for transient cloud failures (`Unavailable` /
     /// `Conflict`) on the middleware's own cloud ops — ring reads/writes,
     /// patch submission, descriptor I/O. Seeded per node so independent
@@ -152,11 +307,13 @@ impl H2Middleware {
             metrics,
             cache_capacity,
             Arc::new(TraceCollector::disabled()),
+            false,
         )
     }
 
     /// Full constructor: like [`with_cache`](Self::with_cache), plus a span
-    /// collector for sampled operation traces.
+    /// collector for sampled operation traces and the group-commit switch.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_observability(
         node: NodeId,
         store: Arc<Cluster>,
@@ -164,6 +321,7 @@ impl H2Middleware {
         metrics: Arc<MetricsRegistry>,
         cache_capacity: usize,
         tracer: Arc<TraceCollector>,
+        group_commit: bool,
     ) -> Arc<Self> {
         assert!(
             node.0 > 0,
@@ -174,6 +332,8 @@ impl H2Middleware {
             misses: metrics.counter("ring_cache_misses"),
             gets_saved: metrics.counter("gets_saved"),
         });
+        let ring_fetches = metrics.counter(RING_FETCHES);
+        let merge_failures = metrics.counter(MERGE_FAILURES);
         Arc::new(H2Middleware {
             node,
             clock: HybridClock::new(node, 1_600_000_000_000),
@@ -185,6 +345,11 @@ impl H2Middleware {
             cache_counters,
             fds: Mutex::new(HashMap::new()),
             merge_locks: Mutex::new(HashMap::new()),
+            group_commit,
+            commit_queues: Mutex::new(HashMap::new()),
+            part_stamp: std::sync::atomic::AtomicU64::new(0),
+            ring_fetches,
+            merge_failures,
             retry: RetryPolicy::new(0x4852_5452 ^ node.0 as u64),
             tracer,
             outbox: Mutex::new(Vec::new()),
@@ -254,16 +419,302 @@ impl H2Middleware {
         bg.1.add(&ctx.counts());
     }
 
+    // ----- content I/O (multipart striping) ---------------------------------
+    //
+    // Content at or below [`PART_BYTES`] is one object at the child key —
+    // exactly the pre-striping layout and request counts. Bigger content is
+    // split into `PART_BYTES` slices under `{ns}::/Part/{stamp}/{name}.{i}`
+    // keys and committed by a small manifest written *last* at the child
+    // key: the manifest is the commit point, so a failure mid-upload leaves
+    // unreachable orphan parts, never a readable file with holes. Overwrites
+    // use a fresh stamp, then best-effort delete the old generation.
+
+    fn next_part_stamp(&self) -> u64 {
+        let n = self
+            .part_stamp
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (n << 8) | (self.node.0 as u64 & 0xff)
+    }
+
+    fn file_meta() -> Meta {
+        let mut meta = Meta::new();
+        meta.insert("content-type".into(), CONTENT_TYPE_FILE.into());
+        meta
+    }
+
+    fn manifest_meta(total: u64) -> Meta {
+        let mut meta = Meta::new();
+        meta.insert("content-type".into(), CONTENT_TYPE_MULTIPART.into());
+        meta.insert(META_LOGICAL_BYTES.into(), total.to_string());
+        meta
+    }
+
+    /// The manifest at a file's content key, or `None` when the key holds
+    /// plain content. `NotFound` propagates.
+    fn fetch_manifest(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+    ) -> Result<Option<formatter::PartManifest>> {
+        let key = keys.child(ns, name);
+        let obj = self.with_retry(ctx, "get_manifest", |ctx| self.store.get(ctx, &key))?;
+        if obj.meta.get("content-type").map(String::as_str) != Some(CONTENT_TYPE_MULTIPART) {
+            return Ok(None);
+        }
+        let s = obj
+            .payload
+            .as_str()
+            .ok_or_else(|| H2Error::Corrupt(format!("manifest {key} is not a string object")))?;
+        formatter::manifest_from_str(s).map(Some)
+    }
+
+    /// Store a file's content. `prev_size` is the size of the content this
+    /// write replaces (from the parent's live tuple), if any — needed to
+    /// reclaim a replaced multipart generation, whose manifest is about to
+    /// be overwritten.
+    pub fn put_content(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+        payload: Payload,
+        prev_size: Option<u64>,
+    ) -> Result<()> {
+        // Learn the old generation's stamp *before* the content key is
+        // overwritten; afterwards its parts are unreachable. Best-effort: a
+        // racing delete just means there is nothing left to clean.
+        let old = if prev_size.is_some_and(|s| s > PART_BYTES) {
+            self.fetch_manifest(ctx, keys, ns, name).ok().flatten()
+        } else {
+            None
+        };
+        let total = payload.len();
+        if total <= PART_BYTES {
+            let key = keys.child(ns, name);
+            self.with_retry(ctx, "put_content", |ctx| {
+                self.store
+                    .put(ctx, &key, payload.clone(), Self::file_meta())
+            })?;
+        } else {
+            self.put_multipart(ctx, keys, ns, name, &payload, total)?;
+        }
+        if let Some(m) = old {
+            self.delete_parts(ctx, keys, ns, name, &m);
+        }
+        Ok(())
+    }
+
+    fn put_multipart(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+        payload: &Payload,
+        total: u64,
+    ) -> Result<()> {
+        let m = formatter::PartManifest {
+            stamp: self.next_part_stamp(),
+            part_bytes: PART_BYTES,
+            total,
+            inline: matches!(payload, Payload::Inline(_)),
+            digest: payload.digest(),
+        };
+        ctx.parallel(m.part_count() as usize, |ctx, i| {
+            let i = i as u32;
+            let pkey = keys.part(ns, name, m.stamp, i);
+            let part = match payload {
+                // Zero-copy: each part is a view over the caller's buffer.
+                Payload::Inline(b) => {
+                    let start = (i as u64 * m.part_bytes) as usize;
+                    Payload::Inline(b.slice(start..start + m.part_size(i) as usize))
+                }
+                Payload::Simulated { .. } => Payload::simulated(m.part_size(i), &pkey.ring_key()),
+            };
+            self.with_retry(ctx, "put_part", |ctx| {
+                self.store.put(ctx, &pkey, part.clone(), Meta::new())
+            })
+        })?;
+        let body = Payload::from_string(formatter::manifest_to_string(&m));
+        let key = keys.child(ns, name);
+        self.with_retry(ctx, "put_manifest", |ctx| {
+            self.store
+                .put(ctx, &key, body.clone(), Self::manifest_meta(total))
+        })
+    }
+
+    /// Fetch a file's logical content. Small files stay exactly one GET;
+    /// multipart files read the manifest, then their parts in one bounded
+    /// parallel wave.
+    pub fn get_content(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+    ) -> Result<Payload> {
+        let key = keys.child(ns, name);
+        let obj = self.with_retry(ctx, "get_content", |ctx| self.store.get(ctx, &key))?;
+        if obj.meta.get("content-type").map(String::as_str) != Some(CONTENT_TYPE_MULTIPART) {
+            return Ok(obj.payload);
+        }
+        let s = obj
+            .payload
+            .as_str()
+            .ok_or_else(|| H2Error::Corrupt(format!("manifest {key} is not a string object")))?;
+        let m = formatter::manifest_from_str(s)?;
+        self.get_parts(ctx, keys, ns, name, &m)
+    }
+
+    fn get_parts(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+        m: &formatter::PartManifest,
+    ) -> Result<Payload> {
+        let n = m.part_count() as usize;
+        let mut fetched: Vec<Option<Payload>> = vec![None; n];
+        {
+            let fetched = std::cell::RefCell::new(&mut fetched);
+            ctx.parallel(n, |ctx, i| {
+                let pkey = keys.part(ns, name, m.stamp, i as u32);
+                let obj = self.with_retry(ctx, "get_part", |ctx| self.store.get(ctx, &pkey))?;
+                if obj.payload.len() != m.part_size(i as u32) {
+                    return Err(H2Error::Corrupt(format!(
+                        "part {pkey} holds {} bytes, manifest says {}",
+                        obj.payload.len(),
+                        m.part_size(i as u32)
+                    )));
+                }
+                fetched.borrow_mut()[i] = Some(obj.payload);
+                Ok(())
+            })?;
+        }
+        if !m.inline {
+            return Ok(Payload::Simulated {
+                size: m.total,
+                digest: m.digest,
+            });
+        }
+        let mut out = Vec::with_capacity(m.total as usize);
+        for (i, p) in fetched.into_iter().enumerate() {
+            match p {
+                Some(Payload::Inline(b)) => out.extend_from_slice(&b),
+                _ => {
+                    return Err(H2Error::Corrupt(format!(
+                        "inline manifest part {i} of {} is not inline",
+                        keys.child(ns, name)
+                    )))
+                }
+            }
+        }
+        Ok(Payload::Inline(bytes::Bytes::from(out)))
+    }
+
+    /// Delete a file's content. `size` is the logical size from the
+    /// parent's tuple, which every caller has at hand — files at or below
+    /// [`PART_BYTES`] pay exactly one DELETE, as before striping.
+    pub fn delete_content(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+        size: u64,
+    ) -> Result<()> {
+        let key = keys.child(ns, name);
+        if size <= PART_BYTES {
+            return self.with_retry(ctx, "delete_content", |ctx| self.store.delete(ctx, &key));
+        }
+        let m = self.fetch_manifest(ctx, keys, ns, name)?;
+        self.with_retry(ctx, "delete_content", |ctx| self.store.delete(ctx, &key))?;
+        if let Some(m) = m {
+            self.delete_parts(ctx, keys, ns, name, &m);
+        }
+        Ok(())
+    }
+
+    /// Best-effort reclaim of one multipart generation. Failures leave
+    /// unreachable orphans (harmless; a later GC sweep or overwrite cannot
+    /// resurrect them) — never an error.
+    fn delete_parts(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+        m: &formatter::PartManifest,
+    ) {
+        let _ = ctx.parallel(m.part_count() as usize, |ctx, i| {
+            let pkey = keys.part(ns, name, m.stamp, i as u32);
+            let _ = self.with_retry(ctx, "delete_part", |ctx| self.store.delete(ctx, &pkey));
+            Ok(())
+        });
+    }
+
+    /// Server-side copy of a file's content. Small files stay one COPY;
+    /// multipart files copy their parts in one bounded parallel wave to a
+    /// fresh generation under the destination, then write its manifest.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_content(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        src_ns: NamespaceId,
+        src_name: &str,
+        dst_ns: NamespaceId,
+        dst_name: &str,
+        size: u64,
+    ) -> Result<()> {
+        if size <= PART_BYTES {
+            return self.store.copy(
+                ctx,
+                &keys.child(src_ns, src_name),
+                &keys.child(dst_ns, dst_name),
+            );
+        }
+        let Some(m) = self.fetch_manifest(ctx, keys, src_ns, src_name)? else {
+            // Tuple says big but the object is plain (predates striping):
+            // fall back to a whole-object copy.
+            return self.store.copy(
+                ctx,
+                &keys.child(src_ns, src_name),
+                &keys.child(dst_ns, dst_name),
+            );
+        };
+        let new = formatter::PartManifest {
+            stamp: self.next_part_stamp(),
+            ..m
+        };
+        ctx.parallel(m.part_count() as usize, |ctx, i| {
+            let i = i as u32;
+            let from = keys.part(src_ns, src_name, m.stamp, i);
+            let to = keys.part(dst_ns, dst_name, new.stamp, i);
+            self.with_retry(ctx, "copy_part", |ctx| self.store.copy(ctx, &from, &to))
+        })?;
+        let body = Payload::from_string(formatter::manifest_to_string(&new));
+        let key = keys.child(dst_ns, dst_name);
+        self.with_retry(ctx, "put_manifest", |ctx| {
+            self.store
+                .put(ctx, &key, body.clone(), Self::manifest_meta(new.total))
+        })
+    }
+
     // ----- ring access ----------------------------------------------------
 
     /// Cached copy of the global ring for `key`, if the cache is enabled
-    /// and holds one. Counts hit/miss.
-    fn cached_global(&self, key: &FdKey) -> Option<NameRing> {
+    /// and holds one. Counts hit/miss. A hit is a refcount bump.
+    fn cached_global(&self, key: &FdKey) -> Option<Arc<NameRing>> {
         let counters = self.cache_counters.as_ref()?;
         let mut cache = self.ring_cache.lock();
         match cache.get(key) {
             Some(entry) => {
-                let ring = entry.ring.clone();
+                let ring = Arc::clone(&entry.ring);
                 drop(cache);
                 counters.hits.incr();
                 counters.gets_saved.incr();
@@ -281,7 +732,7 @@ impl H2Middleware {
     /// raced with a concurrent write-through must not replace the newer
     /// entry, so the ring only enters the cache if its version is at least
     /// the cached one.
-    fn cache_store_fetched(&self, key: FdKey, ring: &NameRing) {
+    fn cache_store_fetched(&self, key: FdKey, ring: &Arc<NameRing>) {
         if self.cache_counters.is_none() {
             return;
         }
@@ -292,7 +743,7 @@ impl H2Middleware {
                 key,
                 CachedRing {
                     version,
-                    ring: ring.clone(),
+                    ring: Arc::clone(ring),
                 },
             );
         }
@@ -302,7 +753,7 @@ impl H2Middleware {
     /// unconditionally — the cloud object now IS this ring, even if its
     /// version went backwards (GC compaction can drop the newest
     /// tombstone).
-    fn cache_store_written(&self, key: FdKey, ring: &NameRing) {
+    fn cache_store_written(&self, key: FdKey, ring: &Arc<NameRing>) {
         if self.cache_counters.is_none() {
             return;
         }
@@ -310,7 +761,7 @@ impl H2Middleware {
             key,
             CachedRing {
                 version: ring.version(),
-                ring: ring.clone(),
+                ring: Arc::clone(ring),
             },
         );
     }
@@ -331,7 +782,7 @@ impl H2Middleware {
         {
             let mut fds = self.fds.lock();
             if let Some(fd) = fds.get_mut(&(account.to_string(), ns)) {
-                fd.local.floor_tombstones(horizon);
+                Arc::make_mut(&mut fd.local).floor_tombstones(horizon);
             }
         }
         self.invalidate_ring(account, ns);
@@ -353,33 +804,44 @@ impl H2Middleware {
         }
     }
 
+    /// Materialised variant of [`read_ring_view`](Self::read_ring_view) for
+    /// callers that need an owned ring (fsck, GC, bulk import).
+    pub fn read_ring(&self, ctx: &mut OpCtx, keys: &H2Keys, ns: NamespaceId) -> Result<NameRing> {
+        Ok(self.read_ring_view(ctx, keys, ns)?.materialize())
+    }
+
     /// Fetch the NameRing object for `ns` — from the cache when it holds a
     /// copy, from the cloud otherwise (empty if the object does not exist
-    /// yet) — and join it with this node's local version, so the caller
-    /// sees both global state and this node's own not-yet-merged updates.
-    pub fn read_ring(&self, ctx: &mut OpCtx, keys: &H2Keys, ns: NamespaceId) -> Result<NameRing> {
+    /// yet) — joined with this node's local version, so the caller sees
+    /// both global state and this node's own not-yet-merged updates. The
+    /// result is a per-key join *view* over shared ring snapshots: the
+    /// resolve hot path allocates nothing proportional to ring size.
+    pub fn read_ring_view(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+    ) -> Result<RingView> {
         ctx.span(STAGE_RESOLVE, "read_ring", |ctx| {
             ctx.span_note("ns", || ns.to_string());
             let key = (keys.account().to_string(), ns);
-            let mut ring = match self.cached_global(&key) {
+            let (global, hit) = match self.cached_global(&key) {
                 Some(cached) => {
                     ctx.span_note("ring_cache", || "hit".to_string());
-                    cached
+                    (cached, true)
                 }
                 None => {
                     if self.cache_counters.is_some() {
                         ctx.span_note("ring_cache", || "miss".to_string());
                     }
-                    let global = self.fetch_global_ring(ctx, keys, ns)?;
+                    let global = Arc::new(self.fetch_global_ring(ctx, keys, ns)?);
                     self.cache_store_fetched(key.clone(), &global);
-                    global
+                    (global, false)
                 }
             };
-            let fds = self.fds.lock();
-            if let Some(fd) = fds.get(&key) {
-                ring.merge_from(&fd.local);
-            }
-            Ok(ring)
+            let overlay = self.fds.lock().get(&key).map(|fd| Arc::clone(&fd.local));
+            let view = RingView::new(global, overlay);
+            Ok(if hit { view.mark_cached() } else { view })
         })
     }
 
@@ -391,6 +853,7 @@ impl H2Middleware {
         ns: NamespaceId,
     ) -> Result<NameRing> {
         let key = keys.namering(ns);
+        self.ring_fetches.incr();
         match self.with_retry(ctx, "fetch_ring", |ctx| self.store.get(ctx, &key)) {
             Ok(obj) => {
                 let s = obj.payload.as_str().ok_or_else(|| {
@@ -413,13 +876,15 @@ impl H2Middleware {
         ctx: &mut OpCtx,
         keys: &H2Keys,
         ns: NamespaceId,
-        ring: &NameRing,
+        ring: &Arc<NameRing>,
     ) -> Result<()> {
         let body = formatter::namering_to_string(ring);
         let key = keys.namering(ns);
+        // Build the payload once; retry attempts re-send the same shared
+        // bytes instead of re-materialising the serialised ring.
+        let payload = Payload::from_string(body);
         self.with_retry(ctx, "put_ring", |ctx| {
-            self.store
-                .put(ctx, &key, Payload::from_string(body.clone()), Meta::new())
+            self.store.put(ctx, &key, payload.clone(), Meta::new())
         })?;
         self.cache_store_written((keys.account().to_string(), ns), ring);
         Ok(())
@@ -427,7 +892,7 @@ impl H2Middleware {
 
     /// Create the (empty) NameRing object for a fresh namespace.
     pub fn create_ring(&self, ctx: &mut OpCtx, keys: &H2Keys, ns: NamespaceId) -> Result<()> {
-        self.put_global_ring(ctx, keys, ns, &NameRing::new())
+        self.put_global_ring(ctx, keys, ns, &Arc::new(NameRing::new()))
     }
 
     /// Write a fully materialised ring for a namespace this node just
@@ -441,10 +906,11 @@ impl H2Middleware {
         ns: NamespaceId,
         ring: &NameRing,
     ) -> Result<()> {
-        self.put_global_ring(ctx, keys, ns, ring)?;
+        let shared = Arc::new(ring.clone());
+        self.put_global_ring(ctx, keys, ns, &shared)?;
         let mut fds = self.fds.lock();
         let fd = fds.entry((keys.account().to_string(), ns)).or_default();
-        fd.local = ring.clone();
+        fd.local = shared;
         Ok(())
     }
 
@@ -454,6 +920,13 @@ impl H2Middleware {
     /// `ns::/NameRing/.Node<this>.Patch<k>`), append it to the node's chain,
     /// and fold it into the local version immediately. In Eager mode the
     /// merge into the global ring happens here too.
+    ///
+    /// With group commit enabled, concurrent submissions against the same
+    /// ring coalesce: one leader joins the waiting patches into a single
+    /// combined patch object, allocates the batch a contiguous patch-number
+    /// range, and performs one PUT (plus, in Eager mode, one merge) on
+    /// behalf of everyone — waiters park on a condvar and wake with the
+    /// shared result.
     pub fn submit_patch(
         &self,
         ctx: &mut OpCtx,
@@ -461,7 +934,21 @@ impl H2Middleware {
         ns: NamespaceId,
         patch: NameRing,
     ) -> Result<()> {
-        ctx.charge_time(self.store.cost_model().patch_cycle_cpu);
+        ctx.charge_time(self.store.cost_model().patch_submit_cpu);
+        if self.group_commit {
+            self.submit_patch_grouped(ctx, keys, ns, patch)
+        } else {
+            self.submit_patch_direct(ctx, keys, ns, patch)
+        }
+    }
+
+    fn submit_patch_direct(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        patch: NameRing,
+    ) -> Result<()> {
         let key = (keys.account().to_string(), ns);
         // Allocate the patch number AND chain it in one critical section,
         // before the PUT. If it only entered the chain after the PUT (as an
@@ -477,48 +964,158 @@ impl H2Middleware {
             fd.pending.push(no);
             no
         };
-        let body = formatter::patch_to_string(&patch);
-        let patch_key = keys.patch(ns, self.node, patch_no);
-        let put = self.with_retry(ctx, "submit_patch", |ctx| {
-            self.store.put(
-                ctx,
-                &patch_key,
-                Payload::from_string(body.clone()),
-                Meta::new(),
-            )
-        });
-        // Re-validate under the lock now that the PUT has settled.
-        {
-            let mut fds = self.fds.lock();
-            let fd = fds.entry(key).or_default();
-            match &put {
-                Ok(()) => {
-                    fd.local.merge_from(&patch);
-                    if !fd.pending.contains(&patch_no) {
-                        // A concurrent merge cycle consumed the chain entry
-                        // while the PUT was in flight; it saw NotFound for
-                        // this patch object and skipped it, so the object
-                        // we just wrote is referenced by nothing. Re-chain
-                        // it: the next cycle merges and deletes it. (The
-                        // content is also safe in `fd.local`, which every
-                        // cycle folds in.)
-                        fd.pending.push(patch_no);
-                    }
-                }
-                Err(_) => {
-                    // The patch object never made it to the cloud: drop the
-                    // chain entry so the merger does not chase a ghost, and
-                    // skip the local fold so the failed write stays
-                    // invisible, like any other failed operation.
-                    fd.pending.retain(|&no| no != patch_no);
-                }
-            }
-        }
+        let put = self.put_patch_object(ctx, keys, ns, patch_no, &patch);
+        self.settle_patch(&key, patch_no, &patch, &put);
         put?;
         if self.mode == MaintenanceMode::Eager {
             self.merge_ns(ctx, keys, ns)?;
         }
         Ok(())
+    }
+
+    /// Serialise and PUT one patch object (payload built once; retries
+    /// re-send the same shared bytes).
+    fn put_patch_object(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        patch_no: u32,
+        patch: &NameRing,
+    ) -> Result<()> {
+        let payload = Payload::from_string(formatter::patch_to_string(patch));
+        let patch_key = keys.patch(ns, self.node, patch_no);
+        self.with_retry(ctx, "submit_patch", |ctx| {
+            self.store
+                .put(ctx, &patch_key, payload.clone(), Meta::new())
+        })
+    }
+
+    /// Re-validate the descriptor under the lock once a patch PUT settled.
+    fn settle_patch(&self, key: &FdKey, patch_no: u32, patch: &NameRing, put: &Result<()>) {
+        let mut fds = self.fds.lock();
+        let fd = fds.entry(key.clone()).or_default();
+        match put {
+            Ok(()) => {
+                Arc::make_mut(&mut fd.local).merge_from(patch);
+                if !fd.pending.contains(patch_no) {
+                    // A concurrent merge cycle consumed the chain entry
+                    // while the PUT was in flight; it saw NotFound for
+                    // this patch object and skipped it, so the object
+                    // we just wrote is referenced by nothing. Re-chain
+                    // it: the next cycle merges and deletes it. (The
+                    // content is also safe in `fd.local`, which every
+                    // cycle folds in.)
+                    fd.pending.push(patch_no);
+                }
+            }
+            Err(_) => {
+                // The patch object never made it to the cloud: drop the
+                // chain entry so the merger does not chase a ghost, and
+                // skip the local fold so the failed write stays
+                // invisible, like any other failed operation.
+                fd.pending.remove(patch_no);
+            }
+        }
+    }
+
+    /// Group-commit submission: enqueue the patch; lead or wait.
+    fn submit_patch_grouped(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        patch: NameRing,
+    ) -> Result<()> {
+        let key = (keys.account().to_string(), ns);
+        let queue = self.commit_queues.lock().entry(key).or_default().clone();
+        let mut st = queue.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.batch.push((ticket, patch));
+        if st.busy {
+            // Follower: park until the leader posts this ticket's result,
+            // then charge the batch's virtual cost — every waiter sat out
+            // the same combined PUT.
+            loop {
+                if let Some(res) = st.results.remove(&ticket) {
+                    drop(st);
+                    ctx.charge_time(res.cost);
+                    return res.outcome;
+                }
+                st = queue.cv.wait(st);
+            }
+        }
+        // Leader: drain and commit batches until no new arrivals remain.
+        st.busy = true;
+        loop {
+            let batch = std::mem::take(&mut st.batch);
+            drop(st);
+            let results = self.commit_batch(ctx, keys, ns, batch);
+            st = queue.state.lock();
+            st.results.extend(results);
+            queue.cv.notify_all();
+            if st.batch.is_empty() {
+                st.busy = false;
+                break;
+            }
+        }
+        let own = st
+            .results
+            .remove(&ticket)
+            .expect("leader's own commit result");
+        drop(st);
+        // The leader's context already carried the batch's charges.
+        own.outcome
+    }
+
+    /// Commit one batch on the leader's context: join the patches into one
+    /// combined patch, allocate the batch a contiguous patch-number range
+    /// (only the base number carries an object — the combined PUT), chain
+    /// the base pre-PUT, perform the PUT, re-validate, and (Eager) merge.
+    /// Failure unwinding matches the single-patch path exactly: a failed
+    /// PUT unchains the base and skips the local fold, so the whole batch
+    /// stays invisible.
+    fn commit_batch(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        batch: Vec<(u64, NameRing)>,
+    ) -> Vec<(u64, CommitResult)> {
+        let start = ctx.elapsed();
+        let mut combined = NameRing::new();
+        for (_, patch) in &batch {
+            combined.merge_from(patch);
+        }
+        let key = (keys.account().to_string(), ns);
+        let base = {
+            let mut fds = self.fds.lock();
+            let fd = fds.entry(key.clone()).or_default();
+            let base = fd.next_patch;
+            fd.next_patch += batch.len() as u32;
+            fd.pending.push(base);
+            base
+        };
+        let put = self.put_patch_object(ctx, keys, ns, base, &combined);
+        self.settle_patch(&key, base, &combined, &put);
+        let mut outcome = put;
+        if outcome.is_ok() && self.mode == MaintenanceMode::Eager {
+            outcome = self.merge_ns(ctx, keys, ns).map(|_| ());
+        }
+        let cost = ctx.elapsed().saturating_sub(start);
+        batch
+            .into_iter()
+            .map(|(ticket, _)| {
+                (
+                    ticket,
+                    CommitResult {
+                        outcome: outcome.clone(),
+                        cost,
+                    },
+                )
+            })
+            .collect()
     }
 
     /// How many descriptors have unmerged patch chains.
@@ -556,7 +1153,7 @@ impl H2Middleware {
         let chain: Vec<u32> = {
             let mut fds = self.fds.lock();
             match fds.get_mut(&(keys.account().to_string(), ns)) {
-                Some(fd) if !fd.pending.is_empty() => std::mem::take(&mut fd.pending),
+                Some(fd) if !fd.pending.is_empty() => fd.pending.take(),
                 _ => return Ok(false),
             }
         };
@@ -568,9 +1165,7 @@ impl H2Middleware {
             Err(e) => {
                 let mut fds = self.fds.lock();
                 let fd = fds.entry((keys.account().to_string(), ns)).or_default();
-                let mut restored = chain.clone();
-                restored.append(&mut fd.pending);
-                fd.pending = restored;
+                fd.pending.restore(&chain);
                 return Err(e);
             }
         };
@@ -581,7 +1176,7 @@ impl H2Middleware {
             // Monotone: a patch submitted while this merge was in flight
             // must stay visible in the local version (its chain entry will
             // carry it into the global object on the next cycle).
-            fd.local.merge_from(&ring);
+            Arc::make_mut(&mut fd.local).merge_from(&ring);
         }
         self.outbox.lock().push(GossipMsg {
             account: keys.account().to_string(),
@@ -601,7 +1196,7 @@ impl H2Middleware {
         keys: &H2Keys,
         ns: NamespaceId,
         chain: &[u32],
-    ) -> Result<NameRing> {
+    ) -> Result<Arc<NameRing>> {
         // Walk the linked list: start with patch No. chain[0], repeatedly
         // fetch the successor and merge the two.
         let mut big = NameRing::new();
@@ -632,6 +1227,7 @@ impl H2Middleware {
                 ring.merge_from(&fd.local);
             }
         }
+        let ring = Arc::new(ring);
         self.put_global_ring(ctx, keys, ns, &ring)?;
         for &no in chain {
             // Patch objects are transient; a NotFound here is harmless.
@@ -646,8 +1242,14 @@ impl H2Middleware {
 
     /// Run the Background Merger over every descriptor with pending patches
     /// (Deferred mode's pump). Background spend is accounted internally.
-    /// Returns the number of rings merged.
-    pub fn step_merges(&self) -> Result<usize> {
+    ///
+    /// Every ring with a pending chain is attempted; a failing cycle
+    /// restores its chain, bumps [`MERGE_FAILURES`], and does *not* stop
+    /// the sweep. The outcome separates applied from failed counts so
+    /// callers that loop "until nothing merges" terminate even while some
+    /// rings keep failing (an earlier revision returned the *attempted*
+    /// count, which such loops would spin on).
+    pub fn step_merges(&self) -> MergeOutcome {
         let work: Vec<(String, NamespaceId)> = {
             let fds = self.fds.lock();
             fds.iter()
@@ -655,7 +1257,7 @@ impl H2Middleware {
                 .map(|((acct, ns), _)| (acct.clone(), *ns))
                 .collect()
         };
-        let mut merged = 0usize;
+        let mut outcome = MergeOutcome::default();
         let mut ctx = OpCtx::new(self.store.cost_model());
         // Background merge pumps are sampled like client ops, so Deferred
         // mode's maintenance shows up as MERGE-PUMP root traces.
@@ -663,29 +1265,27 @@ impl H2Middleware {
         if sampled {
             ctx.begin_trace(STAGE_MERGE, "MERGE-PUMP");
         }
-        let mut failure = None;
+        let mut first_error: Option<H2Error> = None;
         for (account, ns) in work {
             let keys = H2Keys::new(&account);
             match self.merge_ns(&mut ctx, &keys, ns) {
-                Ok(true) => merged += 1,
+                Ok(true) => outcome.applied += 1,
                 Ok(false) => {}
                 Err(e) => {
-                    failure = Some(e);
-                    break;
+                    outcome.failed += 1;
+                    self.merge_failures.incr();
+                    first_error.get_or_insert(e);
                 }
             }
         }
         if sampled {
-            let err = failure.as_ref().map(|e| e.to_string());
+            let err = first_error.as_ref().map(|e| e.to_string());
             if let Some(spans) = ctx.end_trace(err) {
                 self.tracer.offer(spans, &self.metrics);
             }
         }
-        if let Some(e) = failure {
-            return Err(e);
-        }
         self.absorb_background(&ctx);
-        Ok(merged)
+        outcome
     }
 
     // ----- gossip (§3.3.2 phase 2, step 2) ---------------------------------
@@ -700,74 +1300,151 @@ impl H2Middleware {
     /// (the local version is already at least as new — §3.3.2's loop-back
     /// avoidance by timestamp comparison).
     pub fn on_gossip(&self, msg: &GossipMsg) -> Result<bool> {
+        self.on_gossip_batch(std::slice::from_ref(msg))
+            .pop()
+            .expect("one result per message")
+    }
+
+    /// Handle a whole inbox of gossip tuples in one sweep, with per-message
+    /// results (index-aligned with `msgs`, so a failing message can be
+    /// requeued individually — batching never couples one message's fate
+    /// to another's).
+    ///
+    /// Compared with applying messages one at a time, a batch takes the
+    /// descriptor lock O(1) times instead of O(messages): one acquisition
+    /// for the loop-back version check, one for applying every fetched
+    /// ring. Messages for the same ring are deduplicated — the ring is
+    /// fetched and joined once on behalf of all of them (each such message
+    /// reports `Ok(true)`, since the update was news to this node).
+    pub fn on_gossip_batch(&self, msgs: &[GossipMsg]) -> Vec<Result<bool>> {
+        let mut results: Vec<Option<Result<bool>>> = (0..msgs.len()).map(|_| None).collect();
+        // Pass 1 — loop-back avoidance for the whole batch under one lock;
+        // fresh messages are grouped by ring.
+        let mut fresh: Vec<(FdKey, Vec<usize>)> = Vec::new();
         {
+            let mut slots: HashMap<FdKey, usize> = HashMap::new();
             let fds = self.fds.lock();
-            if let Some(fd) = fds.get(&(msg.account.clone(), msg.ns)) {
-                if fd.local.version() >= msg.version {
-                    return Ok(false);
+            for (i, msg) in msgs.iter().enumerate() {
+                let key = (msg.account.clone(), msg.ns);
+                let stale = fds
+                    .get(&key)
+                    .is_some_and(|fd| fd.local.version() >= msg.version);
+                if stale {
+                    results[i] = Some(Ok(false));
+                } else {
+                    match slots.get(&key) {
+                        Some(&slot) => fresh[slot].1.push(i),
+                        None => {
+                            slots.insert(key.clone(), fresh.len());
+                            fresh.push((key, vec![i]));
+                        }
+                    }
                 }
             }
         }
-        let mut ctx = OpCtx::new(self.store.cost_model());
-        // Gossip hops run on their own context, so they self-sample into
+        if fresh.is_empty() {
+            return results
+                .into_iter()
+                .map(|r| r.expect("stale message settled"))
+                .collect();
+        }
+        // Gossip runs on its own context, so batches self-sample into
         // GOSSIP-APPLY root traces.
+        let mut ctx = OpCtx::new(self.store.cost_model());
         let sampled = self.tracer.sample_next();
         if sampled {
             ctx.begin_trace(STAGE_GOSSIP, "GOSSIP-APPLY");
-            ctx.span_note("ns", || msg.ns.to_string());
-            ctx.span_note("from", || msg.from.0.to_string());
+            ctx.span_note("batch", || msgs.len().to_string());
+            ctx.span_note("rings", || fresh.len().to_string());
         }
-        let result = self.apply_gossip(&mut ctx, msg);
-        if sampled {
-            let err = result.as_ref().err().map(|e| e.to_string());
-            if let Some(spans) = ctx.end_trace(err) {
-                self.tracer.offer(spans, &self.metrics);
+        let mut first_error: Option<String> = None;
+        // Pass 2 — fetch each unique ring once, refreshing the NameRing
+        // cache (gossip is what keeps cached rings fresh across nodes).
+        let mut fetched: Vec<(FdKey, Arc<NameRing>, Vec<usize>)> = Vec::new();
+        for (key, idxs) in fresh {
+            let keys = H2Keys::new(&key.0);
+            match self.fetch_global_ring(&mut ctx, &keys, key.1) {
+                Ok(global) => {
+                    let global = Arc::new(global);
+                    self.cache_store_fetched(key.clone(), &global);
+                    fetched.push((key, global, idxs));
+                }
+                Err(e) => {
+                    first_error.get_or_insert_with(|| e.to_string());
+                    for i in idxs {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                }
             }
         }
-        result?;
-        self.clock.observe(msg.version);
-        self.absorb_background(&ctx);
-        Ok(true)
-    }
-
-    /// The fallible portion of one gossip application (split out so the
-    /// wrapper can flush the trace on both outcomes).
-    fn apply_gossip(&self, ctx: &mut OpCtx, msg: &GossipMsg) -> Result<()> {
-        // Fetch the updated ring version and merge it into the local view.
-        // The fresh global also refreshes the NameRing cache — gossip is
-        // what keeps cached rings from going stale across middlewares.
-        let keys = H2Keys::new(&msg.account);
-        let global = self.fetch_global_ring(ctx, &keys, msg.ns)?;
-        self.cache_store_fetched((msg.account.clone(), msg.ns), &global);
-        let had_extra = {
+        // Pass 3 — one descriptor-lock acquisition applies every join.
+        let mut writebacks: Vec<(FdKey, Arc<NameRing>, Vec<usize>)> = Vec::new();
+        {
             let mut fds = self.fds.lock();
-            let fd = fds.entry((msg.account.clone(), msg.ns)).or_default();
-            let mut merged = global.clone();
-            merged.merge_from(&fd.local);
-            let extra = merged != global;
-            fd.local = merged;
-            extra
-        };
-        // If this node knew updates the global object lacked, write the
-        // join back and re-gossip (our information is now part of the
-        // global version).
-        if had_extra {
-            let local = {
-                let fds = self.fds.lock();
-                fds[&(msg.account.clone(), msg.ns)].local.clone()
-            };
+            for (key, global, idxs) in fetched {
+                let fd = fds.entry(key.clone()).or_default();
+                let merged = NameRing::merged((*global).clone(), &fd.local);
+                let had_extra = merged != *global;
+                let merged = Arc::new(merged);
+                fd.local = Arc::clone(&merged);
+                if had_extra {
+                    writebacks.push((key, merged, idxs));
+                } else {
+                    for i in idxs {
+                        results[i] = Some(Ok(true));
+                    }
+                }
+            }
+        }
+        // Pass 4 — when this node knew updates the global object lacked,
+        // write the join back and re-gossip (our information is now part
+        // of the global version). A write-back failure fails only that
+        // ring's messages; the local join above is idempotent on requeue.
+        for (key, local, idxs) in writebacks {
+            let keys = H2Keys::new(&key.0);
             ctx.span_note("write_back", || {
                 "local updates joined into global".to_string()
             });
-            self.put_global_ring(ctx, &keys, msg.ns, &local)?;
-            self.outbox.lock().push(GossipMsg {
-                account: msg.account.clone(),
-                ns: msg.ns,
-                from: self.node,
-                version: local.version(),
-            });
+            match self.put_global_ring(&mut ctx, &keys, key.1, &local) {
+                Ok(()) => {
+                    self.outbox.lock().push(GossipMsg {
+                        account: key.0.clone(),
+                        ns: key.1,
+                        from: self.node,
+                        version: local.version(),
+                    });
+                    for i in idxs {
+                        results[i] = Some(Ok(true));
+                    }
+                }
+                Err(e) => {
+                    first_error.get_or_insert_with(|| e.to_string());
+                    for i in idxs {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                }
+            }
         }
-        Ok(())
+        if sampled {
+            if let Some(spans) = ctx.end_trace(first_error) {
+                self.tracer.offer(spans, &self.metrics);
+            }
+        }
+        // Observe the newest version this node actually absorbed.
+        let applied_max = msgs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matches!(results[*i], Some(Ok(true))))
+            .map(|(_, m)| m.version)
+            .max();
+        if let Some(v) = applied_max {
+            self.clock.observe(v);
+        }
+        self.absorb_background(&ctx);
+        results
+            .into_iter()
+            .map(|r| r.expect("every message settled"))
+            .collect()
     }
 
     // ----- descriptor objects ----------------------------------------------
@@ -784,10 +1461,9 @@ impl H2Middleware {
         let mut meta = Meta::new();
         meta.insert("content-type".into(), "h2/dir".into());
         let key = keys.child(parent_ns, name);
-        let body = formatter::dir_to_string(desc);
+        let payload = Payload::from_string(formatter::dir_to_string(desc));
         self.with_retry(ctx, "put_descriptor", |ctx| {
-            self.store
-                .put(ctx, &key, Payload::from_string(body.clone()), meta.clone())
+            self.store.put(ctx, &key, payload.clone(), meta.clone())
         })
     }
 
@@ -818,10 +1494,16 @@ impl H2Middleware {
         ctx.charge_time(self.store.cost_model().per_entry_cpu * entries as u32);
     }
 
-    /// Charge one lookup step of middleware CPU (hashing, tuple search,
-    /// middleware HTTP plumbing).
-    pub fn charge_lookup_cpu(&self, ctx: &mut OpCtx) {
-        ctx.charge_time(self.store.cost_model().lookup_cpu);
+    /// Charge one resolve level. A level whose ring came from the
+    /// parsed-ring cache skipped the GET *and* the parse/plumbing work, so
+    /// it pays the in-memory `cached_lookup_cpu` instead of `lookup_cpu`.
+    pub fn charge_lookup_step(&self, ctx: &mut OpCtx, cached: bool) {
+        let model = self.store.cost_model();
+        ctx.charge_time(if cached {
+            model.cached_lookup_cpu
+        } else {
+            model.lookup_cpu
+        });
     }
 
     /// Record an index-server-free primitive count for Table 1 (H2 issues
@@ -907,7 +1589,13 @@ mod tests {
             .get(&mut ctx, &keys.patch(ns(1), NodeId(1), 0))
             .is_ok());
         // Background merger folds it in.
-        assert_eq!(mw.step_merges().unwrap(), 1);
+        assert_eq!(
+            mw.step_merges(),
+            MergeOutcome {
+                applied: 1,
+                failed: 0
+            }
+        );
         assert!(mw
             .fetch_global_ring(&mut ctx, &keys, ns(1))
             .unwrap()
@@ -929,7 +1617,7 @@ mod tests {
         }
         // One descriptor, five chained patches.
         assert_eq!(mw.pending_descriptors(), 1);
-        mw.step_merges().unwrap();
+        assert_eq!(mw.step_merges().applied, 1);
         let g = mw.fetch_global_ring(&mut ctx, &keys, ns(1)).unwrap();
         assert_eq!(g.live_len(), 5);
     }
@@ -992,8 +1680,8 @@ mod tests {
         mw2.submit_patch(&mut ctx, &keys, ns(1), p2).unwrap();
         // Node 1 merges first; node 2 merges after — the global object now
         // has both (step_merges folds local knowledge in).
-        mw1.step_merges().unwrap();
-        mw2.step_merges().unwrap();
+        assert_eq!(mw1.step_merges().applied, 1);
+        assert_eq!(mw2.step_merges().applied, 1);
         let g = mw1.fetch_global_ring(&mut ctx, &keys, ns(1)).unwrap();
         assert_eq!(g.live_len(), 2, "second merge lost first node's update");
         // Gossip completes the exchange: node 1 hears node 2's update.
@@ -1035,16 +1723,23 @@ mod tests {
         for i in 0..4 {
             cluster.set_node_down(h2ring::DeviceId(i), true);
         }
-        assert!(
-            mw.step_merges().is_err(),
+        let out = mw.step_merges();
+        assert_eq!(
+            out,
+            MergeOutcome {
+                applied: 0,
+                failed: 1
+            },
             "merge should fail with cluster down"
         );
+        assert!(out.attempted() == 1);
+        assert!(mw.metrics().counter_value(MERGE_FAILURES) >= 1);
         // The chain survived the failure.
         assert_eq!(mw.pending_descriptors(), 1);
         for i in 0..4 {
             cluster.set_node_down(h2ring::DeviceId(i), false);
         }
-        assert_eq!(mw.step_merges().unwrap(), 1);
+        assert_eq!(mw.step_merges().applied, 1);
         let g = mw.fetch_global_ring(&mut ctx, &keys, ns(1)).unwrap();
         assert_eq!(g.live_len(), 3, "updates lost across merge crash/retry");
         // Patch objects were cleaned up after the successful merge.
@@ -1063,5 +1758,174 @@ mod tests {
         let b = mw.allocate_namespace();
         assert_ne!(a, b);
         assert_eq!(a.node, NodeId(1));
+    }
+
+    #[test]
+    fn patch_chain_survives_many_pending_patches() {
+        // The chain must ack (remove) patches in arbitrary order without
+        // losing entries, and drain in submission order afterwards.
+        let mut chain = PatchChain::default();
+        for no in 0..200u32 {
+            chain.push(no);
+        }
+        assert_eq!(chain.len(), 200);
+        // Ack every third patch, front-biased — the pattern the old
+        // `retain` scan paid O(chain) for.
+        for no in (0..200u32).step_by(3) {
+            chain.remove(no);
+        }
+        for no in 0..200u32 {
+            assert_eq!(chain.contains(no), no % 3 != 0, "patch {no}");
+        }
+        // Removing a missing number is a no-op.
+        chain.remove(0);
+        chain.remove(999);
+        // Drain comes out sorted == submission order (numbers are monotone).
+        let drained = chain.take();
+        let expect: Vec<u32> = (0..200).filter(|n| n % 3 != 0).collect();
+        assert_eq!(drained, expect);
+        assert!(chain.is_empty());
+        // Restore after a failed merge keeps the set intact even if new
+        // numbers were pushed meanwhile.
+        chain.push(500);
+        chain.restore(&drained);
+        assert_eq!(chain.len(), expect.len() + 1);
+        assert!(chain.contains(500));
+        let redrained = chain.take();
+        let mut expect2 = expect.clone();
+        expect2.push(500);
+        assert_eq!(redrained, expect2);
+    }
+
+    fn setup_grouped(mode: MaintenanceMode) -> (Arc<Cluster>, Arc<H2Middleware>, H2Keys) {
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 4,
+            replicas: 3,
+            part_power: 6,
+            cost: Arc::new(h2util::CostModel::zero()),
+            faults: None,
+        });
+        cluster.create_account("alice").unwrap();
+        cluster
+            .create_container("alice", crate::keys::H2_CONTAINER, false)
+            .unwrap();
+        let mw = H2Middleware::with_observability(
+            NodeId(1),
+            cluster.clone(),
+            mode,
+            Arc::new(MetricsRegistry::new()),
+            0,
+            Arc::new(TraceCollector::disabled()),
+            true,
+        );
+        (cluster, mw, H2Keys::new("alice"))
+    }
+
+    #[test]
+    fn group_commit_single_submitter_behaves_like_direct_path() {
+        let (_c, mw, keys) = setup_grouped(MaintenanceMode::Deferred);
+        let mut ctx = OpCtx::for_test();
+        let mut p = NameRing::new();
+        p.apply("f", Tuple::file(mw.tick(), 1));
+        mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
+        assert!(mw
+            .read_ring(&mut ctx, &keys, ns(1))
+            .unwrap()
+            .get("f")
+            .is_some());
+        assert_eq!(mw.pending_descriptors(), 1);
+        assert_eq!(mw.step_merges().applied, 1);
+        assert!(mw
+            .fetch_global_ring(&mut ctx, &keys, ns(1))
+            .unwrap()
+            .get("f")
+            .is_some());
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_submissions() {
+        // N threads submit against the same ring; every update must land,
+        // and the combined patch objects must number strictly fewer than
+        // the submissions whenever any batch formed (the contiguous-range
+        // allocation leaves gaps where coalesced patches would have been).
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 4;
+        let (_c, mw, keys) = setup_grouped(MaintenanceMode::Deferred);
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let mw = Arc::clone(&mw);
+            let keys = H2Keys::new("alice");
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    let mut ctx = OpCtx::for_test();
+                    let mut p = NameRing::new();
+                    p.apply(&format!("t{t}-f{i}"), Tuple::file(mw.tick(), 1));
+                    mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ctx = OpCtx::for_test();
+        // Read-your-writes on this middleware: every name is visible.
+        let local = mw.read_ring(&mut ctx, &keys, ns(1)).unwrap();
+        assert_eq!(local.live_len(), THREADS * PER_THREAD);
+        // Merge drains the chain and the global object has everything.
+        while mw.step_merges().applied > 0 {}
+        assert_eq!(mw.pending_descriptors(), 0);
+        let global = mw.fetch_global_ring(&mut ctx, &keys, ns(1)).unwrap();
+        assert_eq!(global.live_len(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn group_commit_failed_batch_leaves_no_trace() {
+        let (cluster, mw, keys) = setup_grouped(MaintenanceMode::Deferred);
+        let mut ctx = OpCtx::for_test();
+        for i in 0..4 {
+            cluster.set_node_down(h2ring::DeviceId(i), true);
+        }
+        let mut p = NameRing::new();
+        p.apply("ghost", Tuple::file(mw.tick(), 1));
+        assert!(mw.submit_patch(&mut ctx, &keys, ns(1), p).is_err());
+        // The failed batch unchained itself and skipped the local fold.
+        assert_eq!(mw.pending_descriptors(), 0);
+        for i in 0..4 {
+            cluster.set_node_down(h2ring::DeviceId(i), false);
+        }
+        assert!(mw
+            .read_ring(&mut ctx, &keys, ns(1))
+            .unwrap()
+            .get("ghost")
+            .is_none());
+    }
+
+    #[test]
+    fn merge_pump_loop_terminates_while_merges_keep_failing() {
+        // Regression: `step_merges` used to report the *attempted* count,
+        // so "pump until 0" loops spun forever against a down cluster.
+        let (cluster, mw, keys) = setup(MaintenanceMode::Deferred);
+        let mut ctx = OpCtx::for_test();
+        let mut p = NameRing::new();
+        p.apply("f", Tuple::file(mw.tick(), 1));
+        mw.submit_patch(&mut ctx, &keys, ns(1), p).unwrap();
+        for i in 0..4 {
+            cluster.set_node_down(h2ring::DeviceId(i), true);
+        }
+        // The canonical caller loop: merge until nothing more applies.
+        // With the cluster down this must exit on the first sweep (and the
+        // failure is still visible via `failed` and the counter).
+        let mut sweeps = 0;
+        while mw.step_merges().applied > 0 {
+            sweeps += 1;
+            assert!(sweeps < 100, "merge pump failed to terminate");
+        }
+        assert_eq!(sweeps, 0);
+        assert!(mw.metrics().counter_value(MERGE_FAILURES) >= 1);
+        // Chain intact for the eventual retry.
+        assert_eq!(mw.pending_descriptors(), 1);
     }
 }

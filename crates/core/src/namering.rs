@@ -34,6 +34,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use h2util::{NamespaceId, Timestamp};
 
@@ -216,6 +217,141 @@ impl NameRing {
     }
 }
 
+/// A read-only *join view* over a fetched global ring and a middleware's
+/// local patch overlay (`fd.local`), evaluated per key.
+///
+/// The serving path used to deep-clone the global ring and `merge_from` the
+/// overlay into the clone for every resolve level — O(ring) allocation per
+/// lookup. A `RingView` holds `Arc`s to both sides and computes the CRDT
+/// join lazily: `get` joins the two tuples for one key, [`RingView::live`]
+/// walks both sorted maps in lockstep. Cloning the view is two refcount
+/// bumps.
+///
+/// Note this is a *view*, not a cache: it never assumes one side subsumes
+/// the other (the global ring object is not monotone across nodes —
+/// concurrent merge cycles can overwrite each other's folds until gossip
+/// reconciles them), so every read is a genuine per-key join.
+#[derive(Debug, Clone)]
+pub struct RingView {
+    global: Arc<NameRing>,
+    overlay: Option<Arc<NameRing>>,
+    /// Whether the global ring came from the middleware's parsed-ring
+    /// cache (no cloud GET) — the resolve path charges the cheaper
+    /// in-memory lookup cost when it did.
+    from_cache: bool,
+}
+
+impl RingView {
+    pub fn new(global: Arc<NameRing>, overlay: Option<Arc<NameRing>>) -> Self {
+        // An empty overlay joins as identity; drop it so the common
+        // quiescent case degenerates to a plain borrow of the global ring.
+        let overlay = overlay.filter(|o| !o.is_empty());
+        RingView {
+            global,
+            overlay,
+            from_cache: false,
+        }
+    }
+
+    /// Mark the view as served from the parsed-ring cache.
+    pub fn mark_cached(mut self) -> Self {
+        self.from_cache = true;
+        self
+    }
+
+    /// Whether the global ring was served from the parsed-ring cache.
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// View over a single owned ring (tests, already-merged inputs).
+    pub fn from_ring(ring: NameRing) -> Self {
+        RingView::new(Arc::new(ring), None)
+    }
+
+    fn join<'a>(a: Option<&'a Tuple>, b: Option<&'a Tuple>) -> Option<&'a Tuple> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if y.merge_key() > x.merge_key() { y } else { x }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+
+    /// The joined tuple for `name`, tombstones included.
+    pub fn get_raw(&self, name: &str) -> Option<&Tuple> {
+        let over = self.overlay.as_deref().and_then(|o| o.get_raw(name));
+        Self::join(self.global.get_raw(name), over)
+    }
+
+    /// The joined live tuple for `name` (tombstones are invisible here).
+    pub fn get(&self, name: &str) -> Option<&Tuple> {
+        self.get_raw(name).filter(|t| !t.deleted)
+    }
+
+    /// All joined tuples in name order, tombstones included.
+    pub fn iter(&self) -> RingViewIter<'_> {
+        RingViewIter {
+            global: self.global.tuples.iter().peekable(),
+            overlay: self
+                .overlay
+                .as_deref()
+                .map(|o| o.tuples.iter())
+                .unwrap_or_default()
+                .peekable(),
+        }
+    }
+
+    /// Joined live children in name order — the LIST fast path.
+    pub fn live(&self) -> impl Iterator<Item = (&str, &Tuple)> {
+        self.iter().filter(|(_, t)| !t.deleted)
+    }
+
+    pub fn live_len(&self) -> usize {
+        self.live().count()
+    }
+
+    /// Fold the view into an owned ring (compat path for callers that
+    /// still need a materialised `NameRing`).
+    pub fn materialize(&self) -> NameRing {
+        match &self.overlay {
+            None => (*self.global).clone(),
+            Some(o) => NameRing::merged((*self.global).clone(), o),
+        }
+    }
+}
+
+/// Lockstep merge over the two sorted tuple maps of a [`RingView`].
+pub struct RingViewIter<'a> {
+    global: std::iter::Peekable<std::collections::btree_map::Iter<'a, String, Tuple>>,
+    overlay: std::iter::Peekable<std::collections::btree_map::Iter<'a, String, Tuple>>,
+}
+
+impl<'a> Iterator for RingViewIter<'a> {
+    type Item = (&'a str, &'a Tuple);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match (self.global.peek(), self.overlay.peek()) {
+            (Some((g, _)), Some((o, _))) => match g.cmp(o) {
+                std::cmp::Ordering::Less => self.global.next().map(|(n, t)| (n.as_str(), t)),
+                std::cmp::Ordering::Greater => self.overlay.next().map(|(n, t)| (n.as_str(), t)),
+                std::cmp::Ordering::Equal => {
+                    let (name, gt) = self.global.next().expect("peeked");
+                    let (_, ot) = self.overlay.next().expect("peeked");
+                    let winner = if ot.merge_key() > gt.merge_key() {
+                        ot
+                    } else {
+                        gt
+                    };
+                    Some((name.as_str(), winner))
+                }
+            },
+            (Some(_), None) => self.global.next().map(|(n, t)| (n.as_str(), t)),
+            (None, Some(_)) => self.overlay.next().map(|(n, t)| (n.as_str(), t)),
+            (None, None) => None,
+        }
+    }
+}
+
 impl FromIterator<(String, Tuple)> for NameRing {
     fn from_iter<I: IntoIterator<Item = (String, Tuple)>>(iter: I) -> Self {
         let mut r = NameRing::new();
@@ -335,6 +471,53 @@ mod tests {
             _ => panic!("expected dir"),
         }
         assert!(r.get("home").unwrap().child.is_dir());
+    }
+
+    #[test]
+    fn ring_view_joins_per_key_like_a_materialised_merge() {
+        let mut global = NameRing::new();
+        global.apply("a", Tuple::file(ts(1, 0, 1), 1));
+        global.apply("b", Tuple::file(ts(2, 0, 1), 2));
+        global.apply("c", Tuple::file(ts(3, 0, 1), 3));
+        let mut overlay = NameRing::new();
+        overlay.apply("b", Tuple::file(ts(5, 0, 2), 20)); // newer override
+        overlay.apply("c", Tuple::file(ts(1, 0, 2), 30)); // stale, loses
+        overlay.apply("d", Tuple::file(ts(4, 0, 2), 40)); // overlay-only
+        let view = RingView::new(Arc::new(global.clone()), Some(Arc::new(overlay.clone())));
+
+        let folded = NameRing::merged(global, &overlay);
+        for name in ["a", "b", "c", "d", "missing"] {
+            assert_eq!(view.get(name), folded.get(name), "key {name}");
+            assert_eq!(view.get_raw(name), folded.get_raw(name), "raw {name}");
+        }
+        let via_view: Vec<_> = view.live().map(|(n, t)| (n.to_string(), *t)).collect();
+        let via_fold: Vec<_> = folded.live().map(|(n, t)| (n.to_string(), *t)).collect();
+        assert_eq!(via_view, via_fold);
+        assert_eq!(view.live_len(), folded.live_len());
+        assert_eq!(view.materialize(), folded);
+    }
+
+    #[test]
+    fn ring_view_overlay_tombstone_hides_global_entry() {
+        let mut global = NameRing::new();
+        global.apply("f", Tuple::file(ts(1, 0, 1), 1));
+        let mut overlay = NameRing::new();
+        overlay.apply("f", Tuple::file(ts(1, 0, 1), 1).tombstone(ts(2, 0, 2)));
+        let view = RingView::new(Arc::new(global), Some(Arc::new(overlay)));
+        assert!(view.get("f").is_none());
+        assert!(view.get_raw("f").unwrap().deleted);
+        assert_eq!(view.live_len(), 0);
+        assert_eq!(view.iter().count(), 1);
+    }
+
+    #[test]
+    fn ring_view_without_overlay_borrows_the_global_ring() {
+        let mut global = NameRing::new();
+        global.apply("x", Tuple::file(ts(1, 0, 1), 7));
+        let view = RingView::new(Arc::new(global.clone()), Some(Arc::new(NameRing::new())));
+        assert_eq!(view.materialize(), global);
+        assert_eq!(view.get("x"), global.get("x"));
+        assert_eq!(view.live().count(), 1);
     }
 
     #[test]

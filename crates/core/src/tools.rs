@@ -231,6 +231,7 @@ mod tests {
             cluster: swiftsim::ClusterConfig::tiny(),
             cache_capacity: 0,
             trace_sample: 0.0,
+            ..H2Config::default()
         });
         let mut ctx2 = OpCtx::for_test();
         dst.create_account(&mut ctx2, "carol").unwrap();

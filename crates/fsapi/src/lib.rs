@@ -35,11 +35,13 @@ pub struct DirEntry {
 
 /// File payload. Large simulated files carry only a size so benchmarks can
 /// host "multi-GB videos" without allocating gigabytes; small files carry
-/// real bytes that round-trip through the store.
+/// real bytes that round-trip through the store. Inline bytes live in a
+/// [`h2util::SharedBuf`], so cloning a `FileContent` (and handing it middleware →
+/// cluster → replicas) shares storage instead of deep-copying.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FileContent {
     /// Real bytes, stored and returned verbatim.
-    Inline(Vec<u8>),
+    Inline(h2util::SharedBuf),
     /// Size-only stand-in for large content; the store tracks the size and
     /// charges transfer costs for it.
     Simulated(u64),
@@ -61,7 +63,7 @@ impl FileContent {
     /// `std::str::FromStr` — construction is infallible.)
     #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Self {
-        FileContent::Inline(s.as_bytes().to_vec())
+        FileContent::Inline(h2util::SharedBuf::from_slice(s.as_bytes()))
     }
 }
 
@@ -294,7 +296,7 @@ mod tests {
     fn file_content_length() {
         assert_eq!(FileContent::from_str("hello").len(), 5);
         assert_eq!(FileContent::Simulated(1 << 30).len(), 1 << 30);
-        assert!(FileContent::Inline(vec![]).is_empty());
+        assert!(FileContent::Inline(h2util::SharedBuf::new()).is_empty());
         assert!(!FileContent::Simulated(1).is_empty());
     }
 

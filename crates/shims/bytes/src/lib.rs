@@ -2,40 +2,83 @@
 //!
 //! Provides the [`Bytes`] type with the subset of the real API this
 //! workspace uses: an immutable, cheaply clonable (`Arc`-backed) byte
-//! buffer that derefs to `[u8]`. `from_static` copies instead of borrowing
-//! — the zero-copy optimisation is irrelevant to the simulator's payloads.
+//! buffer that derefs to `[u8]` and supports zero-copy [`Bytes::slice`]
+//! views. `from_static` copies instead of borrowing — the zero-copy
+//! optimisation is irrelevant to the simulator's payloads.
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply clonable immutable byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bytes(Arc<[u8]>);
+///
+/// Internally an `Arc<[u8]>` plus an `(offset, len)` window, so
+/// [`Bytes::slice`] shares storage with its parent instead of copying.
+/// Equality, ordering, and hashing are over the *logical* window, not the
+/// backing allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Self::from_arc(Arc::from(&[][..]))
+    }
+
+    fn from_arc(buf: Arc<[u8]>) -> Self {
+        let len = buf.len();
+        Bytes { buf, off: 0, len }
     }
 
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes(Arc::from(bytes))
+        Self::from_arc(Arc::from(bytes))
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Self::from_arc(Arc::from(data))
     }
 
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_ref().to_vec()
+    }
+
+    /// A zero-copy sub-view of this buffer. The returned `Bytes` shares
+    /// the same backing allocation; no bytes are copied.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds, mirroring the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            buf: Arc::clone(&self.buf),
+            off: self.off + start,
+            len: end - start,
+        }
     }
 }
 
@@ -49,44 +92,70 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.buf[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v))
+        Self::from_arc(Arc::from(v))
     }
 }
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
-        Bytes(Arc::from(s.into_bytes()))
+        Self::from_arc(Arc::from(s.into_bytes()))
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(s: &'static str) -> Self {
-        Bytes(Arc::from(s.as_bytes()))
+        Self::from_arc(Arc::from(s.as_bytes()))
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(b: &'static [u8]) -> Self {
-        Bytes(Arc::from(b))
+        Self::from_arc(Arc::from(b))
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -115,6 +184,44 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = Bytes::from(b"hello world".to_vec());
+        let w = a.slice(6..);
+        assert_eq!(&w[..], b"world");
+        // Shares the parent's allocation: the view's first byte lives
+        // inside the parent's buffer.
+        assert!(std::ptr::eq(w.as_ref().as_ptr(), a.as_ref()[6..].as_ptr()));
+        // Slicing a slice composes offsets.
+        let o = w.slice(1..3);
+        assert_eq!(&o[..], b"or");
+        assert_eq!(a.slice(..5), Bytes::from(b"hello".to_vec()));
+        assert_eq!(a.slice(..).len(), a.len());
+        assert!(a.slice(3..3).is_empty());
+    }
+
+    #[test]
+    fn logical_equality_ignores_backing() {
+        let a = Bytes::from(b"xxabyy".to_vec()).slice(2..4);
+        let b = Bytes::from(b"ab".to_vec());
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        assert!(a < Bytes::from(b"ac".to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from(b"abc".to_vec());
+        let _ = a.slice(1..5);
     }
 
     #[test]

@@ -76,6 +76,35 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Condition variable mirroring `parking_lot::Condvar`.
+///
+/// One API deviation from the real crate, forced by the shim's guards being
+/// `std::sync::MutexGuard` rather than parking_lot's own type: `wait`
+/// *consumes* the guard and returns it re-acquired, instead of taking
+/// `&mut MutexGuard`. Callers loop `guard = cv.wait(guard)` — the std idiom.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the mutex while parked. Spurious
+    /// wake-ups are possible; callers must re-check their predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +127,27 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_hands_off_between_threads() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+            *ready
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

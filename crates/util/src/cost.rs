@@ -167,11 +167,22 @@ pub struct CostModel {
     /// Middleware processing per lookup level (hashing the decorated
     /// path, locating the tuple, HTTP plumbing inside the H2Middleware).
     pub lookup_cpu: Duration,
+    /// Lookup level served from the middleware's parsed-ring cache: a hash
+    /// probe on an in-memory map — no ring GET, no parse, no store-side
+    /// plumbing. Charged instead of `lookup_cpu` on a cache hit.
+    pub cached_lookup_cpu: Duration,
     /// Middleware processing per patch submission or merge cycle (file
     /// descriptor bookkeeping, formatter work, Keystone re-validation) —
     /// the overhead that puts H2Cloud's MKDIR in the paper's 150–200 ms
     /// band while Swift stays in the tens of ms.
     pub patch_cycle_cpu: Duration,
+    /// Middleware processing on the patch *submission* side only: descriptor
+    /// bookkeeping and patch-object formatting, without the merge-side
+    /// formatter/re-validation work. Submission used to charge the full
+    /// `patch_cycle_cpu` as well, double-counting the cycle overhead that the
+    /// merge charges again when it folds the chain; group-commit splits the
+    /// two so batched submissions pay only the publication share.
+    pub patch_submit_cpu: Duration,
     /// Fan-out width for batched backend calls (bounded client pool).
     pub parallelism: usize,
     /// If true, replica writes are charged as parallel (quorum waits on the
@@ -195,7 +206,9 @@ impl CostModel {
             index_rpc: Duration::from_micros(450),
             per_entry_cpu: Duration::from_micros(12),
             lookup_cpu: Duration::from_micros(4_500),
+            cached_lookup_cpu: Duration::from_micros(300),
             patch_cycle_cpu: Duration::from_micros(15_000),
+            patch_submit_cpu: Duration::from_micros(4_500),
             parallelism: 32,
             parallel_replicas: true,
         }
@@ -216,7 +229,9 @@ impl CostModel {
             index_rpc: Duration::ZERO,
             per_entry_cpu: Duration::ZERO,
             lookup_cpu: Duration::ZERO,
+            cached_lookup_cpu: Duration::ZERO,
             patch_cycle_cpu: Duration::ZERO,
+            patch_submit_cpu: Duration::ZERO,
             parallelism: 32,
             parallel_replicas: true,
         }

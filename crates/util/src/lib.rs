@@ -25,10 +25,13 @@
 //!   chrome-trace export) with per-stage latency breakdown, timed by the
 //!   virtual clock in [`cost::OpCtx`].
 //! * [`lru`] — a bounded LRU map backing the middleware's NameRing cache.
+//! * [`buf`] — reference-counted [`buf::SharedBuf`] payload buffers with
+//!   process-wide shallow/deep copy accounting for the content path.
 //! * [`rng`] — seeded random-number helpers and the distributions used by the
 //!   workload generator.
 //! * [`fmt`] — small formatting helpers (byte sizes, durations).
 
+pub mod buf;
 pub mod clock;
 pub mod cost;
 pub mod error;
@@ -43,6 +46,7 @@ pub mod retry;
 pub mod rng;
 pub mod trace;
 
+pub use buf::SharedBuf;
 pub use clock::{HybridClock, Timestamp};
 pub use cost::{BackendCounts, CostModel, OpCtx, PrimKind, RttModel};
 pub use error::{H2Error, Result};

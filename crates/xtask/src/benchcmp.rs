@@ -138,6 +138,24 @@ pub fn parse_rows(json: &str) -> Vec<BenchRow> {
     rows
 }
 
+/// Whether `cur` fails the (ops, p99) gates against `base` — shared by the
+/// console report and the markdown table so they can never disagree.
+fn gates_failed(base: &BenchRow, cur: &BenchRow, gate: Gate) -> (bool, bool) {
+    let ops_failed = cur.ops_per_sec < base.ops_per_sec * (1.0 - gate.allowed);
+    let p99_failed = cur.p99_ms > base.p99_ms * (1.0 + gate.allowed)
+        && cur.p99_ms - base.p99_ms > gate.p99_slack_ms;
+    (ops_failed, p99_failed)
+}
+
+/// Signed percentage change from `base` to `cur` (0 when the base is 0).
+fn delta_pct(base: f64, cur: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (cur - base) / base * 100.0
+    }
+}
+
 /// Compare `current` rows against `baseline` rows under `gate`.
 pub fn compare(baseline: &[BenchRow], current: &[BenchRow], gate: Gate) -> CmpReport {
     let mut report = CmpReport::default();
@@ -152,31 +170,36 @@ pub fn compare(baseline: &[BenchRow], current: &[BenchRow], gate: Gate) -> CmpRe
         let mut line = String::new();
         let _ = write!(
             line,
-            "{:<10} T={}: {:>8.1} -> {:>8.1} ops/s, p99 {:>7.2} -> {:>7.2} ms",
-            base.system, base.threads, base.ops_per_sec, cur.ops_per_sec, base.p99_ms, cur.p99_ms,
+            "{:<10} T={}: {:>8.1} -> {:>8.1} ops/s ({:+.1}%), p99 {:>7.2} -> {:>7.2} ms ({:+.1}%)",
+            base.system,
+            base.threads,
+            base.ops_per_sec,
+            cur.ops_per_sec,
+            delta_pct(base.ops_per_sec, cur.ops_per_sec),
+            base.p99_ms,
+            cur.p99_ms,
+            delta_pct(base.p99_ms, cur.p99_ms),
         );
-        let ops_floor = base.ops_per_sec * (1.0 - gate.allowed);
-        let mut failed = false;
-        if cur.ops_per_sec < ops_floor {
-            failed = true;
+        let (ops_failed, p99_failed) = gates_failed(base, cur, gate);
+        if ops_failed {
             let _ = write!(
                 line,
                 "  FAIL ops/sec {:.1} below floor {:.1} ({:.0}% allowed)",
                 cur.ops_per_sec,
-                ops_floor,
+                base.ops_per_sec * (1.0 - gate.allowed),
                 gate.allowed * 100.0
             );
         }
-        let p99_ceiling = base.p99_ms * (1.0 + gate.allowed);
-        if cur.p99_ms > p99_ceiling && cur.p99_ms - base.p99_ms > gate.p99_slack_ms {
-            failed = true;
+        if p99_failed {
             let _ = write!(
                 line,
                 "  FAIL p99 {:.2}ms above ceiling {:.2}ms (+{:.0}ms slack)",
-                cur.p99_ms, p99_ceiling, gate.p99_slack_ms
+                cur.p99_ms,
+                base.p99_ms * (1.0 + gate.allowed),
+                gate.p99_slack_ms
             );
         }
-        if failed {
+        if ops_failed || p99_failed {
             report.failures += 1;
         } else {
             line.push_str("  ok");
@@ -189,6 +212,52 @@ pub fn compare(baseline: &[BenchRow], current: &[BenchRow], gate: Gate) -> CmpRe
             .push("no comparable (system, threads) rows found".to_string());
     }
     report
+}
+
+/// Render the comparison as a GitHub-flavoured markdown table: one row per
+/// compared `(system, threads)` pair with signed deltas and its gate
+/// verdict. Emitted into the CI job summary on pass *and* fail, so every
+/// run records its drift — not just the ones that trip the gate.
+pub fn markdown_table(baseline: &[BenchRow], current: &[BenchRow], gate: Gate) -> String {
+    let mut out = String::from("### Perf gate: throughput vs checked-in baseline\n\n");
+    out.push_str(
+        "| system | threads | base ops/s | cur ops/s | Δ ops | base p99 (ms) | cur p99 (ms) | Δ p99 | gate |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---|\n");
+    let mut compared = 0usize;
+    for base in baseline {
+        let Some(cur) = current
+            .iter()
+            .find(|r| r.system == base.system && r.threads == base.threads)
+        else {
+            continue;
+        };
+        compared += 1;
+        let (ops_failed, p99_failed) = gates_failed(base, cur, gate);
+        let verdict = match (ops_failed, p99_failed) {
+            (false, false) => "ok",
+            (true, false) => "**FAIL ops**",
+            (false, true) => "**FAIL p99**",
+            (true, true) => "**FAIL ops+p99**",
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1} | {:.1} | {:+.1}% | {:.2} | {:.2} | {:+.1}% | {} |",
+            base.system,
+            base.threads,
+            base.ops_per_sec,
+            cur.ops_per_sec,
+            delta_pct(base.ops_per_sec, cur.ops_per_sec),
+            base.p99_ms,
+            cur.p99_ms,
+            delta_pct(base.p99_ms, cur.p99_ms),
+            verdict,
+        );
+    }
+    if compared == 0 {
+        out.push_str("\nNo comparable (system, threads) rows found.\n");
+    }
+    out
 }
 
 /// File-level entry point: returns the process exit code (0 pass, 1 gate
@@ -204,9 +273,25 @@ pub fn run(baseline_path: &std::path::Path, current_path: &std::path::Path, gate
     let (Some(base), Some(cur)) = (read(baseline_path), read(current_path)) else {
         return 2;
     };
-    let report = compare(&parse_rows(&base), &parse_rows(&cur), gate);
+    let (base_rows, cur_rows) = (parse_rows(&base), parse_rows(&cur));
+    let report = compare(&base_rows, &cur_rows, gate);
     for line in &report.lines {
         println!("{line}");
+    }
+    // Always publish the delta table to the CI job summary when one is
+    // available — drift should be visible on green runs too.
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary.is_empty() {
+            let table = markdown_table(&base_rows, &cur_rows, gate);
+            if let Err(e) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, table.as_bytes()))
+            {
+                eprintln!("benchcmp: cannot write job summary {summary}: {e}");
+            }
+        }
     }
     if report.passed() {
         println!(
@@ -324,5 +409,46 @@ mod tests {
     fn garbage_input_yields_no_rows() {
         assert!(parse_rows("not json at all").is_empty());
         assert!(parse_rows("{\"results\": []}").is_empty());
+    }
+
+    #[test]
+    fn markdown_table_prints_deltas_even_on_pass() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        let cur = parse_rows(&sample(630.0, 16.38));
+        assert!(compare(&base, &cur, Gate::default()).passed());
+        let table = markdown_table(&base, &cur, Gate::default());
+        assert!(table.contains("| system |"), "{table}");
+        assert!(
+            table.contains("| H2Cloud | 1 | 600.0 | 630.0 | +5.0% |"),
+            "{table}"
+        );
+        // Unchanged rows report a zero delta with an explicit sign.
+        assert!(table.contains("+0.0% | ok |"), "{table}");
+        // Two baseline rows, both present in current → two data rows.
+        assert_eq!(table.matches("| ok |").count(), 2, "{table}");
+    }
+
+    #[test]
+    fn markdown_table_flags_failed_gates() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        let cur = parse_rows(&sample(300.0, 160.0));
+        let table = markdown_table(&base, &cur, Gate::default());
+        assert!(table.contains("-50.0%"), "{table}");
+        assert!(table.contains("**FAIL ops+p99**"), "{table}");
+    }
+
+    #[test]
+    fn markdown_table_reports_empty_intersection() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        let table = markdown_table(&base, &[], Gate::default());
+        assert!(table.contains("No comparable"), "{table}");
+    }
+
+    #[test]
+    fn console_lines_carry_signed_deltas() {
+        let base = parse_rows(&sample(600.0, 16.38));
+        let cur = parse_rows(&sample(630.0, 16.38));
+        let report = compare(&base, &cur, Gate::default());
+        assert!(report.lines[0].contains("(+5.0%)"), "{:?}", report.lines);
     }
 }

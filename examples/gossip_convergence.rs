@@ -22,6 +22,7 @@ fn main() -> Result<()> {
         cluster: ClusterConfig::default(),
         cache_capacity: 0,
         trace_sample: 0.0,
+        ..H2Config::default()
     }));
     let mut ctx = OpCtx::new(fs.cost_model());
     fs.create_account(&mut ctx, "team")?;

@@ -36,6 +36,7 @@ fn h2() -> H2Cloud {
         },
         cache_capacity: 0,
         trace_sample: 0.0,
+        ..H2Config::default()
     })
 }
 
@@ -226,6 +227,7 @@ fn traced_chaos_run_exports_valid_chrome_trace() {
         },
         cache_capacity: 0,
         trace_sample: 1.0,
+        ..H2Config::default()
     });
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();

@@ -225,6 +225,7 @@ fn h2cloud_concurrent_writers_one_middleware_lose_nothing() {
         },
         cache_capacity: 128,
         trace_sample: 0.0,
+        ..H2Config::default()
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();
@@ -302,6 +303,7 @@ fn submit_patch_chain_survives_concurrent_merges() {
         },
         cache_capacity: 128,
         trace_sample: 0.0,
+        ..H2Config::default()
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();
@@ -330,7 +332,7 @@ fn submit_patch_chain_survives_concurrent_merges() {
             let mw = mw.clone();
             scope.spawn(move || {
                 for _ in 0..400 {
-                    mw.step_merges().unwrap();
+                    mw.step_merges();
                     std::thread::yield_now();
                 }
             });
@@ -380,6 +382,7 @@ fn h2cloud_concurrent_structure_churn_stays_consistent() {
         },
         cache_capacity: 128,
         trace_sample: 0.0,
+        ..H2Config::default()
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();
@@ -434,4 +437,68 @@ fn h2cloud_concurrent_structure_churn_stays_consistent() {
     }
     let report = fsck(&fs, &mut ctx, "team").unwrap();
     assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn eager_contention_ring_fetches_stay_linear() {
+    // Regression for the submit_patch contention blowup: under Eager
+    // maintenance, every submitter used to run its own merge cycle, and a
+    // cycle stalled behind the per-ring merge lock re-fetched the global
+    // ring it had already read — N contending writers cost O(N²) ring GETs.
+    // With group commit the batch leader merges once per batch and reuses
+    // one fetched ring, so the total must stay linear in submissions (a
+    // quadratic regression here would be ~30× over the bound).
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 8;
+
+    let fs = Arc::new(H2Cloud::new(H2Config {
+        middlewares: 1,
+        mode: MaintenanceMode::Eager,
+        cluster: ClusterConfig {
+            cost: Arc::new(CostModel::zero()),
+            ..ClusterConfig::default()
+        },
+        cache_capacity: 0,
+        trace_sample: 0.0,
+        group_commit: true,
+    }));
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+
+    let mw = fs.layer().mw(0).clone();
+    let keys = H2Keys::new("team");
+    let ns = NamespaceId::ROOT;
+    let before = fs.metrics().counter_value("ring_fetches");
+
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let mw = mw.clone();
+            let keys = keys.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                let mut ctx = OpCtx::for_test();
+                for i in 0..PER_THREAD {
+                    let mut patch = NameRing::new();
+                    patch.apply(&format!("c{t}-f{i}"), Tuple::file(mw.tick(), 1));
+                    mw.submit_patch(&mut ctx, &keys, ns, patch).unwrap();
+                }
+            });
+        }
+    });
+    fs.quiesce();
+
+    let submissions = (THREADS * PER_THREAD) as u64;
+    let fetches = fs.metrics().counter_value("ring_fetches") - before;
+    assert!(
+        fetches <= 2 * submissions,
+        "{fetches} ring GETs for {submissions} contended submissions — \
+         quadratic refetching is back"
+    );
+
+    // And nothing was lost along the way.
+    let mut ctx = OpCtx::for_test();
+    let global = mw.fetch_global_ring(&mut ctx, &keys, ns).unwrap();
+    assert_eq!(global.live_len() as u64, submissions);
 }

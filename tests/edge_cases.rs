@@ -198,8 +198,13 @@ fn zero_byte_files_roundtrip() {
     for fs in backends() {
         let mut ctx = OpCtx::for_test();
         fs.create_account(&mut ctx, "u").unwrap();
-        fs.write(&mut ctx, "u", &p("/empty.txt"), FileContent::Inline(vec![]))
-            .unwrap();
+        fs.write(
+            &mut ctx,
+            "u",
+            &p("/empty.txt"),
+            FileContent::Inline(h2util::SharedBuf::new()),
+        )
+        .unwrap();
         assert_eq!(
             fs.read(&mut ctx, "u", &p("/empty.txt")).unwrap().len(),
             0,

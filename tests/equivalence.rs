@@ -21,6 +21,7 @@ fn backends() -> Vec<Box<dyn CloudFs>> {
             cluster: ClusterConfig::tiny(),
             cache_capacity: 64,
             trace_sample: 0.0,
+            ..H2Config::default()
         })),
         Box::new(SwiftFs::new(tiny(), true)),
         Box::new(SwiftFs::new(tiny(), false)),

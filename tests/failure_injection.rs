@@ -25,6 +25,7 @@ fn h2_rack() -> H2Cloud {
         // cache hit would mask the outage, so keep it off here.
         cache_capacity: 0,
         trace_sample: 0.0,
+        ..H2Config::default()
     })
 }
 

@@ -46,6 +46,20 @@ fn h2_deferred(cache_capacity: usize, trace_sample: f64) -> H2Cloud {
         cluster: ClusterConfig::tiny(),
         cache_capacity,
         trace_sample,
+        ..H2Config::default()
+    })
+}
+
+/// Multi-middleware Deferred-mode H2Cloud differing only in the
+/// group-commit knob (cache and tracing off).
+fn h2_deferred_commit(group_commit: bool) -> H2Cloud {
+    H2Cloud::new(H2Config {
+        middlewares: 3,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig::tiny(),
+        cache_capacity: 0,
+        trace_sample: 0.0,
+        group_commit,
     })
 }
 
@@ -178,6 +192,60 @@ proptest! {
     }
 
     #[test]
+    fn group_commit_is_observably_transparent(
+        ops in prop::collection::vec(arb_op(), 1..60)
+    ) {
+        // Same random sequence against a group-commit and a direct-submit
+        // H2Cloud — three middlewares, Deferred maintenance, gossip pumped
+        // with drops and duplicates mid-sequence. Group commit changes HOW
+        // patches reach the cloud (one combined object per batch, a
+        // contiguous patch-number range) but must not change WHAT any
+        // client observes: every ack, error class and final tree must
+        // match the direct instance's.
+        let grouped = h2_deferred_commit(true);
+        let direct = h2_deferred_commit(false);
+        let mut ctx = OpCtx::for_test();
+        grouped.create_account(&mut ctx, "u").unwrap();
+        direct.create_account(&mut ctx, "u").unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let with_gc = Trace::apply_fs(&grouped, &mut ctx, "u", op);
+            let without = Trace::apply_fs(&direct, &mut ctx, "u", op);
+            match (&with_gc, &without) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.class(), b.class(),
+                    "{:?}: grouped={} direct={}", op, a, b
+                ),
+                _ => prop_assert!(
+                    false,
+                    "{:?} diverged: grouped={:?} direct={:?}", op, with_gc, without
+                ),
+            }
+            if i % 3 == 2 {
+                for fs in [&grouped, &direct] {
+                    fs.layer()
+                        .pump_with_faults(GossipFaults {
+                            drop_every: 3,
+                            duplicate_every: 4,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+
+        grouped.quiesce();
+        direct.quiesce();
+        prop_assert_eq!(
+            tree_snapshot(&grouped, "u"),
+            tree_snapshot(&direct, "u"),
+            "group commit changed the observable filesystem"
+        );
+        let report = fsck(&grouped, &mut ctx, "u").unwrap();
+        prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
+    }
+
+    #[test]
     fn tracing_is_observably_transparent(
         ops in prop::collection::vec(arb_op(), 1..60)
     ) {
@@ -269,4 +337,71 @@ proptest! {
             prop_assert_eq!(st.size, size);
         }
     }
+}
+
+#[test]
+fn batched_gossip_apply_loses_nothing_under_5pct_faults() {
+    use h2util::faults::{FaultPlan, FaultSpec};
+
+    // Two identical Deferred instances build the same tree through all
+    // three middlewares (so convergence genuinely rides on gossip), then
+    // run maintenance under 5% transient faults — one applying gossip
+    // per-message, the other in batches. Batching must lose nothing: after
+    // the faults clear, every middleware on both instances holds the same
+    // tree.
+    let per_msg = h2_deferred_commit(false);
+    let batched = h2_deferred_commit(true);
+    let mut ctx = OpCtx::for_test();
+    for fs in [&per_msg, &batched] {
+        fs.create_account(&mut ctx, "u").unwrap();
+        for (i, d) in ["a", "b", "c"].iter().enumerate() {
+            let view = fs.via(i);
+            let dir = FsPath::parse(&format!("/{d}")).unwrap();
+            view.mkdir(&mut ctx, "u", &dir).unwrap();
+            for f in 0..4 {
+                let file = FsPath::parse(&format!("/{d}/f{f}")).unwrap();
+                view.write(&mut ctx, "u", &file, h2fsapi::FileContent::Simulated(64))
+                    .unwrap();
+            }
+        }
+    }
+
+    let spec = FaultSpec::errors(0.05);
+    for fs in [&per_msg, &batched] {
+        fs.cluster()
+            .set_fault_plan(Some(FaultPlan::uniform(0xBA7C4ED, spec)));
+    }
+    // Maintenance under fire: rounds may error out once a message burns
+    // its whole retry budget — state is still never lost, so keep going.
+    for _ in 0..6 {
+        let _ = per_msg.layer().pump();
+        let _ = batched.layer().pump_batched();
+    }
+    for fs in [&per_msg, &batched] {
+        fs.cluster().set_fault_plan(None);
+    }
+    per_msg.layer().pump().unwrap();
+    batched.layer().pump_batched().unwrap();
+
+    let want = tree_snapshot(&per_msg, "u");
+    assert_eq!(want.len(), 3 + 12, "per-message instance lost writes");
+    assert_eq!(
+        tree_snapshot(&batched, "u"),
+        want,
+        "batched apply diverged from per-message apply"
+    );
+    for i in 0..3 {
+        assert_eq!(
+            tree_snapshot(&per_msg.via(i), "u"),
+            want,
+            "per-message middleware {i} diverged"
+        );
+        assert_eq!(
+            tree_snapshot(&batched.via(i), "u"),
+            want,
+            "batched middleware {i} diverged"
+        );
+    }
+    let report = fsck(&batched, &mut ctx, "u").unwrap();
+    assert!(report.is_clean(), "{:?}", report.violations);
 }

@@ -60,10 +60,22 @@ fn heavy_user_filesystem_hosts_and_operates() {
     spec.populate(&fs, &mut ctx, "heavy").unwrap();
 
     let model = spec.to_model();
+    // One object per small file, manifest + parts per striped file,
+    // 2 per dir (descriptor + NameRing), plus the root ring.
+    let content_objects: u64 = spec
+        .files
+        .iter()
+        .map(|(_, size)| {
+            if *size > h2cloud::middleware::PART_BYTES {
+                1 + size.div_ceil(h2cloud::middleware::PART_BYTES)
+            } else {
+                1
+            }
+        })
+        .sum();
     assert_eq!(
-        fs.storage_stats().objects as usize,
-        // files + 2 per dir (descriptor + NameRing) + root ring
-        spec.files.len() + 2 * spec.dirs.len() + 1
+        fs.storage_stats().objects,
+        content_objects + 2 * spec.dirs.len() as u64 + 1
     );
     // Spot-check twenty files.
     for (path, size) in model.all_files().into_iter().take(20) {
