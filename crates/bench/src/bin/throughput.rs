@@ -19,7 +19,9 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use h2bench::loadgen::{run_h2, run_h2_capture, run_swift, LoadResult, LoadgenConfig};
+use h2bench::loadgen::{
+    run_h2, run_h2_capture, run_swift, LoadResult, LoadgenConfig, WorkloadPattern,
+};
 
 struct Args {
     threads: Vec<usize>,
@@ -28,6 +30,7 @@ struct Args {
     out: String,
     trace_out: Option<String>,
     quick: bool,
+    read_opt: bool,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +41,7 @@ fn parse_args() -> Args {
         out: "BENCH_throughput.json".to_string(),
         trace_out: None,
         quick: false,
+        read_opt: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -74,9 +78,14 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 args.trace_out = Some(it.next().expect("--trace-out needs a path"));
             }
+            // A/B switch: rerun the same legs with the read-path caches and
+            // hedged reads off, to record the pre-optimisation baseline.
+            "--no-read-opt" => {
+                args.read_opt = false;
+            }
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: throughput [--quick] [--threads 1,2,4,8] [--pace F] [--ops N] [--out PATH] [--trace-out PATH]");
+                eprintln!("usage: throughput [--quick] [--threads 1,2,4,8] [--pace F] [--ops N] [--out PATH] [--trace-out PATH] [--no-read-opt]");
                 std::process::exit(2);
             }
         }
@@ -91,11 +100,13 @@ fn ms_f(d: Duration) -> f64 {
 fn result_json(r: &LoadResult) -> String {
     format!(
         concat!(
-            "    {{\"system\": \"{}\", \"threads\": {}, \"ops\": {}, \"errors\": {}, ",
+            "    {{\"system\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"ops\": {}, ",
+            "\"errors\": {}, ",
             "\"wall_s\": {:.3}, \"ops_per_sec\": {:.1}, \"latency_ms\": ",
             "{{\"mean\": {:.2}, \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2}}}}}"
         ),
         r.system,
+        r.mix,
         r.clients,
         r.ops,
         r.errors,
@@ -128,6 +139,7 @@ fn main() {
             clients: t,
             ops_per_client: args.ops_per_client,
             pace: args.pace,
+            read_opt: args.read_opt,
             ..Default::default()
         };
         let h2 = run_h2(&cfg);
@@ -136,6 +148,26 @@ fn main() {
         println!("{}", swift.render());
         results.push(h2);
         results.push(swift);
+    }
+
+    // Read-heavy leg: same thread sweep, 98/2 deep-path hot-set mix,
+    // H2 only (it isolates the resolve hot path the caches target). Half
+    // an ops-budget of warm-up per client brings the hot set to steady
+    // state before measurement — this leg is about serving a warm corpus,
+    // not about cold-start behaviour.
+    for &t in &args.threads {
+        let cfg = LoadgenConfig {
+            clients: t,
+            ops_per_client: args.ops_per_client,
+            pace: args.pace,
+            warmup_ops: args.ops_per_client / 2,
+            pattern: WorkloadPattern::ReadHeavy,
+            read_opt: args.read_opt,
+            ..Default::default()
+        };
+        let h2 = run_h2(&cfg);
+        println!("{}", h2.render());
+        results.push(h2);
     }
 
     // Scaling headline: H2 aggregate ops/sec at max T vs T=1.
@@ -168,10 +200,11 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"config\": {{\"quick\": {}, \"pace\": {}, \"ops_per_client\": {}, \"threads\": [{}]}},",
+        "  \"config\": {{\"quick\": {}, \"pace\": {}, \"ops_per_client\": {}, \"read_opt\": {}, \"threads\": [{}]}},",
         args.quick,
         args.pace,
         args.ops_per_client,
+        args.read_opt,
         args.threads
             .iter()
             .map(|t| t.to_string())

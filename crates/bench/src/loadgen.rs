@@ -12,13 +12,31 @@
 //! Operations in this simulation are pure CPU in real time — all I/O
 //! latency is *charged* to the [`OpCtx`] as virtual time. A closed loop of
 //! pure-CPU operations measures nothing but core count. To make the
-//! benchmark reflect the system it models, each client sleeps
-//! `pace × charged_virtual_time` after every operation: the cost model's
-//! service time is replayed (scaled) in real time, so clients genuinely
-//! overlap their simulated I/O waits the way real clients overlap real
-//! disk/network waits. Lock contention, gossip threads and the striped
-//! store are exercised for real; only the device/network wait is scaled.
-//! With the default `pace`, a ~20 ms virtual op costs ~1 ms of wall sleep.
+//! benchmark reflect the system it models, each client accumulates
+//! `pace × charged_virtual_time` as *pacing debt* and sleeps it off in
+//! quanta of at least [`PACE_QUANTUM`]: the cost model's service time is
+//! replayed (scaled) in real time, so clients genuinely overlap their
+//! simulated I/O waits the way real clients overlap real disk/network
+//! waits. Lock contention, gossip threads and the striped store are
+//! exercised for real; only the device/network wait is scaled. With the
+//! default `pace`, a ~20 ms virtual op costs ~1 ms of wall sleep.
+//!
+//! The debt is batched rather than slept per operation because
+//! `thread::sleep` costs a timer wake-up (~100 µs of latency on a busy
+//! box) regardless of the requested duration — a fixed tax that would
+//! swamp the few-µs charge of a cache-hit resolve and flatten exactly the
+//! cost differences the sweep exists to expose. Expensive operations
+//! (≥ [`PACE_QUANTUM`] of scaled charge) still pay their debt on the spot;
+//! cheap ones pool theirs until the sleep is long enough that the wake-up
+//! latency is noise. Oversleep is credited back: when the OS wakes a
+//! client late (milliseconds of scheduler queueing once client threads
+//! oversubscribe the core), the excess draws down subsequent charges, so
+//! each client's total pacing wall time converges on `pace × total
+//! charge` instead of inflating by `wake-up latency × sleep count`.
+//! Recorded per-op latency is *service time only* (the pacing gap is
+//! rate shaping, not part of the operation), and any residual debt is
+//! slept before the client exits so aggregate wall time stays faithful
+//! to the charged total.
 //!
 //! Clients map to middlewares by account stickiness
 //! ([`H2Layer::mw_for_account`]): account names are chosen so T clients
@@ -42,6 +60,36 @@ use h2util::{CostModel, OpCtx};
 use h2workload::{FsSpec, Trace, TraceMix, UserProfile};
 use swiftsim::{Cluster, ClusterConfig};
 
+/// Which workload shape a run replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadPattern {
+    /// The default [`TraceMix`] over a Light-profile pre-population.
+    Mixed,
+    /// The read-heavy leg: a 98/2 [`TraceMix::read_heavy`] mix over a
+    /// depth-12 deep-path hot corpus ([`FsSpec::deep_hot`]), writes landing
+    /// in disjoint ingest directories.
+    ReadHeavy,
+}
+
+/// Deep-path hot-corpus shape of the [`WorkloadPattern::ReadHeavy`] leg.
+/// Per client: `HOT_CHAINS` chains of depth [`HOT_DEPTH`] with
+/// [`HOT_FILES_PER_LEAF`] files each — enough namespaces that the parsed-
+/// ring LRU alone cannot hold the working set, which is precisely the
+/// regime a full-path cache (O(1) memory per *path*) is built for.
+pub const HOT_DEPTH: usize = 12;
+const HOT_CHAINS: usize = 24;
+const HOT_FILES_PER_LEAF: usize = 4;
+const HOT_WRITE_DIRS: usize = 4;
+const HOT_FILE_BYTES: u64 = 4096;
+/// Zipf exponent over the hot files (rank = creation order), concentrating
+/// most traffic on the first few chains.
+const HOT_ZIPF: f64 = 1.1;
+
+/// Minimum pacing sleep. Scaled charges below this pool up as debt across
+/// operations (see the module docs on pacing); 1 ms keeps the OS timer's
+/// wake-up latency under ~10 % of every sleep actually issued.
+pub const PACE_QUANTUM: Duration = Duration::from_millis(1);
+
 /// Shape of one load-generator run.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -64,6 +112,17 @@ pub struct LoadgenConfig {
     /// the collector disabled so measured runs pay no tracing cost.
     /// Ignored by the Swift baseline.
     pub trace_sample: f64,
+    /// Leading operations per client replayed unpaced and untimed before
+    /// the measured window opens (see [`ClientPlan::warmup`]). 0 — the
+    /// default — measures from a cold start.
+    pub warmup_ops: usize,
+    /// Workload shape (see [`WorkloadPattern`]).
+    pub pattern: WorkloadPattern,
+    /// Read-path optimisations (full-path cache, negative entries, hedged
+    /// replica reads) for the H2 runs. On by default so sweeps measure the
+    /// optimised system; the throughput bin's `--no-read-opt` flips it to
+    /// record a pre-optimisation baseline of the same leg.
+    pub read_opt: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -76,6 +135,9 @@ impl Default for LoadgenConfig {
             middlewares: 4,
             prepop_scale: 0.25,
             trace_sample: 0.0,
+            warmup_ops: 0,
+            pattern: WorkloadPattern::Mixed,
+            read_opt: true,
         }
     }
 }
@@ -94,12 +156,32 @@ impl LoadgenConfig {
         self.clients = clients;
         self
     }
+
+    /// The mix identifier emitted into the bench JSON.
+    pub fn mix_label(&self) -> &'static str {
+        match self.pattern {
+            WorkloadPattern::Mixed => "default",
+            WorkloadPattern::ReadHeavy => "read-heavy-98/2-depth12",
+        }
+    }
+
+    /// System label for the H2 run of this shape. The read-heavy leg gets
+    /// its own label so benchcmp gates it as a separate row.
+    pub fn h2_label(&self) -> &'static str {
+        match self.pattern {
+            WorkloadPattern::Mixed => "H2Cloud",
+            WorkloadPattern::ReadHeavy => "H2Cloud-readheavy",
+        }
+    }
 }
 
 /// Outcome of one run: totals plus the wall-clock latency distribution.
 #[derive(Debug, Clone)]
 pub struct LoadResult {
     pub system: String,
+    /// Mix identifier of the replayed workload (see
+    /// [`LoadgenConfig::mix_label`]).
+    pub mix: String,
     pub clients: usize,
     /// Operations completed (successes + failures).
     pub ops: u64,
@@ -163,6 +245,12 @@ pub fn account_for(width: usize, c: usize) -> String {
 pub struct ClientPlan {
     pub account: String,
     pub trace: Trace,
+    /// How many leading trace operations are warm-up: replayed unpaced and
+    /// untimed before the measured window opens, so the measurement sees
+    /// the steady state (caches populated, epoch churn from pre-population
+    /// settled) rather than a cold start. The warm-up ops are a distinct
+    /// prefix of the trace — nothing is replayed twice.
+    pub warmup: usize,
 }
 
 /// Create + populate one account per client on `fs` and generate each
@@ -175,12 +263,43 @@ pub fn prepare<F: CloudFs>(fs: &F, cost: &Arc<CostModel>, cfg: &LoadgenConfig) -
             let mut ctx = OpCtx::new(cost.clone());
             fs.create_account(&mut ctx, &account)
                 .expect("fresh account"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
-            let spec = FsSpec::generate(&mut r, UserProfile::Light, cfg.prepop_scale);
-            spec.populate(fs, &mut ctx, &account).expect("bulk import");
-            let mut model = spec.to_model();
-            let trace =
-                Trace::generate(&mut r, &mut model, cfg.ops_per_client, &TraceMix::default());
-            ClientPlan { account, trace }
+            let trace = match cfg.pattern {
+                WorkloadPattern::Mixed => {
+                    let spec = FsSpec::generate(&mut r, UserProfile::Light, cfg.prepop_scale);
+                    spec.populate(fs, &mut ctx, &account).expect("bulk import");
+                    let mut model = spec.to_model();
+                    Trace::generate(
+                        &mut r,
+                        &mut model,
+                        cfg.warmup_ops + cfg.ops_per_client,
+                        &TraceMix::default(),
+                    )
+                }
+                WorkloadPattern::ReadHeavy => {
+                    let spec = FsSpec::deep_hot(
+                        HOT_CHAINS,
+                        HOT_DEPTH,
+                        HOT_FILES_PER_LEAF,
+                        HOT_WRITE_DIRS,
+                        HOT_FILE_BYTES,
+                    );
+                    spec.populate(fs, &mut ctx, &account).expect("bulk import");
+                    let mut model = spec.to_model();
+                    let hot = spec.hot_set(HOT_ZIPF);
+                    Trace::generate_hot(
+                        &mut r,
+                        &mut model,
+                        cfg.warmup_ops + cfg.ops_per_client,
+                        &TraceMix::read_heavy(),
+                        &hot,
+                    )
+                }
+            };
+            ClientPlan {
+                account,
+                trace,
+                warmup: cfg.warmup_ops,
+            }
         })
         .collect()
 }
@@ -196,22 +315,63 @@ pub fn drive<F: CloudFs + Sync>(
 ) -> LoadResult {
     let hist = Histogram::new();
     let errors = AtomicU64::new(0);
+    // Warm-up pass: replay each client's warm-up prefix unpaced and
+    // untimed, so the measured window below observes the steady state
+    // instead of cold caches and the epoch churn left by pre-population.
+    if plans.iter().any(|p| p.warmup > 0) {
+        std::thread::scope(|s| {
+            for plan in plans {
+                let cost = cost.clone();
+                s.spawn(move || {
+                    for op in &plan.trace.ops[..plan.warmup] {
+                        let mut ctx = OpCtx::new(cost.clone());
+                        let _ = Trace::apply_fs(fs, &mut ctx, &plan.account, op);
+                    }
+                });
+            }
+        });
+    }
     let started = wall_now();
     std::thread::scope(|s| {
         for plan in plans {
             let (hist, errors) = (&hist, &errors);
             let cost = cost.clone();
             s.spawn(move || {
-                for op in &plan.trace.ops {
+                // Pacing state: `debt` is scaled virtual time not yet
+                // slept; `credit` is wall time already overslept (the OS
+                // wakes a paced thread late under load) that future
+                // charges draw down first. Together they keep each
+                // client's total pacing wall time pinned to
+                // `pace × total_charge` regardless of timer latency.
+                let mut debt = Duration::ZERO;
+                let mut credit = Duration::ZERO;
+                for op in &plan.trace.ops[plan.warmup..] {
                     let t0 = wall_now();
                     let mut ctx = OpCtx::new(cost.clone());
                     if Trace::apply_fs(fs, &mut ctx, &plan.account, op).is_err() {
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
-                    if pace > 0.0 {
-                        wall_sleep(ctx.elapsed().mul_f64(pace));
-                    }
                     hist.record(t0.elapsed());
+                    if pace > 0.0 {
+                        let charge = ctx.elapsed().mul_f64(pace);
+                        if let Some(rest) = credit.checked_sub(charge) {
+                            credit = rest;
+                            continue;
+                        }
+                        debt += charge - credit;
+                        credit = Duration::ZERO;
+                        if debt >= PACE_QUANTUM {
+                            let slept = wall_now();
+                            wall_sleep(debt);
+                            credit = slept.elapsed().saturating_sub(debt);
+                            debt = Duration::ZERO;
+                        }
+                    }
+                }
+                if let Some(rest) = debt.checked_sub(credit) {
+                    if rest > Duration::ZERO {
+                        wall_sleep(rest);
+                    }
                 }
             });
         }
@@ -219,6 +379,7 @@ pub fn drive<F: CloudFs + Sync>(
     let wall = started.elapsed();
     LoadResult {
         system: system.to_string(),
+        mix: "default".to_string(),
         clients: plans.len(),
         ops: hist.count(),
         errors: errors.load(Ordering::Relaxed),
@@ -242,14 +403,23 @@ pub fn run_h2_capture(cfg: &LoadgenConfig) -> (LoadResult, Vec<h2util::RootTrace
         middlewares: cfg.middlewares,
         mode: MaintenanceMode::Deferred,
         cluster: ClusterConfig::default(),
-        cache_capacity: 256,
+        cache_capacity: 1024,
         trace_sample: cfg.trace_sample,
         group_commit: true,
+        path_cache: cfg.read_opt,
+        neg_cache: cfg.read_opt,
+        hedged_reads: cfg.read_opt,
     });
     let cost = fs.cost_model();
     let plans = prepare(&fs, &cost, cfg);
+    // Drain pre-population's deferred maintenance (pending merges + the
+    // gossip backlog) before the measured window opens: populate runs with
+    // the threaded fabric not yet started, and letting its backlog drain
+    // concurrently with the clients would bill setup cost to the workload.
+    fs.layer().pump().expect("populate backlog drains"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
     let gossip = fs.layer().run_threaded();
-    let result = drive("H2Cloud", &fs, &cost, &plans, cfg.pace);
+    let mut result = drive(cfg.h2_label(), &fs, &cost, &plans, cfg.pace);
+    result.mix = cfg.mix_label().to_string();
     gossip.stop();
     let traces = fs.recent_traces(h2util::trace::DEFAULT_TRACE_CAP * cfg.middlewares.max(1));
     (result, traces)
@@ -260,7 +430,9 @@ pub fn run_swift(cfg: &LoadgenConfig) -> LoadResult {
     let fs = SwiftFs::new(Cluster::new(ClusterConfig::default()), true);
     let cost = Arc::new(CostModel::rack_default());
     let plans = prepare(&fs, &cost, cfg);
-    drive("SwiftFs", &fs, &cost, &plans, cfg.pace)
+    let mut result = drive("SwiftFs", &fs, &cost, &plans, cfg.pace);
+    result.mix = cfg.mix_label().to_string();
+    result
 }
 
 #[cfg(test)]
@@ -298,6 +470,22 @@ mod tests {
         assert_eq!(r.errors, 0, "trace ops are pre-validated; none may fail");
         assert_eq!(r.clients, 2);
         assert_eq!(r.latency.count, 80);
+    }
+
+    #[test]
+    fn read_heavy_run_completes_every_op_without_errors() {
+        let cfg = LoadgenConfig {
+            clients: 2,
+            ops_per_client: 40,
+            pace: 0.0,
+            pattern: WorkloadPattern::ReadHeavy,
+            ..Default::default()
+        };
+        let r = run_h2(&cfg);
+        assert_eq!(r.system, "H2Cloud-readheavy");
+        assert_eq!(r.mix, "read-heavy-98/2-depth12");
+        assert_eq!(r.ops, 80);
+        assert_eq!(r.errors, 0, "read-heavy trace ops are pre-validated");
     }
 
     #[test]

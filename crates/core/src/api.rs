@@ -182,7 +182,9 @@ impl<'a> H2Api<'a> {
                 Ok((204, ResponseBody::Empty))
             }
             (Method::Get, None) if req.q("op") == Some("metrics") => {
-                // System monitoring (§4.2): per-operation latency summary.
+                // System monitoring (§4.2): per-operation latency summary,
+                // with the cluster's read-path counters folded in.
+                self.fs.sync_cluster_counters();
                 Ok((200, ResponseBody::Message(self.fs.metrics().render())))
             }
             (Method::Get, None) if req.q("op") == Some("trace") => {

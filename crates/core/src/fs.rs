@@ -28,7 +28,7 @@ use swiftsim::{Cluster, ClusterConfig, ObjectStore, Payload};
 use crate::keys::{DirDescriptor, H2Keys, H2_CONTAINER};
 use crate::layer::H2Layer;
 pub use crate::middleware::MaintenanceMode;
-use crate::middleware::{H2Middleware, META_LOGICAL_BYTES};
+use crate::middleware::{H2Middleware, PathAnswer, META_LOGICAL_BYTES};
 use crate::namering::{ChildRef, NameRing, Tuple};
 
 /// Configuration of an H2Cloud instance.
@@ -70,6 +70,34 @@ pub struct H2Config {
     /// contention. Defaults to the `group-commit` cargo feature so the CI
     /// matrix exercises both paths.
     pub group_commit: bool,
+    /// Full-path resolve cache: each middleware keeps a map from resolved
+    /// full path → descriptor, fingerprinted by the version epoch of every
+    /// ancestor NameRing, turning the O(d) walk into one probe on the hot
+    /// path. Any write, gossip application, or GC touching an ancestor
+    /// ring bumps that ring's epoch and thereby invalidates exactly the
+    /// affected subtree. Requires `cache_capacity > 0` (the path cache
+    /// shares the ring cache's budget, scaled up — see
+    /// [`H2Middleware::path_cache_lookup`]). Same consistency envelope as
+    /// the ring cache itself: exact with a single Eager middleware,
+    /// eventual across middlewares. Defaults to the `read-path-opt` cargo
+    /// feature so the CI matrix exercises both paths.
+    pub path_cache: bool,
+    /// Negative-entry cache: NotFound resolve outcomes are cached under
+    /// the same epoch fingerprint as positive ones, so repeated stats of
+    /// missing paths stop re-walking the tree. Write-through invalidation
+    /// plus the epoch guard ensure a stale negative can never outlive the
+    /// ancestor version stamp that disproves it. Requires `path_cache`
+    /// plumbing (`cache_capacity > 0`); independent of `path_cache` being
+    /// on. Defaults to the `read-path-opt` cargo feature.
+    pub neg_cache: bool,
+    /// Hedged replica reads: probe all assigned devices as one parallel
+    /// wave (charged max-of-probes, not sum), and when the assigned answers
+    /// are suspect, fan the handoff fallback scan out as a second wave
+    /// instead of serialising it. Identical probes in identical order —
+    /// results and injected-fault draws are byte-for-byte the same as the
+    /// serial path; only the virtual-time charging and span shape change.
+    /// Defaults to the `read-path-opt` cargo feature.
+    pub hedged_reads: bool,
 }
 
 impl Default for H2Config {
@@ -81,6 +109,9 @@ impl Default for H2Config {
             cache_capacity: 0,
             trace_sample: 0.0,
             group_commit: cfg!(feature = "group-commit"),
+            path_cache: cfg!(feature = "read-path-opt"),
+            neg_cache: cfg!(feature = "read-path-opt"),
+            hedged_reads: cfg!(feature = "read-path-opt"),
         }
     }
 }
@@ -99,6 +130,12 @@ impl H2Config {
             cache_capacity: 128,
             trace_sample: 1.0,
             group_commit: cfg!(feature = "group-commit"),
+            // Always on in tests (like the ring cache above): with a
+            // single Eager middleware the caches are exactly consistent,
+            // so the semantic suites double as cache correctness coverage.
+            path_cache: true,
+            neg_cache: true,
+            hedged_reads: true,
         }
     }
 }
@@ -121,6 +158,25 @@ enum Resolved {
     },
 }
 
+/// Reconstruct a [`Resolved`] from a cached path-cache hit: the tuple the
+/// parent ring held for the path's last component.
+fn resolved_from(parent_ns: NamespaceId, name: &str, tuple: Tuple) -> Resolved {
+    match tuple.child {
+        ChildRef::Dir { ns } => Resolved::Dir {
+            parent_ns,
+            name: name.to_string(),
+            ns,
+            ts: tuple.ts,
+        },
+        ChildRef::File { size } => Resolved::File {
+            parent_ns,
+            name: name.to_string(),
+            size,
+            ts: tuple.ts,
+        },
+    }
+}
+
 /// The H2Cloud system: an [`H2Layer`] over one object cloud.
 pub struct H2Cloud {
     layer: H2Layer,
@@ -133,6 +189,7 @@ pub struct H2Cloud {
 impl H2Cloud {
     pub fn new(cfg: H2Config) -> Self {
         let cluster = Cluster::new(cfg.cluster.clone());
+        cluster.set_hedged_reads(cfg.hedged_reads);
         let metrics = Arc::new(h2util::metrics::MetricsRegistry::new());
         H2Cloud {
             layer: H2Layer::with_observability(
@@ -143,6 +200,8 @@ impl H2Cloud {
                 cfg.cache_capacity,
                 cfg.trace_sample,
                 cfg.group_commit,
+                cfg.path_cache,
+                cfg.neg_cache,
             ),
             metrics,
         }
@@ -152,6 +211,24 @@ impl H2Cloud {
     /// fed by every `CloudFs` call on this instance.
     pub fn metrics(&self) -> &h2util::metrics::MetricsRegistry {
         &self.metrics
+    }
+
+    /// Fold the cluster's read-path counters (hedged replica-read waves,
+    /// handoff scans skipped via freshness hints) into the monitoring
+    /// registry, so `op=metrics` reports them alongside the middleware
+    /// cache counters. Counters are monotone: this tops each one up to the
+    /// cluster's current value.
+    pub fn sync_cluster_counters(&self) {
+        for (name, val) in [
+            ("hedged_reads", self.cluster().hedged_read_count()),
+            ("handoff_scans_skipped", self.cluster().handoff_scan_skips()),
+        ] {
+            let c = self.metrics.counter(name);
+            let cur = c.get();
+            if val > cur {
+                c.add(val - cur);
+            }
+        }
     }
 
     /// Record an operation's virtual service time (the delta this op added
@@ -236,6 +313,13 @@ impl H2Cloud {
     /// [`crate::namering::RingView`] — a lazy join of the fetched global
     /// ring and the middleware's local overlay — so resolution never
     /// materialises (deep-clones) a ring per level.
+    ///
+    /// With the path cache on, the walk is preceded by up to two O(1)
+    /// probes: the full requested path (hit → done, cached NotFound →
+    /// done), then the parent prefix (hit → one ring read instead of d).
+    /// Every entry carries the epoch fingerprint of the ancestor rings it
+    /// was resolved through, so any ancestor mutation invalidates it — see
+    /// [`H2Middleware::path_cache_lookup`] for the protocol.
     fn resolve(
         &self,
         mw: &H2Middleware,
@@ -246,17 +330,84 @@ impl H2Cloud {
         if path.is_root() {
             return Ok(Resolved::Root);
         }
-        let mut ns = NamespaceId::ROOT;
         let comps = path.components();
+        let caching = mw.path_cache_active() || mw.neg_cache_active();
+        if caching {
+            mw.charge_path_probe(ctx);
+            let full = path.to_string();
+            if let Some((answer, _)) = mw.path_cache_lookup(keys.account(), &full) {
+                return match answer {
+                    PathAnswer::Hit { parent_ns, tuple } => {
+                        Ok(resolved_from(parent_ns, comps.last().unwrap(), tuple))
+                    }
+                    PathAnswer::Missing => Err(H2Error::NotFound(full)),
+                };
+            }
+            // Full path missed; if the parent directory's resolution is
+            // cached, finish with a single ring read instead of the walk.
+            if comps.len() > 1 {
+                let parent = &full[..full.len() - comps.last().unwrap().len() - 1];
+                if let Some((PathAnswer::Hit { tuple: ptuple, .. }, parent_fp)) =
+                    mw.path_cache_lookup(keys.account(), parent)
+                {
+                    if let ChildRef::Dir { ns: dir_ns } = ptuple.child {
+                        let (view, epoch) = mw.read_ring_view_stamped(ctx, keys, dir_ns)?;
+                        mw.charge_lookup_step(ctx, view.from_cache());
+                        let mut fp = parent_fp;
+                        fp.push((dir_ns, epoch));
+                        let comp = comps.last().unwrap();
+                        return match view.get(comp).copied() {
+                            Some(tuple) => {
+                                let answer = PathAnswer::Hit {
+                                    parent_ns: dir_ns,
+                                    tuple,
+                                };
+                                mw.path_cache_store(keys.account(), &full, answer, fp);
+                                Ok(resolved_from(dir_ns, comp, tuple))
+                            }
+                            None => {
+                                mw.path_cache_store(keys.account(), &full, PathAnswer::Missing, fp);
+                                Err(H2Error::NotFound(full))
+                            }
+                        };
+                    }
+                }
+            }
+        }
+        let mut ns = NamespaceId::ROOT;
+        // The epoch fingerprint accumulated over the rings this walk
+        // consults, and the path prefix resolved so far — every prefix's
+        // answer is cached on the way down so later lookups deeper in the
+        // same subtree start from the nearest cached ancestor.
+        let mut fp: Vec<(NamespaceId, u64)> = Vec::new();
+        let mut prefix = String::new();
         for (i, comp) in comps.iter().enumerate() {
-            let view = mw.read_ring_view(ctx, keys, ns)?;
+            let (view, epoch) = mw.read_ring_view_stamped(ctx, keys, ns)?;
             mw.charge_lookup_step(ctx, view.from_cache());
-            let tuple = view
-                .get(comp)
-                .ok_or_else(|| H2Error::NotFound(path.to_string()))?;
+            fp.push((ns, epoch));
+            prefix.push('/');
+            prefix.push_str(comp);
+            let Some(tuple) = view.get(comp).copied() else {
+                if caching {
+                    // Cache the negative under the FULL requested path:
+                    // its fingerprint covers exactly the ancestors that
+                    // were consulted to prove the absence, so creating any
+                    // of the missing levels (which must patch one of those
+                    // rings first) invalidates it.
+                    mw.path_cache_store(keys.account(), &path.to_string(), PathAnswer::Missing, fp);
+                }
+                return Err(H2Error::NotFound(path.to_string()));
+            };
             let last = i + 1 == comps.len();
             match tuple.child {
                 ChildRef::Dir { ns: child_ns } => {
+                    if caching {
+                        let answer = PathAnswer::Hit {
+                            parent_ns: ns,
+                            tuple,
+                        };
+                        mw.path_cache_store(keys.account(), &prefix, answer, fp.clone());
+                    }
                     if last {
                         return Ok(Resolved::Dir {
                             parent_ns: ns,
@@ -269,6 +420,13 @@ impl H2Cloud {
                 }
                 ChildRef::File { size } => {
                     if last {
+                        if caching {
+                            let answer = PathAnswer::Hit {
+                                parent_ns: ns,
+                                tuple,
+                            };
+                            mw.path_cache_store(keys.account(), &prefix, answer, fp);
+                        }
                         return Ok(Resolved::File {
                             parent_ns: ns,
                             name: comp.clone(),

@@ -74,14 +74,27 @@ impl H2Layer {
         metrics: Arc<MetricsRegistry>,
         cache_capacity: usize,
     ) -> Self {
-        Self::with_observability(cluster, n, mode, metrics, cache_capacity, 0.0, false)
+        Self::with_observability(
+            cluster,
+            n,
+            mode,
+            metrics,
+            cache_capacity,
+            0.0,
+            false,
+            false,
+            false,
+        )
     }
 
     /// Like [`with_cache`](Self::with_cache), plus span tracing: each
     /// middleware gets a bounded [`h2util::trace::TraceCollector`] sampling
-    /// `trace_sample` of its operations (0 disables tracing entirely), and
-    /// the group-commit switch (see
-    /// [`H2Middleware::submit_patch`](crate::middleware::H2Middleware)).
+    /// `trace_sample` of its operations (0 disables tracing entirely), the
+    /// group-commit switch (see
+    /// [`H2Middleware::submit_patch`](crate::middleware::H2Middleware)),
+    /// and the read-path cache switches (`path_cache` / `neg_cache`, see
+    /// [`H2Middleware::path_cache_lookup`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn with_observability(
         cluster: Arc<Cluster>,
         n: usize,
@@ -90,6 +103,8 @@ impl H2Layer {
         cache_capacity: usize,
         trace_sample: f64,
         group_commit: bool,
+        path_cache: bool,
+        neg_cache: bool,
     ) -> Self {
         assert!(n >= 1, "need at least one middleware");
         // Pre-register the layer's failure counters so `op=metrics` always
@@ -121,6 +136,8 @@ impl H2Layer {
                         i,
                     )),
                     group_commit,
+                    path_cache,
+                    neg_cache,
                 )
             })
             .collect();

@@ -24,10 +24,11 @@
 //!   merge when [`H2Middleware::step_merges`] (or the layer's pump/threads)
 //!   runs, the paper's actual asynchronous protocol.
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use h2util::hash64;
 use h2util::id::NamespaceAllocator;
 use h2util::metrics::{Counter, MetricsRegistry};
 use h2util::trace::{TraceCollector, STAGE_GOSSIP, STAGE_MERGE, STAGE_MW, STAGE_RESOLVE};
@@ -194,6 +195,55 @@ struct CachedRing {
     ring: Arc<NameRing>,
 }
 
+/// Lock stripes for the NameRing cache. The cache sits on every resolve
+/// level of every operation; one mutex over the whole LRU serialised all
+/// of them. Striping by ring key keeps resolves of unrelated directories
+/// off each other's lock (total capacity is split evenly across stripes,
+/// so eviction becomes per-stripe LRU — same budget, slightly coarser
+/// recency).
+const RING_SHARDS: usize = 8;
+
+/// Lock stripes for the full-path resolve cache (entries are tiny and
+/// probed once per operation, so contention is the only sizing concern).
+const PATH_SHARDS: usize = 16;
+
+/// The path cache holds `PATH_CACHE_FACTOR ×` the ring-cache capacity:
+/// one entry is a couple of strings plus a tuple, versus a whole parsed
+/// ring per ring-cache entry, and a working set of files is a multiple of
+/// its directory count.
+const PATH_CACHE_FACTOR: usize = 8;
+
+/// A full-path resolve-cache answer (tentpole of the read-path overhaul):
+/// what one O(1) probe replaces the O(d) NameRing walk with.
+#[derive(Debug, Clone)]
+pub enum PathAnswer {
+    /// The path's final component is this live tuple in `parent_ns`'s ring.
+    Hit {
+        parent_ns: NamespaceId,
+        tuple: crate::namering::Tuple,
+    },
+    /// The path was NotFound when the entry was stored (negative entry).
+    Missing,
+}
+
+/// One full-path cache entry: the answer plus the epoch fingerprint of
+/// every ring consulted to produce it. The entry is valid exactly while
+/// every `(namespace, epoch)` pair still matches [`H2Middleware::ns_epoch`]
+/// — any ring write, gossip application, patch fold or GC notification on
+/// an ancestor bumps that ancestor's epoch and thereby invalidates exactly
+/// the affected subtree's entries (checked lazily at probe time).
+struct PathEntry {
+    fp: Vec<(NamespaceId, u64)>,
+    answer: PathAnswer,
+}
+
+/// Hit/miss accounting for the full-path cache.
+struct PathCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    neg_hits: Arc<Counter>,
+}
+
 /// The outcome one group-commit waiter receives: the shared batch result
 /// plus the virtual time the leader spent on the batch (charged to each
 /// waiter's context — every submitter waited out the same PUT).
@@ -247,11 +297,38 @@ pub struct H2Middleware {
     /// path. Kept fresh by write-through in `put_global_ring` and refresh
     /// on gossip; never consulted by `fetch_global_ring`, which must see
     /// the cloud's current object (merge cycles and gossip handling depend
-    /// on that). Capacity 0 disables it.
-    ring_cache: Mutex<LruCache<FdKey, CachedRing>>,
+    /// on that). Capacity 0 disables it. Striped by ring key
+    /// ([`RING_SHARDS`]); each stripe is an independent LRU over an even
+    /// share of the capacity.
+    ring_cache: Vec<Mutex<LruCache<FdKey, CachedRing>>>,
     /// `Some` iff the cache is enabled (counters are only registered then,
     /// so disabled instances keep their metrics output clean).
     cache_counters: Option<CacheCounters>,
+    /// Full-path resolve cache: decorated path → [`PathEntry`], striped by
+    /// path hash. Empty (no stripes) when disabled — positive entries need
+    /// `path_cache_on`, negative entries `neg_cache_on`, and both require
+    /// the ring cache to be enabled (the epoch fingerprints assume ring
+    /// freshness is driven by write-through and gossip, exactly the ring
+    /// cache's contract).
+    path_cache: Vec<Mutex<LruCache<(String, String), PathEntry>>>,
+    path_counters: Option<PathCounters>,
+    path_cache_on: bool,
+    neg_cache_on: bool,
+    /// Per-namespace mutation epochs backing the path-cache fingerprints.
+    /// Bumped after *every* mutation of this middleware's joined view of a
+    /// ring — global-cache store (fetched or written), local-overlay patch
+    /// fold, gossip application, GC floor/forget/invalidate. Keyed by
+    /// namespace alone: non-root namespaces are globally unique UUIDs, and
+    /// the shared `ROOT` id merely makes a bump in one account invalidate
+    /// other accounts' root-anchored entries too — over-invalidation,
+    /// never staleness. Entries are never evicted (one u64 per touched
+    /// namespace), so a fingerprint can always be checked in O(1).
+    ns_epochs: RwLock<HashMap<NamespaceId, u64>>,
+    /// `modified_ms` of this middleware's last ring PUT per key — the
+    /// freshness floor handed to [`Cluster::get_expecting`] on the read
+    /// path, proving a handoff scan redundant when the best assigned
+    /// replica already carries at least this node's own last write.
+    ring_put_ms: Mutex<HashMap<FdKey, u64>>,
     fds: Mutex<HashMap<FdKey, FileDescriptor>>,
     /// Per-ring merge serialisation: a merge cycle is a read-modify-write
     /// of the ring object, so two concurrent cycles for the same ring on
@@ -308,11 +385,15 @@ impl H2Middleware {
             cache_capacity,
             Arc::new(TraceCollector::disabled()),
             false,
+            false,
+            false,
         )
     }
 
     /// Full constructor: like [`with_cache`](Self::with_cache), plus a span
-    /// collector for sampled operation traces and the group-commit switch.
+    /// collector for sampled operation traces, the group-commit switch,
+    /// and the read-path switches (full-path resolve cache / negative-entry
+    /// cache — both also require `cache_capacity > 0`).
     #[allow(clippy::too_many_arguments)]
     pub fn with_observability(
         node: NodeId,
@@ -322,6 +403,8 @@ impl H2Middleware {
         cache_capacity: usize,
         tracer: Arc<TraceCollector>,
         group_commit: bool,
+        path_cache: bool,
+        neg_cache: bool,
     ) -> Arc<Self> {
         assert!(
             node.0 > 0,
@@ -332,6 +415,21 @@ impl H2Middleware {
             misses: metrics.counter("ring_cache_misses"),
             gets_saved: metrics.counter("gets_saved"),
         });
+        let path_cache_on = path_cache && cache_capacity > 0;
+        let neg_cache_on = neg_cache && cache_capacity > 0;
+        let path_counters = (path_cache_on || neg_cache_on).then(|| PathCounters {
+            hits: metrics.counter("path_cache_hits"),
+            misses: metrics.counter("path_cache_misses"),
+            neg_hits: metrics.counter("neg_cache_hits"),
+        });
+        let path_stripes = if path_counters.is_some() {
+            let per_stripe = (cache_capacity * PATH_CACHE_FACTOR).div_ceil(PATH_SHARDS);
+            (0..PATH_SHARDS)
+                .map(|_| Mutex::new(LruCache::new(per_stripe)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let ring_fetches = metrics.counter(RING_FETCHES);
         let merge_failures = metrics.counter(MERGE_FAILURES);
         Arc::new(H2Middleware {
@@ -341,8 +439,16 @@ impl H2Middleware {
             store,
             mode,
             metrics,
-            ring_cache: Mutex::new(LruCache::new(cache_capacity)),
+            ring_cache: (0..RING_SHARDS)
+                .map(|_| Mutex::new(LruCache::new(cache_capacity.div_ceil(RING_SHARDS))))
+                .collect(),
             cache_counters,
+            path_cache: path_stripes,
+            path_counters,
+            path_cache_on,
+            neg_cache_on,
+            ns_epochs: RwLock::new(HashMap::new()),
+            ring_put_ms: Mutex::new(HashMap::new()),
             fds: Mutex::new(HashMap::new()),
             merge_locks: Mutex::new(HashMap::new()),
             group_commit,
@@ -707,11 +813,20 @@ impl H2Middleware {
 
     // ----- ring access ----------------------------------------------------
 
+    /// The ring-cache stripe holding `key`.
+    fn ring_shard(&self, key: &FdKey) -> &Mutex<LruCache<FdKey, CachedRing>> {
+        let h = hash64(key.0.as_bytes())
+            ^ key.1.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((key.1.node.0 as u64) << 48)
+            ^ key.1.millis;
+        &self.ring_cache[h as usize % RING_SHARDS]
+    }
+
     /// Cached copy of the global ring for `key`, if the cache is enabled
     /// and holds one. Counts hit/miss. A hit is a refcount bump.
     fn cached_global(&self, key: &FdKey) -> Option<Arc<NameRing>> {
         let counters = self.cache_counters.as_ref()?;
-        let mut cache = self.ring_cache.lock();
+        let mut cache = self.ring_shard(key).lock();
         match cache.get(key) {
             Some(entry) => {
                 let ring = Arc::clone(&entry.ring);
@@ -731,21 +846,29 @@ impl H2Middleware {
     /// Store a ring obtained from a cloud *read*. Guarded: a fetch that
     /// raced with a concurrent write-through must not replace the newer
     /// entry, so the ring only enters the cache if its version is at least
-    /// the cached one.
+    /// the cached one. The epoch bumps only when the entry actually
+    /// changed.
     fn cache_store_fetched(&self, key: FdKey, ring: &Arc<NameRing>) {
         if self.cache_counters.is_none() {
             return;
         }
-        let mut cache = self.ring_cache.lock();
         let version = ring.version();
-        if cache.peek(&key).is_none_or(|e| version >= e.version) {
-            cache.insert(
-                key,
-                CachedRing {
-                    version,
-                    ring: Arc::clone(ring),
-                },
-            );
+        let stored = {
+            let mut cache = self.ring_shard(&key).lock();
+            let store = cache.peek(&key).is_none_or(|e| version >= e.version);
+            if store {
+                cache.insert(
+                    key.clone(),
+                    CachedRing {
+                        version,
+                        ring: Arc::clone(ring),
+                    },
+                );
+            }
+            store
+        };
+        if stored {
+            self.bump_ns_epoch(key.1);
         }
     }
 
@@ -757,19 +880,147 @@ impl H2Middleware {
         if self.cache_counters.is_none() {
             return;
         }
-        self.ring_cache.lock().insert(
+        let ns = key.1;
+        self.ring_shard(&key).lock().insert(
             key,
             CachedRing {
                 version: ring.version(),
                 ring: Arc::clone(ring),
             },
         );
+        self.bump_ns_epoch(ns);
     }
 
     /// Drop the cached copy of `(account, ns)`, if any. Called by GC after
     /// it deletes a dead ring object out from under the middleware.
     pub fn invalidate_ring(&self, account: &str, ns: NamespaceId) {
-        self.ring_cache.lock().remove(&(account.to_string(), ns));
+        let key = (account.to_string(), ns);
+        self.ring_shard(&key).lock().remove(&key);
+        self.bump_ns_epoch(ns);
+    }
+
+    // ----- namespace epochs + full-path cache (read-path overhaul) ---------
+
+    /// Current mutation epoch of `ns` on this middleware (0 if never
+    /// bumped). See the `ns_epochs` field for what counts as a mutation.
+    pub fn ns_epoch(&self, ns: NamespaceId) -> u64 {
+        if self.path_cache.is_empty() {
+            return 0;
+        }
+        self.ns_epochs.read().get(&ns).copied().unwrap_or(0)
+    }
+
+    /// Bump `ns`'s epoch. Called *after* the mutation is visible, so a
+    /// fingerprint captured before a concurrent mutation's data is always
+    /// invalidated by its bump (the conservative direction — a racing
+    /// reader can over-invalidate, never validate stale data).
+    fn bump_ns_epoch(&self, ns: NamespaceId) {
+        if self.path_cache.is_empty() {
+            return;
+        }
+        *self.ns_epochs.write().entry(ns).or_insert(0) += 1;
+    }
+
+    /// Whether this middleware caches positive full-path resolutions.
+    pub fn path_cache_active(&self) -> bool {
+        self.path_cache_on
+    }
+
+    /// Whether this middleware caches negative (NotFound) resolutions.
+    pub fn neg_cache_active(&self) -> bool {
+        self.neg_cache_on
+    }
+
+    /// Full-path cache `(hits, misses, neg_hits)` so far (zeros when
+    /// disabled). A negative hit counts in both `hits` and `neg_hits`.
+    pub fn path_cache_stats(&self) -> (u64, u64, u64) {
+        match &self.path_counters {
+            Some(c) => (c.hits.get(), c.misses.get(), c.neg_hits.get()),
+            None => (0, 0, 0),
+        }
+    }
+
+    fn path_shard(
+        &self,
+        account: &str,
+        path: &str,
+    ) -> &Mutex<LruCache<(String, String), PathEntry>> {
+        let h = hash64(path.as_bytes()) ^ hash64(account.as_bytes());
+        &self.path_cache[h as usize % PATH_SHARDS]
+    }
+
+    /// Probe the full-path cache for `path` under `account`. The entry's
+    /// epoch fingerprint is validated against the current namespace
+    /// epochs; a mismatched entry is dropped on the spot (lazy
+    /// invalidation) and reported as a miss. A valid hit returns the
+    /// answer together with its fingerprint, so a child resolve can extend
+    /// it by one level instead of re-walking.
+    pub fn path_cache_lookup(
+        &self,
+        account: &str,
+        path: &str,
+    ) -> Option<(PathAnswer, Vec<(NamespaceId, u64)>)> {
+        let counters = self.path_counters.as_ref()?;
+        let key = (account.to_string(), path.to_string());
+        let mut cache = self.path_shard(account, path).lock();
+        let Some(entry) = cache.get(&key) else {
+            drop(cache);
+            counters.misses.incr();
+            return None;
+        };
+        // Epoch map is the innermost lock in this crate: it is only ever
+        // taken as a leaf, so holding the path stripe across it is safe.
+        let valid = {
+            let epochs = self.ns_epochs.read();
+            entry
+                .fp
+                .iter()
+                .all(|(ns, e)| epochs.get(ns).copied().unwrap_or(0) == *e)
+        };
+        if !valid {
+            cache.remove(&key);
+            drop(cache);
+            counters.misses.incr();
+            return None;
+        }
+        let hit = (entry.answer.clone(), entry.fp.clone());
+        drop(cache);
+        counters.hits.incr();
+        if matches!(hit.0, PathAnswer::Missing) {
+            counters.neg_hits.incr();
+        }
+        Some(hit)
+    }
+
+    /// Store a resolve outcome for `path`. Positive answers are kept only
+    /// when the path cache is on, negative ones only when the negative
+    /// cache is on — the store is a no-op otherwise, so resolve can call
+    /// it unconditionally.
+    pub fn path_cache_store(
+        &self,
+        account: &str,
+        path: &str,
+        answer: PathAnswer,
+        fp: Vec<(NamespaceId, u64)>,
+    ) {
+        if self.path_counters.is_none() {
+            return;
+        }
+        match answer {
+            PathAnswer::Hit { .. } if !self.path_cache_on => return,
+            PathAnswer::Missing if !self.neg_cache_on => return,
+            _ => {}
+        }
+        self.path_shard(account, path).lock().insert(
+            (account.to_string(), path.to_string()),
+            PathEntry { fp, answer },
+        );
+    }
+
+    /// Charge the cost of one full-path cache probe (hash lookup plus
+    /// fingerprint validation).
+    pub fn charge_path_probe(&self, ctx: &mut OpCtx) {
+        ctx.charge_time(self.store.cost_model().path_cache_cpu);
     }
 
     /// GC notification: the global ring for `(account, ns)` was compacted
@@ -822,9 +1073,27 @@ impl H2Middleware {
         keys: &H2Keys,
         ns: NamespaceId,
     ) -> Result<RingView> {
+        self.read_ring_view_stamped(ctx, keys, ns).map(|(v, _)| v)
+    }
+
+    /// [`read_ring_view`](Self::read_ring_view) plus the namespace epoch
+    /// observed *before* the ring was read. Fingerprinting resolves with
+    /// this pre-read epoch is conservative by construction: any mutation
+    /// that lands after the epoch read bumps past it, so an entry built
+    /// from this view can never validate against data it did not see. (The
+    /// cost is one wasted store when the read itself was a cloud fetch —
+    /// the fetch's own cache store bumps the epoch — which a subsequent
+    /// all-cached walk repairs.)
+    pub fn read_ring_view_stamped(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+    ) -> Result<(RingView, u64)> {
         ctx.span(STAGE_RESOLVE, "read_ring", |ctx| {
             ctx.span_note("ns", || ns.to_string());
             let key = (keys.account().to_string(), ns);
+            let epoch = self.ns_epoch(ns);
             let (global, hit) = match self.cached_global(&key) {
                 Some(cached) => {
                     ctx.span_note("ring_cache", || "hit".to_string());
@@ -834,27 +1103,64 @@ impl H2Middleware {
                     if self.cache_counters.is_some() {
                         ctx.span_note("ring_cache", || "miss".to_string());
                     }
-                    let global = Arc::new(self.fetch_global_ring(ctx, keys, ns)?);
+                    let global = Arc::new(self.fetch_global_ring_hinted(ctx, keys, ns)?);
                     self.cache_store_fetched(key.clone(), &global);
                     (global, false)
                 }
             };
             let overlay = self.fds.lock().get(&key).map(|fd| Arc::clone(&fd.local));
             let view = RingView::new(global, overlay);
-            Ok(if hit { view.mark_cached() } else { view })
+            Ok((if hit { view.mark_cached() } else { view }, epoch))
         })
     }
 
-    /// The ring object exactly as stored (no local overlay).
+    /// The ring object exactly as stored (no local overlay). Merge cycles
+    /// and gossip use this un-hinted variant: both are read-modify-write
+    /// paths whose written result shadows older copies at the object level
+    /// (LWW by `modified_ms`), so they must see the freshest copy any
+    /// handoff may hold or its updates would be lost for good.
     pub fn fetch_global_ring(
         &self,
         ctx: &mut OpCtx,
         keys: &H2Keys,
         ns: NamespaceId,
     ) -> Result<NameRing> {
+        self.fetch_ring_inner(ctx, keys, ns, None)
+    }
+
+    /// Read-path variant of [`fetch_global_ring`](Self::fetch_global_ring):
+    /// passes this middleware's last ring-PUT stamp as a freshness hint, so
+    /// the cluster can skip a handoff scan that provably cannot change the
+    /// answer this caller needs (read-your-writes is already satisfied;
+    /// anything newer on a handoff still reaches this node through gossip
+    /// or repair, which never use the hint). Pure reads only — never a
+    /// read-modify-write.
+    fn fetch_global_ring_hinted(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+    ) -> Result<NameRing> {
+        let expected = self
+            .ring_put_ms
+            .lock()
+            .get(&(keys.account().to_string(), ns))
+            .copied();
+        self.fetch_ring_inner(ctx, keys, ns, expected)
+    }
+
+    fn fetch_ring_inner(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        expected_ms: Option<u64>,
+    ) -> Result<NameRing> {
         let key = keys.namering(ns);
         self.ring_fetches.incr();
-        match self.with_retry(ctx, "fetch_ring", |ctx| self.store.get(ctx, &key)) {
+        match self.with_retry(ctx, "fetch_ring", |ctx| {
+            self.store.get_expecting(ctx, &key, expected_ms)
+        }) {
             Ok(obj) => {
                 let s = obj.payload.as_str().ok_or_else(|| {
                     H2Error::Corrupt(format!("NameRing {ns} is not a string object"))
@@ -883,9 +1189,13 @@ impl H2Middleware {
         // Build the payload once; retry attempts re-send the same shared
         // bytes instead of re-materialising the serialised ring.
         let payload = Payload::from_string(body);
-        self.with_retry(ctx, "put_ring", |ctx| {
-            self.store.put(ctx, &key, payload.clone(), Meta::new())
+        let ms = self.with_retry(ctx, "put_ring", |ctx| {
+            self.store
+                .put_stamped(ctx, &key, payload.clone(), Meta::new())
         })?;
+        self.ring_put_ms
+            .lock()
+            .insert((keys.account().to_string(), ns), ms);
         self.cache_store_written((keys.account().to_string(), ns), ring);
         Ok(())
     }
@@ -908,9 +1218,12 @@ impl H2Middleware {
     ) -> Result<()> {
         let shared = Arc::new(ring.clone());
         self.put_global_ring(ctx, keys, ns, &shared)?;
-        let mut fds = self.fds.lock();
-        let fd = fds.entry((keys.account().to_string(), ns)).or_default();
-        fd.local = shared;
+        {
+            let mut fds = self.fds.lock();
+            let fd = fds.entry((keys.account().to_string(), ns)).or_default();
+            fd.local = shared;
+        }
+        self.bump_ns_epoch(ns);
         Ok(())
     }
 
@@ -993,29 +1306,36 @@ impl H2Middleware {
 
     /// Re-validate the descriptor under the lock once a patch PUT settled.
     fn settle_patch(&self, key: &FdKey, patch_no: u32, patch: &NameRing, put: &Result<()>) {
-        let mut fds = self.fds.lock();
-        let fd = fds.entry(key.clone()).or_default();
-        match put {
-            Ok(()) => {
-                Arc::make_mut(&mut fd.local).merge_from(patch);
-                if !fd.pending.contains(patch_no) {
-                    // A concurrent merge cycle consumed the chain entry
-                    // while the PUT was in flight; it saw NotFound for
-                    // this patch object and skipped it, so the object
-                    // we just wrote is referenced by nothing. Re-chain
-                    // it: the next cycle merges and deletes it. (The
-                    // content is also safe in `fd.local`, which every
-                    // cycle folds in.)
-                    fd.pending.push(patch_no);
+        {
+            let mut fds = self.fds.lock();
+            let fd = fds.entry(key.clone()).or_default();
+            match put {
+                Ok(()) => {
+                    Arc::make_mut(&mut fd.local).merge_from(patch);
+                    if !fd.pending.contains(patch_no) {
+                        // A concurrent merge cycle consumed the chain entry
+                        // while the PUT was in flight; it saw NotFound for
+                        // this patch object and skipped it, so the object
+                        // we just wrote is referenced by nothing. Re-chain
+                        // it: the next cycle merges and deletes it. (The
+                        // content is also safe in `fd.local`, which every
+                        // cycle folds in.)
+                        fd.pending.push(patch_no);
+                    }
+                }
+                Err(_) => {
+                    // The patch object never made it to the cloud: drop the
+                    // chain entry so the merger does not chase a ghost, and
+                    // skip the local fold so the failed write stays
+                    // invisible, like any other failed operation.
+                    fd.pending.remove(patch_no);
                 }
             }
-            Err(_) => {
-                // The patch object never made it to the cloud: drop the
-                // chain entry so the merger does not chase a ghost, and
-                // skip the local fold so the failed write stays
-                // invisible, like any other failed operation.
-                fd.pending.remove(patch_no);
-            }
+        }
+        if put.is_ok() {
+            // The local overlay gained the patch: write-through
+            // invalidation for any path/negative entry under this ring.
+            self.bump_ns_epoch(key.1);
         }
     }
 
@@ -1178,6 +1498,7 @@ impl H2Middleware {
             // carry it into the global object on the next cycle).
             Arc::make_mut(&mut fd.local).merge_from(&ring);
         }
+        self.bump_ns_epoch(ns);
         self.outbox.lock().push(GossipMsg {
             account: keys.account().to_string(),
             ns,
@@ -1379,6 +1700,7 @@ impl H2Middleware {
         }
         // Pass 3 — one descriptor-lock acquisition applies every join.
         let mut writebacks: Vec<(FdKey, Arc<NameRing>, Vec<usize>)> = Vec::new();
+        let mut applied_ns: Vec<NamespaceId> = Vec::new();
         {
             let mut fds = self.fds.lock();
             for (key, global, idxs) in fetched {
@@ -1387,6 +1709,7 @@ impl H2Middleware {
                 let had_extra = merged != *global;
                 let merged = Arc::new(merged);
                 fd.local = Arc::clone(&merged);
+                applied_ns.push(key.1);
                 if had_extra {
                     writebacks.push((key, merged, idxs));
                 } else {
@@ -1395,6 +1718,9 @@ impl H2Middleware {
                     }
                 }
             }
+        }
+        for ns in applied_ns {
+            self.bump_ns_epoch(ns);
         }
         // Pass 4 — when this node knew updates the global object lacked,
         // write the join back and re-gossip (our information is now part
@@ -1817,6 +2143,8 @@ mod tests {
             0,
             Arc::new(TraceCollector::disabled()),
             true,
+            false,
+            false,
         );
         (cluster, mw, H2Keys::new("alice"))
     }

@@ -129,6 +129,19 @@ pub struct Cluster {
     /// Active request-level fault injector, shared with every storage node
     /// (one deterministic draw stream). `None` = fault plane disabled.
     fault: RwLock<Option<Arc<FaultInjector>>>,
+    /// Hedged replica reads: probe every assigned device as one parallel
+    /// wave (virtual cost = the slowest probe of the wave, not the sum)
+    /// and, when the assigned set is suspect, scan the handoffs as a
+    /// second parallel hedge wave instead of serially. Same probes in the
+    /// same deterministic order — only the charging shape and span
+    /// structure change. Off by default; toggled per instance.
+    hedged: std::sync::atomic::AtomicBool,
+    /// Reads where the handoff hedge wave fired (hedged mode only).
+    hedged_reads: AtomicU64,
+    /// Handoff scans skipped because the caller's expected-stamp floor
+    /// proved the best assigned replica fresh enough (see
+    /// [`Cluster::get_expecting`]).
+    handoff_scans_skipped: AtomicU64,
 }
 
 /// A deferred container-DB update.
@@ -143,6 +156,18 @@ enum IndexUpdate {
     Remove {
         key: ObjectKey,
     },
+}
+
+/// Outcome of probing one assigned device during a replica read. Collected
+/// per device (serially or as a hedged wave) and folded in device order so
+/// both execution shapes produce byte-identical results.
+enum ReplicaVote {
+    /// Device marked down: not counted reachable, triggers the handoff scan.
+    Down,
+    /// Injected per-replica fault: treated like a transient timeout.
+    Faulted,
+    /// Device answered; `None` means it holds no replica of the key.
+    Probed(Option<crate::node::StoredReplica>),
 }
 
 impl Cluster {
@@ -209,7 +234,25 @@ impl Cluster {
             async_index: std::sync::atomic::AtomicBool::new(false),
             pending_index: RwLock::new(std::collections::VecDeque::new()),
             fault: RwLock::new(injector),
+            hedged: std::sync::atomic::AtomicBool::new(false),
+            hedged_reads: AtomicU64::new(0),
+            handoff_scans_skipped: AtomicU64::new(0),
         })
+    }
+
+    /// Enable or disable hedged replica reads (see the `hedged` field).
+    pub fn set_hedged_reads(&self, on: bool) {
+        self.hedged.store(on, Ordering::Relaxed);
+    }
+
+    /// How many reads fired the parallel handoff hedge wave so far.
+    pub fn hedged_read_count(&self) -> u64 {
+        self.hedged_reads.load(Ordering::Relaxed)
+    }
+
+    /// How many handoff scans the expected-stamp hint proved redundant.
+    pub fn handoff_scan_skips(&self) -> u64 {
+        self.handoff_scans_skipped.load(Ordering::Relaxed)
     }
 
     /// Install (or clear) the request-level fault plan at runtime. Chaos
@@ -618,52 +661,142 @@ impl Cluster {
         ctx: &mut OpCtx,
         ring_key: &str,
     ) -> Result<Option<crate::node::StoredReplica>> {
+        self.read_replica_expecting(ctx, ring_key, None)
+    }
+
+    /// One assigned-device probe: the is-down check, the per-replica fault
+    /// draw, and the actual peek, with its span record. Factored out so the
+    /// serial loop and the hedged parallel wave run the identical sequence
+    /// per device (the fault draws stay deterministic either way —
+    /// [`OpCtx::parallel`] executes its items in index order and only
+    /// *charges* them as concurrent).
+    fn probe_assigned(&self, ctx: &mut OpCtx, dev: DeviceId, ring_key: &str) -> ReplicaVote {
+        let n = self.node(dev);
+        if n.is_down() {
+            ctx.span_instant(STAGE_REPLICA, "read", || {
+                vec![("dev", dev.0.to_string()), ("vote", "down".to_string())]
+            });
+            return ReplicaVote::Down;
+        }
+        if self.replica_read_faulted() {
+            // Injected per-replica fault: treat the device as
+            // unreachable for this one request (handoffs consulted,
+            // reachability not counted), same as a transient timeout.
+            ctx.span_instant(STAGE_REPLICA, "read", || {
+                vec![("dev", dev.0.to_string()), ("vote", "faulted".to_string())]
+            });
+            return ReplicaVote::Faulted;
+        }
+        let (r, probe) = n.probe(ring_key);
+        ctx.span_instant(STAGE_REPLICA, "read", || {
+            vec![("dev", dev.0.to_string()), ("vote", probe.vote())]
+        });
+        ReplicaVote::Probed(r)
+    }
+
+    /// One handoff-device probe (handoffs are consulted whether up or
+    /// down; only up ones count toward reachability).
+    fn probe_handoff(
+        &self,
+        ctx: &mut OpCtx,
+        dev: DeviceId,
+        ring_key: &str,
+    ) -> (bool, Option<crate::node::StoredReplica>) {
+        let n = self.node(dev);
+        let up = !n.is_down();
+        let (r, probe) = n.probe(ring_key);
+        ctx.span_instant(STAGE_REPLICA, "read", || {
+            vec![
+                ("dev", dev.0.to_string()),
+                ("handoff", "yes".to_string()),
+                ("vote", probe.vote()),
+            ]
+        });
+        (up, r)
+    }
+
+    fn read_replica_expecting(
+        &self,
+        ctx: &mut OpCtx,
+        ring_key: &str,
+        expected_ms: Option<u64>,
+    ) -> Result<Option<crate::node::StoredReplica>> {
         fn consider(best: &mut Option<crate::node::StoredReplica>, r: crate::node::StoredReplica) {
             if best.as_ref().is_none_or(|b| r.modified_ms > b.modified_ms) {
                 *best = Some(r);
             }
         }
         let part = self.ring.partition_of(ring_key.as_bytes());
+        let hedged = self.hedged.load(Ordering::Relaxed);
+        let assigned: Vec<DeviceId> = self.ring.devices_for_part(part).to_vec();
+        let votes: Vec<ReplicaVote> = if hedged {
+            // All assigned probes go out as one wave: the read waits for
+            // the slowest probe of the wave, not their sum.
+            let mut slots: Vec<Option<ReplicaVote>> = Vec::new();
+            slots.resize_with(assigned.len(), || None);
+            {
+                let slots = std::cell::RefCell::new(&mut slots);
+                ctx.parallel(assigned.len(), |ctx, i| {
+                    let v = self.probe_assigned(ctx, assigned[i], ring_key);
+                    slots.borrow_mut()[i] = Some(v);
+                    Ok(())
+                })?;
+            }
+            slots
+                .into_iter()
+                .map(|v| v.expect("every probe ran"))
+                .collect()
+        } else {
+            assigned
+                .iter()
+                .map(|&dev| self.probe_assigned(ctx, dev, ring_key))
+                .collect()
+        };
         let mut best: Option<crate::node::StoredReplica> = None;
         let mut reachable = 0usize;
         let mut any_assigned_down = false;
         let mut any_replica_faulted = false;
         // Stamps seen on *up* assigned devices (None = no replica there).
         let mut up_stamps: Vec<Option<u64>> = Vec::new();
-        for &dev in self.ring.devices_for_part(part) {
-            let n = self.node(dev);
-            if n.is_down() {
-                any_assigned_down = true;
-                ctx.span_instant(STAGE_REPLICA, "read", || {
-                    vec![("dev", dev.0.to_string()), ("vote", "down".to_string())]
-                });
-                continue;
-            }
-            if self.replica_read_faulted() {
-                // Injected per-replica fault: treat the device as
-                // unreachable for this one request (handoffs consulted,
-                // reachability not counted), same as a transient timeout.
-                any_assigned_down = true;
-                any_replica_faulted = true;
-                ctx.span_instant(STAGE_REPLICA, "read", || {
-                    vec![("dev", dev.0.to_string()), ("vote", "faulted".to_string())]
-                });
-                continue;
-            }
-            reachable += 1;
-            let (r, probe) = n.probe(ring_key);
-            up_stamps.push(r.as_ref().map(|r| r.modified_ms));
-            ctx.span_instant(STAGE_REPLICA, "read", || {
-                vec![("dev", dev.0.to_string()), ("vote", probe.vote())]
-            });
-            if let Some(r) = r {
-                consider(&mut best, r);
+        for vote in votes {
+            match vote {
+                ReplicaVote::Down => any_assigned_down = true,
+                ReplicaVote::Faulted => {
+                    any_assigned_down = true;
+                    any_replica_faulted = true;
+                }
+                ReplicaVote::Probed(r) => {
+                    reachable += 1;
+                    up_stamps.push(r.as_ref().map(|r| r.modified_ms));
+                    if let Some(r) = r {
+                        consider(&mut best, r);
+                    }
+                }
             }
         }
         let best_ms = best.as_ref().map(|r| r.modified_ms);
         let assigned_suspect =
             any_assigned_down || best.is_none() || up_stamps.iter().any(|s| *s != best_ms);
-        if assigned_suspect {
+        // Expected-stamp shortcut: with every assigned device up and
+        // answering (no down, no fault draw), a best stamp at or past the
+        // caller's floor makes the handoff scan provably redundant *for
+        // this caller* — it already reads its own writes, and anything
+        // newer parked on a handoff still reaches it through gossip or
+        // repair, neither of which passes a floor. Only a disagreeing
+        // lagging assigned replica triggers the scan in that state, and
+        // the laggard is by definition older than best.
+        let provably_fresh =
+            !any_assigned_down && expected_ms.is_some_and(|e| best_ms.is_some_and(|b| b >= e));
+        if assigned_suspect && provably_fresh {
+            self.handoff_scans_skipped.fetch_add(1, Ordering::Relaxed);
+            ctx.span_note("handoff_scan", || {
+                format!(
+                    "skipped: best stamp {} >= caller floor {}",
+                    best_ms.unwrap_or(0),
+                    expected_ms.unwrap_or(0)
+                )
+            });
+        } else if assigned_suspect {
             ctx.span_note("handoff_scan", || {
                 if any_assigned_down {
                     "assigned device down or faulted".to_string()
@@ -671,21 +804,42 @@ impl Cluster {
                     "assigned replicas missing or disagreeing".to_string()
                 }
             });
-            for dev in self.ring.handoffs(part) {
-                let n = self.node(dev);
-                if !n.is_down() {
-                    reachable += 1;
-                }
-                let (r, probe) = n.probe(ring_key);
-                ctx.span_instant(STAGE_REPLICA, "read", || {
-                    vec![
-                        ("dev", dev.0.to_string()),
-                        ("handoff", "yes".to_string()),
-                        ("vote", probe.vote()),
-                    ]
+            let handoffs: Vec<DeviceId> = self.ring.handoffs(part);
+            if hedged && !handoffs.is_empty() {
+                // Hedge: the fallback probes fan out as their own wave
+                // instead of serialising after the assigned ones.
+                self.hedged_reads.fetch_add(1, Ordering::Relaxed);
+                ctx.span_note("hedge", || {
+                    format!("{} handoffs probed in parallel", handoffs.len())
                 });
-                if let Some(r) = r {
-                    consider(&mut best, r);
+                let mut slots: Vec<Option<(bool, Option<crate::node::StoredReplica>)>> = Vec::new();
+                slots.resize_with(handoffs.len(), || None);
+                {
+                    let slots = std::cell::RefCell::new(&mut slots);
+                    ctx.parallel(handoffs.len(), |ctx, i| {
+                        let p = self.probe_handoff(ctx, handoffs[i], ring_key);
+                        slots.borrow_mut()[i] = Some(p);
+                        Ok(())
+                    })?;
+                }
+                for slot in slots {
+                    let (up, r) = slot.expect("every probe ran");
+                    if up {
+                        reachable += 1;
+                    }
+                    if let Some(r) = r {
+                        consider(&mut best, r);
+                    }
+                }
+            } else {
+                for dev in handoffs {
+                    let (up, r) = self.probe_handoff(ctx, dev, ring_key);
+                    if up {
+                        reachable += 1;
+                    }
+                    if let Some(r) = r {
+                        consider(&mut best, r);
+                    }
                 }
             }
         }
@@ -912,10 +1066,17 @@ impl Cluster {
         }
         moved
     }
-}
 
-impl ObjectStore for Cluster {
-    fn put(&self, ctx: &mut OpCtx, key: &ObjectKey, payload: Payload, meta: Meta) -> Result<()> {
+    /// [`ObjectStore::put`] that also returns the version stamp the write
+    /// landed with, so a caller can remember its own freshness floor and
+    /// later pass it to [`Cluster::get_expecting`].
+    pub fn put_stamped(
+        &self,
+        ctx: &mut OpCtx,
+        key: &ObjectKey,
+        payload: Payload,
+        meta: Meta,
+    ) -> Result<u64> {
         self.check_container(&key.account, &key.container)?;
         let ring_key = key.ring_key();
         ctx.span(STAGE_CLOUD, "PUT", |ctx| {
@@ -934,18 +1095,28 @@ impl ObjectStore for Cluster {
             })?;
             self.catalog_put(&ring_key, size);
             self.index_upsert(ctx, key, size, ms, &ctype);
-            Ok(())
+            Ok(ms)
         })
     }
 
-    fn get(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<Object> {
+    /// [`ObjectStore::get`] with an optional freshness floor: when the
+    /// caller knows a version stamp the object must have reached (because
+    /// it wrote that version itself), a unanimous assigned-replica answer
+    /// at or past the floor skips the handoff scan that disagreement
+    /// would otherwise trigger. `None` behaves exactly like plain `get`.
+    pub fn get_expecting(
+        &self,
+        ctx: &mut OpCtx,
+        key: &ObjectKey,
+        expected_ms: Option<u64>,
+    ) -> Result<Object> {
         self.check_container(&key.account, &key.container)?;
         let ring_key = key.ring_key();
         ctx.span(STAGE_CLOUD, "GET", |ctx| {
             ctx.span_note("key", || ring_key.clone());
             self.fault_gate(ctx, OpClass::Get, &ring_key)?;
             let found = ctx.span(STAGE_QUORUM, "read-replicas", |ctx| {
-                let r = self.read_replica(ctx, &ring_key)?;
+                let r = self.read_replica_expecting(ctx, &ring_key, expected_ms)?;
                 let len = r.as_ref().map_or(0, |r| r.payload.len() as usize);
                 ctx.charge(PrimKind::Get, self.cfg.cost.get_cost(len));
                 Ok(r)
@@ -955,6 +1126,16 @@ impl ObjectStore for Cluster {
                 None => Err(H2Error::NotFound(ring_key.clone())),
             }
         })
+    }
+}
+
+impl ObjectStore for Cluster {
+    fn put(&self, ctx: &mut OpCtx, key: &ObjectKey, payload: Payload, meta: Meta) -> Result<()> {
+        self.put_stamped(ctx, key, payload, meta).map(|_| ())
+    }
+
+    fn get(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<Object> {
+        self.get_expecting(ctx, key, None)
     }
 
     fn head(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<ObjectInfo> {

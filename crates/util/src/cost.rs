@@ -183,6 +183,11 @@ pub struct CostModel {
     /// merge charges again when it folds the chain; group-commit splits the
     /// two so batched submissions pay only the publication share.
     pub patch_submit_cpu: Duration,
+    /// Full-path resolve-cache probe: one hash lookup plus an epoch
+    /// fingerprint check against the per-namespace version stamps. Charged
+    /// once per resolve when the path cache is enabled — on a hit it
+    /// *replaces* the per-level lookup charges entirely.
+    pub path_cache_cpu: Duration,
     /// Fan-out width for batched backend calls (bounded client pool).
     pub parallelism: usize,
     /// If true, replica writes are charged as parallel (quorum waits on the
@@ -209,6 +214,7 @@ impl CostModel {
             cached_lookup_cpu: Duration::from_micros(300),
             patch_cycle_cpu: Duration::from_micros(15_000),
             patch_submit_cpu: Duration::from_micros(4_500),
+            path_cache_cpu: Duration::from_micros(40),
             parallelism: 32,
             parallel_replicas: true,
         }
@@ -232,6 +238,7 @@ impl CostModel {
             cached_lookup_cpu: Duration::ZERO,
             patch_cycle_cpu: Duration::ZERO,
             patch_submit_cpu: Duration::ZERO,
+            path_cache_cpu: Duration::ZERO,
             parallelism: 32,
             parallel_replicas: true,
         }

@@ -2,22 +2,41 @@
 //! histograms — the "system monitoring" the paper lists among the
 //! H2Middleware's modules (§4.2).
 //!
-//! Histograms bucket durations by `log2(microseconds)`, giving ~2×
-//! resolution from 1 µs to ~36 minutes in 31 buckets — plenty for
-//! operation times that span 10 ms GETs to multi-minute directory sweeps.
+//! Histograms bucket durations into log2(microsecond) octaves, each
+//! subdivided 8 ways: exact below 8 µs, then ≤12.5% relative error up to
+//! ~4 hours in 256 buckets. An earlier pure-log2 layout quantised the
+//! whole sub-millisecond range into three representable values (0.51 /
+//! 1.02 / 2.05 ms) — useless once cached resolves pushed hot-path
+//! latencies under a millisecond, and p99s could legally wobble by a
+//! whole bucket (2×) between identical runs.
 //! All updates are relaxed atomics: safe to hammer from every thread.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-const BUCKETS: usize = 32;
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave: each octave `[2^o, 2^(o+1))` splits into 8
+/// equal-width buckets, bounding relative error at 1/8.
+const SUBDIV: u64 = 1 << SUB_BITS;
+const BUCKETS: usize = 256;
 
-/// A latency histogram with log2(µs) buckets.
-#[derive(Debug, Default)]
+/// A latency histogram with subdivided-log2(µs) buckets.
+#[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Histogram {
@@ -27,20 +46,24 @@ impl Histogram {
 
     fn bucket_of(d: Duration) -> usize {
         let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        if us == 0 {
-            0
-        } else {
-            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        if us < SUBDIV {
+            // One bucket per microsecond below the first subdivided octave.
+            return us as usize;
         }
+        let o = 63 - u64::from(us.leading_zeros()); // octave; o >= SUB_BITS
+        let sub = (us - (1 << o)) >> (o - u64::from(SUB_BITS));
+        (((o - u64::from(SUB_BITS)) * SUBDIV + SUBDIV + sub) as usize).min(BUCKETS - 1)
     }
 
     /// Lower bound of a bucket, in microseconds.
     fn bucket_floor_us(i: usize) -> u64 {
-        if i == 0 {
-            0
-        } else {
-            1u64 << (i - 1)
+        let i = i as u64;
+        if i < SUBDIV {
+            return i;
         }
+        let o = u64::from(SUB_BITS) + (i - SUBDIV) / SUBDIV;
+        let sub = (i - SUBDIV) % SUBDIV;
+        (1 << o) + (sub << (o - u64::from(SUB_BITS)))
     }
 
     pub fn record(&self, d: Duration) {
@@ -224,17 +247,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucketing_is_monotone_log2() {
-        assert_eq!(Histogram::bucket_of(Duration::ZERO), 0);
-        assert_eq!(Histogram::bucket_of(Duration::from_micros(1)), 1);
-        assert_eq!(Histogram::bucket_of(Duration::from_micros(2)), 2);
-        assert_eq!(Histogram::bucket_of(Duration::from_micros(3)), 2);
-        assert_eq!(Histogram::bucket_of(Duration::from_micros(1024)), 11);
+    fn bucketing_is_monotone_subdivided_log2() {
+        // Exact below 8 µs: one bucket per microsecond.
+        for us in 0..8u64 {
+            assert_eq!(Histogram::bucket_of(Duration::from_micros(us)), us as usize);
+        }
+        // Octave starts land on exact floors.
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(8)), 8);
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(16)), 16);
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(1024)), 64);
+        // Sub-buckets split each octave 8 ways: 1.5 ms sits 4/8 into the
+        // [1024, 2048) µs octave.
+        assert_eq!(Histogram::bucket_of(Duration::from_micros(1500)), 67);
         // Very large values clamp into the last bucket.
         assert_eq!(
             Histogram::bucket_of(Duration::from_secs(1 << 40)),
             BUCKETS - 1
         );
+        // Monotone, and every floor maps back to its own bucket with
+        // bounded (≤ 1/8) relative error.
+        for i in 0..BUCKETS {
+            let floor = Histogram::bucket_floor_us(i);
+            assert_eq!(Histogram::bucket_of(Duration::from_micros(floor)), i);
+            if i + 1 < BUCKETS {
+                let next = Histogram::bucket_floor_us(i + 1);
+                assert!(next > floor, "floors not increasing at {i}");
+                assert!(
+                    floor < SUBDIV || (next - floor) * SUBDIV <= floor,
+                    "bucket {i} wider than 12.5%: [{floor}, {next})"
+                );
+            }
+        }
     }
 
     #[test]

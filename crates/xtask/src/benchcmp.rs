@@ -13,10 +13,11 @@
 //!
 //! * **ops/sec** — fail when `current < baseline × (1 − allowed)`.
 //! * **p99 latency** — fail when `current > baseline × (1 + allowed)`
-//!   *and* `current − baseline > slack_ms`. The latency histogram is
-//!   log2-bucketed, so p99 moves in ~2× steps (16.38 ms → 32.77 ms) even
-//!   on a healthy run; the absolute slack absorbs that quantization while
-//!   still catching genuine order-of-magnitude blowups.
+//!   *and* `current − baseline > slack_ms`. The latency histogram's
+//!   buckets are ≤12.5% wide (8 sub-buckets per log2 octave), so the
+//!   relative gate already dominates quantization; the absolute slack
+//!   only absorbs scheduler noise on sub-10 ms tails, where one busy
+//!   CI neighbour can double a p99 that is still perfectly healthy.
 //!
 //! Hand-rolled JSON scanning, like every other (de)serializer in this
 //! workspace — the build environment has no registry access.
@@ -44,7 +45,7 @@ impl Default for Gate {
     fn default() -> Self {
         Gate {
             allowed: 0.25,
-            p99_slack_ms: 40.0,
+            p99_slack_ms: 10.0,
         }
     }
 }
@@ -369,13 +370,18 @@ mod tests {
     }
 
     #[test]
-    fn p99_blowup_fails_but_bucket_noise_does_not() {
+    fn p99_blowup_fails_but_noise_does_not() {
         let base = parse_rows(&sample(600.0, 16.38));
-        // One log2 bucket up (16.38 -> 32.77 ms): relative gate exceeded
-        // but inside the absolute slack — histogram quantization, not a
-        // regression.
-        let bucket_step = parse_rows(&sample(600.0, 32.77));
+        // One sub-divided bucket up (+12.5%): inside the relative gate —
+        // histogram quantization, not a regression.
+        let bucket_step = parse_rows(&sample(600.0, 18.42));
         assert!(compare(&base, &bucket_step, Gate::default()).passed());
+        // Small absolute wobble on a short tail: the relative gate is
+        // exceeded (4 -> 7 ms is +75%) but the delta sits inside the
+        // absolute slack — CI scheduler noise.
+        let small_base = parse_rows(&sample(600.0, 4.0));
+        let small_wobble = parse_rows(&sample(600.0, 7.0));
+        assert!(compare(&small_base, &small_wobble, Gate::default()).passed());
         // A genuine tail blowup clears both the fraction and the slack.
         let blowup = parse_rows(&sample(600.0, 160.0));
         let report = compare(&base, &blowup, Gate::default());

@@ -60,6 +60,28 @@ fn h2_deferred_commit(group_commit: bool) -> H2Cloud {
         cache_capacity: 0,
         trace_sample: 0.0,
         group_commit,
+        path_cache: false,
+        neg_cache: false,
+        hedged_reads: false,
+    })
+}
+
+/// Multi-middleware Deferred-mode H2Cloud differing only in the read-path
+/// knobs (full-path cache, negative cache, hedged reads), with a ring/path
+/// cache sized far beyond the proptest path universe so eviction never
+/// enters the picture — the equivalence argument is about invalidation,
+/// not capacity.
+fn h2_deferred_readopt(on: bool) -> H2Cloud {
+    H2Cloud::new(H2Config {
+        middlewares: 3,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig::tiny(),
+        cache_capacity: 512,
+        trace_sample: 0.0,
+        group_commit: false,
+        path_cache: on,
+        neg_cache: on,
+        hedged_reads: on,
     })
 }
 
@@ -246,6 +268,60 @@ proptest! {
     }
 
     #[test]
+    fn read_path_caches_are_observably_transparent(
+        ops in prop::collection::vec(arb_op(), 1..60)
+    ) {
+        // Same random sequence against a read-path-optimised (full-path
+        // cache + negative cache + hedged reads) and a plain H2Cloud —
+        // three middlewares, Deferred maintenance, gossip pumped with
+        // drops and duplicates mid-sequence. The caches change how a
+        // resolve is *answered*, never what it answers: every outcome,
+        // error class and final tree must match the plain instance's,
+        // including NotFound results served from the negative cache.
+        let opt = h2_deferred_readopt(true);
+        let plain = h2_deferred_readopt(false);
+        let mut ctx = OpCtx::for_test();
+        opt.create_account(&mut ctx, "u").unwrap();
+        plain.create_account(&mut ctx, "u").unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let with_opt = Trace::apply_fs(&opt, &mut ctx, "u", op);
+            let without = Trace::apply_fs(&plain, &mut ctx, "u", op);
+            match (&with_opt, &without) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.class(), b.class(),
+                    "{:?}: optimised={} plain={}", op, a, b
+                ),
+                _ => prop_assert!(
+                    false,
+                    "{:?} diverged: optimised={:?} plain={:?}", op, with_opt, without
+                ),
+            }
+            if i % 3 == 2 {
+                for fs in [&opt, &plain] {
+                    fs.layer()
+                        .pump_with_faults(GossipFaults {
+                            drop_every: 3,
+                            duplicate_every: 4,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+
+        opt.quiesce();
+        plain.quiesce();
+        prop_assert_eq!(
+            tree_snapshot(&opt, "u"),
+            tree_snapshot(&plain, "u"),
+            "read-path caches changed the observable filesystem"
+        );
+        let report = fsck(&opt, &mut ctx, "u").unwrap();
+        prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
+    }
+
+    #[test]
     fn tracing_is_observably_transparent(
         ops in prop::collection::vec(arb_op(), 1..60)
     ) {
@@ -404,4 +480,151 @@ fn batched_gossip_apply_loses_nothing_under_5pct_faults() {
     }
     let report = fsck(&batched, &mut ctx, "u").unwrap();
     assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn read_path_caches_lose_nothing_under_5pct_faults() {
+    use h2util::faults::{FaultPlan, FaultSpec};
+
+    // Chaos leg for the read-path caches: an optimised and a plain
+    // instance build the same tree through all three middlewares, then run
+    // gossip maintenance under 5% transient faults *and* lossy delivery.
+    // Once the faults clear, every middleware on both instances must hold
+    // the identical tree — a cache that served anything stale past
+    // convergence would show up as a diverged snapshot here.
+    let opt = h2_deferred_readopt(true);
+    let plain = h2_deferred_readopt(false);
+    let mut ctx = OpCtx::for_test();
+    for fs in [&opt, &plain] {
+        fs.create_account(&mut ctx, "u").unwrap();
+        for (i, d) in ["a", "b", "c"].iter().enumerate() {
+            let view = fs.via(i);
+            let dir = FsPath::parse(&format!("/{d}")).unwrap();
+            view.mkdir(&mut ctx, "u", &dir).unwrap();
+            for f in 0..4 {
+                let file = FsPath::parse(&format!("/{d}/f{f}")).unwrap();
+                view.write(&mut ctx, "u", &file, h2fsapi::FileContent::Simulated(64))
+                    .unwrap();
+            }
+        }
+    }
+
+    let spec = FaultSpec::errors(0.05);
+    for fs in [&opt, &plain] {
+        fs.cluster()
+            .set_fault_plan(Some(FaultPlan::uniform(0xBA7C4ED, spec)));
+    }
+    for _ in 0..6 {
+        let _ = opt.layer().pump_with_faults(GossipFaults {
+            drop_every: 3,
+            duplicate_every: 4,
+        });
+        let _ = plain.layer().pump_with_faults(GossipFaults {
+            drop_every: 3,
+            duplicate_every: 4,
+        });
+    }
+    for fs in [&opt, &plain] {
+        fs.cluster().set_fault_plan(None);
+    }
+    // Convergence point: with the ring cache on, a middleware that lost a
+    // gossip message serves its cached ring until the next message for
+    // that ring arrives (the documented cache trade-off — true with or
+    // without the path cache). Touch every ring once so the clean pump
+    // re-floods full ring state; after it, every middleware must agree no
+    // matter which earlier messages the lossy rounds dropped.
+    for fs in [&opt, &plain] {
+        fs.via(0)
+            .mkdir(&mut ctx, "u", &FsPath::parse("/d").unwrap())
+            .unwrap();
+        for (i, d) in ["a", "b", "c"].iter().enumerate() {
+            let file = FsPath::parse(&format!("/{d}/f4")).unwrap();
+            fs.via(i)
+                .write(&mut ctx, "u", &file, h2fsapi::FileContent::Simulated(64))
+                .unwrap();
+        }
+        fs.layer().pump().unwrap();
+    }
+
+    let want = tree_snapshot(&plain, "u");
+    assert_eq!(want.len(), 4 + 15, "plain instance lost writes");
+    assert_eq!(
+        tree_snapshot(&opt, "u"),
+        want,
+        "read-path caches diverged from the plain instance"
+    );
+    for i in 0..3 {
+        assert_eq!(
+            tree_snapshot(&opt.via(i), "u"),
+            want,
+            "optimised middleware {i} diverged"
+        );
+        assert_eq!(
+            tree_snapshot(&plain.via(i), "u"),
+            want,
+            "plain middleware {i} diverged"
+        );
+    }
+    // The comparison was not vacuous: the optimised instance really served
+    // resolves out of the path cache during the tree walks above.
+    assert!(
+        opt.metrics().counter_value("path_cache_hits") > 0,
+        "path cache never hit — the chaos leg exercised nothing"
+    );
+    let report = fsck(&opt, &mut ctx, "u").unwrap();
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn stale_negative_cannot_hide_acked_file_past_convergence() {
+    // The negative cache's one dangerous failure mode: middleware A caches
+    // "path missing", the file is then created — through another
+    // middleware or through A itself — and A keeps serving NotFound. The
+    // epoch fingerprint must kill the negative in both cases.
+    let fs = h2_deferred_readopt(true);
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "u").unwrap();
+    let a = fs.via(0);
+    let b = fs.via(1);
+
+    // Cross-middleware: A proves /a/f absent (negative cached against the
+    // root ring's epoch), B creates it, gossip converges, A must see it.
+    let file = FsPath::parse("/a/f").unwrap();
+    // Three probes: the first walks cold (its negative dies with the ring
+    // fetch's own epoch bump — the protocol's deliberate cold-start cost),
+    // the second re-walks warm and stores a live negative, the third hits.
+    for _ in 0..3 {
+        assert!(a.stat(&mut ctx, "u", &file).is_err());
+    }
+    b.mkdir(&mut ctx, "u", &FsPath::parse("/a").unwrap())
+        .unwrap();
+    b.write(&mut ctx, "u", &file, h2fsapi::FileContent::Simulated(64))
+        .unwrap();
+    fs.layer().pump().unwrap();
+    let st = a
+        .stat(&mut ctx, "u", &file)
+        .expect("stale negative outlived convergence");
+    assert_eq!(st.size, 64);
+
+    // Same-middleware write-through: no gossip needed — A's own write must
+    // invalidate A's own negative immediately (read-your-writes).
+    let local = FsPath::parse("/b/g").unwrap();
+    assert!(a.stat(&mut ctx, "u", &local).is_err());
+    assert!(
+        a.stat(&mut ctx, "u", &local).is_err(),
+        "repeat hits the negative"
+    );
+    a.mkdir(&mut ctx, "u", &FsPath::parse("/b").unwrap())
+        .unwrap();
+    a.write(&mut ctx, "u", &local, h2fsapi::FileContent::Simulated(32))
+        .unwrap();
+    let st = a
+        .stat(&mut ctx, "u", &local)
+        .expect("negative survived the middleware's own write");
+    assert_eq!(st.size, 32);
+    // And the negatives did real work: the misses above were cache hits.
+    assert!(
+        fs.metrics().counter_value("neg_cache_hits") > 0,
+        "negative cache never hit"
+    );
 }
