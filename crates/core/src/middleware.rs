@@ -49,6 +49,24 @@ pub const MERGE_FAILURES: &str = "merge_failures";
 /// (cache hits and group-commit coalescing both avoid these).
 pub const RING_FETCHES: &str = "ring_fetches";
 
+/// Counter name for name-ring cache hits (ring served from memory).
+pub const RING_CACHE_HITS: &str = "ring_cache_hits";
+
+/// Counter name for name-ring cache misses (ring fetched or rebuilt).
+pub const RING_CACHE_MISSES: &str = "ring_cache_misses";
+
+/// Counter name for cloud GETs avoided by the ring cache.
+pub const GETS_SAVED: &str = "gets_saved";
+
+/// Counter name for full-path resolve cache hits.
+pub const PATH_CACHE_HITS: &str = "path_cache_hits";
+
+/// Counter name for full-path resolve cache misses.
+pub const PATH_CACHE_MISSES: &str = "path_cache_misses";
+
+/// Counter name for negative-entry cache hits (known-absent paths).
+pub const NEG_CACHE_HITS: &str = "neg_cache_hits";
+
 /// Files larger than this are striped into fixed-size part objects moved
 /// with bounded parallel fan-out ([`OpCtx::parallel`]) — the way real
 /// object stores move big blobs (S3 multipart upload, Azure block blobs).
@@ -411,16 +429,16 @@ impl H2Middleware {
             "middleware node ids are 1-based (0 is reserved)"
         );
         let cache_counters = (cache_capacity > 0).then(|| CacheCounters {
-            hits: metrics.counter("ring_cache_hits"),
-            misses: metrics.counter("ring_cache_misses"),
-            gets_saved: metrics.counter("gets_saved"),
+            hits: metrics.counter(RING_CACHE_HITS),
+            misses: metrics.counter(RING_CACHE_MISSES),
+            gets_saved: metrics.counter(GETS_SAVED),
         });
         let path_cache_on = path_cache && cache_capacity > 0;
         let neg_cache_on = neg_cache && cache_capacity > 0;
         let path_counters = (path_cache_on || neg_cache_on).then(|| PathCounters {
-            hits: metrics.counter("path_cache_hits"),
-            misses: metrics.counter("path_cache_misses"),
-            neg_hits: metrics.counter("neg_cache_hits"),
+            hits: metrics.counter(PATH_CACHE_HITS),
+            misses: metrics.counter(PATH_CACHE_MISSES),
+            neg_hits: metrics.counter(NEG_CACHE_HITS),
         });
         let path_stripes = if path_counters.is_some() {
             let per_stripe = (cache_capacity * PATH_CACHE_FACTOR).div_ceil(PATH_SHARDS);

@@ -1,0 +1,154 @@
+//! The findings baseline: known, triaged debt that CI tolerates while any
+//! NEW finding fails the build. The file (`h2lint.baseline` at the
+//! workspace root) is one finding per line in the exact report format —
+//! `file:line: [rule] message` — sorted, checked in, and regenerated with
+//! `cargo run -p xtask -- lint --update-baseline`.
+//!
+//! Matching is an exact multiset diff on those lines: a finding whose
+//! file, line, rule, or message shifted is "new" (and its old incarnation
+//! "fixed"), which is intentional — baselined debt that moves must be
+//! re-triaged, not silently carried.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Disposition of one finding against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineState {
+    New,
+    Baselined,
+}
+
+/// The canonical one-line form of a finding — identical to the console
+/// report line and to the baseline file format.
+pub fn format_line(f: &Finding) -> String {
+    format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message)
+}
+
+/// Parse a baseline file body into a line multiset (blank lines and `#`
+/// comments skipped).
+pub fn parse(body: &str) -> BTreeMap<String, usize> {
+    let mut set = BTreeMap::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *set.entry(line.to_string()).or_insert(0) += 1;
+    }
+    set
+}
+
+/// Render findings (already sorted) as a baseline file body.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# h2lint baseline: known findings that CI tolerates. One finding per\n\
+         # line, exact report format. Regenerate with:\n\
+         #   cargo run -p xtask -- lint --update-baseline\n",
+    );
+    for f in findings {
+        out.push_str(&format_line(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Result of diffing current findings against a baseline.
+pub struct Diff {
+    /// Parallel to the findings slice passed in.
+    pub states: Vec<BaselineState>,
+    pub new_count: usize,
+    pub baselined_count: usize,
+    /// Baseline lines with no matching current finding.
+    pub fixed: Vec<String>,
+}
+
+/// Multiset diff: each current finding consumes one matching baseline
+/// line if available (Baselined), otherwise it is New; leftover baseline
+/// lines are Fixed.
+pub fn diff(findings: &[Finding], baseline: &BTreeMap<String, usize>) -> Diff {
+    let mut remaining = baseline.clone();
+    let mut states = Vec::with_capacity(findings.len());
+    let mut new_count = 0;
+    let mut baselined_count = 0;
+    for f in findings {
+        let line = format_line(f);
+        match remaining.get_mut(&line) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                baselined_count += 1;
+                states.push(BaselineState::Baselined);
+            }
+            _ => {
+                new_count += 1;
+                states.push(BaselineState::New);
+            }
+        }
+    }
+    let mut fixed = Vec::new();
+    for (line, n) in &remaining {
+        for _ in 0..*n {
+            fixed.push(line.clone());
+        }
+    }
+    Diff {
+        states,
+        new_count,
+        baselined_count,
+        fixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, line: u32, rule: &'static str, msg: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_render_and_parse() {
+        let findings = vec![
+            f("a.rs", 1, "lock-order", "bad"),
+            f("b.rs", 2, "determinism", "worse"),
+        ];
+        let body = render(&findings);
+        let set = parse(&body);
+        let d = diff(&findings, &set);
+        assert_eq!(d.new_count, 0);
+        assert_eq!(d.baselined_count, 2);
+        assert!(d.fixed.is_empty());
+    }
+
+    #[test]
+    fn multiset_semantics_and_fixed_lines() {
+        // Baseline has the same line twice; only one current occurrence.
+        let body = "a.rs:1: [lock-order] dup\na.rs:1: [lock-order] dup\n";
+        let set = parse(body);
+        let cur = vec![
+            f("a.rs", 1, "lock-order", "dup"),
+            f("c.rs", 9, "vtime-accounting", "new one"),
+        ];
+        let d = diff(&cur, &set);
+        assert_eq!(d.states[0], BaselineState::Baselined);
+        assert_eq!(d.states[1], BaselineState::New);
+        assert_eq!(d.new_count, 1);
+        assert_eq!(d.fixed, vec!["a.rs:1: [lock-order] dup".to_string()]);
+    }
+
+    #[test]
+    fn moved_finding_is_new_plus_fixed() {
+        let set = parse("a.rs:5: [lock-order] msg\n");
+        let cur = vec![f("a.rs", 6, "lock-order", "msg")];
+        let d = diff(&cur, &set);
+        assert_eq!(d.new_count, 1);
+        assert_eq!(d.fixed.len(), 1);
+    }
+}

@@ -1,39 +1,32 @@
 //! `h2lint.toml` loading. Registry access is unavailable, so this is a
 //! hand-rolled parser for the TOML subset the config actually uses:
-//! `[tables]`, `[[arrays.of.tables]]`, and `key = value` where value is a
-//! string, integer, boolean, or (possibly multi-line) array of strings.
-
-/// One tier of the lock hierarchy as declared in `[[lockorder.rank]]`.
-#[derive(Debug, Clone)]
-pub struct RankEntry {
-    pub rank: u16,
-    pub label: String,
-    /// Field / accessor identifiers that acquire a lock of this rank
-    /// (e.g. `op_lock`, `op_locks` for the op-stripe tier).
-    pub names: Vec<String>,
-    /// When true, two locks of this rank must never be held at once.
-    pub exclusive: bool,
-}
+//! `[tables]` and `key = value` where value is a string, integer,
+//! boolean, or (possibly multi-line) array of strings.
+//!
+//! v2 note: the lock-rank table is **inferred** from
+//! `OrderedMutex`/`OrderedRwLock` construction sites
+//! ([`crate::dataflow`]), and the panic-safety cloud-op list is derived
+//! from the `CloudFs`/`ObjectStore` traits. The v1 keys that hand-listed
+//! them (`[lockorder] files`, `[[lockorder.rank]]`,
+//! `[panic_safety] cloud_ops`) are rejected with a hard error so stale
+//! configs fail loudly instead of silently configuring nothing.
 
 #[derive(Debug, Clone, Default)]
 pub struct Config {
     /// Path substrings to skip entirely (shims, fixtures, target).
     pub skip: Vec<String>,
-    /// Lock-order rule only runs on files whose path contains one of these.
-    pub lockorder_files: Vec<String>,
-    pub ranks: Vec<RankEntry>,
     /// Files exempt from the determinism rule (the clock facade).
     pub determinism_exempt: Vec<String>,
-    /// Method names whose `Result` must not be unwrapped outside tests.
-    pub cloud_ops: Vec<String>,
-}
-
-impl Config {
-    pub fn rank_of(&self, name: &str) -> Option<&RankEntry> {
-        self.ranks
-            .iter()
-            .find(|r| r.names.iter().any(|n| n == name))
-    }
+    /// Traits whose `OpCtx`-carrying methods are the cloud ops (for the
+    /// panic-safety and vtime-accounting rules).
+    pub panic_traits: Vec<String>,
+    /// Extra cloud-op method names not declared on those traits.
+    pub panic_extra: Vec<String>,
+    /// Free-function names that block or charge real/virtual time — a
+    /// ranked guard must not be live across a call to one.
+    pub blocking_calls: Vec<String>,
+    /// Metric-emission method names whose first argument is a metric name.
+    pub metric_methods: Vec<String>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -75,15 +68,11 @@ pub fn parse(text: &str) -> Result<Config, String> {
 
     for line in lines {
         if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
-            section = format!("[[{}]]", name.trim());
-            if section == "[[lockorder.rank]]" {
-                cfg.ranks.push(RankEntry {
-                    rank: 0,
-                    label: String::new(),
-                    names: Vec::new(),
-                    exclusive: false,
-                });
+            let name = name.trim();
+            if name == "lockorder.rank" {
+                return Err(stale_key_error("[[lockorder.rank]]"));
             }
+            section = format!("[[{name}]]");
             continue;
         }
         if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
@@ -98,6 +87,16 @@ pub fn parse(text: &str) -> Result<Config, String> {
         apply(&mut cfg, &section, key, val)?;
     }
     Ok(cfg)
+}
+
+fn stale_key_error(what: &str) -> String {
+    format!(
+        "h2lint.toml: `{what}` is a v1 key that no longer exists — the \
+         lock-rank table is inferred from OrderedMutex/OrderedRwLock \
+         construction sites and the cloud-op list is derived from the \
+         CloudFs/ObjectStore traits. Delete the key; see DESIGN.md \
+         \"Static analysis\" for the v2 schema."
+    )
 }
 
 /// Strip a `#` comment, respecting `"` strings.
@@ -188,22 +187,14 @@ fn apply(cfg: &mut Config, section: &str, key: &str, val: Value) -> Result<(), S
     };
     match (section, key) {
         ("lint", "skip") => cfg.skip = want_strs(val)?,
-        ("lockorder", "files") => cfg.lockorder_files = want_strs(val)?,
         ("determinism", "exempt") => cfg.determinism_exempt = want_strs(val)?,
-        ("panic_safety", "cloud_ops") => cfg.cloud_ops = want_strs(val)?,
-        ("[[lockorder.rank]]", _) => {
-            let entry = cfg
-                .ranks
-                .last_mut()
-                .ok_or("rank key outside [[lockorder.rank]]")?;
-            match (key, val) {
-                ("rank", Value::Int(n)) => entry.rank = n as u16,
-                ("label", Value::Str(s)) => entry.label = s,
-                ("names", v) => entry.names = want_strs(v)?,
-                ("exclusive", Value::Bool(b)) => entry.exclusive = b,
-                (k, v) => return Err(format!("unknown rank key `{k}` = {v:?}")),
-            }
-        }
+        ("panic_safety", "traits") => cfg.panic_traits = want_strs(val)?,
+        ("panic_safety", "extra") => cfg.panic_extra = want_strs(val)?,
+        ("blocking", "calls") => cfg.blocking_calls = want_strs(val)?,
+        ("metrics", "methods") => cfg.metric_methods = want_strs(val)?,
+        // v1 keys: fail loudly so a stale config can't silently lint less.
+        ("lockorder", _) => return Err(stale_key_error("[lockorder]")),
+        ("panic_safety", "cloud_ops") => return Err(stale_key_error("panic_safety.cloud_ops")),
         (s, k) => return Err(format!("unknown config key `{k}` in section `{s}`")),
     }
     Ok(())
@@ -221,43 +212,48 @@ mod tests {
 [lint]
 skip = ["crates/shims/", "fixtures/"]
 
-[lockorder]
-files = ["cluster.rs"]
-
-[[lockorder.rank]]
-rank = 1
-label = "op-stripe"
-names = [
-    "op_lock",
-    "op_locks",
-]
-exclusive = true
-
-[[lockorder.rank]]
-rank = 2
-label = "node-stripe"
-names = ["stripe"]
-
 [determinism]
 exempt = ["clock.rs"]
 
 [panic_safety]
-cloud_ops = ["put", "get"]
+traits = [
+    "CloudFs",
+    "ObjectStore",
+]
+extra = ["submit_patch"]
+
+[blocking]
+calls = ["wall_sleep", "run_real"]
+
+[metrics]
+methods = ["counter", "histogram"]
 "#,
         )
         .unwrap();
         assert_eq!(cfg.skip.len(), 2);
-        assert_eq!(cfg.ranks.len(), 2);
-        assert!(cfg.ranks[0].exclusive);
-        assert_eq!(cfg.ranks[0].names, vec!["op_lock", "op_locks"]);
-        assert_eq!(cfg.rank_of("stripe").unwrap().rank, 2);
-        assert!(cfg.rank_of("missing").is_none());
-        assert_eq!(cfg.cloud_ops, vec!["put", "get"]);
+        assert_eq!(cfg.determinism_exempt, vec!["clock.rs"]);
+        assert_eq!(cfg.panic_traits, vec!["CloudFs", "ObjectStore"]);
+        assert_eq!(cfg.panic_extra, vec!["submit_patch"]);
+        assert_eq!(cfg.blocking_calls, vec!["wall_sleep", "run_real"]);
+        assert_eq!(cfg.metric_methods, vec!["counter", "histogram"]);
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(parse("nonsense").is_err());
         assert!(parse("[lint]\nskip = 5").is_err());
+    }
+
+    #[test]
+    fn stale_v1_keys_are_hard_errors_with_docs_pointer() {
+        for stale in [
+            "[lockorder]\nfiles = [\"cluster.rs\"]",
+            "[[lockorder.rank]]\nrank = 1",
+            "[panic_safety]\ncloud_ops = [\"put\"]",
+        ] {
+            let err = parse(stale).unwrap_err();
+            assert!(err.contains("DESIGN.md"), "missing docs pointer: {err}");
+            assert!(err.contains("inferred"), "missing explanation: {err}");
+        }
     }
 }

@@ -1,7 +1,11 @@
 //! A small hand-rolled Rust lexer: the build environment has no registry
-//! access, so `h2lint` cannot lean on `syn`/`proc-macro2`. The rules only
-//! need a token stream with comments and literal *contents* stripped, plus
-//! the allow directives that comments carry (see [`AllowDirective`]).
+//! access, so `h2lint` cannot lean on `syn`/`proc-macro2`. The rules need
+//! a token stream with comments stripped but literal *contents* preserved
+//! (the metrics-hygiene rule reads string literals, rank inference reads
+//! integer literals), plus the allow directives that comments carry (see
+//! [`AllowDirective`]). Because every rule that matches code gates on
+//! [`TokKind::Ident`], a `"lock()"` inside a string still cannot trip a
+//! lock rule — the whole string is one `Literal` token.
 //!
 //! Handled surface (exercised by `tests/lexer_edges.rs`):
 //! line comments (incl. `///` and `//!` doc comments), nested block
@@ -17,9 +21,11 @@ pub enum TokKind {
     Ident,
     /// A lifetime such as `'a` (text excludes the quote).
     Lifetime,
-    /// Any literal: string, raw string, byte string, char, number. The
-    /// text is a placeholder — literal contents never reach the rules, so
-    /// a `"lock()"` inside a string can never trip a lock rule.
+    /// Any literal: string, raw string, byte string, char, number.
+    /// String literals carry their contents quoted (`"name"`), numbers
+    /// carry their source text; char and byte-string contents are masked
+    /// (no rule reads them). Use [`Token::str_content`] /
+    /// [`Token::int_value`] rather than matching `text` directly.
     Literal,
     /// A single punctuation character (`.`, `:`, `(`, `{`, ...).
     Punct,
@@ -39,6 +45,32 @@ impl Token {
     }
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+    /// The contents of a plain or raw string literal (`"..."`), without
+    /// the quotes. `None` for every other token (numbers, chars, byte
+    /// strings, idents).
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Literal {
+            return None;
+        }
+        self.text.strip_prefix('"')?.strip_suffix('"')
+    }
+    /// The value of a decimal/hex integer literal, ignoring `_`
+    /// separators and a type suffix. `None` for non-numeric literals.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokKind::Literal {
+            return None;
+        }
+        let t: String = self.text.chars().filter(|c| *c != '_').collect();
+        if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            return u64::from_str_radix(&digits, 16).ok();
+        }
+        let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        digits.parse().ok()
     }
 }
 
@@ -136,6 +168,7 @@ pub fn lex(src: &str) -> Lexed {
                     // Raw (byte) string: scan for `"` followed by `hashes` #s.
                     let tline = line;
                     let mut k = q + 1;
+                    let mut close = b.len();
                     'scan: while k < b.len() {
                         if b[k] == '\n' {
                             line += 1;
@@ -146,15 +179,24 @@ pub fn lex(src: &str) -> Lexed {
                                 h += 1;
                             }
                             if h == hashes {
+                                close = k;
                                 k += 1 + hashes;
                                 break 'scan;
                             }
                         }
                         k += 1;
                     }
+                    // Byte strings stay masked (no rule reads them); raw
+                    // string contents are preserved, quoted.
+                    let text = if c == 'b' {
+                        "b\"\"".to_string()
+                    } else {
+                        let content: String = b[q + 1..close.min(b.len())].iter().collect();
+                        format!("\"{content}\"")
+                    };
                     out.tokens.push(Token {
                         kind: TokKind::Literal,
-                        text: "\"raw\"".into(),
+                        text,
                         line: tline,
                     });
                     i = k;
@@ -197,13 +239,17 @@ pub fn lex(src: &str) -> Lexed {
             }
             // Fall through: plain identifier starting with r/b.
         }
-        // String literal.
+        // String literal — contents preserved (quoted) so the
+        // metrics-hygiene rule can read names; escapes kept verbatim.
         if c == '"' {
             let tline = line;
+            let start = i + 1;
             i = lex_quoted(&b, i + 1, &mut line);
+            let end = i.saturating_sub(1).max(start);
+            let content: String = b[start..end.min(b.len())].iter().collect();
             out.tokens.push(Token {
                 kind: TokKind::Literal,
-                text: "\"\"".into(),
+                text: format!("\"{content}\""),
                 line: tline,
             });
             continue;
@@ -305,7 +351,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.tokens.push(Token {
                 kind: TokKind::Literal,
-                text: "0".into(),
+                text: b[i..k].iter().collect(),
                 line,
             });
             i = k;
@@ -417,9 +463,22 @@ mod tests {
     }
 
     #[test]
-    fn strings_are_masked() {
+    fn strings_are_single_tokens_not_idents() {
+        // The whole string is one Literal token: nothing inside it can
+        // match an Ident-gated rule pattern.
         let t = texts(r#"let s = "self.op_lock(k).lock()";"#);
         assert!(!t.iter().any(|s| s == "op_lock"));
+        let toks = lex(r#"m.counter("op_retries");"#).tokens;
+        let lit = toks.iter().find(|t| t.kind == TokKind::Literal).unwrap();
+        assert_eq!(lit.str_content(), Some("op_retries"));
+        assert!(!toks.iter().any(|t| t.is_ident("op_retries")));
+    }
+
+    #[test]
+    fn int_values_resolve() {
+        let toks = lex("const A: u16 = 3; let b = 0x10u32; let c = 1_000;").tokens;
+        let ints: Vec<u64> = toks.iter().filter_map(|t| t.int_value()).collect();
+        assert_eq!(ints, vec![3, 16, 1000]);
     }
 
     #[test]

@@ -1,22 +1,36 @@
 //! `xtask` — workspace automation, dependency-free by design (the build
 //! environment has no registry access).
 //!
-//! The one task so far is **h2lint** (`cargo run -p xtask -- lint`), a
-//! static analyzer that enforces the workspace's concurrency and
-//! determinism invariants (DESIGN.md "Concurrency model"):
+//! The main task is **h2lint** (`cargo run -p xtask -- lint`), a parsed,
+//! dataflow-aware static analyzer that enforces the workspace's
+//! concurrency, virtual-time, and observability invariants (DESIGN.md
+//! "Static analysis"). It runs in two passes: [`parse`] recovers item
+//! structure from the [`lexer`] token stream, [`dataflow`] computes
+//! workspace-global facts — the lock-rank table **inferred** from
+//! `OrderedMutex`/`OrderedRwLock` construction sites, one-level
+//! interprocedural fn summaries, the metric-name vocabulary, and the
+//! cloud-op list derived from the `CloudFs`/`ObjectStore` traits — then
+//! [`rules`] lints every file against them:
 //!
-//! * [`rules`] `lock-order` — the op-stripe → node-stripe → map-shard
-//!   hierarchy must be acquired in strictly increasing rank order, and
-//!   never two op stripes at once. Ranks come from `h2lint.toml`, which
-//!   mirrors `swiftsim::lock_rank` and the runtime-validated
-//!   `OrderedMutex`/`OrderedRwLock` ranks.
-//! * [`rules`] `panic-safety` — no `.unwrap()`/`.expect()` on lock
-//!   results or cloud-op `Result`s outside test code.
-//! * [`rules`] `determinism` — wall-clock reads and real sleeps only in
-//!   the `h2util::clock` facade.
+//! * `lock-order` — ranked locks acquired in strictly increasing rank
+//!   order, guard liveness modeled through bindings/shadowing/scope exit,
+//!   including one-level interprocedural checks.
+//! * `guard-across-blocking` — no ranked guard live across a
+//!   virtual-time-charging op, gossip send, retry loop, or wall sleep.
+//! * `vtime-accounting` — cloud-op helpers charge virtual time on every
+//!   success path, never the same primitive class twice per path.
+//! * `metrics-hygiene` — metric names at emission sites come from the
+//!   shared const vocabulary, not string literals.
+//! * `panic-safety` — no `.unwrap()`/`.expect()` on lock results or
+//!   cloud-op `Result`s outside test code.
+//! * `determinism` — wall-clock reads and real sleeps only in the
+//!   `h2util::clock` facade.
 //!
-//! Findings are suppressed by a justified allow comment on the same line
-//! or the line above; see README "Static analysis".
+//! Findings diff against a checked-in [`baseline`] (`h2lint.baseline`):
+//! known debt passes, any NEW finding fails; [`sarif`] renders the full
+//! result set (with `baselineState`) for CI artifact upload. Findings are
+//! suppressed by a justified allow comment on the same line or the line
+//! above; see README "Static analysis".
 //!
 //! The second task is **benchcmp** (`cargo run -p xtask -- benchcmp`),
 //! the CI perf-regression gate: it compares a fresh
@@ -24,8 +38,12 @@
 //! non-zero on a >25% throughput or tail-latency regression — see
 //! [`benchcmp`].
 
+pub mod baseline;
 pub mod benchcmp;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
 pub mod lint;
+pub mod parse;
 pub mod rules;
+pub mod sarif;

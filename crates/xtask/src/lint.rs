@@ -1,15 +1,27 @@
-//! The h2lint driver: walk the workspace, lex each Rust source, run the
-//! rules, and report findings.
+//! The h2lint driver: walk the workspace, parse every Rust source, run
+//! the workspace-global analysis (rank inference, fn summaries, metric
+//! vocabulary, derived cloud ops), then lint each file against those
+//! facts and report findings in a deterministic global order.
 
 use std::path::{Path, PathBuf};
 
+use crate::baseline::{self, BaselineState, Diff};
 use crate::config::{self, Config};
-use crate::lexer;
+use crate::dataflow::{self, Globals, ParsedFile};
 use crate::rules::{self, Finding};
 
 /// Lint every workspace `.rs` file under `root`, using the config at
 /// `root/h2lint.toml` unless `config_path` overrides it.
 pub fn lint_tree(root: &Path, config_path: Option<&Path>) -> Result<Vec<Finding>, String> {
+    analyze_tree(root, config_path).map(|(f, _)| f)
+}
+
+/// [`lint_tree`], also handing back the global facts (for the drift tests
+/// that assert on the derived cloud-op set of the real tree).
+pub fn analyze_tree(
+    root: &Path,
+    config_path: Option<&Path>,
+) -> Result<(Vec<Finding>, Globals), String> {
     let cfg_file = config_path
         .map(PathBuf::from)
         .unwrap_or_else(|| root.join("h2lint.toml"));
@@ -21,20 +33,46 @@ pub fn lint_tree(root: &Path, config_path: Option<&Path>) -> Result<Vec<Finding>
     walk(root, root, &cfg, &mut files)?;
     files.sort();
 
-    let mut findings = Vec::new();
-    for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel))
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))
             .map_err(|e| format!("can't read {rel}: {e}"))?;
-        findings.extend(lint_source(rel, &src, &cfg));
+        sources.push((rel, src));
     }
-    Ok(findings)
+    Ok(analyze_sources(&sources, &cfg))
 }
 
-/// Lint a single source text under a given workspace-relative path. The
-/// fixture tests drive this directly.
+/// Two-pass lint over a set of (workspace-relative path, source) pairs:
+/// pass 1 parses everything and computes the global facts, pass 2 lints
+/// each file against them. Findings come back sorted by
+/// (file, line, rule, message) — the canonical report/baseline/SARIF
+/// order.
+pub fn lint_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    analyze_sources(sources, cfg).0
+}
+
+/// [`lint_sources`], also handing back the global facts (for tests that
+/// assert on the inferred rank table or the derived cloud-op set).
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> (Vec<Finding>, Globals) {
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(path, src)| ParsedFile::new(path, src))
+        .collect();
+    let globals = dataflow::analyze(&parsed, cfg);
+    let mut findings = Vec::new();
+    for pf in &parsed {
+        findings.extend(rules::lint_file(pf, cfg, &globals));
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    (findings, globals)
+}
+
+/// Lint a single source text under a given workspace-relative path (its
+/// own one-file workspace). The fixture tests drive this directly.
 pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    rules::lint_file(rel_path, &lexed, cfg)
+    lint_sources(&[(rel_path.to_string(), src.to_string())], cfg)
 }
 
 fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> Result<(), String> {
@@ -76,24 +114,46 @@ fn rel_str(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Render findings and per-rule totals; returns the process exit code.
-pub fn report(findings: &[Finding]) -> i32 {
-    if findings.is_empty() {
-        println!("h2lint: clean — no findings");
-        return 0;
+/// Render findings, their baseline disposition, and per-rule totals.
+/// Returns the process exit code: non-zero iff there are NEW findings
+/// (baselined debt passes).
+pub fn report(findings: &[Finding], diff: &Diff) -> i32 {
+    for (f, state) in findings.iter().zip(&diff.states) {
+        let tag = match state {
+            BaselineState::New => "",
+            BaselineState::Baselined => " (baselined)",
+        };
+        println!("{}{tag}", baseline::format_line(f));
     }
-    for f in findings {
-        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    for line in &diff.fixed {
+        println!("fixed (no longer found, refresh the baseline): {line}");
     }
     let mut by_rule: Vec<(&str, usize)> = Vec::new();
-    for f in findings {
+    for (f, state) in findings.iter().zip(&diff.states) {
+        if *state != BaselineState::New {
+            continue;
+        }
         match by_rule.iter_mut().find(|(r, _)| *r == f.rule) {
             Some((_, n)) => *n += 1,
             None => by_rule.push((f.rule, 1)),
         }
     }
-    let total: usize = by_rule.iter().map(|(_, n)| n).sum();
-    let breakdown: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
-    println!("h2lint: {total} finding(s) ({})", breakdown.join(", "));
-    1
+    if diff.new_count == 0 {
+        println!(
+            "h2lint: clean — 0 new finding(s), {} baselined, {} fixed",
+            diff.baselined_count,
+            diff.fixed.len()
+        );
+        0
+    } else {
+        let breakdown: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        println!(
+            "h2lint: {} NEW finding(s) ({}), {} baselined, {} fixed",
+            diff.new_count,
+            breakdown.join(", "),
+            diff.baselined_count,
+            diff.fixed.len()
+        );
+        1
+    }
 }

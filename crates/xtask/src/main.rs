@@ -1,10 +1,14 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::{benchcmp, lint};
+use xtask::{baseline, benchcmp, lint, sarif};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- lint [--config <h2lint.toml>] [<workspace-root>]");
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--config <h2lint.toml>] [--sarif <out.sarif>]\n\
+         \x20                                [--baseline <h2lint.baseline>] [--update-baseline]\n\
+         \x20                                [--max-seconds N] [<workspace-root>]"
+    );
     eprintln!(
         "       cargo run -p xtask -- benchcmp <baseline.json> <current.json> \
          [--allowed-pct N] [--p99-slack-ms N]"
@@ -14,12 +18,29 @@ fn usage() -> ExitCode {
 
 fn run_lint(args: &[String]) -> ExitCode {
     let mut config_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut max_seconds: Option<u64> = None;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--config" => match it.next() {
                 Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--sarif" => match it.next() {
+                Some(p) => sarif_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--max-seconds" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => max_seconds = Some(n),
                 None => return usage(),
             },
             p if root.is_none() => root = Some(PathBuf::from(p)),
@@ -34,13 +55,112 @@ fn run_lint(args: &[String]) -> ExitCode {
             .expect("xtask sits two levels below the workspace root")
             .to_path_buf()
     });
-    match lint::lint_tree(&root, config_path.as_deref()) {
-        Ok(findings) => ExitCode::from(lint::report(&findings) as u8),
+    // h2lint: allow(determinism): the lint wall-time budget measures the tool itself, not simulated code.
+    let started = std::time::Instant::now();
+
+    let findings = match lint::lint_tree(&root, config_path.as_deref()) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("h2lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join("h2lint.baseline"));
+
+    if update_baseline {
+        let body = baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_file, body) {
+            eprintln!("h2lint: cannot write {}: {e}", baseline_file.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "h2lint: baseline updated — {} finding(s) written to {}",
+            findings.len(),
+            baseline_file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // A missing baseline file means an empty baseline: every finding is new.
+    let known = match std::fs::read_to_string(&baseline_file) {
+        Ok(body) => baseline::parse(&body),
+        Err(_) => Default::default(),
+    };
+    let diff = baseline::diff(&findings, &known);
+
+    if let Some(out) = &sarif_path {
+        let doc = sarif::render(&findings, &diff.states);
+        if let Err(e) = std::fs::write(out, doc) {
+            eprintln!("h2lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
         }
     }
+    // Publish the findings delta to the CI job summary when available —
+    // baselined-debt drift should be visible on green runs too.
+    if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary.is_empty() {
+            let table = markdown_summary(&findings, &diff);
+            if let Err(e) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, table.as_bytes()))
+            {
+                eprintln!("h2lint: cannot write job summary {summary}: {e}");
+            }
+        }
+    }
+
+    let code = lint::report(&findings, &diff);
+
+    if let Some(budget) = max_seconds {
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > budget as f64 {
+            eprintln!(
+                "h2lint: wall time {elapsed:.1}s exceeded the {budget}s budget — \
+                 the lint must stay fast enough to run on every push"
+            );
+            return ExitCode::from(2);
+        }
+        println!("h2lint: wall time {elapsed:.1}s (budget {budget}s)");
+    }
+    ExitCode::from(code as u8)
+}
+
+/// A benchcmp-style markdown delta table for `$GITHUB_STEP_SUMMARY`:
+/// per-rule new/baselined counts plus fixed baseline lines.
+fn markdown_summary(findings: &[xtask::rules::Finding], diff: &baseline::Diff) -> String {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (id, _) in sarif::RULE_CATALOGUE {
+        rows.insert(id, (0, 0));
+    }
+    for (f, state) in findings.iter().zip(&diff.states) {
+        let row = rows.entry(f.rule).or_insert((0, 0));
+        match state {
+            baseline::BaselineState::New => row.0 += 1,
+            baseline::BaselineState::Baselined => row.1 += 1,
+        }
+    }
+    let mut out =
+        String::from("### h2lint findings\n\n| rule | new | baselined |\n|---|---:|---:|\n");
+    for (rule, (new, old)) in &rows {
+        let marker = if *new > 0 { " ❌" } else { "" };
+        out.push_str(&format!("| `{rule}` | {new}{marker} | {old} |\n"));
+    }
+    out.push_str(&format!(
+        "\n**{} new**, {} baselined, {} fixed{}\n",
+        diff.new_count,
+        diff.baselined_count,
+        diff.fixed.len(),
+        if diff.fixed.is_empty() {
+            String::new()
+        } else {
+            " (refresh the baseline with `cargo run -p xtask -- lint --update-baseline`)"
+                .to_string()
+        }
+    ));
+    out
 }
 
 fn run_benchcmp(args: &[String]) -> ExitCode {

@@ -1,0 +1,548 @@
+//! A lightweight structural layer over the token stream: items (fns with
+//! their impl/trait context, consts, type aliases, traits), brace/group
+//! matching, and the macro / `#[cfg(test)]` region masks. This is not a
+//! full parser — it recovers exactly the shape the rules need (who owns a
+//! function, where its body is, what a const's value is) and nothing
+//! more, so it stays robust on real code without a grammar.
+
+use crate::lexer::{TokKind, Token};
+
+/// Index of the `}` matching the `{` at `open` (returns the last token
+/// index if unbalanced).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Skip one balanced `(...)` or `[...]` group starting at `open`;
+/// returns the index just past the closing delimiter.
+pub fn skip_group(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = if tokens[open].is_punct('(') {
+        ('(', ')')
+    } else {
+        ('[', ']')
+    };
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct(o) {
+            depth += 1;
+        } else if tokens[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skip a `<...>` generic group starting at `open` (which must be `<`);
+/// returns the index just past the matching `>`.
+pub fn skip_angles(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct('<') {
+            depth += 1;
+        } else if tokens[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Locate the body of the fn whose `fn` keyword is at `kw`: the first
+/// `{` at zero paren/bracket depth (skipping the signature), through its
+/// matching `}`. Returns None for trait-method declarations (`;`).
+pub fn fn_body(tokens: &[Token], kw: usize) -> Option<(usize, usize)> {
+    let mut j = kw + 1;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+            return None;
+        } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+            return Some((j, match_brace(tokens, j)));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Mask tokens inside `macro_rules! name { ... }` bodies: their fragment
+/// matchers (`$x:expr`) and repeated arms are not expression code.
+pub fn macro_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("macro_rules")
+            && tokens.get(i + 1).map(|t| t.is_punct('!')) == Some(true)
+        {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct('{') {
+                j += 1;
+            }
+            let end = match_brace(tokens, j);
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Mask tokens inside `#[cfg(test)] mod`, `#[cfg(test)] fn` and
+/// `#[test] fn` items. `#[cfg(not(test))]` must NOT match: the pattern
+/// requires the token right after `(` to be `test`.
+pub fn test_regions(tokens: &[Token], macro_masked: &[bool]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if macro_masked[i] {
+            i += 1;
+            continue;
+        }
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens.get(i + 1).map(|t| t.is_punct('[')) == Some(true)
+            && tokens.get(i + 2).map(|t| t.is_ident("cfg")) == Some(true)
+            && tokens.get(i + 3).map(|t| t.is_punct('(')) == Some(true)
+            && tokens.get(i + 4).map(|t| t.is_ident("test")) == Some(true)
+            && tokens.get(i + 5).map(|t| t.is_punct(')')) == Some(true);
+        let is_test_attr = tokens[i].is_punct('#')
+            && tokens.get(i + 1).map(|t| t.is_punct('[')) == Some(true)
+            && tokens.get(i + 2).map(|t| t.is_ident("test")) == Some(true)
+            && tokens.get(i + 3).map(|t| t.is_punct(']')) == Some(true);
+        if is_cfg_test || is_test_attr {
+            // Mask from the attribute through the end of the annotated
+            // item's body: the first `{` at zero paren/bracket depth,
+            // through its matching `}`.
+            let mut j = i + 1;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                    break;
+                } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+                    j = match_brace(tokens, j);
+                    break;
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take(j.min(tokens.len() - 1) + 1).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// One `fn` item, with the impl/trait context it was found in.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the `fn` keyword token.
+    pub kw: usize,
+    pub name: String,
+    pub line: u32,
+    /// `impl Foo` / `impl Trait for Foo` → `Foo`; `trait T { fn m.. }` → None.
+    pub self_ty: Option<String>,
+    /// The trait being implemented or declared, if any.
+    pub trait_name: Option<String>,
+    /// Body token span (`{` .. `}`); None for bodiless declarations.
+    pub body: Option<(usize, usize)>,
+    /// The signature mentions `OpCtx` (a virtual-time accounting param).
+    pub has_ctx_param: bool,
+    /// Ident texts of the return type (between `->` and the body).
+    pub ret: Vec<String>,
+    /// The fn sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+}
+
+/// A named constant with an integer or string value.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    pub name: String,
+    pub int: Option<u64>,
+    pub str_val: Option<String>,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// A `trait Name { ... }` declaration and its method items.
+#[derive(Debug, Clone)]
+pub struct TraitItem {
+    pub name: String,
+    pub methods: Vec<FnItem>,
+}
+
+/// Everything the scanner recovers from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub traits: Vec<TraitItem>,
+    pub consts: Vec<ConstItem>,
+    /// `type Alias = Rhs<...>;` → (alias, idents of the RHS).
+    pub aliases: Vec<(String, Vec<String>)>,
+}
+
+/// Scan a lexed file for items. `masked` is the macro mask (macro bodies
+/// are not item code); test regions are *scanned* but flagged via
+/// `in_test` so each rule can decide.
+pub fn scan(tokens: &[Token], masked: &[bool], test_mask: &[bool]) -> FileItems {
+    let mut out = FileItems::default();
+    // Stack of (self_ty, trait_name, end_index, is_trait_decl, trait_idx).
+    struct Frame {
+        self_ty: Option<String>,
+        trait_name: Option<String>,
+        end: usize,
+        trait_idx: Option<usize>,
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(f) = frames.last() {
+            if i > f.end {
+                frames.pop();
+            } else {
+                break;
+            }
+        }
+        if masked[i] || tokens[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let prev_ok = |i: usize| -> bool {
+            // Item position: start of file or after a block/item boundary
+            // (never after `->`, so `-> impl Trait` is not an item).
+            match (0..i).rev().find(|&j| !masked[j]) {
+                None => true,
+                Some(j) => {
+                    let p = &tokens[j];
+                    p.is_punct('{')
+                        || p.is_punct('}')
+                        || p.is_punct(';')
+                        || p.is_punct(']')
+                        || p.is_ident("pub")
+                        || p.is_ident("unsafe")
+                        || p.is_punct(')')
+                }
+            }
+        };
+        let t = &tokens[i];
+        if t.is_ident("impl") && prev_ok(i) {
+            // impl [<G>] Path [for Path] [where ..] { ... }
+            let mut j = i + 1;
+            if tokens.get(j).map(|t| t.is_punct('<')) == Some(true) {
+                j = skip_angles(tokens, j);
+            }
+            let mut first_seg: Option<String> = None;
+            let mut last_ident: Option<String> = None;
+            let mut trait_name: Option<String> = None;
+            while j < tokens.len() {
+                let tk = &tokens[j];
+                if tk.is_punct('{') {
+                    break;
+                }
+                if tk.is_ident("for") {
+                    trait_name = first_seg.take().or_else(|| last_ident.take());
+                    last_ident = None;
+                    j += 1;
+                    continue;
+                }
+                if tk.is_ident("where") {
+                    while j < tokens.len() && !tokens[j].is_punct('{') {
+                        j += 1;
+                    }
+                    break;
+                }
+                if tk.is_punct('<') {
+                    j = skip_angles(tokens, j);
+                    continue;
+                }
+                if tk.kind == TokKind::Ident {
+                    if first_seg.is_none() {
+                        first_seg = Some(tk.text.clone());
+                    }
+                    last_ident = Some(tk.text.clone());
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('{') {
+                let end = match_brace(tokens, j);
+                frames.push(Frame {
+                    self_ty: last_ident,
+                    trait_name,
+                    end,
+                    trait_idx: None,
+                });
+                i = j + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("trait") && prev_ok(i) {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let mut j = i + 2;
+                    while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < tokens.len() && tokens[j].is_punct('{') {
+                        let end = match_brace(tokens, j);
+                        out.traits.push(TraitItem {
+                            name: name_tok.text.clone(),
+                            methods: Vec::new(),
+                        });
+                        frames.push(Frame {
+                            self_ty: None,
+                            trait_name: Some(name_tok.text.clone()),
+                            end,
+                            trait_idx: Some(out.traits.len() - 1),
+                        });
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        if t.is_ident("fn") {
+            let Some(name_tok) = tokens.get(i + 1) else {
+                i += 1;
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            // Params: the first `(...)` group after the name (generics may
+            // come first).
+            let mut j = i + 2;
+            if tokens.get(j).map(|t| t.is_punct('<')) == Some(true) {
+                j = skip_angles(tokens, j);
+            }
+            let mut has_ctx_param = false;
+            let mut params_end = j;
+            if tokens.get(j).map(|t| t.is_punct('(')) == Some(true) {
+                params_end = skip_group(tokens, j);
+                has_ctx_param = tokens[j..params_end].iter().any(|t| t.is_ident("OpCtx"));
+            }
+            // Return type idents between `->` and `{`/`;`/`where`.
+            let mut ret = Vec::new();
+            let mut k = params_end;
+            if tokens.get(k).map(|t| t.is_punct('-')) == Some(true)
+                && tokens.get(k + 1).map(|t| t.is_punct('>')) == Some(true)
+            {
+                k += 2;
+                let mut depth = 0i32;
+                while k < tokens.len() {
+                    let tk = &tokens[k];
+                    if depth == 0 && (tk.is_punct('{') || tk.is_punct(';') || tk.is_ident("where"))
+                    {
+                        break;
+                    }
+                    if tk.is_punct('(') || tk.is_punct('[') {
+                        depth += 1;
+                    } else if tk.is_punct(')') || tk.is_punct(']') {
+                        depth -= 1;
+                    } else if tk.kind == TokKind::Ident {
+                        ret.push(tk.text.clone());
+                    }
+                    k += 1;
+                }
+            }
+            let body = fn_body(tokens, i);
+            let frame = frames.last();
+            let item = FnItem {
+                kw: i,
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                self_ty: frame.and_then(|f| f.self_ty.clone()),
+                trait_name: frame.and_then(|f| f.trait_name.clone()),
+                body,
+                has_ctx_param,
+                ret,
+                in_test: test_mask.get(i).copied().unwrap_or(false),
+            };
+            if let Some(idx) = frame.and_then(|f| f.trait_idx) {
+                out.traits[idx].methods.push(item.clone());
+            }
+            out.fns.push(item);
+            // Do not jump over the body: nested fns inside it must be
+            // discovered too (each body walker skips nested `fn` spans).
+            i += 2;
+            continue;
+        }
+        if t.is_ident("const") && prev_ok(i) {
+            // const NAME: Ty = value;
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident
+                    && tokens.get(i + 2).map(|t| t.is_punct(':')) == Some(true)
+                {
+                    let mut j = i + 3;
+                    while j < tokens.len() && !tokens[j].is_punct('=') && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < tokens.len() && tokens[j].is_punct('=') {
+                        if let Some(v) = tokens.get(j + 1) {
+                            let int = v.int_value();
+                            let str_val = v.str_content().map(str::to_string);
+                            if int.is_some() || str_val.is_some() {
+                                out.consts.push(ConstItem {
+                                    name: name_tok.text.clone(),
+                                    int,
+                                    str_val,
+                                    line: name_tok.line,
+                                    in_test: test_mask.get(i).copied().unwrap_or(false),
+                                });
+                            }
+                        }
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        if t.is_ident("type") && prev_ok(i) {
+            // type Alias = Rhs<...>;
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident
+                    && tokens.get(i + 2).map(|t| t.is_punct('=')) == Some(true)
+                {
+                    let mut rhs = Vec::new();
+                    let mut j = i + 3;
+                    while j < tokens.len() && !tokens[j].is_punct(';') {
+                        if tokens[j].kind == TokKind::Ident {
+                            rhs.push(tokens[j].text.clone());
+                        }
+                        j += 1;
+                    }
+                    out.aliases.push((name_tok.text.clone(), rhs));
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_src(src: &str) -> FileItems {
+        let lexed = lex(src);
+        let mm = macro_mask(&lexed.tokens);
+        let tm = test_regions(&lexed.tokens, &mm);
+        scan(&lexed.tokens, &mm, &tm)
+    }
+
+    #[test]
+    fn fns_get_impl_context() {
+        let items = scan_src(
+            "impl ObjectStore for Cluster { fn put(&self, ctx: &mut OpCtx) -> Result<()> { Ok(()) } }\n\
+             impl<T> Holder<T> { fn plain(&self) {} }",
+        );
+        let put = items.fns.iter().find(|f| f.name == "put").unwrap();
+        assert_eq!(put.self_ty.as_deref(), Some("Cluster"));
+        assert_eq!(put.trait_name.as_deref(), Some("ObjectStore"));
+        assert!(put.has_ctx_param);
+        assert!(put.body.is_some());
+        assert_eq!(put.ret, vec!["Result"]);
+        let plain = items.fns.iter().find(|f| f.name == "plain").unwrap();
+        assert_eq!(plain.self_ty.as_deref(), Some("Holder"));
+        assert!(plain.trait_name.is_none());
+    }
+
+    #[test]
+    fn trait_methods_and_ctx_detection() {
+        let items = scan_src(
+            "pub trait CloudFs { fn mkdir(&self, ctx: &mut OpCtx, p: &Path) -> Result<()>; \
+             fn storage_stats(&self) -> Stats; }",
+        );
+        assert_eq!(items.traits.len(), 1);
+        let t = &items.traits[0];
+        assert_eq!(t.name, "CloudFs");
+        assert_eq!(t.methods.len(), 2);
+        assert!(t.methods[0].has_ctx_param && t.methods[0].body.is_none());
+        assert!(!t.methods[1].has_ctx_param);
+    }
+
+    #[test]
+    fn consts_and_aliases() {
+        let items = scan_src(
+            "pub const OP_STRIPE: u16 = 1;\n\
+             pub const OP_RETRIES: &str = \"op_retries\";\n\
+             type ContainerShard = OrderedRwLock<HashMap<K, V>>;",
+        );
+        assert_eq!(items.consts.len(), 2);
+        assert_eq!(items.consts[0].int, Some(1));
+        assert_eq!(items.consts[1].str_val.as_deref(), Some("op_retries"));
+        assert_eq!(items.aliases.len(), 1);
+        assert_eq!(items.aliases[0].0, "ContainerShard");
+        assert!(items.aliases[0].1.iter().any(|s| s == "OrderedRwLock"));
+    }
+
+    #[test]
+    fn return_impl_trait_is_not_an_impl_item() {
+        let items = scan_src("fn f() -> impl Iterator<Item = u32> { 0..3 }");
+        assert_eq!(items.fns.len(), 1);
+        assert!(items.fns[0].self_ty.is_none());
+    }
+
+    #[test]
+    fn test_regions_flag_fns() {
+        let items = scan_src("fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n");
+        assert!(!items.fns.iter().find(|f| f.name == "live").unwrap().in_test);
+        assert!(
+            items
+                .fns
+                .iter()
+                .find(|f| f.name == "helper")
+                .unwrap()
+                .in_test
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! `determinism`: wall-clock reads and real sleeps belong in the
+//! `h2util::clock` facade only, so everything else stays on virtual
+//! time. Applies everywhere — even tests must go through the facade —
+//! except files listed in `[determinism] exempt`.
+
+use crate::dataflow::ParsedFile;
+
+use super::{Finding, RULE_DETERMINISM};
+
+const BANNED: [(&str, &str, &str); 3] = [
+    ("thread", "sleep", "h2util::clock::wall_sleep"),
+    ("Instant", "now", "h2util::clock::wall_now"),
+    ("SystemTime", "now", "h2util::clock::wall_unix_millis"),
+];
+
+pub fn check(pf: &ParsedFile) -> Vec<Finding> {
+    let tokens = &pf.lexed.tokens;
+    let mut findings = Vec::new();
+    for i in 0..tokens.len() {
+        if pf.macro_masked[i] {
+            continue;
+        }
+        for (head, tail, fix) in BANNED {
+            if tokens[i].is_ident(head)
+                && tokens.get(i + 1).map(|t| t.is_punct(':')) == Some(true)
+                && tokens.get(i + 2).map(|t| t.is_punct(':')) == Some(true)
+                && tokens.get(i + 3).map(|t| t.is_ident(tail)) == Some(true)
+            {
+                findings.push(Finding {
+                    file: pf.path.clone(),
+                    line: tokens[i + 3].line,
+                    rule: RULE_DETERMINISM,
+                    message: format!(
+                        "{head}::{tail} outside the clock facade breaks virtual-time \
+                         determinism; call {fix} instead"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

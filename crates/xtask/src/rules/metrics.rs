@@ -1,0 +1,98 @@
+//! `metrics-hygiene`: metric names at emission sites must be the shared
+//! `const` vocabulary, not raw string literals. A literal at a call site
+//! drifts from the registration list silently — dashboards chart a name
+//! nobody emits, or an emission lands on a name nobody registered. The
+//! vocabulary is the workspace-wide table of non-test
+//! `const NAME: &str = "..."` items ([`crate::dataflow::Globals`]), so
+//! pre-registered names in one crate cover call sites in another.
+//!
+//! At each `.counter(..)` / `.histogram(..)` / `.record(..)` /
+//! `.counter_value(..)` call (the method list is `[metrics] methods` in
+//! `h2lint.toml`):
+//! * a string **literal** first argument is flagged;
+//! * a SCREAMING_CASE const not in the vocabulary is flagged (typo or
+//!   unregistered);
+//! * a lowercase identifier is a parameter forward (`fn record(name: &str)`)
+//!   and is skipped — the caller's site is where the name is checked.
+
+use crate::config::Config;
+use crate::dataflow::{Globals, ParsedFile};
+use crate::lexer::TokKind;
+use crate::parse;
+
+use super::{Finding, RULE_METRICS};
+
+pub fn check(pf: &ParsedFile, cfg: &Config, g: &Globals) -> Vec<Finding> {
+    let toks = &pf.lexed.tokens;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if pf.macro_masked[i] || pf.test_mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if !cfg.metric_methods.iter().any(|m| m == name) {
+            continue;
+        }
+        // Method-call position with arguments: `.counter("x", 1)`.
+        if i == 0
+            || !toks[i - 1].is_punct('.')
+            || toks.get(i + 1).map(|t| t.is_punct('(')) != Some(true)
+        {
+            continue;
+        }
+        let close = parse::skip_group(toks, i + 1);
+        // First top-level argument.
+        let mut depth = 0i32;
+        let mut literal: Option<(String, u32)> = None;
+        let mut last_ident: Option<(String, u32)> = None;
+        for t in &toks[i + 2..close.saturating_sub(1)] {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 {
+                if t.is_punct(',') {
+                    break;
+                }
+                if let Some(s) = t.str_content() {
+                    literal = Some((s.to_string(), t.line));
+                } else if t.kind == TokKind::Ident {
+                    last_ident = Some((t.text.clone(), t.line));
+                }
+            }
+        }
+        if let Some((s, line)) = literal {
+            findings.push(Finding {
+                file: pf.path.clone(),
+                line,
+                rule: RULE_METRICS,
+                message: format!(
+                    "metric name \"{s}\" is a string literal at the emission \
+                     site; use a shared `const` from the registration \
+                     vocabulary so dashboards and emitters cannot drift"
+                ),
+            });
+            continue;
+        }
+        if let Some((id, line)) = last_ident {
+            let screaming = id.chars().any(|c| c.is_ascii_alphabetic())
+                && id
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+            if screaming && !g.metric_consts.contains_key(&id) {
+                findings.push(Finding {
+                    file: pf.path.clone(),
+                    line,
+                    rule: RULE_METRICS,
+                    message: format!(
+                        "metric const `{id}` is not a known workspace \
+                         `const NAME: &str` — unregistered or a typo"
+                    ),
+                });
+            }
+            // Lowercase ident: a forwarded parameter; the real name is
+            // checked at the caller's site.
+        }
+    }
+    findings
+}

@@ -1,6 +1,7 @@
 // Fixture: lock usage that respects the hierarchy — strictly increasing
-// ranks when nested, and same-rank acquisitions only sequentially (the
-// previous guard's scope has closed before the next acquisition).
+// ranks when nested, same-rank acquisitions only sequentially (previous
+// guard's scope closed or explicitly dropped), match arms scoped apart,
+// and guards dropped before charged work.
 
 impl Cluster {
     fn put_path(&self, key: &ObjectKey) {
@@ -27,10 +28,32 @@ impl Cluster {
         total
     }
 
-    fn read_two_shards(&self, a: &ObjectKey) {
-        // Non-exclusive ranks may nest at the same rank.
-        let c = self.containers[0].read();
-        let k = self.catalog[1].read();
-        drop((c, k));
+    fn sequential_ops(&self, a: &ObjectKey, b: &ObjectKey) {
+        let g = self.op_lock(&a.ring_key()).lock();
+        self.apply(a);
+        drop(g);
+        // Explicit drop released the first op stripe: no nesting here.
+        let g = self.op_lock(&b.ring_key()).lock();
+        drop(g);
+    }
+
+    fn arm_scoped(&self, key: &ObjectKey) {
+        match self.kind(key) {
+            Kind::Hot => {
+                let _g = self.containers[0].write();
+            }
+            Kind::Cold => {
+                // Fine: the other arm's same-rank guard is scoped out.
+                let _g = self.catalog[0].write();
+            }
+        }
+    }
+
+    fn charge_after_drop(&self, ctx: &mut OpCtx, key: &ObjectKey) {
+        let guard = self.op_lock(&key.ring_key()).lock();
+        self.apply(key);
+        drop(guard);
+        // Fine: the guard is gone before the virtual-time charge.
+        ctx.charge(PrimKind::Put, 1);
     }
 }

@@ -1,0 +1,10 @@
+// Fixture: metric emissions that must produce ZERO findings — registered
+// consts (see rank_model.rs), path-qualified consts, and lowercase
+// parameter forwards (the name is checked at the caller's site).
+
+fn observe_ok(reg: &Registry, name: &str, n: u64) {
+    reg.counter(OBJ_PUT_TOTAL, n);
+    reg.histogram(h2metrics::OBJ_GET_HEDGED, 2.0);
+    reg.counter(name, n);
+    reg.counter_value(OBJ_PUT_TOTAL)
+}

@@ -1,0 +1,57 @@
+// Fixture: correct virtual-time accounting shapes that must produce ZERO
+// findings — error-path early returns, delegation, exhaustive match
+// charging, and per-branch single charges.
+
+impl CloudFs for MemCloudFs {
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        if self.exists(account) {
+            // Error exits are exempt: a failed op may charge nothing.
+            return Err(CloudErr::Exists);
+        }
+        ctx.charge(PrimKind::Put, 1);
+        self.apply_create(account)
+    }
+
+    fn write(
+        &self,
+        ctx: &mut OpCtx,
+        account: &str,
+        path: &Path,
+        content: FileContent,
+    ) -> Result<()> {
+        // Delegation in a match scrutinee: the callee owns the accounting,
+        // and the scrutinee runs on every arm's path.
+        match self.put_object(ctx, account, path, content) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<()> {
+        let Some(parent) = path.parent() else {
+            // A let-else block must diverge; its probe charge must not
+            // count as a duplicate against the fall-through path.
+            ctx.charge(PrimKind::Put, 1);
+            return Err(CloudErr::Invalid);
+        };
+        ctx.charge(PrimKind::Put, 1);
+        self.apply_mkdir(ctx, account, parent)
+    }
+
+    fn read(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<FileContent> {
+        match self.tier(path) {
+            Tier::Hot => ctx.charge(PrimKind::Get, 1),
+            Tier::Cold => ctx.charge(PrimKind::ColdGet, 1),
+        }
+        self.fetch(account, path)
+    }
+
+    fn stat(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<Meta> {
+        if self.in_catalog(account, path) {
+            ctx.charge(PrimKind::Head, 1);
+        } else {
+            ctx.charge(PrimKind::Get, 1);
+        }
+        self.lookup(account, path)
+    }
+}

@@ -1,0 +1,69 @@
+// Fixture companion: the "workspace model" file included in every
+// fixture lint run. Rank inference reads the OrderedMutex/OrderedRwLock
+// construction sites below (so `op_lock`, `stripe`, `containers`, ...
+// become ranked identifiers); the CloudFs trait supplies the derived
+// cloud-op list; the string consts are the metric registration
+// vocabulary. This file itself must produce ZERO findings.
+
+pub mod lock_rank {
+    pub const OP_STRIPE: u16 = 1;
+    pub const NODE_STRIPE: u16 = 2;
+    pub const MAP_SHARD: u16 = 3;
+}
+
+pub const OBJ_PUT_TOTAL: &str = "obj_put_total";
+pub const OBJ_GET_HEDGED: &str = "obj_get_hedged";
+
+type ContainerShard = OrderedRwLock<HashMap<(String, String), ContainerState>>;
+
+pub trait CloudFs {
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()>;
+    fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<()>;
+    fn write(&self, ctx: &mut OpCtx, account: &str, path: &Path, content: FileContent)
+        -> Result<()>;
+    fn read(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<FileContent>;
+    fn stat(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<Meta>;
+    fn storage_stats(&self) -> Stats;
+}
+
+impl Cluster {
+    fn new_model(shards: usize) -> Self {
+        Self {
+            op_locks: (0..shards)
+                .map(|_| OrderedMutex::new(lock_rank::OP_STRIPE, "op-stripe", ()))
+                .collect(),
+            containers: (0..shards)
+                .map(|_| OrderedRwLock::new(lock_rank::MAP_SHARD, "map-shard", HashMap::new()))
+                .collect(),
+            catalog: (0..shards)
+                .map(|_| OrderedRwLock::new(lock_rank::MAP_SHARD, "map-shard", HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn op_lock(&self, ring_key: &str) -> &OrderedMutex<()> {
+        &self.op_locks[self.idx(ring_key)]
+    }
+
+    fn container_shard(&self, account: &str, name: &str) -> &ContainerShard {
+        &self.containers[self.shard_idx2(account, name)]
+    }
+
+    fn catalog_shard(&self, account: &str) -> &ContainerShard {
+        &self.catalog[self.shard_idx(account)]
+    }
+}
+
+impl StorageNode {
+    fn new_model(stripes: usize) -> Self {
+        Self {
+            stripes: (0..stripes)
+                .map(|_| OrderedRwLock::new(lock_rank::NODE_STRIPE, "node-stripe", HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, ring_key: &str) -> &OrderedRwLock<HashMap<String, StoredReplica>> {
+        &self.stripes[self.idx(ring_key)]
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: a ranked guard live across a virtual-time charge or a gossip
+// drain serializes every key on the stripe behind charged work — drop the
+// guard first (or justify the serialization with an allow).
+
+impl Cluster {
+    fn flush_with_guard(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<()> {
+        let _guard = self.op_lock(&key.ring_key()).lock();
+        ctx.charge(PrimKind::Put, 1); // VIOLATION: charge under the op stripe
+        Ok(())
+    }
+
+    fn drain_with_guard(&self, node: &StorageNode) {
+        let map = self.containers[0].write();
+        let msgs = take_outbox(node); // VIOLATION: gossip drain under the shard guard
+        drop((map, msgs));
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: one-level interprocedural violations. A fn that holds a
+// ranked guard must not call a fn whose body acquires an equal-or-lower
+// rank (the deadlock happens inside the callee); and a fn whose tail
+// expression RETURNS a guard hands the caller a live acquisition.
+
+impl Cluster {
+    fn note_usage(&self, key: &ObjectKey) {
+        let mut shard = self.containers[self.shard_idx(key)].write();
+        shard.bump();
+        self.touch_op(key); // VIOLATION: callee takes the rank-1 op stripe under our rank-3 guard
+    }
+
+    fn touch_op(&self, key: &ObjectKey) {
+        let _g = self.op_lock(&key.ring_key()).lock();
+    }
+
+    fn locked_shard(&self, key: &ObjectKey) -> ShardGuard {
+        self.containers[self.shard_idx(key)].write()
+    }
+
+    fn use_locked(&self, key: &ObjectKey) {
+        let g = self.locked_shard(key);
+        let o = self.op_lock(&key.ring_key()).lock(); // VIOLATION: rank 1 under the returned rank-3 guard
+        drop((g, o));
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: a guard acquired in a match SCRUTINEE is a temporary that
+// lives through the whole match body (Rust extends scrutinee temporaries
+// to the end of the match), so acquiring a lower rank inside an arm is an
+// inversion even though no binding names the guard.
+
+impl StorageNode {
+    fn probe(&self, ring_key: &str) -> bool {
+        match self.stripe(ring_key).read().contains_key(ring_key) {
+            true => {
+                let _g = self.op_lock(ring_key).lock(); // VIOLATION: rank 1 under the live rank-2 scrutinee guard
+                true
+            }
+            false => false,
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: nests two map-shard (rank 3) read guards. The runtime
+// validator rejects ANY same-rank nesting — read or write — because two
+// threads can take the shards in either order (ABBA), so the static rule
+// must flag it too.
+
+impl Cluster {
+    fn read_two_shards(&self, a: &ObjectKey) {
+        let c = self.containers[0].read();
+        let k = self.catalog[1].read(); // VIOLATION: second rank-3 guard while one is held
+        drop((c, k));
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: shadowing a guard binding does NOT release the old guard —
+// in Rust the first guard lives until end of scope, so the second
+// acquisition nests same-rank and can deadlock. The liveness model must
+// keep the shadowed guard held.
+
+impl Cluster {
+    fn reshard(&self, a: &ObjectKey, b: &ObjectKey) {
+        let shard = self.containers[self.shard_idx(a)].write();
+        let shard = self.containers[self.shard_idx(b)].write(); // VIOLATION: old `shard` still live
+        drop(shard);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: metric names at emission sites must come from the shared
+// const vocabulary (see rank_model.rs), not string literals or
+// unregistered consts.
+
+fn observe(reg: &Registry, n: u64) {
+    reg.counter("obj_put_total", n); // VIOLATION: literal name at the emission site
+    reg.histogram(OBJ_PUT_LATENCY_MS, 4.0); // VIOLATION: const not in the registration vocabulary
+    reg.counter(OBJ_PUT_TOTAL, n); // ok: registered const
+}

@@ -1,0 +1,11 @@
+// Fixture: charging the same primitive class twice on one path double
+// accounts the op — virtual latency inflates and the cost model lies.
+
+impl CloudFs for MemCloudFs {
+    fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<()> {
+        ctx.charge(PrimKind::Put, 1);
+        self.apply_mkdir(account, path)?;
+        ctx.charge(PrimKind::Put, 1); // VIOLATION: Put charged twice on the same path
+        Ok(())
+    }
+}

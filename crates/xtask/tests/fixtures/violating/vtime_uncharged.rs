@@ -1,0 +1,18 @@
+// Fixture: cloud-op implementations with success paths that never charge
+// virtual time — the simulated latency model silently under-reports.
+
+impl CloudFs for MemCloudFs {
+    // VIOLATION (reported at the fn): no path charges or delegates.
+    fn stat(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<Meta> {
+        let meta = self.lookup(account, path)?;
+        Ok(meta)
+    }
+
+    fn read(&self, ctx: &mut OpCtx, account: &str, path: &Path) -> Result<FileContent> {
+        if self.is_cached(account, path) {
+            return Ok(FileContent::Simulated(0)); // VIOLATION: cached fast path skips the charge
+        }
+        ctx.charge(PrimKind::Get, 1);
+        self.fetch(account, path)
+    }
+}

@@ -1,55 +1,56 @@
 //! Fixture self-tests: every violating fixture must be flagged (with the
 //! expected rule and count), and no clean fixture may produce a single
 //! finding — the lexer/rule edge cases live in `fixtures/clean/`.
+//!
+//! Each fixture is linted as a two-file workspace: `rank_model.rs` (the
+//! companion that carries the OrderedMutex/OrderedRwLock construction
+//! sites, the CloudFs trait, and the metric-const vocabulary — the facts
+//! the v2 analyzer *infers*) plus the fixture under test.
 
 use std::path::Path;
 
 use xtask::config::{self, Config};
-use xtask::lint::lint_source;
+use xtask::lint::lint_sources;
 use xtask::rules::Finding;
 
-/// Rank table mirroring `h2lint.toml`, but scoped to the fixture tree.
 const FIXTURE_CONFIG: &str = r#"
 [lint]
 skip = []
-
-[lockorder]
-files = ["fixtures/"]
-
-[[lockorder.rank]]
-rank = 1
-label = "op-stripe"
-names = ["op_lock", "op_locks"]
-exclusive = true
-
-[[lockorder.rank]]
-rank = 2
-label = "node-stripe"
-names = ["stripe", "stripes"]
-
-[[lockorder.rank]]
-rank = 3
-label = "map-shard"
-names = ["container_shard", "containers", "catalog_shard", "catalog"]
 
 [determinism]
 exempt = ["crates/util/src/clock.rs"]
 
 [panic_safety]
-cloud_ops = ["mkdir", "write", "read", "stat", "create_account"]
+traits = ["CloudFs"]
+extra = []
+
+[blocking]
+calls = ["wall_sleep", "run_real", "run_virtual", "take_outbox", "on_gossip", "on_gossip_batch"]
+
+[metrics]
+methods = ["counter", "histogram", "record", "counter_value"]
 "#;
 
 fn cfg() -> Config {
     config::parse(FIXTURE_CONFIG).expect("fixture config parses")
 }
 
-fn lint_fixture(name: &str) -> Vec<Finding> {
+fn read_fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let src =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    lint_source(&format!("fixtures/{name}"), &src, &cfg())
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let sources = vec![
+        (
+            "fixtures/rank_model.rs".to_string(),
+            read_fixture("rank_model.rs"),
+        ),
+        (format!("fixtures/{name}"), read_fixture(name)),
+    ];
+    lint_sources(&sources, &cfg())
 }
 
 fn count(findings: &[Finding], rule: &str) -> usize {
@@ -63,6 +64,14 @@ fn violating_fixtures_are_flagged() {
         ("violating/lockorder_inversion.rs", "lock-order", 1),
         ("violating/lockorder_double_op.rs", "lock-order", 1),
         ("violating/lockorder_nested_temp.rs", "lock-order", 1),
+        ("violating/lockorder_same_rank_shards.rs", "lock-order", 1),
+        ("violating/lockorder_shadowed_guard.rs", "lock-order", 1),
+        ("violating/lockorder_match_scrutinee.rs", "lock-order", 1),
+        ("violating/lockorder_interprocedural.rs", "lock-order", 2),
+        ("violating/guard_blocking.rs", "guard-across-blocking", 2),
+        ("violating/vtime_uncharged.rs", "vtime-accounting", 2),
+        ("violating/vtime_double_charge.rs", "vtime-accounting", 1),
+        ("violating/metrics_literal.rs", "metrics-hygiene", 2),
         ("violating/panic_unwrap_lock.rs", "panic-safety", 2),
         ("violating/panic_cloud_expect.rs", "panic-safety", 3),
         ("violating/determinism_wall_time.rs", "determinism", 3),
@@ -87,6 +96,17 @@ fn violating_fixtures_have_no_stray_findings() {
         ("violating/lockorder_inversion.rs", vec!["lock-order"]),
         ("violating/lockorder_double_op.rs", vec!["lock-order"]),
         ("violating/lockorder_nested_temp.rs", vec!["lock-order"]),
+        (
+            "violating/lockorder_same_rank_shards.rs",
+            vec!["lock-order"],
+        ),
+        ("violating/lockorder_shadowed_guard.rs", vec!["lock-order"]),
+        ("violating/lockorder_match_scrutinee.rs", vec!["lock-order"]),
+        ("violating/lockorder_interprocedural.rs", vec!["lock-order"]),
+        ("violating/guard_blocking.rs", vec!["guard-across-blocking"]),
+        ("violating/vtime_uncharged.rs", vec!["vtime-accounting"]),
+        ("violating/vtime_double_charge.rs", vec!["vtime-accounting"]),
+        ("violating/metrics_literal.rs", vec!["metrics-hygiene"]),
         ("violating/panic_unwrap_lock.rs", vec!["panic-safety"]),
         ("violating/panic_cloud_expect.rs", vec!["panic-safety"]),
         ("violating/determinism_wall_time.rs", vec!["determinism"]),
@@ -113,6 +133,8 @@ fn clean_fixtures_produce_zero_findings() {
         "clean/lexer_edges.rs",
         "clean/tests_ok.rs",
         "clean/allow_justified.rs",
+        "clean/vtime_ok.rs",
+        "clean/metrics_ok.rs",
     ] {
         let findings = lint_fixture(fixture);
         assert!(
@@ -120,6 +142,18 @@ fn clean_fixtures_produce_zero_findings() {
             "{fixture}: expected zero findings, got: {findings:#?}"
         );
     }
+}
+
+#[test]
+fn rank_model_is_itself_clean() {
+    // The companion file rides along in every run; a finding there would
+    // pollute every count above.
+    let sources = vec![(
+        "fixtures/rank_model.rs".to_string(),
+        read_fixture("rank_model.rs"),
+    )];
+    let findings = lint_sources(&sources, &cfg());
+    assert!(findings.is_empty(), "rank_model.rs: {findings:#?}");
 }
 
 #[test]

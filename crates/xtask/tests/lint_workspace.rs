@@ -1,24 +1,122 @@
 //! The gate: `cargo test` fails if the real workspace tree has any lint
-//! finding, so invariant regressions surface in tier-1, not just in the
-//! dedicated CI job.
+//! finding that is not in the checked-in `h2lint.baseline`, so invariant
+//! regressions surface in tier-1, not just in the dedicated CI job.
+//! Also pins the derived facts the v2 analyzer infers from the tree (the
+//! cloud-op set, the rank table) and the byte-determinism of the SARIF
+//! and baseline renderers.
 
-use std::path::Path;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
-#[test]
-fn workspace_tree_is_lint_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+use xtask::lint::analyze_tree;
+use xtask::{baseline, sarif};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("workspace root");
-    let findings = xtask::lint::lint_tree(root, None).expect("lint runs");
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_tree_has_no_unbaselined_findings() {
+    let root = workspace_root();
+    let (findings, _) = analyze_tree(&root, None).expect("lint runs");
+    let body = std::fs::read_to_string(root.join("h2lint.baseline")).unwrap_or_default();
+    let diff = baseline::diff(&findings, &baseline::parse(&body));
+    let new: Vec<String> = findings
+        .iter()
+        .zip(&diff.states)
+        .filter(|(_, s)| **s == baseline::BaselineState::New)
+        .map(|(f, _)| format!("  {}", baseline::format_line(f)))
+        .collect();
     assert!(
-        findings.is_empty(),
-        "h2lint found {} problem(s) in the workspace:\n{}",
-        findings.len(),
-        findings
-            .iter()
-            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
-            .collect::<Vec<_>>()
-            .join("\n")
+        new.is_empty(),
+        "h2lint found {} NEW problem(s) in the workspace (fix them or, for \
+         triaged debt, refresh h2lint.baseline):\n{}",
+        new.len(),
+        new.join("\n")
     );
+}
+
+#[test]
+fn derived_cloud_op_set_matches_the_traits() {
+    // The panic-safety and vtime-accounting rules key off the cloud-op
+    // set *derived* from the `CloudFs`/`ObjectStore` traits plus the
+    // configured extras. If a trait method is added or renamed, this
+    // snapshot fails and must be updated alongside — that drift is the
+    // thing the derivation exists to catch.
+    let (_, globals) = analyze_tree(&workspace_root(), None).expect("lint runs");
+    let expected: BTreeSet<String> = [
+        // CloudFs (crates/fsapi/src/lib.rs)
+        "create_account",
+        "delete_account",
+        "mkdir",
+        "rmdir",
+        "read",
+        "write",
+        "delete_file",
+        "stat",
+        "list",
+        "mv",
+        "bulk_import",
+        // ObjectStore (crates/objectstore/src/lib.rs)
+        "put",
+        "get",
+        "head",
+        "delete",
+        "copy",
+        "exists",
+        "list_detailed",
+        // [panic_safety] extra
+        "submit_patch",
+        "read_ring",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    assert_eq!(
+        globals.cloud_ops, expected,
+        "derived cloud-op set drifted from the trait definitions"
+    );
+}
+
+#[test]
+fn inferred_rank_table_covers_the_lock_hierarchy() {
+    // Rank inference replaces the hand-written h2lint.toml name lists;
+    // losing a name here silently disables lock-order checking for it.
+    let (_, globals) = analyze_tree(&workspace_root(), None).expect("lint runs");
+    for (name, rank, label) in [
+        ("op_locks", 1, "objectstore.op_stripe"),
+        ("op_lock", 1, "objectstore.op_stripe"),
+        ("stripes", 2, "objectstore.node_stripe"),
+        ("stripe", 2, "objectstore.node_stripe"),
+        ("containers", 3, "objectstore.container_shard"),
+        ("container_shard", 3, "objectstore.container_shard"),
+        ("catalog", 3, "objectstore.catalog_shard"),
+        ("catalog_shard", 3, "objectstore.catalog_shard"),
+    ] {
+        let got = globals
+            .ranks
+            .get(name)
+            .unwrap_or_else(|| panic!("no inferred rank for `{name}`"));
+        assert_eq!((got.rank, got.label.as_str()), (rank, label), "`{name}`");
+    }
+}
+
+#[test]
+fn sarif_and_baseline_output_are_byte_deterministic() {
+    let root = workspace_root();
+    let (f1, _) = analyze_tree(&root, None).expect("lint runs");
+    let (f2, _) = analyze_tree(&root, None).expect("lint runs");
+    let body = std::fs::read_to_string(root.join("h2lint.baseline")).unwrap_or_default();
+    let d1 = baseline::diff(&f1, &baseline::parse(&body));
+    let d2 = baseline::diff(&f2, &baseline::parse(&body));
+    assert_eq!(
+        sarif::render(&f1, &d1.states),
+        sarif::render(&f2, &d2.states),
+        "SARIF output must be byte-identical across runs"
+    );
+    assert_eq!(baseline::render(&f1), baseline::render(&f2));
 }
