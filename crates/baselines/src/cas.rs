@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use h2fsapi::{CloudFs, DirEntry, EntryKind, FileContent, FsPath, StoreStats};
 use h2util::hash::Digest128;
-use h2util::{H2Error, OpCtx, Result};
+use h2util::{H2Error, OpCtx, PrimKind, Result};
 use swiftsim::{Cluster, ClusterConfig, Meta, ObjectKey, ObjectStore, Payload};
 
 use crate::tree::{Node, TreeIndex};
@@ -297,9 +297,9 @@ impl CloudFs for CasFs {
         Ok(())
     }
 
-    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
         self.accounts.lock().remove(account);
-        self.cluster.delete_account(account)
+        self.cluster.delete_account_ctx(ctx, account)
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
@@ -340,6 +340,10 @@ impl CloudFs for CasFs {
             return Err(H2Error::InvalidPath("cannot move to or from /".into()));
         }
         if from == to {
+            // A self-move is a no-op, but not a free one: the client still
+            // paid the source lookup (one HEAD) before concluding so.
+            let model = ctx.model.clone();
+            ctx.charge(PrimKind::Head, model.head_cost());
             return Ok(());
         }
         if from.is_ancestor_of(to) {
@@ -519,6 +523,10 @@ impl CloudFs for CasFs {
 
     fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
         if path.is_root() {
+            // Even the synthetic root entry costs the client a HEAD on the
+            // root block before it can be reported as a directory.
+            let model = ctx.model.clone();
+            ctx.charge(PrimKind::Head, model.head_cost());
             return Ok(DirEntry {
                 name: "/".into(),
                 kind: EntryKind::Directory,

@@ -285,8 +285,10 @@ impl CloudFs for CumulusFs {
         false
     }
 
-    fn create_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
-        self.cluster.create_account(account)?;
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.cluster.create_account_ctx(ctx, account)?;
+        let model = ctx.model.clone();
+        ctx.charge(h2util::PrimKind::DbUpdate, model.db_update_cost());
         self.cluster.create_container(account, CONTAINER, false)?;
         self.accounts
             .lock()
@@ -294,9 +296,9 @@ impl CloudFs for CumulusFs {
         Ok(())
     }
 
-    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
         self.accounts.lock().remove(account);
-        self.cluster.delete_account(account)
+        self.cluster.delete_account_ctx(ctx, account)
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
@@ -357,6 +359,9 @@ impl CloudFs for CumulusFs {
                 return Err(H2Error::InvalidPath("cannot move to or from /".into()));
             }
             if from == to {
+                // A self-move is a no-op, but the client still scanned the
+                // metadata log to locate the source before concluding so.
+                self.charge_scan(ctx, st.log.len());
                 return Ok(());
             }
             if from.is_ancestor_of(to) {
@@ -453,14 +458,15 @@ impl CloudFs for CumulusFs {
         path: &FsPath,
     ) -> Result<Vec<DirEntry>> {
         self.with_state(account, |st| {
+            // O(N): the whole log must be scanned — even to discover the
+            // listing target is missing or a plain file.
+            self.charge_scan(ctx, st.log.len());
             if !st.dir_exists(path) {
                 return match st.find(&path.to_string()) {
                     Some(_) => Err(H2Error::NotADirectory(path.to_string())),
                     None => Err(H2Error::NotFound(path.to_string())),
                 };
             }
-            // O(N): the whole log must be scanned.
-            self.charge_scan(ctx, st.log.len());
             Ok(self.scan_children(st, path))
         })
     }
@@ -562,6 +568,9 @@ impl CloudFs for CumulusFs {
     fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
         self.with_state(account, |st| {
             if path.is_root() {
+                // The root always exists, but answering still costs the
+                // client the first metalog chunk fetch.
+                self.charge_scan(ctx, 0);
                 return Ok(DirEntry {
                     name: "/".into(),
                     kind: EntryKind::Directory,

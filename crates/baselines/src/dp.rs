@@ -245,8 +245,13 @@ impl CloudFs for DpFs {
         true
     }
 
-    fn create_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
-        self.cluster.create_account(account)?;
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        // Registering the account is one metadata-service mutation on top
+        // of the cloud-side account and container rows.
+        self.charge_service(ctx, true);
+        self.cluster.create_account_ctx(ctx, account)?;
+        let model = ctx.model.clone();
+        ctx.charge(PrimKind::DbUpdate, model.db_update_cost());
         self.cluster
             .create_container(account, CONTENT_CONTAINER, false)?;
         self.accounts
@@ -255,9 +260,10 @@ impl CloudFs for DpFs {
         Ok(())
     }
 
-    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.charge_service(ctx, true);
         self.accounts.lock().remove(account);
-        self.cluster.delete_account(account)
+        self.cluster.delete_account_ctx(ctx, account)
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {

@@ -106,8 +106,13 @@ impl CloudFs for SingleIndexFs {
         self.separate_index
     }
 
-    fn create_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
-        self.cluster.create_account(account)?;
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        // Seeding the per-account index tree is one round trip to the
+        // index server on top of the account and container rows.
+        self.rpc(ctx);
+        self.cluster.create_account_ctx(ctx, account)?;
+        let model = ctx.model.clone();
+        ctx.charge(PrimKind::DbUpdate, model.db_update_cost());
         self.cluster
             .create_container(account, CONTENT_CONTAINER, false)?;
         self.trees
@@ -116,9 +121,10 @@ impl CloudFs for SingleIndexFs {
         Ok(())
     }
 
-    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.rpc(ctx);
         self.trees.lock().remove(account);
-        self.cluster.delete_account(account)
+        self.cluster.delete_account_ctx(ctx, account)
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {

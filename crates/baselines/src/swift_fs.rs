@@ -159,13 +159,16 @@ impl CloudFs for SwiftFs {
         false // single cloud; the DB lives on the storage nodes
     }
 
-    fn create_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
-        self.cluster.create_account(account)?;
+    fn create_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.cluster.create_account_ctx(ctx, account)?;
+        // The container row is one more account-DB update.
+        let model = ctx.model.clone();
+        ctx.charge(PrimKind::DbUpdate, model.db_update_cost());
         self.cluster.create_container(account, FS_CONTAINER, true)
     }
 
-    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
-        self.cluster.delete_account(account)
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.cluster.delete_account_ctx(ctx, account)
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
@@ -219,6 +222,10 @@ impl CloudFs for SwiftFs {
             return Err(H2Error::InvalidPath("cannot move to or from /".into()));
         }
         if from == to {
+            // A self-move is a no-op, but not a free one: the client still
+            // paid the source lookup (one HEAD) before concluding so.
+            let model = ctx.model.clone();
+            ctx.charge(PrimKind::Head, model.head_cost());
             return Ok(());
         }
         if from.is_ancestor_of(to) {
@@ -460,6 +467,10 @@ impl CloudFs for SwiftFs {
     fn stat(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<DirEntry> {
         self.check_account(account)?;
         if path.is_root() {
+            // Root is synthesized, but the client still paid the account
+            // HEAD that proves it exists.
+            let model = ctx.model.clone();
+            ctx.charge(PrimKind::Head, model.head_cost());
             return Ok(DirEntry {
                 name: "/".into(),
                 kind: EntryKind::Directory,

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use h2bench::loadgen::{
-    run_h2, run_h2_capture, run_swift, LoadResult, LoadgenConfig, WorkloadPattern,
+    run_h2, run_h2_capture, run_h2_migrating, run_swift, LoadResult, LoadgenConfig, WorkloadPattern,
 };
 
 struct Args {
@@ -166,6 +166,23 @@ fn main() {
             ..Default::default()
         };
         let h2 = run_h2(&cfg);
+        println!("{}", h2.render());
+        results.push(h2);
+    }
+
+    // Migrating leg: same default mix with a live rebalance churning under
+    // the measured window (an operator thread adds a device, migrates onto
+    // it a few partitions at a time, drains it, repeats). The delta to the
+    // plain "H2Cloud" rows is the rebalance tax clients pay.
+    for &t in &args.threads {
+        let cfg = LoadgenConfig {
+            clients: t,
+            ops_per_client: args.ops_per_client,
+            pace: args.pace,
+            read_opt: args.read_opt,
+            ..Default::default()
+        };
+        let h2 = run_h2_migrating(&cfg);
         println!("{}", h2.render());
         results.push(h2);
     }

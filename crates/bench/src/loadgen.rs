@@ -425,6 +425,67 @@ pub fn run_h2_capture(cfg: &LoadgenConfig) -> (LoadResult, Vec<h2util::RootTrace
     (result, traces)
 }
 
+/// Full H2 run with a live rebalance churning underneath the measured
+/// window: an operator thread repeatedly adds a device, migrates onto it a
+/// few partitions at a time, then drains it again — so clients spend most
+/// of the run against a ring with pending partitions (dual-apply writes,
+/// old-assignment read rescues, cache resyncs). The row this emits
+/// ("H2Cloud-migrating") quantifies the rebalance tax against the plain
+/// "H2Cloud" row of the same shape.
+pub fn run_h2_migrating(cfg: &LoadgenConfig) -> LoadResult {
+    /// Partitions moved per migrator step; small enough that a migration
+    /// spans many client ops.
+    const MIGRATE_STRIDE: usize = 8;
+    let fs = H2Cloud::new(H2Config {
+        middlewares: cfg.middlewares,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig::default(),
+        cache_capacity: 1024,
+        trace_sample: 0.0,
+        group_commit: true,
+        path_cache: cfg.read_opt,
+        neg_cache: cfg.read_opt,
+        hedged_reads: cfg.read_opt,
+    });
+    let cost = fs.cost_model();
+    let plans = prepare(&fs, &cost, cfg);
+    fs.layer().pump().expect("populate backlog drains"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+    let gossip = fs.layer().run_threaded();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut result = std::thread::scope(|s| {
+        let operator = s.spawn(|| {
+            let mut cycles = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                // Add-then-drain keeps the device count stable across
+                // cycles while the ring never stops moving.
+                let id = fs
+                    .layer()
+                    .add_node(0, 1.0, MIGRATE_STRIDE)
+                    .expect("add under healthy cluster"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                fs.layer()
+                    .drain_node(id, MIGRATE_STRIDE)
+                    .expect("drain under healthy cluster"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+                cycles += 1;
+            }
+            cycles
+        });
+        let r = drive("H2Cloud-migrating", &fs, &cost, &plans, cfg.pace);
+        stop.store(true, Ordering::Relaxed);
+        let cycles = operator.join().expect("operator thread"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+        assert!(
+            cycles > 0 || fs.cluster().migration_parts_moved_count() > 0,
+            "rebalance never overlapped the measured window"
+        );
+        r
+    });
+    result.mix = cfg.mix_label().to_string();
+    gossip.stop();
+    result
+}
+
 /// Swift (CH + file-path DB) baseline under the identical workload.
 pub fn run_swift(cfg: &LoadgenConfig) -> LoadResult {
     let fs = SwiftFs::new(Cluster::new(ClusterConfig::default()), true);
@@ -486,6 +547,20 @@ mod tests {
         assert_eq!(r.mix, "read-heavy-98/2-depth12");
         assert_eq!(r.ops, 80);
         assert_eq!(r.errors, 0, "read-heavy trace ops are pre-validated");
+    }
+
+    #[test]
+    fn migrating_run_completes_every_op_without_errors() {
+        let cfg = LoadgenConfig {
+            clients: 2,
+            ops_per_client: 40,
+            pace: 0.0,
+            ..Default::default()
+        };
+        let r = run_h2_migrating(&cfg);
+        assert_eq!(r.system, "H2Cloud-migrating");
+        assert_eq!(r.ops, 80);
+        assert_eq!(r.errors, 0, "live rebalance must not surface client errors");
     }
 
     #[test]

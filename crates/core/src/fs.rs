@@ -213,15 +213,35 @@ impl H2Cloud {
         &self.metrics
     }
 
-    /// Fold the cluster's read-path counters (hedged replica-read waves,
-    /// handoff scans skipped via freshness hints) into the monitoring
-    /// registry, so `op=metrics` reports them alongside the middleware
-    /// cache counters. Counters are monotone: this tops each one up to the
-    /// cluster's current value.
+    /// Fold the cluster's read-path and migration counters (hedged
+    /// replica-read waves, handoff scans skipped via freshness hints,
+    /// rebalance progress) into the monitoring registry, so `op=metrics`
+    /// reports them alongside the middleware cache counters. Counters are
+    /// monotone: this tops each one up to the cluster's current value.
     pub fn sync_cluster_counters(&self) {
+        use h2util::trace::{
+            MIGRATION_DUAL_WRITES, MIGRATION_KEYS_COPIED, MIGRATION_PARTS_MOVED,
+            MIGRATION_READ_RESCUES,
+        };
         for (name, val) in [
             ("hedged_reads", self.cluster().hedged_read_count()),
             ("handoff_scans_skipped", self.cluster().handoff_scan_skips()),
+            (
+                MIGRATION_PARTS_MOVED,
+                self.cluster().migration_parts_moved_count(),
+            ),
+            (
+                MIGRATION_KEYS_COPIED,
+                self.cluster().migration_keys_copied_count(),
+            ),
+            (
+                MIGRATION_READ_RESCUES,
+                self.cluster().migration_read_rescue_count(),
+            ),
+            (
+                MIGRATION_DUAL_WRITES,
+                self.cluster().migration_dual_write_count(),
+            ),
         ] {
             let c = self.metrics.counter(name);
             let cur = c.get();
@@ -986,8 +1006,8 @@ impl CloudFs for H2Cloud {
         self.op_create_account(&mw, ctx, account)
     }
 
-    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
-        self.cluster().delete_account(account)
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.cluster().delete_account_ctx(ctx, account)
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {
@@ -1203,8 +1223,8 @@ impl CloudFs for H2View<'_> {
         self.fs.op_create_account(&self.mw, ctx, account)
     }
 
-    fn delete_account(&self, _ctx: &mut OpCtx, account: &str) -> Result<()> {
-        self.fs.cluster().delete_account(account)
+    fn delete_account(&self, ctx: &mut OpCtx, account: &str) -> Result<()> {
+        self.fs.cluster().delete_account_ctx(ctx, account)
     }
 
     fn mkdir(&self, ctx: &mut OpCtx, account: &str, path: &FsPath) -> Result<()> {

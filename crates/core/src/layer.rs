@@ -306,6 +306,66 @@ impl H2Layer {
             .all(|mw| mw.pending_descriptors() == 0)
     }
 
+    /// Anti-entropy sweep across the layer: every middleware re-validates
+    /// every NameRing it holds state for against the cloud
+    /// ([`H2Middleware::resync`]), then a pump floods the re-gossips the
+    /// sweep produced. Run this after a fault window (gossip dropped during
+    /// it leaves untouched rings stale forever otherwise) or after a
+    /// placement-ring swap. Returns the total rings refreshed.
+    pub fn resync(&self) -> Result<usize> {
+        let mut refreshed = 0usize;
+        for mw in &self.middlewares {
+            refreshed += mw.resync()?;
+        }
+        self.pump()?;
+        Ok(refreshed)
+    }
+
+    // ----- elastic topology -------------------------------------------------
+
+    /// Operator op: add a storage device and rebalance onto it — the
+    /// layer-level wrapper over [`Cluster::add_node`] that also drives the
+    /// migrator `steps_per_round` partitions at a time (0 = all at once)
+    /// and resyncs the middleware caches once movement stops.
+    pub fn add_node(&self, zone: u8, weight: f64, steps_per_round: usize) -> Result<u16> {
+        let id = self.cluster.add_node(zone, weight)?;
+        self.finish_rebalance(steps_per_round)?;
+        Ok(id.0)
+    }
+
+    /// Operator op: drain a device out of the ring (see
+    /// [`Cluster::drain_node`]), migrating its partitions away.
+    pub fn drain_node(&self, device: u16, steps_per_round: usize) -> Result<()> {
+        self.cluster.drain_node(swiftsim::DeviceId(device))?;
+        self.finish_rebalance(steps_per_round)
+    }
+
+    /// Operator op: re-weight a device (0 drains it; see
+    /// [`Cluster::set_weight`]).
+    pub fn set_weight(&self, device: u16, weight: f64, steps_per_round: usize) -> Result<()> {
+        self.cluster
+            .set_weight(swiftsim::DeviceId(device), weight)?;
+        self.finish_rebalance(steps_per_round)
+    }
+
+    /// Drive the migrator until it stops making progress, then resync the
+    /// middleware caches under the new placement. Blocked partitions (down
+    /// devices) stay pending — serving falls back to the old assignment —
+    /// and a later call (or [`Cluster::migrate_all`]) finishes the job.
+    fn finish_rebalance(&self, steps_per_round: usize) -> Result<()> {
+        if steps_per_round == 0 {
+            self.cluster.migrate_all();
+        } else {
+            loop {
+                if self.cluster.migrate_step(steps_per_round) == 0 {
+                    break;
+                }
+            }
+        }
+        self.resync()?;
+        Ok(())
+    }
+
     /// Spawn one thread per middleware that continuously merges pending
     /// patches and exchanges gossip over crossbeam channels. Returns a
     /// handle; drop or call [`ThreadedGossip::stop`] to join the threads.

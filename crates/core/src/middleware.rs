@@ -1791,6 +1791,93 @@ impl H2Middleware {
             .collect()
     }
 
+    /// Bounded anti-entropy sweep: re-fetch from the cloud every NameRing
+    /// this middleware holds state for — descriptor-cache entries and
+    /// cached global rings alike — join each with the local version, and
+    /// write back + re-gossip any ring where this node knew updates the
+    /// global object lacked. Returns how many rings were refreshed.
+    ///
+    /// This closes the post-fault re-convergence gap: gossip only refreshes
+    /// rings whose update notifications *arrived*, so a notification dropped
+    /// during a fault window leaves the cached copy stale until some later
+    /// write happens to touch that ring. A resync revalidates every known
+    /// ring unconditionally (each refresh bumps the namespace epoch, so
+    /// dependent full-path cache entries are invalidated too). The sweep is
+    /// bounded by this node's own state — it never enumerates the cloud —
+    /// and the same call doubles as the cache refresh after a placement
+    /// ring swap ([`Cluster::ring_epoch`] bump): the re-fetches run under
+    /// the new placement, re-validating any answer the old one produced.
+    pub fn resync(&self) -> Result<usize> {
+        let keys: Vec<FdKey> = {
+            let mut set: std::collections::HashSet<FdKey> =
+                self.fds.lock().keys().cloned().collect();
+            for shard in &self.ring_cache {
+                set.extend(shard.lock().keys().cloned());
+            }
+            let mut v: Vec<FdKey> = set.into_iter().collect();
+            v.sort();
+            v
+        };
+        let mut ctx = OpCtx::new(self.store.cost_model());
+        let sampled = !keys.is_empty() && self.tracer.sample_next();
+        if sampled {
+            ctx.begin_trace(STAGE_GOSSIP, "RESYNC");
+            ctx.span_note("rings", || keys.len().to_string());
+        }
+        let mut first_error: Option<H2Error> = None;
+        let mut refreshed = 0usize;
+        for key in keys {
+            let h2keys = H2Keys::new(&key.0);
+            let global = match self.fetch_global_ring(&mut ctx, &h2keys, key.1) {
+                Ok(g) => Arc::new(g),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+            };
+            self.cache_store_fetched(key.clone(), &global);
+            let (had_extra, merged) = {
+                let mut fds = self.fds.lock();
+                match fds.get_mut(&key) {
+                    Some(fd) => {
+                        let merged = NameRing::merged((*global).clone(), &fd.local);
+                        let had_extra = merged != *global;
+                        let merged = Arc::new(merged);
+                        fd.local = Arc::clone(&merged);
+                        (had_extra, merged)
+                    }
+                    None => (false, global),
+                }
+            };
+            self.bump_ns_epoch(key.1);
+            refreshed += 1;
+            if had_extra {
+                match self.put_global_ring(&mut ctx, &h2keys, key.1, &merged) {
+                    Ok(()) => self.outbox.lock().push(GossipMsg {
+                        account: key.0.clone(),
+                        ns: key.1,
+                        from: self.node,
+                        version: merged.version(),
+                    }),
+                    Err(e) => {
+                        first_error.get_or_insert(e);
+                    }
+                }
+            }
+        }
+        if sampled {
+            let err = first_error.as_ref().map(|e| e.to_string());
+            if let Some(spans) = ctx.end_trace(err) {
+                self.tracer.offer(spans, &self.metrics);
+            }
+        }
+        self.absorb_background(&ctx);
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(refreshed),
+        }
+    }
+
     // ----- descriptor objects ----------------------------------------------
 
     /// PUT a directory descriptor object at `parent_ns::name`.

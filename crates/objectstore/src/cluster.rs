@@ -25,7 +25,7 @@
 //! ([`StorageNode::purge_upto`]), so a concurrent write can never be undone
 //! by the replicator.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,7 +34,7 @@ use h2ring::{DeviceId, Ring, RingBuilder};
 use h2util::faults::{
     torn_survivors, FaultDecision, FaultInjector, FaultPlan, FaultStats, OpClass,
 };
-use h2util::trace::{STAGE_CLOUD, STAGE_QUORUM, STAGE_REPLICA};
+use h2util::trace::{STAGE_CLOUD, STAGE_MIGRATE, STAGE_QUORUM, STAGE_REPLICA};
 use h2util::{hash64, CostModel, H2Error, OpCtx, OrderedMutex, OrderedRwLock, PrimKind, Result};
 
 use crate::container::{ContainerIndex, IndexRecord, ListEntry, ListOptions};
@@ -97,10 +97,47 @@ struct ContainerState {
 type ContainerShard = OrderedRwLock<HashMap<(String, String), ContainerState>>;
 type CatalogShard = OrderedRwLock<HashMap<String, u64>>;
 
+/// An in-flight live rebalance. Created atomically with a ring swap; the
+/// previous ring keeps serving as a *handoff source* for every partition
+/// whose assignment changed until the migrator flips it:
+///
+/// * reads on a pending partition extend their handoff scan with the old
+///   assignment (data may not have been copied yet);
+/// * acked writes on a pending partition dual-apply to the old assignment
+///   (so the old copies never serve stale);
+/// * [`Cluster::migrate_step`] copies each pending partition's newest
+///   versions onto the new assignment under the per-key op stripe, then
+///   flips the partition (removes it from `pending`).
+struct Migration {
+    /// The ring that was live before the swap.
+    old_ring: Arc<Ring>,
+    /// Partitions whose replica set changed and have not been flipped yet.
+    pending: Mutex<HashSet<u64>>,
+    /// Partition count at swap time (progress reporting).
+    total: usize,
+}
+
 /// The simulated object storage cloud.
 pub struct Cluster {
-    ring: Ring,
-    nodes: Vec<Arc<StorageNode>>,
+    /// Current placement ring. Swapped atomically by the topology ops
+    /// ([`Cluster::add_node`] / [`Cluster::drain_node`] /
+    /// [`Cluster::set_weight`]); every operation works on the snapshot it
+    /// takes at entry.
+    ring: RwLock<Arc<Ring>>,
+    /// Storage nodes, append-only: `nodes[id.0]` is the device's node
+    /// forever — drained devices leave the ring but keep their node (and
+    /// any not-yet-migrated replicas) until migration/repair empties it.
+    nodes: RwLock<Vec<Arc<StorageNode>>>,
+    /// Bumped on every ring swap; callers caching placement decisions can
+    /// use it as an invalidation fingerprint.
+    ring_epoch: AtomicU64,
+    /// In-flight rebalance, if any (see [`Migration`]).
+    migration: RwLock<Option<Arc<Migration>>>,
+    /// Serializes operator topology changes end to end (finish the prior
+    /// migration, rebuild, swap).
+    topology: Mutex<()>,
+    /// Lock-stripe count, remembered so nodes added later match.
+    stripes: usize,
     cfg: ClusterConfig,
     accounts: RwLock<HashSet<String>>,
     /// Container states, sharded by (account, container) hash so listing
@@ -142,6 +179,14 @@ pub struct Cluster {
     /// proved the best assigned replica fresh enough (see
     /// [`Cluster::get_expecting`]).
     handoff_scans_skipped: AtomicU64,
+    /// Partitions the migrator flipped to their new assignment.
+    migration_parts_moved: AtomicU64,
+    /// Replica copies the migrator installed on newly assigned devices.
+    migration_keys_copied: AtomicU64,
+    /// Reads on a pending partition rescued by the old assignment.
+    migration_read_rescues: AtomicU64,
+    /// Acked writes dual-applied to the old assignment while pending.
+    migration_dual_writes: AtomicU64,
 }
 
 /// A deferred container-DB update.
@@ -201,8 +246,12 @@ impl Cluster {
             n.set_fault_injector(injector.clone());
         }
         Arc::new(Cluster {
-            ring: rb.build(),
-            nodes,
+            ring: RwLock::new(Arc::new(rb.build())),
+            nodes: RwLock::new(nodes),
+            ring_epoch: AtomicU64::new(0),
+            migration: RwLock::new(None),
+            topology: Mutex::new(()),
+            stripes,
             cfg,
             accounts: RwLock::new(HashSet::new()),
             containers: (0..stripes)
@@ -237,6 +286,10 @@ impl Cluster {
             hedged: std::sync::atomic::AtomicBool::new(false),
             hedged_reads: AtomicU64::new(0),
             handoff_scans_skipped: AtomicU64::new(0),
+            migration_parts_moved: AtomicU64::new(0),
+            migration_keys_copied: AtomicU64::new(0),
+            migration_read_rescues: AtomicU64::new(0),
+            migration_dual_writes: AtomicU64::new(0),
         })
     }
 
@@ -264,7 +317,7 @@ impl Cluster {
         let injector = plan
             .filter(FaultPlan::is_active)
             .map(|p| Arc::new(FaultInjector::new(p)));
-        for n in &self.nodes {
+        for n in self.nodes_snapshot() {
             n.set_fault_injector(injector.clone());
         }
         *self.fault.write() = injector;
@@ -319,8 +372,17 @@ impl Cluster {
         &self.cfg
     }
 
-    pub fn ring(&self) -> &Ring {
-        &self.ring
+    /// Snapshot of the current placement ring. Stable for the caller's
+    /// lifetime even across a concurrent rebalance — operations that need
+    /// placement coherence take one snapshot and use it throughout.
+    pub fn ring(&self) -> Arc<Ring> {
+        self.ring.read().clone()
+    }
+
+    /// Monotone fingerprint of the placement ring: bumped on every
+    /// topology swap, so cached placement decisions can be invalidated.
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring_epoch.load(Ordering::Acquire)
     }
 
     pub fn cost_model(&self) -> Arc<CostModel> {
@@ -331,8 +393,12 @@ impl Cluster {
         self.ms.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn node(&self, id: DeviceId) -> &Arc<StorageNode> {
-        &self.nodes[id.0 as usize]
+    fn node(&self, id: DeviceId) -> Arc<StorageNode> {
+        self.nodes.read()[id.0 as usize].clone()
+    }
+
+    fn nodes_snapshot(&self) -> Vec<Arc<StorageNode>> {
+        self.nodes.read().clone()
     }
 
     fn container_shard(&self, account: &str, container: &str) -> &ContainerShard {
@@ -357,6 +423,286 @@ impl Cluster {
         self.node(id).is_down()
     }
 
+    // ----- elastic topology ------------------------------------------------
+
+    /// Install `new_ring` and register the partitions whose assignment
+    /// changed as a pending migration. Ordering matters: the migration
+    /// record goes in *before* the ring swap, so any operation that
+    /// snapshots the new ring is guaranteed to also see the pending set
+    /// (the reverse order would open a window where a reader uses the new
+    /// placement with no old-assignment fallback). Callers hold the
+    /// topology lock.
+    fn swap_ring(&self, new_ring: Ring) {
+        let old = self.ring();
+        let changed = old.changed_parts(&new_ring);
+        *self.migration.write() = Some(Arc::new(Migration {
+            old_ring: old,
+            total: changed.len(),
+            pending: Mutex::new(changed.into_iter().collect()),
+        }));
+        *self.ring.write() = Arc::new(new_ring);
+        self.ring_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Topology-op preamble: serialize against other operator ops and
+    /// finish any rebalance already in flight — stacking a second ring
+    /// swap on top of an unfinished migration would lose the old-ring
+    /// fallback for its still-pending partitions.
+    fn topology_guard(&self) -> Result<std::sync::MutexGuard<'_, ()>> {
+        let guard = self.topology.lock();
+        self.migrate_all();
+        if self.migration_active() {
+            return Err(H2Error::Unavailable(
+                "previous rebalance incomplete (devices down?); retry after repair".to_string(),
+            ));
+        }
+        Ok(guard)
+    }
+
+    /// Operator op: add a storage device in `zone` with `weight` and
+    /// rebalance onto it. Returns the new device's id. Only partitions
+    /// whose rendezvous winner changed start migrating (bounded movement);
+    /// reads and writes keep working throughout via the pending-partition
+    /// fallbacks.
+    pub fn add_node(&self, zone: u8, weight: f64) -> Result<DeviceId> {
+        if weight.is_nan() || weight <= 0.0 {
+            return Err(H2Error::Conflict(format!(
+                "device weight must be positive, got {weight}"
+            )));
+        }
+        let _t = self.topology_guard()?;
+        let id = DeviceId(self.nodes.read().len() as u16);
+        let node = Arc::new(StorageNode::with_stripes(id, zone, self.stripes));
+        node.set_fault_injector(self.fault.read().clone());
+        self.nodes.write().push(node);
+        let new_ring = self.ring().rebuild(|b| {
+            b.add_device(id, zone, weight);
+        });
+        self.swap_ring(new_ring);
+        Ok(id)
+    }
+
+    /// Operator op: remove a device from the ring and migrate its
+    /// partitions away. The device object stays addressable (its replicas
+    /// are drained by migration and `repair`, not dropped), it just stops
+    /// being assigned new data.
+    pub fn drain_node(&self, id: DeviceId) -> Result<()> {
+        let _t = self.topology_guard()?;
+        let ring = self.ring();
+        if !ring.devices().iter().any(|d| d.id == id) {
+            return Err(H2Error::NotFound(format!("device {} not in ring", id.0)));
+        }
+        if ring.devices().len() <= ring.replicas() {
+            return Err(H2Error::Conflict(format!(
+                "cannot drain device {}: ring would fall below {} devices",
+                id.0,
+                ring.replicas()
+            )));
+        }
+        let new_ring = ring.rebuild(|b| {
+            b.remove_device(id);
+        });
+        self.swap_ring(new_ring);
+        Ok(())
+    }
+
+    /// Operator op: change a device's weight and rebalance. A weight of 0
+    /// (or below) is an explicit drain request and behaves exactly like
+    /// [`Cluster::drain_node`] — the ring builder rejects non-positive
+    /// weights, and "assigned but weightless" has no useful meaning.
+    pub fn set_weight(&self, id: DeviceId, weight: f64) -> Result<()> {
+        if weight <= 0.0 {
+            return self.drain_node(id);
+        }
+        let _t = self.topology_guard()?;
+        let ring = self.ring();
+        if !ring.devices().iter().any(|d| d.id == id) {
+            return Err(H2Error::NotFound(format!("device {} not in ring", id.0)));
+        }
+        let new_ring = ring.rebuild(|b| {
+            b.set_weight(id, weight);
+        });
+        self.swap_ring(new_ring);
+        Ok(())
+    }
+
+    /// One throttled migrator round: copy-then-flip up to `max_parts`
+    /// pending partitions, lowest partition number first (deterministic).
+    /// Returns how many partitions flipped. A partition only flips once
+    /// every key it holds has its newest version on a quorum of the *new*
+    /// assignment — a partition blocked by down devices stays pending (its
+    /// reads keep falling back to the old assignment) and is retried on a
+    /// later round. When the pending set drains, the migration record is
+    /// dropped and the old ring becomes garbage.
+    pub fn migrate_step(&self, max_parts: usize) -> usize {
+        let Some(mig) = self.migration.read().clone() else {
+            return 0;
+        };
+        let ring = self.ring();
+        let batch: Vec<u64> = {
+            let pending = mig.pending.lock();
+            let mut v: Vec<u64> = pending.iter().copied().collect();
+            v.sort_unstable();
+            v.truncate(max_parts);
+            v
+        };
+        if batch.is_empty() {
+            *self.migration.write() = None;
+            return 0;
+        }
+        // Union of keys anywhere (old assignment included — those devices
+        // may already be out of the new ring), grouped by partition.
+        let batch_set: HashSet<u64> = batch.iter().copied().collect();
+        let mut by_part: HashMap<u64, Vec<String>> = HashMap::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        for n in self.nodes_snapshot() {
+            for key in n.keys() {
+                if !seen.insert(key.clone()) {
+                    continue;
+                }
+                let part = ring.partition_of(key.as_bytes());
+                if batch_set.contains(&part) {
+                    by_part.entry(part).or_default().push(key);
+                }
+            }
+        }
+        let mut flipped = 0usize;
+        for part in batch {
+            let mut keys = by_part.remove(&part).unwrap_or_default();
+            keys.sort_unstable();
+            if self.migrate_partition(&mig, &ring, part, &keys) {
+                mig.pending.lock().remove(&part);
+                self.migration_parts_moved.fetch_add(1, Ordering::Relaxed);
+                flipped += 1;
+            }
+        }
+        if mig.pending.lock().is_empty() {
+            let mut guard = self.migration.write();
+            if guard.as_ref().is_some_and(|m| Arc::ptr_eq(m, &mig)) {
+                *guard = None;
+            }
+        }
+        flipped
+    }
+
+    /// Drive the migrator until it can make no more progress. Returns how
+    /// many partitions flipped. `migration_active()` afterwards means some
+    /// partitions are blocked on unreachable devices.
+    pub fn migrate_all(&self) -> usize {
+        let mut total = 0usize;
+        loop {
+            let n = self.migrate_step(usize::MAX);
+            total += n;
+            if n == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Copy one partition's keys onto the new assignment. Returns whether
+    /// the partition may flip (every key reached quorum on the new
+    /// assignment). Each key is reconciled under its op stripe — the same
+    /// lock client writers hold — so the copy never races a write to the
+    /// same key; writes to *other* keys of the partition land on the new
+    /// assignment directly (plus the dual-apply) and need no copy.
+    fn migrate_partition(&self, mig: &Migration, ring: &Ring, part: u64, keys: &[String]) -> bool {
+        let new_assigned = ring.devices_for_part(part);
+        let old_assigned = mig.old_ring.devices_for_part(part);
+        let quorum = self.cfg.replicas / 2 + 1;
+        let mut can_flip = true;
+        for key in keys {
+            let _guard = self.op_lock(key).lock();
+            // Racing `delete_account`: replicas of a dead account are
+            // garbage, not data to migrate — `repair` purges them.
+            if let Some(account) = key.strip_prefix('/').and_then(|k| k.split('/').next()) {
+                if !self.account_exists(account) {
+                    continue;
+                }
+            }
+            // Newest version across both assignments (incl. tombstones).
+            let mut newest: Option<crate::node::StoredReplica> = None;
+            for &dev in old_assigned.iter().chain(new_assigned) {
+                if let Some(r) = self.node(dev).get_raw(key) {
+                    if newest
+                        .as_ref()
+                        .is_none_or(|b| r.modified_ms > b.modified_ms)
+                    {
+                        newest = Some(r);
+                    }
+                }
+            }
+            let Some(newest) = newest else { continue };
+            let mut holders = 0usize;
+            for &dev in new_assigned {
+                let n = self.node(dev);
+                if n.is_down() {
+                    continue;
+                }
+                if n.get_raw(key).map(|r| r.modified_ms) == Some(newest.modified_ms) {
+                    holders += 1;
+                    continue;
+                }
+                if newest.deleted {
+                    n.delete_repair(key, newest.modified_ms);
+                } else {
+                    n.put_repair(
+                        key,
+                        newest.payload.clone(),
+                        newest.meta.clone(),
+                        newest.modified_ms,
+                        false,
+                    );
+                }
+                self.migration_keys_copied.fetch_add(1, Ordering::Relaxed);
+                holders += 1;
+            }
+            if holders < quorum {
+                can_flip = false;
+            }
+        }
+        can_flip
+    }
+
+    /// Whether a rebalance is still in flight (pending partitions exist).
+    pub fn migration_active(&self) -> bool {
+        self.migration.read().is_some()
+    }
+
+    /// Partitions the active migration started with (0 when idle).
+    pub fn migration_total_parts(&self) -> usize {
+        self.migration.read().as_ref().map_or(0, |m| m.total)
+    }
+
+    /// Pending (not yet flipped) partitions of the active migration.
+    pub fn migration_pending_parts(&self) -> usize {
+        self.migration
+            .read()
+            .as_ref()
+            .map_or(0, |m| m.pending.lock().len())
+    }
+
+    /// Partitions flipped by the migrator so far (across all rebalances).
+    pub fn migration_parts_moved_count(&self) -> u64 {
+        self.migration_parts_moved.load(Ordering::Relaxed)
+    }
+
+    /// Replica copies installed by the migrator so far.
+    pub fn migration_keys_copied_count(&self) -> u64 {
+        self.migration_keys_copied.load(Ordering::Relaxed)
+    }
+
+    /// Reads that extended their handoff scan with a pending partition's
+    /// old assignment.
+    pub fn migration_read_rescue_count(&self) -> u64 {
+        self.migration_read_rescues.load(Ordering::Relaxed)
+    }
+
+    /// Acked writes that also dual-applied to a diverging placement.
+    pub fn migration_dual_write_count(&self) -> u64 {
+        self.migration_dual_writes.load(Ordering::Relaxed)
+    }
+
     // ----- account / container management -------------------------------
 
     pub fn create_account(&self, name: &str) -> Result<()> {
@@ -366,12 +712,36 @@ impl Cluster {
         Ok(())
     }
 
+    /// [`Cluster::create_account`] charging the account-DB row insert to
+    /// the caller's context — what every filesystem model should use on a
+    /// client-facing CREATE-ACCOUNT path (the no-ctx variant is for test
+    /// fixtures and harness setup, which are free by design).
+    pub fn create_account_ctx(&self, ctx: &mut OpCtx, name: &str) -> Result<()> {
+        ctx.charge(PrimKind::DbUpdate, self.cfg.cost.db_update_cost());
+        self.create_account(name)
+    }
+
     /// Delete an account, its containers, and its objects. Replicas on
     /// downed devices are deliberately left in place — a down node cannot
     /// be asked to do anything, exactly as in a real cluster — and are
     /// reconciled by [`Cluster::repair`] once the node returns (repair
     /// purges replicas whose account no longer exists).
     pub fn delete_account(&self, name: &str) -> Result<()> {
+        self.delete_account_impl(name).map(|_| ())
+    }
+
+    /// [`Cluster::delete_account`] charging the account-DB row removal plus
+    /// one DELETE per dropped object to the caller's context.
+    pub fn delete_account_ctx(&self, ctx: &mut OpCtx, name: &str) -> Result<()> {
+        let dropped = self.delete_account_impl(name)?;
+        ctx.charge(PrimKind::DbUpdate, self.cfg.cost.db_update_cost());
+        for _ in 0..dropped {
+            ctx.charge(PrimKind::Delete, self.cfg.cost.delete_cost());
+        }
+        Ok(())
+    }
+
+    fn delete_account_impl(&self, name: &str) -> Result<usize> {
         if !self.accounts.write().remove(name) {
             return Err(H2Error::NoSuchAccount(name.to_string()));
         }
@@ -392,18 +762,21 @@ impl Cluster {
                     .collect::<Vec<_>>()
             })
             .collect();
+        let dropped = doomed.len();
         for key in doomed {
             let _guard = self.op_lock(&key).lock();
             if let Some(size) = self.catalog_shard(&key).write().remove(&key) {
                 self.catalog_bytes.fetch_sub(size, Ordering::Relaxed);
             }
-            for n in &self.nodes {
+            // All nodes, not just ring members: replicas of a mid-migration
+            // key may still sit on drained (ex-ring) devices.
+            for n in self.nodes_snapshot() {
                 if !n.is_down() {
                     n.purge(&key);
                 }
             }
         }
-        Ok(())
+        Ok(dropped)
     }
 
     pub fn account_exists(&self, name: &str) -> bool {
@@ -504,6 +877,7 @@ impl Cluster {
     /// Live replica count per device (balance inspection).
     pub fn device_loads(&self) -> Vec<(DeviceId, usize)> {
         self.nodes
+            .read()
             .iter()
             .map(|n| (n.id(), n.replica_count()))
             .collect()
@@ -571,8 +945,9 @@ impl Cluster {
         cap: Option<usize>,
     ) -> Result<()> {
         let verb = if tombstone { "delete" } else { "put" };
-        let part = self.ring.partition_of(ring_key.as_bytes());
-        let assigned = self.ring.devices_for_part(part);
+        let ring = self.ring();
+        let part = ring.partition_of(ring_key.as_bytes());
+        let assigned = ring.devices_for_part(part);
         let quorum = self.cfg.replicas / 2 + 1;
         let mut placed = 0usize;
         for &dev in assigned {
@@ -599,7 +974,7 @@ impl Cluster {
             }
         }
         if placed < self.cfg.replicas {
-            for dev in self.ring.handoffs(part) {
+            for dev in ring.handoffs(part) {
                 if placed >= self.cfg.replicas || cap.is_some_and(|c| placed >= c) {
                     break;
                 }
@@ -634,6 +1009,55 @@ impl Cluster {
             )));
         }
         if placed >= quorum {
+            // Dual-apply: an acked write must stay readable through a
+            // concurrent rebalance. Two placements can diverge from the
+            // snapshot this call used: (a) the topology swapped mid-call
+            // (re-home onto the *current* assignment), and (b) the key's
+            // partition is still pending migration, so readers may resolve
+            // it through the *old* ring's assignment (old-assignment-as-
+            // handoff). Both checks run after the quorum placement, so a
+            // completed migration can never have scanned past this key
+            // without one of them firing. Repair-path primitives are used
+            // so no extra fault draws are consumed — an acked write stays
+            // acked regardless of the fault plan, and seeded replay stays
+            // byte-identical whether or not a migration is running.
+            let mut extra: Vec<DeviceId> = Vec::new();
+            let cur = self.ring();
+            if !Arc::ptr_eq(&cur, &ring) {
+                for &dev in cur.devices_for_part(part) {
+                    if !assigned.contains(&dev) {
+                        extra.push(dev);
+                    }
+                }
+            }
+            if let Some(mig) = self.migration.read().clone() {
+                if mig.pending.lock().contains(&part) {
+                    for &dev in mig.old_ring.devices_for_part(part) {
+                        if !assigned.contains(&dev) && !extra.contains(&dev) {
+                            extra.push(dev);
+                        }
+                    }
+                }
+            }
+            if !extra.is_empty() {
+                for &dev in &extra {
+                    if tombstone {
+                        self.node(dev).delete_repair(ring_key, ms);
+                    } else {
+                        self.node(dev).put_repair(
+                            ring_key,
+                            payload.clone(),
+                            meta.clone(),
+                            ms,
+                            true,
+                        );
+                    }
+                    ctx.span_instant(STAGE_MIGRATE, verb, || {
+                        vec![("dev", dev.0.to_string()), ("dual", "yes".to_string())]
+                    });
+                }
+                self.migration_dual_writes.fetch_add(1, Ordering::Relaxed);
+            }
             Ok(())
         } else {
             Err(H2Error::Unavailable(format!(
@@ -726,9 +1150,10 @@ impl Cluster {
                 *best = Some(r);
             }
         }
-        let part = self.ring.partition_of(ring_key.as_bytes());
+        let ring = self.ring();
+        let part = ring.partition_of(ring_key.as_bytes());
         let hedged = self.hedged.load(Ordering::Relaxed);
-        let assigned: Vec<DeviceId> = self.ring.devices_for_part(part).to_vec();
+        let assigned: Vec<DeviceId> = ring.devices_for_part(part).to_vec();
         let votes: Vec<ReplicaVote> = if hedged {
             // All assigned probes go out as one wave: the read waits for
             // the slowest probe of the wave, not their sum.
@@ -804,7 +1229,30 @@ impl Cluster {
                     "assigned replicas missing or disagreeing".to_string()
                 }
             });
-            let handoffs: Vec<DeviceId> = self.ring.handoffs(part);
+            let mut handoffs: Vec<DeviceId> = ring.handoffs(part);
+            // Migration handoff rescue: while this partition is pending,
+            // the authoritative copies may still sit only on the *old*
+            // ring's assigned devices (and those devices may have left the
+            // new ring entirely, e.g. a drain). Extend the scan with the
+            // old assignment so a read issued between the ring swap and
+            // the partition's copy-then-flip never misses an acked write.
+            if let Some(mig) = self.migration.read().clone() {
+                if mig.pending.lock().contains(&part) {
+                    let mut rescued = false;
+                    for &dev in mig.old_ring.devices_for_part(part) {
+                        if !assigned.contains(&dev) && !handoffs.contains(&dev) {
+                            handoffs.push(dev);
+                            rescued = true;
+                        }
+                    }
+                    if rescued {
+                        self.migration_read_rescues.fetch_add(1, Ordering::Relaxed);
+                        ctx.span_note("migrate", || {
+                            format!("part {part} pending; old assignment scanned as handoff")
+                        });
+                    }
+                }
+            }
             if hedged && !handoffs.is_empty() {
                 // Hedge: the fallback probes fan out as their own wave
                 // instead of serialising after the assigned ones.
@@ -964,9 +1412,14 @@ impl Cluster {
     /// racing newer write is never removed or resurrected.
     pub fn repair(&self) -> usize {
         let mut moved = 0usize;
+        let ring = self.ring();
+        // All nodes, not just current ring members: drained (ex-ring)
+        // devices may still hold replicas from before their drain, and
+        // those must be found, re-homed, and eventually purged.
+        let nodes = self.nodes_snapshot();
         // Collect the union of keys present anywhere.
         let mut keys: HashSet<String> = HashSet::new();
-        for n in &self.nodes {
+        for n in &nodes {
             if !n.is_down() {
                 keys.extend(n.keys());
             }
@@ -977,7 +1430,7 @@ impl Cluster {
             // down during `delete_account`; drop them once reachable.
             if let Some(account) = key.strip_prefix('/').and_then(|k| k.split('/').next()) {
                 if !self.account_exists(account) {
-                    for n in &self.nodes {
+                    for n in &nodes {
                         if !n.is_down() && n.get_raw(&key).is_some() {
                             n.purge(&key);
                             moved += 1;
@@ -986,15 +1439,14 @@ impl Cluster {
                     continue;
                 }
             }
-            let part = self.ring.partition_of(key.as_bytes());
-            let assigned: Vec<DeviceId> = self.ring.devices_for_part(part).to_vec();
+            let part = ring.partition_of(key.as_bytes());
+            let assigned: Vec<DeviceId> = ring.devices_for_part(part).to_vec();
             // Find newest version anywhere reachable (incl. tombstones).
+            // Scan every node — ring handoffs cover all in-ring devices,
+            // but a drained device outside the ring can hold the newest
+            // copy (e.g. it was drained right after taking a write).
             let mut newest: Option<crate::node::StoredReplica> = None;
-            let all_devs: Vec<DeviceId> = assigned
-                .iter()
-                .copied()
-                .chain(self.ring.handoffs(part))
-                .collect();
+            let all_devs: Vec<DeviceId> = nodes.iter().map(|n| n.id()).collect();
             for &dev in &all_devs {
                 if let Some(r) = self.node(dev).get_raw(&key) {
                     if newest
@@ -1056,7 +1508,7 @@ impl Cluster {
                     || self.node(d).get_raw(&key).map(|r| r.modified_ms) == Some(newest.modified_ms)
             });
             if all_assigned_have {
-                for dev in self.ring.handoffs(part) {
+                for &dev in all_devs.iter().filter(|d| !assigned.contains(d)) {
                     let n = self.node(dev);
                     if !n.is_down() && n.purge_upto(&key, newest.modified_ms) {
                         moved += 1;
@@ -1485,10 +1937,10 @@ mod tests {
             .unwrap();
         c.delete(&mut ctx, &key("f")).unwrap();
         // Tombstones still occupy device maps until repair.
-        let before: usize = c.nodes.iter().map(|n| n.keys().len()).sum();
+        let before: usize = c.nodes_snapshot().iter().map(|n| n.keys().len()).sum();
         assert!(before > 0);
         c.repair();
-        let after: usize = c.nodes.iter().map(|n| n.keys().len()).sum();
+        let after: usize = c.nodes_snapshot().iter().map(|n| n.keys().len()).sum();
         assert_eq!(after, 0);
         assert!(c.get(&mut ctx, &key("f")).is_err());
     }
@@ -1884,5 +2336,249 @@ mod tests {
                 "acked write r{i} lost"
             );
         }
+    }
+
+    // ----- elastic topology ------------------------------------------------
+
+    fn populate(c: &Cluster, n: usize) -> Vec<ObjectKey> {
+        let mut ctx = OpCtx::for_test();
+        (0..n)
+            .map(|i| {
+                let k = key(&format!("mig/f{i}"));
+                c.put(
+                    &mut ctx,
+                    &k,
+                    Payload::from_string(format!("body-{i}")),
+                    Meta::new(),
+                )
+                .unwrap();
+                k
+            })
+            .collect()
+    }
+
+    fn assert_all_readable(c: &Cluster, keys: &[ObjectKey]) {
+        let mut ctx = OpCtx::for_test();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                c.get(&mut ctx, k).unwrap().payload.as_str(),
+                Some(format!("body-{i}").as_str()),
+                "key {} unreadable",
+                k.ring_key()
+            );
+        }
+    }
+
+    #[test]
+    fn add_node_migrates_and_everything_stays_readable() {
+        let c = cluster();
+        let keys = populate(&c, 60);
+        let id = c.add_node(9, 1.0).unwrap();
+        assert_eq!(id, DeviceId(8));
+        assert!(c.migration_active());
+        let total = c.migration_total_parts();
+        assert!(total > 0, "adding a device must move some partitions");
+        // Mid-migration reads work (old assignment serves as handoff).
+        assert_all_readable(&c, &keys);
+        // Throttled steps make monotone progress until done.
+        let mut flipped = 0;
+        while c.migration_active() {
+            let n = c.migrate_step(8);
+            assert!(n > 0, "migrator stalled with no down devices");
+            flipped += n;
+        }
+        assert_eq!(flipped, total);
+        assert_eq!(c.migration_parts_moved_count(), total as u64);
+        assert_all_readable(&c, &keys);
+        // Repair drops the now-redundant old-assignment copies, after
+        // which the new device actually holds data.
+        c.repair();
+        assert_all_readable(&c, &keys);
+        let loads = c.device_loads();
+        assert!(
+            loads.iter().any(|&(d, n)| d == id && n > 0),
+            "new device took no replicas: {loads:?}"
+        );
+        // Replica population is exactly replicas-per-object again.
+        let total_replicas: usize = loads.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total_replicas, keys.len() * 3);
+    }
+
+    #[test]
+    fn drain_node_rescues_sole_reachable_replica() {
+        let c = cluster();
+        let keys = populate(&c, 40);
+        // Pick a victim device and a key assigned to it; take the key's
+        // *other* assigned devices down so the victim holds the only
+        // reachable replica, then drain the victim.
+        let victim = DeviceId(3);
+        let ring = c.ring();
+        let probe = keys
+            .iter()
+            .find(|k| {
+                ring.devices_for_part(ring.partition_of(k.ring_key().as_bytes()))
+                    .contains(&victim)
+            })
+            .expect("some key lands on the victim");
+        let part = ring.partition_of(probe.ring_key().as_bytes());
+        let others: Vec<DeviceId> = ring
+            .devices_for_part(part)
+            .iter()
+            .copied()
+            .filter(|&d| d != victim)
+            .collect();
+        for &d in &others {
+            c.set_node_down(d, true);
+        }
+        c.drain_node(victim).unwrap();
+        // The partition cannot flip to quorum while the other replicas
+        // are down on the *new* assignment too... but whatever happens,
+        // the data stays readable: pending partitions fall back to the
+        // old assignment, where the victim still answers.
+        c.migrate_all();
+        let mut ctx = OpCtx::for_test();
+        let idx = keys.iter().position(|k| k == probe).unwrap();
+        assert_eq!(
+            c.get(&mut ctx, probe).unwrap().payload.as_str(),
+            Some(format!("body-{idx}").as_str()),
+            "sole-replica key lost during drain"
+        );
+        assert!(
+            c.migration_read_rescue_count() > 0,
+            "read should have scanned the old assignment"
+        );
+        // Nodes return; migration completes; victim fully drained.
+        for &d in &others {
+            c.set_node_down(d, false);
+        }
+        c.migrate_all();
+        assert!(!c.migration_active());
+        c.repair();
+        assert_all_readable(&c, &keys);
+        let loads = c.device_loads();
+        assert_eq!(
+            loads.iter().find(|&&(d, _)| d == victim).unwrap().1,
+            0,
+            "drained device still holds replicas: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn set_weight_zero_is_a_drain_and_rejects_unknown_devices() {
+        let c = cluster();
+        let keys = populate(&c, 20);
+        c.set_weight(DeviceId(5), 0.0).unwrap();
+        assert!(!c.ring().devices().iter().any(|d| d.id == DeviceId(5)));
+        c.migrate_all();
+        assert!(!c.migration_active());
+        c.repair();
+        assert_all_readable(&c, &keys);
+        // A second drain of the same device: no longer in the ring.
+        assert_eq!(c.drain_node(DeviceId(5)).unwrap_err().code(), "not-found");
+        assert_eq!(
+            c.set_weight(DeviceId(5), 2.0).unwrap_err().code(),
+            "not-found"
+        );
+        // Re-weighting an in-ring device rebalances without data loss.
+        c.set_weight(DeviceId(0), 3.0).unwrap();
+        c.migrate_all();
+        c.repair();
+        assert_all_readable(&c, &keys);
+    }
+
+    #[test]
+    fn drain_below_replica_count_is_rejected() {
+        let c = Cluster::new(ClusterConfig {
+            nodes: 3,
+            replicas: 3,
+            part_power: 6,
+            cost: Arc::new(CostModel::zero()),
+            faults: None,
+        });
+        assert_eq!(c.drain_node(DeviceId(0)).unwrap_err().code(), "conflict");
+        assert_eq!(c.add_node(7, -1.0).unwrap_err().code(), "conflict");
+    }
+
+    #[test]
+    fn add_then_immediately_drain_round_trips() {
+        let c = cluster();
+        let keys = populate(&c, 30);
+        let id = c.add_node(9, 2.0).unwrap();
+        // Drain it again before a single migration step ran: the drain
+        // first completes the in-flight migration, then swaps back.
+        c.drain_node(id).unwrap();
+        c.migrate_all();
+        assert!(!c.migration_active());
+        c.repair();
+        assert_all_readable(&c, &keys);
+        let loads = c.device_loads();
+        assert_eq!(loads.iter().find(|&&(d, _)| d == id).unwrap().1, 0);
+        // Back to the original topology: replica population intact.
+        let total_replicas: usize = loads.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total_replicas, keys.len() * 3);
+    }
+
+    #[test]
+    fn migration_racing_delete_account_leaves_no_garbage() {
+        let c = cluster();
+        let keys = populate(&c, 30);
+        let id = c.add_node(9, 1.5).unwrap();
+        // Flip a few partitions, then delete the account mid-migration.
+        c.migrate_step(4);
+        let mut ctx = OpCtx::for_test();
+        c.delete_account("alice").unwrap();
+        // Remaining steps must not resurrect the dead account's objects.
+        c.migrate_all();
+        assert!(!c.migration_active());
+        c.repair();
+        for k in &keys {
+            assert!(c.get(&mut ctx, k).is_err(), "{} resurrected", k.ring_key());
+        }
+        let loads = c.device_loads();
+        let total_replicas: usize = loads.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total_replicas, 0, "orphan replicas survive: {loads:?}");
+        let _ = id;
+    }
+
+    #[test]
+    fn writes_during_migration_dual_apply_and_survive_flip() {
+        let c = cluster();
+        let mut keys = populate(&c, 30);
+        c.add_node(9, 1.0).unwrap();
+        assert!(c.migration_active());
+        // Write fresh keys while partitions are pending; some will land
+        // on pending partitions and dual-apply to the old assignment.
+        let mut ctx = OpCtx::for_test();
+        for i in 30..60 {
+            let k = key(&format!("mig/f{i}"));
+            c.put(
+                &mut ctx,
+                &k,
+                Payload::from_string(format!("body-{i}")),
+                Meta::new(),
+            )
+            .unwrap();
+            keys.push(k);
+            if i % 7 == 0 {
+                c.migrate_step(2);
+            }
+        }
+        c.migrate_all();
+        c.repair();
+        assert_all_readable(&c, &keys);
+    }
+
+    #[test]
+    fn topology_swap_bumps_ring_epoch() {
+        let c = cluster();
+        assert_eq!(c.ring_epoch(), 0);
+        let id = c.add_node(4, 1.0).unwrap();
+        assert_eq!(c.ring_epoch(), 1);
+        c.migrate_all();
+        c.set_weight(id, 0.5).unwrap();
+        assert_eq!(c.ring_epoch(), 2);
+        c.migrate_all();
+        c.drain_node(id).unwrap();
+        assert_eq!(c.ring_epoch(), 3);
     }
 }

@@ -25,6 +25,7 @@ pub mod object;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use container::{ContainerIndex, IndexRecord, ListEntry, ListOptions};
+pub use h2ring::DeviceId;
 pub use node::{ReplicaProbe, StorageNode};
 pub use object::{Meta, Object, ObjectInfo, ObjectKey, Payload};
 

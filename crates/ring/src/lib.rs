@@ -110,6 +110,19 @@ impl RingBuilder {
         &self.devices
     }
 
+    /// Builder seeded from an existing ring's topology, for incremental
+    /// rebuilds: same partition space and replica count, same devices.
+    /// Mutate (add/remove/re-weight devices) and [`RingBuilder::build`] to
+    /// get the successor ring; [`Ring::changed_parts`] then tells exactly
+    /// which partitions must migrate.
+    pub fn from_ring(ring: &Ring) -> Self {
+        RingBuilder {
+            part_power: ring.part_power,
+            replicas: ring.replicas,
+            devices: ring.devices.clone(),
+        }
+    }
+
     /// Materialise the placement table.
     pub fn build(&self) -> Ring {
         assert!(
@@ -244,9 +257,21 @@ impl Ring {
             .collect()
     }
 
-    /// Number of partitions whose replica set (first `min` rows) differs
-    /// between two rings — used to verify the minimal-movement property.
-    pub fn moved_partitions(&self, other: &Ring) -> usize {
+    /// Weighted rebuild: clone this ring's topology, apply the operator's
+    /// mutation (add/remove/re-weight devices) and materialise the
+    /// successor ring. Rendezvous scores of untouched devices never change,
+    /// so only partitions whose winner set involves a touched device move —
+    /// the bounded-movement property the live migrator relies on.
+    pub fn rebuild(&self, mutate: impl FnOnce(&mut RingBuilder)) -> Ring {
+        let mut b = RingBuilder::from_ring(self);
+        mutate(&mut b);
+        b.build()
+    }
+
+    /// Partitions whose replica set (first `min(replicas)` rows) differs
+    /// between two rings, ascending — exactly the partitions a rebalance
+    /// must migrate.
+    pub fn changed_parts(&self, other: &Ring) -> Vec<u64> {
         assert_eq!(self.part_power, other.part_power);
         let r = self.replicas.min(other.replicas);
         (0..self.partitions() as u64)
@@ -255,7 +280,13 @@ impl Ring {
                 let b = other.devices_for_part(p);
                 a[..r] != b[..r]
             })
-            .count()
+            .collect()
+    }
+
+    /// Number of partitions whose replica set (first `min` rows) differs
+    /// between two rings — used to verify the minimal-movement property.
+    pub fn moved_partitions(&self, other: &Ring) -> usize {
+        self.changed_parts(other).len()
     }
 
     /// Partition count per device (primaries only, or across all replica
@@ -411,6 +442,93 @@ mod tests {
         let mut b = RingBuilder::new(8, 3);
         b.add_device(DeviceId(0), 0, 1.0);
         b.build();
+    }
+
+    /// Core bounded-movement property: across add / remove / re-weight
+    /// rebuilds, every changed partition involves the touched device in its
+    /// old or new replica set — no collateral movement — and the moved
+    /// fraction is bounded by the touched device's share of total weight
+    /// (times the replica count, with slack for zone-preference shifts).
+    #[test]
+    fn rebuild_moves_only_changed_winner_partitions() {
+        let check = |old: &Ring, new: &Ring, touched: DeviceId, share: f64| {
+            let changed = old.changed_parts(new);
+            for &p in &changed {
+                let in_old = old.devices_for_part(p).contains(&touched);
+                let in_new = new.devices().iter().any(|d| d.id == touched)
+                    && new.devices_for_part(p).contains(&touched);
+                assert!(
+                    in_old || in_new,
+                    "partition {p} moved without involving {touched}"
+                );
+            }
+            let moved = changed.len() as f64 / old.partitions() as f64;
+            let bound = (old.replicas() as f64 * share * 3.0).min(1.0);
+            assert!(
+                moved <= bound,
+                "moved {moved:.3} of partitions, bound {bound:.3} for share {share:.3}"
+            );
+        };
+        for (n_dev, zones, replicas) in [(8u16, 8u8, 3usize), (6, 3, 3), (9, 9, 1), (5, 5, 2)] {
+            let old = builder(n_dev, zones, 12, replicas).build();
+            let total: f64 = old.devices().iter().map(|d| d.weight).sum();
+
+            // Add a device (fresh zone and shared zone).
+            for zone in [zones, 0] {
+                let new = old.rebuild(|b| {
+                    b.add_device(DeviceId(100), zone, 1.0);
+                });
+                check(&old, &new, DeviceId(100), 1.0 / (total + 1.0));
+            }
+
+            // Remove one device (only if enough remain for the replicas).
+            if n_dev as usize > replicas {
+                let new = old.rebuild(|b| {
+                    assert!(b.remove_device(DeviceId(2)));
+                });
+                // A removed device's partitions must all move; its share of
+                // *rows* is what bounds the movement.
+                check(&old, &new, DeviceId(2), 1.0 / total);
+            }
+
+            // Re-weight up and down.
+            for w in [2.5, 0.4] {
+                let new = old.rebuild(|b| {
+                    assert!(b.set_weight(DeviceId(1), w));
+                });
+                let delta = (w - 1.0).abs() / (total - 1.0 + w);
+                // Weight-change movement tracks the share delta; keep a
+                // floor on the bound so tiny deltas tolerate hash noise.
+                check(&old, &new, DeviceId(1), delta.max(0.08));
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_is_identity_when_nothing_changes() {
+        let old = builder(8, 8, 10, 3).build();
+        let new = old.rebuild(|_| {});
+        assert_eq!(old.moved_partitions(&new), 0);
+        assert!(old.changed_parts(&new).is_empty());
+        assert_eq!(new.part_power(), old.part_power());
+        assert_eq!(new.replicas(), old.replicas());
+    }
+
+    #[test]
+    fn changed_parts_matches_moved_partitions_and_is_sorted() {
+        let old = builder(8, 8, 10, 3).build();
+        let new = old.rebuild(|b| {
+            b.add_device(DeviceId(42), 3, 2.0);
+        });
+        let changed = old.changed_parts(&new);
+        assert_eq!(changed.len(), old.moved_partitions(&new));
+        assert!(changed.windows(2).all(|w| w[0] < w[1]), "not ascending");
+        // Every listed partition genuinely differs; every unlisted one is
+        // identical.
+        for p in 0..old.partitions() as u64 {
+            let differs = old.devices_for_part(p) != new.devices_for_part(p);
+            assert_eq!(differs, changed.binary_search(&p).is_ok(), "part {p}");
+        }
     }
 
     #[test]

@@ -100,6 +100,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.clear();
         self.recency.clear();
     }
+
+    /// Iterate over the cached keys (arbitrary order, recency untouched).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,21 @@ pub const STAGE_REPLICA: &str = "replica";
 pub const STAGE_MERGE: &str = "merge";
 /// Stage label for gossip application hops.
 pub const STAGE_GOSSIP: &str = "gossip";
+/// Stage label for live-rebalance migration work (per-partition
+/// copy-then-flip by the cluster's background migrator).
+pub const STAGE_MIGRATE: &str = "migrate";
+
+/// Counter: partitions the migrator has flipped to their new assignment.
+pub const MIGRATION_PARTS_MOVED: &str = "migration_parts_moved";
+/// Counter: object replicas the migrator copied onto newly assigned
+/// devices.
+pub const MIGRATION_KEYS_COPIED: &str = "migration_keys_copied";
+/// Counter: reads during a rebalance that were rescued by consulting the
+/// *old* ring's assignment as handoffs (data not yet flipped).
+pub const MIGRATION_READ_RESCUES: &str = "migration_read_rescues";
+/// Counter: writes dual-applied to the old assignment while their
+/// partition was still pending migration.
+pub const MIGRATION_DUAL_WRITES: &str = "migration_dual_writes";
 
 /// Histogram fed from closed `mw` ring/patch/descriptor spans.
 pub const STAGE_RING_MS: &str = "stage_ring_ms";

@@ -61,6 +61,15 @@ struct ChaosOutcome {
 /// error, slowdown and replica-fault probabilities; torn writes run at half
 /// of it.
 fn run_chaos(seed: u64, rate: f64) -> ChaosOutcome {
+    run_chaos_with(seed, rate, false)
+}
+
+/// [`run_chaos`] with an optional live rebalance woven through the fault
+/// window: a device is added a third of the way in (migrator throttled to a
+/// few partitions per op, so most of the run works against a
+/// partially-moved ring) and a founding device is drained two thirds in —
+/// all while errors, torn writes and replica faults are being injected.
+fn run_chaos_with(seed: u64, rate: f64, rebalance: bool) -> ChaosOutcome {
     let fs = h2();
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();
@@ -83,7 +92,28 @@ fn run_chaos(seed: u64, rate: f64) -> ChaosOutcome {
     // to the set of values it may legally hold.
     let mut possible: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
     let mut acks: Vec<(String, bool)> = Vec::new();
+    let mut drained = false;
     for i in 0..120usize {
+        if rebalance {
+            if i == 40 {
+                // Swap the ring under fire but do NOT finish the migration:
+                // the following ops interleave with pending partitions.
+                fs.cluster().add_node(0, 1.0).unwrap();
+            }
+            if i == 80 {
+                // Finish what the add started (replica faults may leave
+                // blocked partitions behind; they stay pending and reads
+                // fall back to the old assignment), then drain device 0.
+                fs.cluster().migrate_all();
+                if !fs.cluster().migration_active() {
+                    fs.cluster().drain_node(swiftsim::DeviceId(0)).unwrap();
+                    drained = true;
+                }
+            }
+            if i > 40 {
+                fs.cluster().migrate_step(4);
+            }
+        }
         let slot = i % 24;
         let mw = slot % 3;
         let name = format!("f{slot:02}");
@@ -127,6 +157,20 @@ fn run_chaos(seed: u64, rate: f64) -> ChaosOutcome {
 
     // Clean phase: no more injection, drain maintenance, repair replicas.
     fs.cluster().set_fault_plan(None);
+    if rebalance {
+        // With the injector off every partition can move; the drain that a
+        // blocked migration deferred mid-run lands now.
+        fs.cluster().migrate_all();
+        if !drained {
+            fs.cluster().drain_node(swiftsim::DeviceId(0)).unwrap();
+            fs.cluster().migrate_all();
+        }
+        assert!(
+            !fs.cluster().migration_active(),
+            "migration must complete once faults clear (seed {seed})"
+        );
+        fs.layer().resync().unwrap();
+    }
     fs.quiesce();
     fs.cluster().repair();
 
@@ -284,6 +328,84 @@ fn traced_chaos_run_exports_valid_chrome_trace() {
         assert!(braces >= 0 && brackets >= 0, "negative nesting");
     }
     assert_eq!((braces, brackets, in_str), (0, 0, false), "unbalanced JSON");
+}
+
+#[test]
+fn chaos_with_live_rebalance_at_five_percent_loses_no_acks() {
+    // The tentpole property: a live rebalance (add + throttled migration +
+    // drain) woven through a 5% fault window must not lose a single
+    // acknowledged operation — run_chaos_with asserts acked state ==
+    // converged state on every middleware. The counters prove the run
+    // actually exercised the moving ring rather than racing past it.
+    let out = run_chaos_with(0x5CA1E, 0.05, true);
+    assert!(out.faults.errors + out.faults.replica_errors > 0, "{out:?}");
+    assert_eq!(out.gave_up, 0, "{out:?}");
+    assert!(!out.listing.is_empty());
+}
+
+#[test]
+fn chaos_rebalance_replays_byte_identically_from_its_seed() {
+    // Migration copies use the repair path (no injector draws), so a live
+    // rebalance must not perturb the deterministic replay guarantee.
+    let a = run_chaos_with(0xB07ED, 0.05, true);
+    let b = run_chaos_with(0xB07ED, 0.05, true);
+    assert_eq!(a, b, "same seed + same rebalance must replay exactly");
+}
+
+#[test]
+fn fault_window_then_resync_reconverges_without_writes() {
+    // Regression for the post-fault re-convergence gap: gossip dropped
+    // during a fault window used to leave a middleware's untouched rings
+    // stale FOREVER — nothing would ever re-announce them, and the old
+    // workaround was to write fresh data into every directory just to force
+    // a re-flood. The anti-entropy sweep (`H2Layer::resync`) must close the
+    // gap with no new writes at all.
+    let fs = h2();
+    let mut ctx = OpCtx::for_test();
+    fs.create_account(&mut ctx, "team").unwrap();
+    for d in ["a", "b", "c"] {
+        fs.mkdir(&mut ctx, "team", &p(&format!("/{d}"))).unwrap();
+    }
+    fs.quiesce();
+    // Fault window: each middleware writes into its own directory while a
+    // third of gossip is dropped and replicas misbehave.
+    fs.cluster()
+        .set_fault_plan(Some(FaultPlan::uniform(0x57A1E, FaultSpec::errors(0.05))));
+    for (i, d) in ["a", "b", "c"].iter().enumerate() {
+        for f in 0..4 {
+            let mut c = OpCtx::for_test();
+            fs.via(i)
+                .write(
+                    &mut c,
+                    "team",
+                    &p(&format!("/{d}/f{f}")),
+                    FileContent::from_str(&format!("{d}{f}")),
+                )
+                .unwrap();
+        }
+        let _ = fs.layer().pump_with_faults(h2cloud::layer::GossipFaults {
+            drop_every: 3,
+            duplicate_every: 4,
+        });
+    }
+    fs.cluster().set_fault_plan(None);
+    // No writes from here on: the sweep alone must reconverge every view.
+    fs.layer().resync().unwrap();
+    let mut c = OpCtx::for_test();
+    let reference = fs.via(0).list(&mut c, "team", &p("/")).unwrap();
+    assert_eq!(reference, vec!["a", "b", "c"]);
+    for mw in 0..3 {
+        for d in ["a", "b", "c"] {
+            let mut c = OpCtx::for_test();
+            assert_eq!(
+                fs.via(mw)
+                    .list(&mut c, "team", &p(&format!("/{d}")))
+                    .unwrap(),
+                vec!["f0", "f1", "f2", "f3"],
+                "middleware {mw} still stale on /{d} after resync"
+            );
+        }
+    }
 }
 
 #[test]

@@ -413,6 +413,78 @@ proptest! {
             prop_assert_eq!(st.size, size);
         }
     }
+
+    #[test]
+    fn mid_workload_rebalance_is_observably_transparent(
+        ops in prop::collection::vec(arb_op(), 8..60)
+    ) {
+        // Same random sequence against a topology-stable instance and one
+        // whose ring is rebalanced LIVE mid-sequence: a device is added a
+        // third of the way in with the migrator deliberately throttled (a
+        // few partitions per client op, so most ops run against a
+        // partially-moved ring), and a founding device is drained two
+        // thirds of the way in. Placement is the one thing a filesystem
+        // client must never observe: every ack, every error class and the
+        // final tree must match the stable instance's exactly.
+        let moving = h2_deferred(0, 0.0);
+        let stable = h2_deferred(0, 0.0);
+        let mut ctx = OpCtx::for_test();
+        moving.create_account(&mut ctx, "u").unwrap();
+        stable.create_account(&mut ctx, "u").unwrap();
+
+        let add_at = ops.len() / 3;
+        let drain_at = 2 * ops.len() / 3;
+        for (i, op) in ops.iter().enumerate() {
+            if i == add_at {
+                // Swap the ring but do NOT finish the migration: the next
+                // stretch of ops interleaves with pending partitions,
+                // exercising dual-apply writes and old-assignment reads.
+                moving.cluster().add_node(0, 1.0).unwrap();
+            }
+            if i == drain_at {
+                moving.cluster().migrate_all();
+                moving.layer().drain_node(0, 4).unwrap();
+            }
+            let on_moving = Trace::apply_fs(&moving, &mut ctx, "u", op);
+            let on_stable = Trace::apply_fs(&stable, &mut ctx, "u", op);
+            match (&on_moving, &on_stable) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.class(), b.class(),
+                    "{:?}: moving={} stable={}", op, a, b
+                ),
+                _ => prop_assert!(
+                    false,
+                    "{:?} diverged: moving={:?} stable={:?}", op, on_moving, on_stable
+                ),
+            }
+            // Trickle the migrator between ops, a few partitions at a time.
+            if i > add_at {
+                moving.cluster().migrate_step(4);
+            }
+            if i % 5 == 4 {
+                moving.layer().pump().unwrap();
+                stable.layer().pump().unwrap();
+            }
+        }
+
+        // Let movement finish, then settle both instances.
+        moving.cluster().migrate_all();
+        prop_assert!(
+            !moving.cluster().migration_active(),
+            "healthy devices only — migration must complete"
+        );
+        moving.layer().resync().unwrap();
+        moving.quiesce();
+        stable.quiesce();
+        prop_assert_eq!(
+            tree_snapshot(&moving, "u"),
+            tree_snapshot(&stable, "u"),
+            "live rebalance changed the observable filesystem"
+        );
+        let report = fsck(&moving, &mut ctx, "u").unwrap();
+        prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
+    }
 }
 
 #[test]
@@ -530,24 +602,16 @@ fn read_path_caches_lose_nothing_under_5pct_faults() {
     // Convergence point: with the ring cache on, a middleware that lost a
     // gossip message serves its cached ring until the next message for
     // that ring arrives (the documented cache trade-off — true with or
-    // without the path cache). Touch every ring once so the clean pump
-    // re-floods full ring state; after it, every middleware must agree no
-    // matter which earlier messages the lossy rounds dropped.
+    // without the path cache). The anti-entropy sweep closes exactly that
+    // gap: every middleware re-fetches each ring it holds state for, joins
+    // its local overlay, and re-floods the merged result — no fresh writes
+    // needed to nudge untouched rings back into circulation.
     for fs in [&opt, &plain] {
-        fs.via(0)
-            .mkdir(&mut ctx, "u", &FsPath::parse("/d").unwrap())
-            .unwrap();
-        for (i, d) in ["a", "b", "c"].iter().enumerate() {
-            let file = FsPath::parse(&format!("/{d}/f4")).unwrap();
-            fs.via(i)
-                .write(&mut ctx, "u", &file, h2fsapi::FileContent::Simulated(64))
-                .unwrap();
-        }
-        fs.layer().pump().unwrap();
+        fs.layer().resync().unwrap();
     }
 
     let want = tree_snapshot(&plain, "u");
-    assert_eq!(want.len(), 4 + 15, "plain instance lost writes");
+    assert_eq!(want.len(), 3 + 12, "plain instance lost writes");
     assert_eq!(
         tree_snapshot(&opt, "u"),
         want,
