@@ -498,6 +498,9 @@ impl CloudFs for CumulusFs {
             let payload = match content {
                 FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
                 FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
+                FileContent::SimulatedShared { size, seed } => {
+                    Payload::simulated(size, &format!("shared:{seed}"))
+                }
             };
             self.cluster
                 .put(ctx, &self.seg_key(account, seg, item), payload, Meta::new())?;

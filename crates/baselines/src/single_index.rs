@@ -320,6 +320,9 @@ impl CloudFs for SingleIndexFs {
         let payload = match content {
             FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
             FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
+            FileContent::SimulatedShared { size, seed } => {
+                Payload::simulated(size, &format!("shared:{seed}"))
+            }
         };
         let size = payload.len();
         self.cluster

@@ -416,6 +416,9 @@ impl CloudFs for SwiftFs {
         let payload = match content {
             FileContent::Inline(v) => Payload::Inline(v.into_bytes()),
             FileContent::Simulated(n) => Payload::simulated(n, &path.to_string()),
+            FileContent::SimulatedShared { size, seed } => {
+                Payload::simulated(size, &format!("shared:{seed}"))
+            }
         };
         let mut meta = Meta::new();
         meta.insert("content-type".into(), "application/octet-stream".into());

@@ -329,6 +329,111 @@ pub fn abl_lookup() -> ExpTable {
     t
 }
 
+/// A8 — the content-addressed content plane: the same shared-content
+/// ingest (several users uploading the same release artifacts, plus some
+/// unique files each) with the CAS plane off vs on, forced at runtime so
+/// the table is comparable regardless of the compiled `cas` default.
+pub fn abl_dedup() -> ExpTable {
+    const USERS: usize = 4;
+    const SHARED_FILES: usize = 6;
+    const UNIQUE_FILES: usize = 4;
+    const SHARED_BYTES: u64 = 3 << 20;
+    const UNIQUE_BYTES: u64 = 1 << 20;
+    let mut t = ExpTable::new(
+        "abl-dedup",
+        "content plane: 4 users upload the same 6 x 3 MiB artifacts (+4 x 1 MiB unique each), cas off vs on",
+    );
+    t.headers = vec![
+        "cas".into(),
+        "logical MiB".into(),
+        "blocks written".into(),
+        "blocks shared".into(),
+        "dedup MiB saved".into(),
+        "mean WRITE".into(),
+        "mean READ".into(),
+    ];
+    for cas in [false, true] {
+        let fs = H2Cloud::new(H2Config {
+            middlewares: 1,
+            mode: MaintenanceMode::Eager,
+            cluster: ClusterConfig::default(),
+            cache_capacity: 0,
+            trace_sample: 0.0,
+            cas,
+            ..H2Config::default()
+        });
+        let cost = fs.cost_model();
+        let mut logical = 0u64;
+        let mut write_total = std::time::Duration::ZERO;
+        let mut read_total = std::time::Duration::ZERO;
+        let mut writes = 0u32;
+        let mut reads = 0u32;
+        for u in 0..USERS {
+            let account = format!("user{u}");
+            let mut setup = OpCtx::new(cost.clone());
+            fs.create_account(&mut setup, &account).expect("account"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+            for i in 0..SHARED_FILES {
+                let mut ctx = OpCtx::new(cost.clone());
+                fs.write(
+                    &mut ctx,
+                    &account,
+                    &p(&format!("/pkg{i}.tar")),
+                    FileContent::SimulatedShared {
+                        size: SHARED_BYTES,
+                        seed: i as u64,
+                    },
+                )
+                .expect("write"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+                write_total += ctx.elapsed();
+                writes += 1;
+                logical += SHARED_BYTES;
+            }
+            for i in 0..UNIQUE_FILES {
+                let mut ctx = OpCtx::new(cost.clone());
+                fs.write(
+                    &mut ctx,
+                    &account,
+                    &p(&format!("/home{i}.dat")),
+                    FileContent::Simulated(UNIQUE_BYTES),
+                )
+                .expect("write"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+                write_total += ctx.elapsed();
+                writes += 1;
+                logical += UNIQUE_BYTES;
+            }
+            // Read everything back so the table also prices reassembly.
+            for i in 0..SHARED_FILES {
+                let mut ctx = OpCtx::new(cost.clone());
+                fs.read(&mut ctx, &account, &p(&format!("/pkg{i}.tar")))
+                    .expect("read"); // h2lint: allow(panic-safety): bench harness fails fast; the cluster is healthy by construction
+                read_total += ctx.elapsed();
+                reads += 1;
+            }
+        }
+        fs.quiesce();
+        let c = fs.cluster();
+        t.rows.push(vec![
+            if cas { "on" } else { "off" }.into(),
+            format!("{:.0}", logical as f64 / (1 << 20) as f64),
+            c.cas_blocks_written_count().to_string(),
+            c.cas_blocks_shared_count().to_string(),
+            format!(
+                "{:.0}",
+                c.dedup_bytes_saved_count() as f64 / (1 << 20) as f64
+            ),
+            ms(write_total / writes),
+            ms(read_total / reads),
+        ]);
+    }
+    t.notes.push(
+        "identical uploads collapse to refcount bumps on the CAS plane: after \
+         the first user lands an artifact's chunks, every later upload of the \
+         same content costs HEAD-shaped shares instead of replicated PUTs"
+            .into(),
+    );
+    t
+}
+
 /// A7 — the request-level fault plane + retry/backoff policy: goodput for a
 /// fixed WRITE batch as the injected transient-error rate rises. Faults are
 /// drawn from a fixed seed, so the table is reproducible run-to-run.

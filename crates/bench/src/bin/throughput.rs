@@ -170,6 +170,25 @@ fn main() {
         results.push(h2);
     }
 
+    // Streaming leg: sequential whole-file reads of a 24 MiB-file corpus,
+    // H2 only — every read reassembles multipart parts (or, compiled with
+    // the `cas` feature, walks the manifest → branch → leaf block tree),
+    // so this leg prices content reassembly rather than resolve time.
+    for &t in &args.threads {
+        let cfg = LoadgenConfig {
+            clients: t,
+            ops_per_client: args.ops_per_client,
+            pace: args.pace,
+            warmup_ops: args.ops_per_client / 4,
+            pattern: WorkloadPattern::Streaming,
+            read_opt: args.read_opt,
+            ..Default::default()
+        };
+        let h2 = run_h2(&cfg);
+        println!("{}", h2.render());
+        results.push(h2);
+    }
+
     // Migrating leg: same default mix with a live rebalance churning under
     // the measured window (an operator thread adds a device, migrates onto
     // it a few partitions at a time, drains it, repeats). The delta to the

@@ -69,11 +69,18 @@ pub enum WorkloadPattern {
     /// depth-12 deep-path hot corpus ([`FsSpec::deep_hot`]), writes landing
     /// in disjoint ingest directories.
     ReadHeavy,
+    /// The streaming leg: sequential whole-file READs
+    /// ([`TraceMix::streaming_read`]) over a corpus of
+    /// [`STREAM_FILE_BYTES`]-sized files — every read walks the full
+    /// content path (multipart parts, or with `cas` on the manifest →
+    /// branch → leaf tree), so this leg prices content reassembly rather
+    /// than resolve time.
+    Streaming,
 }
 
 /// Deep-path hot-corpus shape of the [`WorkloadPattern::ReadHeavy`] leg.
 /// Per client: `HOT_CHAINS` chains of depth [`HOT_DEPTH`] with
-/// [`HOT_FILES_PER_LEAF`] files each — enough namespaces that the parsed-
+/// `HOT_FILES_PER_LEAF` files each — enough namespaces that the parsed-
 /// ring LRU alone cannot hold the working set, which is precisely the
 /// regime a full-path cache (O(1) memory per *path*) is built for.
 pub const HOT_DEPTH: usize = 12;
@@ -84,6 +91,21 @@ const HOT_FILE_BYTES: u64 = 4096;
 /// Zipf exponent over the hot files (rank = creation order), concentrating
 /// most traffic on the first few chains.
 const HOT_ZIPF: f64 = 1.1;
+
+/// Per-file size of the [`WorkloadPattern::Streaming`] corpus: large
+/// enough that every file is multipart (6 × 4 MiB parts) and, with `cas`
+/// on, a ~24-leaf chunk tree — so the leg measures content reassembly.
+pub const STREAM_FILE_BYTES: u64 = 24 << 20;
+/// Shallow, small corpus for the streaming leg (per client:
+/// `STREAM_CHAINS` × `STREAM_FILES_PER_LEAF` files): the population cost
+/// is dominated by bytes, not file count.
+const STREAM_CHAINS: usize = 4;
+const STREAM_DEPTH: usize = 3;
+const STREAM_FILES_PER_LEAF: usize = 4;
+const STREAM_WRITE_DIRS: usize = 2;
+/// Gentler popularity skew than the metadata leg: streaming clients cycle
+/// through a library rather than hammering one object.
+const STREAM_ZIPF: f64 = 0.7;
 
 /// Minimum pacing sleep. Scaled charges below this pool up as debt across
 /// operations (see the module docs on pacing); 1 ms keeps the OS timer's
@@ -123,6 +145,11 @@ pub struct LoadgenConfig {
     /// optimised system; the throughput bin's `--no-read-opt` flips it to
     /// record a pre-optimisation baseline of the same leg.
     pub read_opt: bool,
+    /// Content-addressed content plane for the H2 runs (see
+    /// [`H2Config::cas`]). Defaults to the compiled-in `cas` feature
+    /// default so feature-matrix CI legs measure what they test; the
+    /// dedup ablation flips it at runtime.
+    pub cas: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -138,6 +165,7 @@ impl Default for LoadgenConfig {
             warmup_ops: 0,
             pattern: WorkloadPattern::Mixed,
             read_opt: true,
+            cas: H2Config::default().cas,
         }
     }
 }
@@ -162,6 +190,7 @@ impl LoadgenConfig {
         match self.pattern {
             WorkloadPattern::Mixed => "default",
             WorkloadPattern::ReadHeavy => "read-heavy-98/2-depth12",
+            WorkloadPattern::Streaming => "streaming-read-24MiB",
         }
     }
 
@@ -171,6 +200,7 @@ impl LoadgenConfig {
         match self.pattern {
             WorkloadPattern::Mixed => "H2Cloud",
             WorkloadPattern::ReadHeavy => "H2Cloud-readheavy",
+            WorkloadPattern::Streaming => "H2Cloud-streaming",
         }
     }
 }
@@ -294,6 +324,25 @@ pub fn prepare<F: CloudFs>(fs: &F, cost: &Arc<CostModel>, cfg: &LoadgenConfig) -
                         &hot,
                     )
                 }
+                WorkloadPattern::Streaming => {
+                    let spec = FsSpec::deep_hot(
+                        STREAM_CHAINS,
+                        STREAM_DEPTH,
+                        STREAM_FILES_PER_LEAF,
+                        STREAM_WRITE_DIRS,
+                        STREAM_FILE_BYTES,
+                    );
+                    spec.populate(fs, &mut ctx, &account).expect("bulk import");
+                    let mut model = spec.to_model();
+                    let hot = spec.hot_set(STREAM_ZIPF);
+                    Trace::generate_hot(
+                        &mut r,
+                        &mut model,
+                        cfg.warmup_ops + cfg.ops_per_client,
+                        &TraceMix::streaming_read(),
+                        &hot,
+                    )
+                }
             };
             ClientPlan {
                 account,
@@ -409,6 +458,7 @@ pub fn run_h2_capture(cfg: &LoadgenConfig) -> (LoadResult, Vec<h2util::RootTrace
         path_cache: cfg.read_opt,
         neg_cache: cfg.read_opt,
         hedged_reads: cfg.read_opt,
+        cas: cfg.cas,
     });
     let cost = fs.cost_model();
     let plans = prepare(&fs, &cost, cfg);
@@ -446,6 +496,7 @@ pub fn run_h2_migrating(cfg: &LoadgenConfig) -> LoadResult {
         path_cache: cfg.read_opt,
         neg_cache: cfg.read_opt,
         hedged_reads: cfg.read_opt,
+        cas: cfg.cas,
     });
     let cost = fs.cost_model();
     let plans = prepare(&fs, &cost, cfg);

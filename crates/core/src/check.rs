@@ -13,7 +13,11 @@
 //! 4. no two live directory tuples share a namespace (each NameRing has
 //!    exactly one live owner);
 //! 5. timestamps in tuples are never newer than the issuing middleware
-//!    clocks would allow (sanity: no timestamps from the far future).
+//!    clocks would allow (sanity: no timestamps from the far future);
+//! 6. with the CAS content plane active, every file's content re-reads
+//!    cleanly — the CAS read path re-hashes every branch and leaf block
+//!    against its content address, so a clean read is an end-to-end
+//!    integrity proof of the file's whole block tree.
 //!
 //! Used by integration tests after random workloads, failure injection and
 //! GC — and usable by operators the way a real deployment would run a
@@ -124,6 +128,26 @@ pub fn fsck(fs: &H2Cloud, ctx: &mut OpCtx, account: &str) -> Result<FsckReport> 
                             .violations
                             .push(format!("{child_path}: content unreadable: {e}")),
                     }
+                    // (6) CAS hash-integrity audit: re-read the content.
+                    // Hash mismatches anywhere in the manifest → branch →
+                    // leaf tree surface as Corrupt here.
+                    if mw.cas_active() {
+                        match mw.get_content(ctx, &keys, ns, name) {
+                            Ok(payload) => {
+                                if payload.len() != size {
+                                    report.violations.push(format!(
+                                        "{child_path}: reassembled content is {} bytes, tuple says {size}",
+                                        payload.len()
+                                    ));
+                                }
+                            }
+                            // Already reported by (3).
+                            Err(H2Error::NotFound(_)) => {}
+                            Err(e) => report
+                                .violations
+                                .push(format!("{child_path}: content fails CAS verification: {e}")),
+                        }
+                    }
                 }
             }
             // (5) timestamps from the far future are clock corruption.
@@ -228,6 +252,53 @@ mod tests {
         let report = fsck(&fs, &mut ctx, "alice").unwrap();
         assert!(!report.is_clean());
         assert!(report.violations[0].contains("without descriptor"));
+    }
+
+    #[test]
+    fn cas_audit_detects_tampered_block() {
+        // Forced on at runtime so this runs on every feature leg.
+        let fs = H2Cloud::new(H2Config {
+            cas: true,
+            ..H2Config::for_test()
+        });
+        let mut ctx = OpCtx::for_test();
+        fs.create_account(&mut ctx, "alice").unwrap();
+        fs.write(
+            &mut ctx,
+            "alice",
+            &p("/f"),
+            FileContent::from_str("precious bytes"),
+        )
+        .unwrap();
+        let report = fsck(&fs, &mut ctx, "alice").unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        // Vandalise the leaf block behind the manifest's first entry.
+        let keys = crate::keys::H2Keys::new("alice");
+        let manifest = fs
+            .cluster()
+            .get(&mut ctx, &keys.child(h2util::NamespaceId::ROOT, "f"))
+            .unwrap();
+        let m =
+            crate::formatter::cas_manifest_from_str(manifest.payload.as_str().unwrap()).unwrap();
+        let block = swiftsim::Cluster::cas_block_key(&m.entries[0].0.to_hex());
+        fs.cluster()
+            .put(
+                &mut ctx,
+                &block,
+                swiftsim::Payload::from_static("garbage"),
+                swiftsim::Meta::new(),
+            )
+            .unwrap();
+        let report = fsck(&fs, &mut ctx, "alice").unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("CAS verification")),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! [`H2Error::Corrupt`] — better to surface corruption than to silently
 //! drop filesystem state.
 
+use h2util::chunker::ChunkParams;
 use h2util::hash::Digest128;
 use h2util::{H2Error, NamespaceId, Result, Timestamp};
 
@@ -30,6 +31,10 @@ pub const PATCH_MAGIC: &str = "H2PT1";
 pub const DIR_MAGIC: &str = "H2DIR1";
 /// Header of a multipart-file manifest object.
 pub const MANIFEST_MAGIC: &str = "H2MP1";
+/// Header of a CAS-file manifest object (root of the block tree).
+pub const CAS_MANIFEST_MAGIC: &str = "H2CAS1";
+/// Header of a CAS branch (pointer) block.
+pub const CAS_BRANCH_MAGIC: &str = "H2BR1";
 
 /// Manifest stored at a multipart file's content key: enough to locate,
 /// size and verify every part without per-part records. Parts are uniform
@@ -122,6 +127,193 @@ pub fn manifest_from_str(s: &str) -> Result<PartManifest> {
         inline,
         digest,
     })
+}
+
+/// Manifest stored at a CAS file's content key: the root of a Venti-style
+/// hash tree. `entries` are the top-level children — leaf blocks directly,
+/// or branch blocks ([`CAS_BRANCH_MAGIC`]) once the child count exceeds the
+/// tree fan-out — each recorded as `(content address, logical span)`.
+/// Unlike the multipart manifest, `total == 0` is legal: an empty file is a
+/// manifest with no entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CasManifest {
+    /// Write generation. A retried manifest PUT re-sends the identical
+    /// body (same stamp), letting the writer tell "I displaced my own torn
+    /// attempt" from "I displaced a real previous generation" — only the
+    /// latter's blocks may be released.
+    pub stamp: u64,
+    /// Branch levels between `entries` and the leaves: 0 = entries are
+    /// leaf blocks, 1 = entries are branch blocks over leaves, and so on.
+    pub depth: u32,
+    /// Whether leaves carry inline bytes (`true`) or simulated content.
+    pub inline: bool,
+    /// Logical file size.
+    pub total: u64,
+    /// Digest of the whole logical content (the file's ETag).
+    pub digest: Digest128,
+    /// Chunking bounds the file was split with (needed so an append can
+    /// re-derive the same boundaries).
+    pub params: ChunkParams,
+    /// Top-level children: `(content address, logical span)`.
+    pub entries: Vec<(Digest128, u64)>,
+}
+
+/// CAS manifest → ASCII object body.
+pub fn cas_manifest_to_string(m: &CasManifest) -> String {
+    let mut out = String::with_capacity(64 + m.entries.len() * 48);
+    out.push_str(CAS_MANIFEST_MAGIC);
+    out.push(' ');
+    out.push_str(&m.entries.len().to_string());
+    out.push('\n');
+    out.push_str(&format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        m.stamp,
+        m.depth,
+        if m.inline { 'I' } else { 'S' },
+        m.total,
+        m.digest,
+        m.params.min,
+        m.params.target,
+        m.params.max
+    ));
+    for (d, len) in &m.entries {
+        out.push_str(&format!("{d}\t{len}\n"));
+    }
+    out
+}
+
+/// One `digest \t len` child line (shared by manifests and branches).
+fn parse_child_line(line: &str) -> Result<(Digest128, u64)> {
+    let mut f = line.split('\t');
+    let (d, len) = match (f.next(), f.next()) {
+        (Some(a), Some(b)) if f.next().is_none() => (a, b),
+        _ => return Err(H2Error::Corrupt(format!("bad cas child line {line:?}"))),
+    };
+    let d = Digest128::from_hex(d)
+        .ok_or_else(|| H2Error::Corrupt(format!("bad cas child digest {d:?}")))?;
+    let len: u64 = len
+        .parse()
+        .map_err(|_| H2Error::Corrupt(format!("bad cas child length {len:?}")))?;
+    if len == 0 {
+        return Err(H2Error::Corrupt("zero-length cas child".into()));
+    }
+    Ok((d, len))
+}
+
+/// `MAGIC <count>` header line, returning the count.
+fn parse_counted_header(magic: &str, header: &str) -> Result<usize> {
+    let (got, count) = header
+        .split_once(' ')
+        .ok_or_else(|| H2Error::Corrupt(format!("bad {magic} header {header:?}")))?;
+    if got != magic {
+        return Err(H2Error::Corrupt(format!(
+            "expected {magic} object, found {got:?}"
+        )));
+    }
+    count
+        .parse()
+        .map_err(|_| H2Error::Corrupt(format!("bad {magic} entry count {count:?}")))
+}
+
+/// ASCII object body → CAS manifest.
+pub fn cas_manifest_from_str(s: &str) -> Result<CasManifest> {
+    let mut lines = s.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| H2Error::Corrupt("empty cas manifest".into()))?;
+    let count = parse_counted_header(CAS_MANIFEST_MAGIC, header)?;
+    let body = lines
+        .next()
+        .ok_or_else(|| H2Error::Corrupt("missing cas manifest body".into()))?;
+    let fields: Vec<&str> = body.split('\t').collect();
+    let [stamp, depth, kind, total, digest, min, target, max] = fields[..] else {
+        return Err(H2Error::Corrupt(format!("bad cas manifest body {body:?}")));
+    };
+    let stamp: u64 = stamp
+        .parse()
+        .map_err(|_| H2Error::Corrupt(format!("bad cas stamp {stamp:?}")))?;
+    let depth: u32 = depth
+        .parse()
+        .map_err(|_| H2Error::Corrupt(format!("bad cas depth {depth:?}")))?;
+    let inline = match kind {
+        "I" => true,
+        "S" => false,
+        other => return Err(H2Error::Corrupt(format!("bad cas kind {other:?}"))),
+    };
+    let total: u64 = total
+        .parse()
+        .map_err(|_| H2Error::Corrupt(format!("bad cas total {total:?}")))?;
+    let digest = Digest128::from_hex(digest)
+        .ok_or_else(|| H2Error::Corrupt(format!("bad cas digest {digest:?}")))?;
+    let parse_bound = |v: &str| -> Result<u64> {
+        v.parse()
+            .map_err(|_| H2Error::Corrupt(format!("bad cas chunk bound {v:?}")))
+    };
+    let params = ChunkParams {
+        min: parse_bound(min)?,
+        target: parse_bound(target)?,
+        max: parse_bound(max)?,
+    };
+    if params.min == 0 || params.min > params.target || params.target > params.max {
+        return Err(H2Error::Corrupt(format!(
+            "degenerate cas chunk bounds {params:?}"
+        )));
+    }
+    let entries = lines.map(parse_child_line).collect::<Result<Vec<_>>>()?;
+    if entries.len() != count {
+        return Err(H2Error::Corrupt(format!(
+            "cas entry count mismatch: header says {count}, found {}",
+            entries.len()
+        )));
+    }
+    if total == 0 && !entries.is_empty() {
+        return Err(H2Error::Corrupt("empty cas file with child entries".into()));
+    }
+    if depth > 0 && entries.is_empty() {
+        return Err(H2Error::Corrupt("cas tree depth with no entries".into()));
+    }
+    Ok(CasManifest {
+        stamp,
+        depth,
+        inline,
+        total,
+        digest,
+        params,
+        entries,
+    })
+}
+
+/// CAS branch block (children of one interior tree node) → ASCII body.
+pub fn cas_branch_to_string(children: &[(Digest128, u64)]) -> String {
+    let mut out = String::with_capacity(16 + children.len() * 48);
+    out.push_str(CAS_BRANCH_MAGIC);
+    out.push(' ');
+    out.push_str(&children.len().to_string());
+    out.push('\n');
+    for (d, len) in children {
+        out.push_str(&format!("{d}\t{len}\n"));
+    }
+    out
+}
+
+/// ASCII body → CAS branch children.
+pub fn cas_branch_from_str(s: &str) -> Result<Vec<(Digest128, u64)>> {
+    let mut lines = s.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| H2Error::Corrupt("empty cas branch".into()))?;
+    let count = parse_counted_header(CAS_BRANCH_MAGIC, header)?;
+    let children = lines.map(parse_child_line).collect::<Result<Vec<_>>>()?;
+    if children.len() != count {
+        return Err(H2Error::Corrupt(format!(
+            "cas branch count mismatch: header says {count}, found {}",
+            children.len()
+        )));
+    }
+    if children.is_empty() {
+        return Err(H2Error::Corrupt("empty cas branch block".into()));
+    }
+    Ok(children)
 }
 
 /// Serialise a NameRing (or, with [`PATCH_MAGIC`], a patch).
@@ -405,5 +597,89 @@ mod tests {
     fn serialised_form_is_ascii() {
         let s = namering_to_string(&sample_ring());
         assert!(s.is_ascii(), "formatter must emit ASCII strings");
+    }
+
+    #[test]
+    fn cas_manifest_roundtrip_including_empty_file() {
+        let m = CasManifest {
+            stamp: 77,
+            depth: 1,
+            inline: true,
+            total: 3000,
+            digest: h2util::hash::hash128(b"whole"),
+            params: ChunkParams::with_target(1 << 10),
+            entries: vec![
+                (h2util::hash::hash128(b"c0"), 1200),
+                (h2util::hash::hash128(b"c1"), 1800),
+            ],
+        };
+        let s = cas_manifest_to_string(&m);
+        assert!(s.starts_with("H2CAS1 2\n"));
+        assert!(s.is_ascii());
+        assert_eq!(cas_manifest_from_str(&s).unwrap(), m);
+        // Empty file: zero total, no entries — legal, unlike H2MP1.
+        let empty = CasManifest {
+            stamp: 1,
+            depth: 0,
+            inline: true,
+            total: 0,
+            digest: h2util::hash::hash128(b""),
+            params: ChunkParams::default(),
+            entries: vec![],
+        };
+        let s = cas_manifest_to_string(&empty);
+        assert_eq!(cas_manifest_from_str(&s).unwrap(), empty);
+    }
+
+    #[test]
+    fn cas_branch_roundtrip() {
+        let children = vec![
+            (h2util::hash::hash128(b"a"), 10u64),
+            (h2util::hash::hash128(b"b"), 20u64),
+        ];
+        let s = cas_branch_to_string(&children);
+        assert!(s.starts_with("H2BR1 2\n"));
+        assert_eq!(cas_branch_from_str(&s).unwrap(), children);
+    }
+
+    #[test]
+    fn cas_corruption_is_detected() {
+        assert!(cas_manifest_from_str("").is_err());
+        assert!(cas_manifest_from_str("H2CAS1 x\n").is_err());
+        assert!(cas_manifest_from_str("H2CAS1 0\n").is_err()); // missing body
+        let d = h2util::hash::hash128(b"x");
+        // Count mismatch.
+        assert!(
+            cas_manifest_from_str(&format!("H2CAS1 2\n7\t0\tI\t5\t{d}\t1\t2\t4\n{d}\t5\n"))
+                .is_err()
+        );
+        // Degenerate chunk bounds.
+        assert!(
+            cas_manifest_from_str(&format!("H2CAS1 1\n7\t0\tI\t5\t{d}\t4\t2\t1\n{d}\t5\n"))
+                .is_err()
+        );
+        assert!(
+            cas_manifest_from_str(&format!("H2CAS1 1\n7\t0\tI\t5\t{d}\t0\t2\t4\n{d}\t5\n"))
+                .is_err()
+        );
+        // Zero-length child, bad digest, empty file with entries, branch
+        // depth with no entries.
+        assert!(
+            cas_manifest_from_str(&format!("H2CAS1 1\n7\t0\tI\t5\t{d}\t1\t2\t4\n{d}\t0\n"))
+                .is_err()
+        );
+        assert!(
+            cas_manifest_from_str(&format!("H2CAS1 1\n7\t0\tI\t5\t{d}\t1\t2\t4\nnothex\t5\n"))
+                .is_err()
+        );
+        assert!(
+            cas_manifest_from_str(&format!("H2CAS1 1\n7\t0\tI\t0\t{d}\t1\t2\t4\n{d}\t5\n"))
+                .is_err()
+        );
+        assert!(cas_manifest_from_str(&format!("H2CAS1 0\n7\t1\tI\t5\t{d}\t1\t2\t4\n")).is_err());
+        // Branches: empty blocks and magic confusion are corrupt.
+        assert!(cas_branch_from_str("H2BR1 0\n").is_err());
+        assert!(cas_branch_from_str(&format!("H2CAS1 1\n{d}\t5\n")).is_err());
+        assert!(cas_manifest_from_str(&cas_branch_to_string(&[(d, 5)])).is_err());
     }
 }

@@ -98,6 +98,18 @@ pub struct H2Config {
     /// serial path; only the virtual-time charging and span shape change.
     /// Defaults to the `read-path-opt` cargo feature.
     pub hedged_reads: bool,
+    /// Content-addressed content plane: file content is chunked
+    /// (FastCDC-style, ~1 MiB target leaves) into immutable, refcounted,
+    /// hash-addressed blocks under the cluster's reserved `::cas/blk`
+    /// namespace, with branch blocks above [`crate::middleware::CAS_FANOUT`]
+    /// children and a small manifest at the file key (root list + logical
+    /// length, so STAT stays one HEAD). Identical content — within a file,
+    /// across files, across users — collapses to the same blocks; see the
+    /// `dedup_bytes_saved` / `cas_blocks_written` / `cas_blocks_shared`
+    /// counters. Observationally equivalent to whole-object storage (the
+    /// equivalence suite proves it). Defaults to the `cas` cargo feature
+    /// so the CI matrix exercises both planes.
+    pub cas: bool,
 }
 
 impl Default for H2Config {
@@ -112,6 +124,7 @@ impl Default for H2Config {
             path_cache: cfg!(feature = "read-path-opt"),
             neg_cache: cfg!(feature = "read-path-opt"),
             hedged_reads: cfg!(feature = "read-path-opt"),
+            cas: cfg!(feature = "cas"),
         }
     }
 }
@@ -136,6 +149,7 @@ impl H2Config {
             path_cache: true,
             neg_cache: true,
             hedged_reads: true,
+            cas: cfg!(feature = "cas"),
         }
     }
 }
@@ -202,6 +216,7 @@ impl H2Cloud {
                 cfg.group_commit,
                 cfg.path_cache,
                 cfg.neg_cache,
+                cfg.cas,
             ),
             metrics,
         }
@@ -241,6 +256,18 @@ impl H2Cloud {
             (
                 MIGRATION_DUAL_WRITES,
                 self.cluster().migration_dual_write_count(),
+            ),
+            (
+                "cas_blocks_written",
+                self.cluster().cas_blocks_written_count(),
+            ),
+            (
+                "cas_blocks_shared",
+                self.cluster().cas_blocks_shared_count(),
+            ),
+            (
+                "dedup_bytes_saved",
+                self.cluster().dedup_bytes_saved_count(),
             ),
         ] {
             let c = self.metrics.counter(name);
@@ -982,6 +1009,11 @@ fn content_to_payload(content: FileContent, seed: &str) -> Payload {
     match content {
         FileContent::Inline(b) => Payload::Inline(b.into_bytes()),
         FileContent::Simulated(size) => Payload::simulated(size, seed),
+        // Identity is the caller's seed, not the path: equal seeds mean
+        // equal bytes, so the CAS plane dedups them across files.
+        FileContent::SimulatedShared { size, seed } => {
+            Payload::simulated(size, &format!("shared:{seed}"))
+        }
     }
 }
 

@@ -84,6 +84,7 @@ impl H2Layer {
             false,
             false,
             false,
+            false,
         )
     }
 
@@ -92,8 +93,9 @@ impl H2Layer {
     /// `trace_sample` of its operations (0 disables tracing entirely), the
     /// group-commit switch (see
     /// [`H2Middleware::submit_patch`](crate::middleware::H2Middleware)),
-    /// and the read-path cache switches (`path_cache` / `neg_cache`, see
-    /// [`H2Middleware::path_cache_lookup`]).
+    /// the read-path cache switches (`path_cache` / `neg_cache`, see
+    /// [`H2Middleware::path_cache_lookup`]), and the content-addressed
+    /// content plane switch (`cas`, see DESIGN.md).
     #[allow(clippy::too_many_arguments)]
     pub fn with_observability(
         cluster: Arc<Cluster>,
@@ -105,6 +107,7 @@ impl H2Layer {
         group_commit: bool,
         path_cache: bool,
         neg_cache: bool,
+        cas: bool,
     ) -> Self {
         assert!(n >= 1, "need at least one middleware");
         // Pre-register the layer's failure counters so `op=metrics` always
@@ -138,6 +141,7 @@ impl H2Layer {
                     group_commit,
                     path_cache,
                     neg_cache,
+                    cas,
                 )
             })
             .collect();

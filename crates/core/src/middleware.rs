@@ -28,6 +28,8 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use h2util::chunker::{self, ChunkParams};
+use h2util::hash::{hash128, Digest128};
 use h2util::hash64;
 use h2util::id::NamespaceAllocator;
 use h2util::metrics::{Counter, MetricsRegistry};
@@ -35,7 +37,7 @@ use h2util::trace::{TraceCollector, STAGE_GOSSIP, STAGE_MERGE, STAGE_MW, STAGE_R
 use h2util::{
     H2Error, HybridClock, LruCache, NamespaceId, NodeId, OpCtx, Result, RetryPolicy, Timestamp,
 };
-use swiftsim::{Cluster, Meta, ObjectKey, ObjectStore, Payload};
+use swiftsim::{Cluster, Meta, Object, ObjectKey, ObjectStore, Payload};
 
 use crate::formatter;
 use crate::keys::{DirDescriptor, H2Keys};
@@ -79,6 +81,16 @@ pub const CONTENT_TYPE_FILE: &str = "h2/file";
 /// `content-type` meta of a multipart manifest stored at a file's content
 /// key (the parts live under the reserved `::/Part/` namespace).
 pub const CONTENT_TYPE_MULTIPART: &str = "h2/multipart";
+
+/// `content-type` meta of a CAS manifest stored at a file's content key
+/// (the blocks live under the cluster's reserved `::cas/blk` namespace).
+pub const CONTENT_TYPE_CAS: &str = "h2/cas";
+
+/// Fan-out of the CAS block tree: a manifest or branch block points at up
+/// to this many children before another branch level is introduced.
+/// Venti-style: 128 pointers ≈ 6 KiB of ASCII per branch, and two levels
+/// already cover 128² × 1 MiB ≈ 16 TiB files.
+pub const CAS_FANOUT: usize = 128;
 
 /// Meta key on a manifest carrying the file's logical byte size, so one
 /// HEAD answers STAT for multipart files without fetching the manifest.
@@ -359,9 +371,14 @@ pub struct H2Middleware {
     group_commit: bool,
     /// Per-ring group-commit queues (populated lazily, like `merge_locks`).
     commit_queues: Mutex<HashMap<FdKey, Arc<CommitQueue>>>,
-    /// Upload-generation counter for multipart part keys; combined with the
-    /// node id so generations are unique across middlewares.
+    /// Upload-generation counter for multipart part keys and CAS manifest
+    /// stamps; combined with the node id so generations are unique across
+    /// middlewares.
     part_stamp: std::sync::atomic::AtomicU64,
+    /// When true, file content is stored through the content-addressed
+    /// block plane (chunk → dedup'd leaf blocks → branch tree → manifest)
+    /// instead of whole objects / multipart stripes.
+    cas: bool,
     /// Global-ring GETs actually issued (see [`RING_FETCHES`]).
     ring_fetches: Arc<Counter>,
     /// Merge cycles that failed and were restored for retry.
@@ -405,13 +422,15 @@ impl H2Middleware {
             false,
             false,
             false,
+            false,
         )
     }
 
     /// Full constructor: like [`with_cache`](Self::with_cache), plus a span
     /// collector for sampled operation traces, the group-commit switch,
-    /// and the read-path switches (full-path resolve cache / negative-entry
-    /// cache — both also require `cache_capacity > 0`).
+    /// the read-path switches (full-path resolve cache / negative-entry
+    /// cache — both also require `cache_capacity > 0`), and the CAS
+    /// content-plane switch.
     #[allow(clippy::too_many_arguments)]
     pub fn with_observability(
         node: NodeId,
@@ -423,6 +442,7 @@ impl H2Middleware {
         group_commit: bool,
         path_cache: bool,
         neg_cache: bool,
+        cas: bool,
     ) -> Arc<Self> {
         assert!(
             node.0 > 0,
@@ -472,6 +492,7 @@ impl H2Middleware {
             group_commit,
             commit_queues: Mutex::new(HashMap::new()),
             part_stamp: std::sync::atomic::AtomicU64::new(0),
+            cas,
             ring_fetches,
             merge_failures,
             retry: RetryPolicy::new(0x4852_5452 ^ node.0 as u64),
@@ -607,6 +628,9 @@ impl H2Middleware {
         payload: Payload,
         prev_size: Option<u64>,
     ) -> Result<()> {
+        if self.cas {
+            return self.cas_put(ctx, keys, ns, name, payload);
+        }
         // Learn the old generation's stamp *before* the content key is
         // overwritten; afterwards its parts are unreachable. Best-effort: a
         // racing delete just means there is nothing left to clean.
@@ -682,15 +706,23 @@ impl H2Middleware {
     ) -> Result<Payload> {
         let key = keys.child(ns, name);
         let obj = self.with_retry(ctx, "get_content", |ctx| self.store.get(ctx, &key))?;
-        if obj.meta.get("content-type").map(String::as_str) != Some(CONTENT_TYPE_MULTIPART) {
-            return Ok(obj.payload);
+        match obj.meta.get("content-type").map(String::as_str) {
+            Some(CONTENT_TYPE_MULTIPART) => {
+                let s = obj.payload.as_str().ok_or_else(|| {
+                    H2Error::Corrupt(format!("manifest {key} is not a string object"))
+                })?;
+                let m = formatter::manifest_from_str(s)?;
+                self.get_parts(ctx, keys, ns, name, &m)
+            }
+            Some(CONTENT_TYPE_CAS) => {
+                let s = obj.payload.as_str().ok_or_else(|| {
+                    H2Error::Corrupt(format!("cas manifest {key} is not a string object"))
+                })?;
+                let m = formatter::cas_manifest_from_str(s)?;
+                self.cas_get(ctx, &key, &m)
+            }
+            _ => Ok(obj.payload),
         }
-        let s = obj
-            .payload
-            .as_str()
-            .ok_or_else(|| H2Error::Corrupt(format!("manifest {key} is not a string object")))?;
-        let m = formatter::manifest_from_str(s)?;
-        self.get_parts(ctx, keys, ns, name, &m)
     }
 
     fn get_parts(
@@ -752,6 +784,9 @@ impl H2Middleware {
         size: u64,
     ) -> Result<()> {
         let key = keys.child(ns, name);
+        if self.cas {
+            return self.cas_delete(ctx, &key);
+        }
         if size <= PART_BYTES {
             return self.with_retry(ctx, "delete_content", |ctx| self.store.delete(ctx, &key));
         }
@@ -795,6 +830,13 @@ impl H2Middleware {
         dst_name: &str,
         size: u64,
     ) -> Result<()> {
+        if self.cas {
+            return self.cas_copy(
+                ctx,
+                &keys.child(src_ns, src_name),
+                &keys.child(dst_ns, dst_name),
+            );
+        }
         if size <= PART_BYTES {
             return self.store.copy(
                 ctx,
@@ -827,6 +869,398 @@ impl H2Middleware {
             self.store
                 .put(ctx, &key, body.clone(), Self::manifest_meta(new.total))
         })
+    }
+
+    // ----- content I/O (content-addressed block plane) ---------------------
+    //
+    // With `cas` on, file content is chunked (FastCDC-style, ~1 MiB target
+    // leaves), each chunk stored as an immutable refcounted block under the
+    // cluster's reserved `::cas/blk` namespace, children grouped
+    // [`CAS_FANOUT`] at a time into branch blocks, and a small manifest
+    // written at the file's child key as the commit point (root list +
+    // logical length, so STAT stays one HEAD). Identical chunks across
+    // files and users collapse to the same block — a share costs one
+    // HEAD-shaped refcount bump instead of a replicated write.
+    //
+    // Failure policy: block references are released only after a manifest
+    // that held them was verifiably displaced or deleted. A failed upload
+    // releases exactly the references it took; a failed *manifest* PUT
+    // releases nothing (the write may have torn — replicas of the new
+    // manifest can exist, so its blocks must stay pinned). Leaks are
+    // bounded and unreachable; a readable file pointing at missing blocks
+    // is impossible.
+
+    /// Whether this middleware stores content through the CAS block plane.
+    pub fn cas_active(&self) -> bool {
+        self.cas
+    }
+
+    fn cas_meta(total: u64) -> Meta {
+        let mut meta = Meta::new();
+        meta.insert("content-type".into(), CONTENT_TYPE_CAS.into());
+        meta.insert(META_LOGICAL_BYTES.into(), total.to_string());
+        meta
+    }
+
+    /// Leaf chunks of `payload`: content-defined for real bytes, the
+    /// digest-seeded schedule for simulated content.
+    fn cas_chunks(params: &ChunkParams, payload: &Payload) -> Vec<chunker::Chunk> {
+        match payload {
+            Payload::Inline(b) => chunker::chunk_bytes(params, b),
+            Payload::Simulated { size, digest } => chunker::chunk_simulated(params, *digest, *size),
+        }
+    }
+
+    /// The block payload for one leaf chunk of `payload`.
+    fn cas_leaf(payload: &Payload, c: &chunker::Chunk) -> Payload {
+        match payload {
+            // Zero-copy: each leaf is a view over the caller's buffer.
+            Payload::Inline(b) => {
+                Payload::Inline(b.slice(c.offset as usize..(c.offset + c.len) as usize))
+            }
+            Payload::Simulated { .. } => Payload::Simulated {
+                size: c.len,
+                digest: c.digest,
+            },
+        }
+    }
+
+    /// Store a file's content through the block plane.
+    fn cas_put(
+        &self,
+        ctx: &mut OpCtx,
+        keys: &H2Keys,
+        ns: NamespaceId,
+        name: &str,
+        payload: Payload,
+    ) -> Result<()> {
+        let params = ChunkParams::default();
+        let total = payload.len();
+        let chunks = Self::cas_chunks(&params, &payload);
+        // 1. Leaves, one bounded parallel wave. Track which landed so a
+        //    mid-wave failure releases exactly the references taken.
+        let mut landed: Vec<bool> = vec![false; chunks.len()];
+        if !chunks.is_empty() {
+            let wave = {
+                let landed = std::cell::RefCell::new(&mut landed);
+                ctx.parallel(chunks.len(), |ctx, i| {
+                    let c = &chunks[i];
+                    let leaf = Self::cas_leaf(&payload, c);
+                    self.with_retry(ctx, "cas_put_block", |ctx| {
+                        self.store
+                            .cas_put_block(
+                                ctx,
+                                &c.digest.to_hex(),
+                                leaf.clone(),
+                                Meta::new(),
+                                c.len,
+                            )
+                            .map(|_| ())
+                    })?;
+                    landed.borrow_mut()[i] = true;
+                    Ok(())
+                })
+            };
+            if let Err(e) = wave {
+                let owned = chunks
+                    .iter()
+                    .zip(&landed)
+                    .filter(|(_, ok)| **ok)
+                    .map(|(c, _)| c.digest)
+                    .collect();
+                self.cas_release(ctx, owned);
+                return Err(e);
+            }
+        }
+        // 2. Branch levels until the root list fits one manifest.
+        let mut level: Vec<(Digest128, u64)> = chunks.iter().map(|c| (c.digest, c.len)).collect();
+        let mut depth = 0u32;
+        while level.len() > CAS_FANOUT {
+            let mut next: Vec<(Digest128, u64)> =
+                Vec::with_capacity(level.len().div_ceil(CAS_FANOUT));
+            for (g, group) in level.chunks(CAS_FANOUT).enumerate() {
+                let body = formatter::cas_branch_to_string(group);
+                let digest = hash128(body.as_bytes());
+                let span: u64 = group.iter().map(|(_, l)| *l).sum();
+                let put = self.with_retry(ctx, "cas_put_branch", |ctx| {
+                    self.store.cas_put_block(
+                        ctx,
+                        &digest.to_hex(),
+                        Payload::from_string(body.clone()),
+                        Meta::new(),
+                        span,
+                    )
+                });
+                match put {
+                    // Fresh branch: it takes over the references this
+                    // upload held on its children; the upload now owns one
+                    // reference to the branch instead.
+                    Ok(true) => {}
+                    Ok(false) => {
+                        // The branch already existed and already owns
+                        // references to exactly these children — drop the
+                        // duplicates taken while writing them. The live
+                        // branch pins every child, so nothing can cascade.
+                        for (d, _) in group {
+                            let _ = self.store.cas_decref(ctx, &d.to_hex());
+                        }
+                    }
+                    Err(e) => {
+                        // Release everything this upload still owns: the
+                        // roots built so far plus the unconsumed tail.
+                        let mut owned: Vec<Digest128> = next.iter().map(|(d, _)| *d).collect();
+                        owned.extend(level[g * CAS_FANOUT..].iter().map(|(d, _)| *d));
+                        self.cas_release(ctx, owned);
+                        return Err(e);
+                    }
+                }
+                next.push((digest, span));
+            }
+            level = next;
+            depth += 1;
+        }
+        // 3. The manifest is the commit point.
+        let m = formatter::CasManifest {
+            stamp: self.next_part_stamp(),
+            depth,
+            inline: matches!(payload, Payload::Inline(_)),
+            total,
+            digest: payload.digest(),
+            params,
+            entries: level,
+        };
+        let body = formatter::cas_manifest_to_string(&m);
+        let key = keys.child(ns, name);
+        // On failure the new blocks stay pinned (see the failure policy
+        // above): the PUT may have torn, leaving readable replicas of the
+        // new manifest.
+        let prev = self.with_retry(ctx, "put_manifest", |ctx| {
+            self.store.put_returning_prev(
+                ctx,
+                &key,
+                Payload::from_string(body.clone()),
+                Self::cas_meta(total),
+            )
+        })?;
+        // Release the generation this write displaced — unless it is this
+        // very body: then a retry displaced its own torn earlier attempt
+        // (same stamp), whose references this upload owns exactly once.
+        if let Some(prev) = prev {
+            if prev.payload.as_str() != Some(body.as_str()) {
+                self.cas_release_manifest(ctx, &prev);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetch and reassemble a CAS file. Every hop re-checks content
+    /// addresses — the read path *is* the integrity check (fsck's file
+    /// pass reads through here).
+    fn cas_get(
+        &self,
+        ctx: &mut OpCtx,
+        key: &ObjectKey,
+        m: &formatter::CasManifest,
+    ) -> Result<Payload> {
+        // Descend branch levels to the leaf list.
+        let mut entries = m.entries.clone();
+        for _ in 0..m.depth {
+            let n = entries.len();
+            let mut fetched: Vec<Option<Vec<(Digest128, u64)>>> = vec![None; n];
+            {
+                let fetched = std::cell::RefCell::new(&mut fetched);
+                ctx.parallel(n, |ctx, i| {
+                    let (d, len) = entries[i];
+                    let children = self.cas_fetch_branch(ctx, d, len)?;
+                    fetched.borrow_mut()[i] = Some(children);
+                    Ok(())
+                })?;
+            }
+            entries = fetched
+                .into_iter()
+                .flat_map(|c| c.expect("every branch fetched"))
+                .collect();
+        }
+        let span: u64 = entries.iter().map(|(_, l)| *l).sum();
+        if span != m.total {
+            return Err(H2Error::Corrupt(format!(
+                "cas file {key}: leaves cover {span} bytes, manifest says {}",
+                m.total
+            )));
+        }
+        // Leaves in one bounded parallel wave, each verified against its
+        // content address.
+        let n = entries.len();
+        let mut leaves: Vec<Option<Payload>> = vec![None; n];
+        if n > 0 {
+            let leaves = std::cell::RefCell::new(&mut leaves);
+            ctx.parallel(n, |ctx, i| {
+                let (d, len) = entries[i];
+                let p = self.cas_fetch_leaf(ctx, d, len, m.inline)?;
+                leaves.borrow_mut()[i] = Some(p);
+                Ok(())
+            })?;
+        }
+        if !m.inline {
+            return Ok(Payload::Simulated {
+                size: m.total,
+                digest: m.digest,
+            });
+        }
+        let mut out = Vec::with_capacity(m.total as usize);
+        for p in leaves {
+            match p.expect("every leaf fetched") {
+                Payload::Inline(b) => out.extend_from_slice(&b),
+                Payload::Simulated { .. } => unreachable!("cas_fetch_leaf verified the leaf kind"),
+            }
+        }
+        if hash128(&out) != m.digest {
+            return Err(H2Error::Corrupt(format!(
+                "cas file {key}: content digest mismatch"
+            )));
+        }
+        Ok(Payload::Inline(bytes::Bytes::from(out)))
+    }
+
+    fn cas_fetch_branch(
+        &self,
+        ctx: &mut OpCtx,
+        d: Digest128,
+        len: u64,
+    ) -> Result<Vec<(Digest128, u64)>> {
+        let bkey = Cluster::cas_block_key(&d.to_hex());
+        let obj = self.with_retry(ctx, "get_cas_branch", |ctx| self.store.get(ctx, &bkey))?;
+        let s = obj
+            .payload
+            .as_str()
+            .ok_or_else(|| H2Error::Corrupt(format!("cas branch {bkey} is not a string object")))?;
+        if hash128(s.as_bytes()) != d {
+            return Err(H2Error::Corrupt(format!(
+                "cas branch {bkey} fails its content address"
+            )));
+        }
+        let children = formatter::cas_branch_from_str(s)?;
+        let span: u64 = children.iter().map(|(_, l)| *l).sum();
+        if span != len {
+            return Err(H2Error::Corrupt(format!(
+                "cas branch {bkey} spans {span} bytes, parent says {len}"
+            )));
+        }
+        Ok(children)
+    }
+
+    fn cas_fetch_leaf(
+        &self,
+        ctx: &mut OpCtx,
+        d: Digest128,
+        len: u64,
+        inline: bool,
+    ) -> Result<Payload> {
+        let bkey = Cluster::cas_block_key(&d.to_hex());
+        let obj = self.with_retry(ctx, "get_cas_block", |ctx| self.store.get(ctx, &bkey))?;
+        let ok = match (&obj.payload, inline) {
+            (Payload::Inline(b), true) => b.len() as u64 == len && hash128(b) == d,
+            (Payload::Simulated { size, digest }, false) => *size == len && *digest == d,
+            _ => false,
+        };
+        if !ok {
+            return Err(H2Error::Corrupt(format!(
+                "cas leaf {bkey} fails its content address"
+            )));
+        }
+        Ok(obj.payload)
+    }
+
+    /// Delete a CAS file: tombstone the manifest, then release the block
+    /// references it held. A repeated delete — or one retried past its own
+    /// torn tombstone — finds no manifest and releases nothing, so
+    /// references drop exactly once per committed generation.
+    fn cas_delete(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<()> {
+        let prev = self.with_retry(ctx, "delete_content", |ctx| {
+            self.store.delete_returning_prev(ctx, key)
+        })?;
+        self.cas_release_manifest(ctx, &prev);
+        Ok(())
+    }
+
+    /// Server-side copy of a CAS file: no content moves — the destination
+    /// manifest reuses the source's block tree after taking one extra
+    /// reference per top entry. Losing the race with a delete that
+    /// reclaimed a block rolls the references back and reports the miss.
+    fn cas_copy(&self, ctx: &mut OpCtx, src: &ObjectKey, dst: &ObjectKey) -> Result<()> {
+        let obj = self.with_retry(ctx, "get_manifest", |ctx| self.store.get(ctx, src))?;
+        if obj.meta.get("content-type").map(String::as_str) != Some(CONTENT_TYPE_CAS) {
+            // Not block-plane content (written before the knob): plain copy.
+            return self.store.copy(ctx, src, dst);
+        }
+        let s = obj.payload.as_str().ok_or_else(|| {
+            H2Error::Corrupt(format!("cas manifest {src} is not a string object"))
+        })?;
+        let m = formatter::cas_manifest_from_str(s)?;
+        let mut taken = 0usize;
+        for (d, _) in &m.entries {
+            match self.store.cas_incref(ctx, &d.to_hex()) {
+                Ok(()) => taken += 1,
+                Err(e) => {
+                    let owned = m.entries[..taken].iter().map(|(d, _)| *d).collect();
+                    self.cas_release(ctx, owned);
+                    return Err(e);
+                }
+            }
+        }
+        let new = formatter::CasManifest {
+            stamp: self.next_part_stamp(),
+            ..m
+        };
+        let body = formatter::cas_manifest_to_string(&new);
+        let prev = self.with_retry(ctx, "put_manifest", |ctx| {
+            self.store.put_returning_prev(
+                ctx,
+                dst,
+                Payload::from_string(body.clone()),
+                Self::cas_meta(new.total),
+            )
+        })?;
+        if let Some(prev) = prev {
+            if prev.payload.as_str() != Some(body.as_str()) {
+                self.cas_release_manifest(ctx, &prev);
+            }
+        }
+        Ok(())
+    }
+
+    /// Release one reference to each root, cascading through branch blocks
+    /// whose count reaches zero (their children lose their referrer too).
+    /// Iterative worklist — never holds two block op stripes at once.
+    /// Best-effort: a failure strands unreachable blocks, never an error.
+    fn cas_release(&self, ctx: &mut OpCtx, mut work: Vec<Digest128>) {
+        while let Some(d) = work.pop() {
+            let Ok(Some(obj)) = self.store.cas_decref(ctx, &d.to_hex()) else {
+                continue;
+            };
+            // The block was reclaimed; if it was a branch, cascade.
+            if let Some(s) = obj.payload.as_str() {
+                if s.starts_with(formatter::CAS_BRANCH_MAGIC) {
+                    if let Ok(children) = formatter::cas_branch_from_str(s) {
+                        work.extend(children.into_iter().map(|(d, _)| d));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release the block tree a displaced or deleted CAS manifest held.
+    fn cas_release_manifest(&self, ctx: &mut OpCtx, prev: &Object) {
+        if prev.meta.get("content-type").map(String::as_str) != Some(CONTENT_TYPE_CAS) {
+            return;
+        }
+        let Some(s) = prev.payload.as_str() else {
+            return;
+        };
+        let Ok(m) = formatter::cas_manifest_from_str(s) else {
+            return;
+        };
+        self.cas_release(ctx, m.entries.into_iter().map(|(d, _)| d).collect());
     }
 
     // ----- ring access ----------------------------------------------------
@@ -2248,6 +2682,7 @@ mod tests {
             0,
             Arc::new(TraceCollector::disabled()),
             true,
+            false,
             false,
             false,
         );

@@ -45,6 +45,12 @@ pub enum FileContent {
     /// Size-only stand-in for large content; the store tracks the size and
     /// charges transfer costs for it.
     Simulated(u64),
+    /// Size-only stand-in whose identity is the `seed`, not the file path:
+    /// two writes with the same seed and size represent *the same bytes*,
+    /// so content-addressed stores (the `cas` plane) deduplicate them
+    /// across files, users and accounts. Stores without content addressing
+    /// treat it exactly like [`FileContent::Simulated`].
+    SimulatedShared { size: u64, seed: u64 },
 }
 
 impl FileContent {
@@ -52,6 +58,7 @@ impl FileContent {
         match self {
             FileContent::Inline(b) => b.len() as u64,
             FileContent::Simulated(n) => *n,
+            FileContent::SimulatedShared { size, .. } => *size,
         }
     }
 

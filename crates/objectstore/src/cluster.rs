@@ -48,6 +48,15 @@ use crate::ObjectStore;
 /// client-thread count while costing nothing when idle.
 pub const DEFAULT_CLUSTER_STRIPES: usize = 16;
 
+/// Reserved account holding content-addressed blocks. The `::` prefix
+/// cannot collide with a user account (names come from path components),
+/// and registering it like any other account means repair, migration and
+/// rebalance treat blocks as ordinary objects for free.
+pub const CAS_ACCOUNT: &str = "::cas";
+
+/// The (unindexed) container under [`CAS_ACCOUNT`] where blocks live.
+pub const CAS_CONTAINER: &str = "blk";
+
 /// Cluster shape. Defaults follow the paper: 8 storage nodes (each its own
 /// zone, like the 8 rack servers), 3 replicas.
 #[derive(Debug, Clone)]
@@ -187,6 +196,18 @@ pub struct Cluster {
     migration_read_rescues: AtomicU64,
     /// Acked writes dual-applied to the old assignment while pending.
     migration_dual_writes: AtomicU64,
+    /// CAS block refcounts, sharded by digest hash: hex digest → number of
+    /// direct referrers (manifests and branch blocks). An entry exists iff
+    /// the block is live. Rank [`lock_rank::CAS_REFCOUNT`], the innermost
+    /// tier: only ever taken briefly under the block's op stripe and never
+    /// held across node or map access.
+    cas_ref: Box<[OrderedMutex<HashMap<String, u64>>]>,
+    /// CAS blocks physically written (fresh content).
+    cas_blocks_written: AtomicU64,
+    /// CAS block puts that deduplicated against an existing block.
+    cas_blocks_shared: AtomicU64,
+    /// Logical bytes that dedup avoided re-writing.
+    dedup_bytes_saved: AtomicU64,
 }
 
 /// A deferred container-DB update.
@@ -245,7 +266,7 @@ impl Cluster {
         for n in &nodes {
             n.set_fault_injector(injector.clone());
         }
-        Arc::new(Cluster {
+        let cluster = Arc::new(Cluster {
             ring: RwLock::new(Arc::new(rb.build())),
             nodes: RwLock::new(nodes),
             ring_epoch: AtomicU64::new(0),
@@ -290,7 +311,29 @@ impl Cluster {
             migration_keys_copied: AtomicU64::new(0),
             migration_read_rescues: AtomicU64::new(0),
             migration_dual_writes: AtomicU64::new(0),
-        })
+            cas_ref: (0..stripes)
+                .map(|_| {
+                    OrderedMutex::new(
+                        lock_rank::CAS_REFCOUNT,
+                        "objectstore.cas_refcount",
+                        HashMap::new(),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            cas_blocks_written: AtomicU64::new(0),
+            cas_blocks_shared: AtomicU64::new(0),
+            dedup_bytes_saved: AtomicU64::new(0),
+        });
+        // The reserved block namespace exists from birth so repair and
+        // migration treat CAS blocks like any other account's objects.
+        cluster
+            .create_account(CAS_ACCOUNT)
+            .expect("fresh cluster: reserved CAS account");
+        cluster
+            .create_container(CAS_ACCOUNT, CAS_CONTAINER, false)
+            .expect("fresh cluster: reserved CAS container");
+        cluster
     }
 
     /// Enable or disable hedged replica reads (see the `hedged` field).
@@ -1580,6 +1623,263 @@ impl Cluster {
             }
         })
     }
+
+    // ----- CAS block store -------------------------------------------------
+    //
+    // Content-addressed blocks live under the reserved `::cas/blk`
+    // namespace as ordinary replicated objects, plus one piece of proxy
+    // state: a sharded refcount map (hex digest → direct referrers). The
+    // invariant is per-block: a refcount entry exists iff the block is
+    // live, and every mutation of a block's count happens under that
+    // block's op stripe — the same stripe its replica writes use — so
+    // share-vs-write and decref-vs-incref races serialize per block.
+
+    /// The object key a CAS block is stored under.
+    pub fn cas_block_key(digest_hex: &str) -> ObjectKey {
+        ObjectKey::new(CAS_ACCOUNT, CAS_CONTAINER, digest_hex)
+    }
+
+    fn cas_ref_shard(&self, digest_hex: &str) -> &OrderedMutex<HashMap<String, u64>> {
+        &self.cas_ref[hash64(digest_hex.as_bytes()) as usize % self.cas_ref.len()]
+    }
+
+    /// Current refcount of a block (0 = not live). Fsck/test introspection.
+    pub fn cas_refcount(&self, digest_hex: &str) -> u64 {
+        self.cas_ref_shard(digest_hex)
+            .lock()
+            .get(digest_hex)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of live (refcounted) CAS blocks.
+    pub fn cas_live_blocks(&self) -> u64 {
+        self.cas_ref.iter().map(|s| s.lock().len() as u64).sum()
+    }
+
+    /// CAS blocks physically written so far (fresh content).
+    pub fn cas_blocks_written_count(&self) -> u64 {
+        self.cas_blocks_written.load(Ordering::Relaxed)
+    }
+
+    /// CAS block puts that deduplicated against an existing block.
+    pub fn cas_blocks_shared_count(&self) -> u64 {
+        self.cas_blocks_shared.load(Ordering::Relaxed)
+    }
+
+    /// Logical bytes dedup avoided re-writing.
+    pub fn dedup_bytes_saved_count(&self) -> u64 {
+        self.dedup_bytes_saved.load(Ordering::Relaxed)
+    }
+
+    /// Store an immutable block under its content address, or share the
+    /// one already live. `Ok(true)`: the block was physically replicated
+    /// (refcount now 1). `Ok(false)`: identical content was already live —
+    /// the refcount was bumped and only a HEAD-shaped round trip was paid.
+    /// `logical_len` is the span of content the block covers, credited to
+    /// `dedup_bytes_saved` on a share.
+    ///
+    /// On failure nothing is refcounted: a torn write leaves partial
+    /// replicas with no refcount entry, which is garbage a later put of
+    /// the same content harmlessly overwrites (blocks are immutable).
+    pub fn cas_put_block(
+        &self,
+        ctx: &mut OpCtx,
+        digest_hex: &str,
+        payload: Payload,
+        meta: Meta,
+        logical_len: u64,
+    ) -> Result<bool> {
+        let key = Self::cas_block_key(digest_hex);
+        let ring_key = key.ring_key();
+        ctx.span(STAGE_CLOUD, "CAS-PUT", |ctx| {
+            ctx.span_note("key", || ring_key.clone());
+            let _guard = self.op_lock(&ring_key).lock();
+            // The count is stable while the block's op stripe is held
+            // (incref/decref take the same stripe), so check-then-act here
+            // is atomic even though the shard lock is scoped per access.
+            let live = self
+                .cas_ref_shard(digest_hex)
+                .lock()
+                .contains_key(digest_hex);
+            if live {
+                // h2lint: allow(guard-across-blocking): the block op stripe pins the refcount across the share's HEAD round trip by design; only same-block ops wait.
+                self.fault_gate(ctx, OpClass::Head, &ring_key)?;
+                ctx.charge(PrimKind::Head, self.cfg.cost.head_cost());
+                if let Some(rc) = self.cas_ref_shard(digest_hex).lock().get_mut(digest_hex) {
+                    *rc += 1;
+                }
+                self.cas_blocks_shared.fetch_add(1, Ordering::Relaxed);
+                self.dedup_bytes_saved
+                    .fetch_add(logical_len, Ordering::Relaxed);
+                ctx.span_note("dedup", || format!("shared, {logical_len} bytes saved"));
+                return Ok(false);
+            }
+            let torn = self.fault_gate(ctx, OpClass::Put, &ring_key)?;
+            let size = payload.len();
+            ctx.charge(PrimKind::Put, std::time::Duration::ZERO);
+            let ms = self.next_ms();
+            // h2lint: allow(guard-across-blocking): the block op stripe serializes the write-then-refcount by design; only same-block ops wait.
+            ctx.span(STAGE_QUORUM, "replicate", |ctx| {
+                self.charge_replica_time(ctx, self.cfg.cost.put_cost(size as usize));
+                self.replicated_put_capped(ctx, &ring_key, &payload, &meta, ms, false, torn)
+            })?;
+            self.catalog_put(&ring_key, size);
+            self.cas_ref_shard(digest_hex)
+                .lock()
+                .insert(digest_hex.to_string(), 1);
+            self.cas_blocks_written.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        })
+    }
+
+    /// Take one more reference to a live block (COPY paths). NotFound when
+    /// the block is not live: the caller lost the race with a delete that
+    /// reclaimed it, and must roll back any increfs it already took.
+    pub fn cas_incref(&self, ctx: &mut OpCtx, digest_hex: &str) -> Result<()> {
+        let key = Self::cas_block_key(digest_hex);
+        let ring_key = key.ring_key();
+        self.fault_gate(ctx, OpClass::Head, &ring_key)?;
+        ctx.charge(PrimKind::Head, self.cfg.cost.head_cost());
+        let _guard = self.op_lock(&ring_key).lock();
+        match self.cas_ref_shard(digest_hex).lock().get_mut(digest_hex) {
+            Some(rc) => {
+                *rc += 1;
+                Ok(())
+            }
+            None => Err(H2Error::NotFound(format!("cas block {digest_hex}"))),
+        }
+    }
+
+    /// Drop one reference to a block. When the count reaches zero the
+    /// block is reclaimed — replicas tombstoned via the repair-path
+    /// primitive (no fault draws: reclamation must not tear), catalog row
+    /// dropped — and the block's final content is returned so the caller
+    /// can cascade to any child blocks it references. `Ok(None)` when the
+    /// block stays live, or was not refcounted at all (a retried delete,
+    /// or a block orphaned by an earlier torn write).
+    pub fn cas_decref(&self, ctx: &mut OpCtx, digest_hex: &str) -> Result<Option<Object>> {
+        let key = Self::cas_block_key(digest_hex);
+        let ring_key = key.ring_key();
+        let _guard = self.op_lock(&ring_key).lock();
+        let reclaim = {
+            let mut shard = self.cas_ref_shard(digest_hex).lock();
+            match shard.get_mut(digest_hex) {
+                None => return Ok(None),
+                Some(rc) if *rc > 1 => {
+                    *rc -= 1;
+                    false
+                }
+                Some(_) => {
+                    shard.remove(digest_hex);
+                    true
+                }
+            }
+        };
+        if !reclaim {
+            return Ok(None);
+        }
+        // h2lint: allow(guard-across-blocking): block reclamation (read newest + tombstone + catalog) is a read-modify-write under the block's op stripe by design; only same-block ops wait.
+        ctx.charge(PrimKind::Delete, self.cfg.cost.delete_cost());
+        let ms = self.next_ms();
+        let mut newest: Option<crate::node::StoredReplica> = None;
+        for n in self.nodes_snapshot() {
+            if n.is_down() {
+                // Stale replicas on downed devices are tolerated: with the
+                // refcount entry gone they are garbage, and a future write
+                // of the same content overwrites them with identical bytes.
+                continue;
+            }
+            if let Some(r) = n.get_raw(&ring_key) {
+                if !r.deleted
+                    && newest
+                        .as_ref()
+                        .is_none_or(|b| r.modified_ms > b.modified_ms)
+                {
+                    newest = Some(r);
+                }
+                n.delete_repair(&ring_key, ms);
+            }
+        }
+        self.catalog_remove(&ring_key);
+        Ok(newest.map(|r| StorageNode::to_object(&key, r)))
+    }
+
+    /// [`ObjectStore::put`] that atomically returns the live object it
+    /// displaced (`None` on first write). The read-modify-write runs under
+    /// the key's op stripe, so two racing overwrites each observe exactly
+    /// the generation they displaced — the CAS layer relies on this to
+    /// decref each displaced manifest's blocks exactly once.
+    pub fn put_returning_prev(
+        &self,
+        ctx: &mut OpCtx,
+        key: &ObjectKey,
+        payload: Payload,
+        meta: Meta,
+    ) -> Result<Option<Object>> {
+        self.check_container(&key.account, &key.container)?;
+        let ring_key = key.ring_key();
+        ctx.span(STAGE_CLOUD, "PUT", |ctx| {
+            ctx.span_note("key", || ring_key.clone());
+            let torn = self.fault_gate(ctx, OpClass::Put, &ring_key)?;
+            let size = payload.len();
+            ctx.charge(PrimKind::Put, std::time::Duration::ZERO);
+            let ctype = meta.get("content-type").cloned().unwrap_or_default();
+            let _guard = self.op_lock(&ring_key).lock();
+            // h2lint: allow(guard-across-blocking): the per-key op stripe serializes the read-modify-write (read prev + replicate + catalog + index) by design; only same-key ops wait.
+            let prev = ctx.span(STAGE_QUORUM, "read-replicas", |ctx| {
+                self.read_replica(ctx, &ring_key)
+            })?;
+            let ms = self.next_ms();
+            ctx.span(STAGE_QUORUM, "replicate", |ctx| {
+                self.charge_replica_time(ctx, self.cfg.cost.put_cost(size as usize));
+                self.replicated_put_capped(ctx, &ring_key, &payload, &meta, ms, false, torn)
+            })?;
+            self.catalog_put(&ring_key, size);
+            self.index_upsert(ctx, key, size, ms, &ctype);
+            Ok(prev.map(|r| StorageNode::to_object(key, r)))
+        })
+    }
+
+    /// [`ObjectStore::delete`] that atomically returns the object the
+    /// tombstone displaced. Missing object is NotFound exactly like
+    /// `delete`, which also makes a retried CAS delete idempotent: the
+    /// second attempt finds nothing and therefore decrefs nothing.
+    pub fn delete_returning_prev(&self, ctx: &mut OpCtx, key: &ObjectKey) -> Result<Object> {
+        self.check_container(&key.account, &key.container)?;
+        let ring_key = key.ring_key();
+        ctx.span(STAGE_CLOUD, "DELETE", |ctx| {
+            ctx.span_note("key", || ring_key.clone());
+            let torn = self.fault_gate(ctx, OpClass::Delete, &ring_key)?;
+            let _guard = self.op_lock(&ring_key).lock();
+            // h2lint: allow(guard-across-blocking): the per-key op stripe serializes the read-modify-write (read prev + tombstone + catalog) by design; only same-key ops wait.
+            let existing = ctx.span(STAGE_QUORUM, "read-replicas", |ctx| {
+                self.read_replica(ctx, &ring_key)
+            })?;
+            let Some(existing) = existing else {
+                ctx.charge(PrimKind::Delete, self.cfg.cost.delete_cost());
+                self.catalog_remove(&ring_key);
+                return Err(H2Error::NotFound(ring_key.clone()));
+            };
+            let ms = self.next_ms();
+            ctx.charge(PrimKind::Delete, std::time::Duration::ZERO);
+            ctx.span(STAGE_QUORUM, "replicate", |ctx| {
+                self.charge_replica_time(ctx, self.cfg.cost.delete_cost());
+                self.replicated_put_capped(
+                    ctx,
+                    &ring_key,
+                    &Payload::Inline(bytes::Bytes::new()),
+                    &Meta::new(),
+                    ms,
+                    true,
+                    torn,
+                )
+            })?;
+            self.catalog_remove(&ring_key);
+            self.index_remove(ctx, key);
+            Ok(StorageNode::to_object(key, existing))
+        })
+    }
 }
 
 impl ObjectStore for Cluster {
@@ -2580,5 +2880,160 @@ mod tests {
         c.migrate_all();
         c.drain_node(id).unwrap();
         assert_eq!(c.ring_epoch(), 3);
+    }
+
+    // ----- CAS block store -------------------------------------------------
+
+    #[test]
+    fn cas_put_dedups_and_refcounts() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        let hex = h2util::hash128(b"blockbody").to_hex();
+        let fresh = c
+            .cas_put_block(
+                &mut ctx,
+                &hex,
+                Payload::from_static("blockbody"),
+                Meta::new(),
+                9,
+            )
+            .unwrap();
+        assert!(fresh);
+        assert_eq!(c.cas_refcount(&hex), 1);
+        assert_eq!(c.cas_blocks_written_count(), 1);
+        // Second put of identical content: shared, not rewritten.
+        let fresh = c
+            .cas_put_block(
+                &mut ctx,
+                &hex,
+                Payload::from_static("blockbody"),
+                Meta::new(),
+                9,
+            )
+            .unwrap();
+        assert!(!fresh);
+        assert_eq!(c.cas_refcount(&hex), 2);
+        assert_eq!(c.cas_blocks_written_count(), 1);
+        assert_eq!(c.cas_blocks_shared_count(), 1);
+        assert_eq!(c.dedup_bytes_saved_count(), 9);
+        // The block is a readable object in the reserved namespace.
+        let obj = c.get(&mut ctx, &Cluster::cas_block_key(&hex)).unwrap();
+        assert_eq!(obj.payload.len(), 9);
+    }
+
+    #[test]
+    fn cas_decref_reclaims_at_zero_and_returns_content() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        let hex = h2util::hash128(b"short-lived").to_hex();
+        c.cas_put_block(
+            &mut ctx,
+            &hex,
+            Payload::from_static("short-lived"),
+            Meta::new(),
+            11,
+        )
+        .unwrap();
+        c.cas_incref(&mut ctx, &hex).unwrap();
+        assert_eq!(c.cas_refcount(&hex), 2);
+        // First decref: still live, nothing reclaimed.
+        assert!(c.cas_decref(&mut ctx, &hex).unwrap().is_none());
+        assert_eq!(c.cas_refcount(&hex), 1);
+        // Second decref: reclaimed, final content returned for cascading.
+        let gone = c.cas_decref(&mut ctx, &hex).unwrap().unwrap();
+        assert_eq!(gone.payload.as_str(), Some("short-lived"));
+        assert_eq!(c.cas_refcount(&hex), 0);
+        assert_eq!(c.cas_live_blocks(), 0);
+        assert!(matches!(
+            c.get(&mut ctx, &Cluster::cas_block_key(&hex)),
+            Err(H2Error::NotFound(_))
+        ));
+        // Decref of an unknown block is a tolerated no-op (retry paths).
+        assert!(c.cas_decref(&mut ctx, &hex).unwrap().is_none());
+        // Incref after reclaim is the copy-vs-delete race: NotFound.
+        assert!(matches!(
+            c.cas_incref(&mut ctx, &hex),
+            Err(H2Error::NotFound(_))
+        ));
+        // Re-put after reclaim is a fresh write again.
+        assert!(c
+            .cas_put_block(
+                &mut ctx,
+                &hex,
+                Payload::from_static("short-lived"),
+                Meta::new(),
+                11,
+            )
+            .unwrap());
+        assert_eq!(c.cas_refcount(&hex), 1);
+    }
+
+    #[test]
+    fn cas_refcounts_survive_concurrent_shares_and_drops() {
+        let c = cluster();
+        let hex = h2util::hash128(b"contended").to_hex();
+        let mut ctx = OpCtx::for_test();
+        c.cas_put_block(
+            &mut ctx,
+            &hex,
+            Payload::from_static("contended"),
+            Meta::new(),
+            9,
+        )
+        .unwrap();
+        // 8 threads each share the block 50 times, then drop it 50 times:
+        // the count must come back to exactly 1 with the block still live.
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                let hex = hex.clone();
+                s.spawn(move || {
+                    let mut ctx = OpCtx::for_test();
+                    for _ in 0..50 {
+                        c.cas_put_block(
+                            &mut ctx,
+                            &hex,
+                            Payload::from_static("contended"),
+                            Meta::new(),
+                            9,
+                        )
+                        .unwrap();
+                    }
+                    for _ in 0..50 {
+                        assert!(c.cas_decref(&mut ctx, &hex).unwrap().is_none());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.cas_refcount(&hex), 1);
+        assert_eq!(c.cas_blocks_written_count(), 1);
+        assert_eq!(c.cas_blocks_shared_count(), 400);
+    }
+
+    #[test]
+    fn put_returning_prev_hands_back_exactly_the_displaced_generation() {
+        let c = cluster();
+        let mut ctx = OpCtx::for_test();
+        let k = key("gen/file");
+        let prev = c
+            .put_returning_prev(&mut ctx, &k, Payload::from_static("g0"), Meta::new())
+            .unwrap();
+        assert!(prev.is_none());
+        let prev = c
+            .put_returning_prev(&mut ctx, &k, Payload::from_static("g1"), Meta::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(prev.payload.as_str(), Some("g0"));
+        let prev = c.delete_returning_prev(&mut ctx, &k).unwrap();
+        assert_eq!(prev.payload.as_str(), Some("g1"));
+        assert!(matches!(
+            c.delete_returning_prev(&mut ctx, &k),
+            Err(H2Error::NotFound(_))
+        ));
+        // After a delete, the next overwrite sees no predecessor.
+        let prev = c
+            .put_returning_prev(&mut ctx, &k, Payload::from_static("g2"), Meta::new())
+            .unwrap();
+        assert!(prev.is_none());
     }
 }

@@ -40,9 +40,12 @@ pub mod lock_rank {
     pub const OP_STRIPE: u16 = 1;
     /// A storage node's replica-map stripe (`StorageNode::stripes`).
     pub const NODE_STRIPE: u16 = 2;
-    /// Proxy map shards (`Cluster::{containers,catalog}`), the innermost
-    /// tier.
+    /// Proxy map shards (`Cluster::{containers,catalog}`).
     pub const MAP_SHARD: u16 = 3;
+    /// CAS block refcount shards (`Cluster::cas_ref`), the innermost
+    /// tier: taken briefly under a block's op stripe and never held
+    /// across node or map access.
+    pub const CAS_REFCOUNT: u16 = 4;
 }
 
 use h2util::{OpCtx, Result};

@@ -24,6 +24,9 @@
 //! * [`trace`] — deterministic span tracing ([`trace::TraceCollector`],
 //!   chrome-trace export) with per-stage latency breakdown, timed by the
 //!   virtual clock in [`cost::OpCtx`].
+//! * [`chunker`] — FastCDC-style content-defined chunking for the CAS
+//!   content plane (real-byte gear cutter + digest-seeded simulated
+//!   schedule).
 //! * [`lru`] — a bounded LRU map backing the middleware's NameRing cache.
 //! * [`buf`] — reference-counted [`buf::SharedBuf`] payload buffers with
 //!   process-wide shallow/deep copy accounting for the content path.
@@ -32,6 +35,7 @@
 //! * [`fmt`] — small formatting helpers (byte sizes, durations).
 
 pub mod buf;
+pub mod chunker;
 pub mod clock;
 pub mod cost;
 pub mod error;

@@ -33,6 +33,21 @@ pub enum Op {
     /// anti-pattern every sync client hammers metadata services with. The
     /// operation *succeeds* when the backend answers `NotFound`.
     StatAbsent(FsPath),
+    /// Rewrite an *existing* file with fresh content of the given size.
+    /// Same replay mechanics as [`Op::Write`], but targeted at live files
+    /// so content-plane generation turnover (block release, manifest
+    /// displacement) is exercised rather than pure ingest.
+    Overwrite(FsPath, u64),
+    /// Grow an existing file to the given *total* size (computed against
+    /// the model at generation time). Simulated content identity is seeded
+    /// by the path, so the grown content shares its prefix with the old
+    /// generation — content-defined chunking re-chunks only the tail.
+    Append(FsPath, u64),
+    /// Write a new file whose content identity is the `seed`, not the
+    /// path: every file written with the same seed carries *the same
+    /// bytes*, so content-addressed stores deduplicate them across files
+    /// and accounts.
+    WriteShared(FsPath, u64, u64),
 }
 
 /// Operation class, for aggregating results.
@@ -49,6 +64,9 @@ pub enum OpKind {
     ListDetailed,
     Stat,
     StatAbsent,
+    Overwrite,
+    Append,
+    WriteShared,
 }
 
 impl Op {
@@ -65,6 +83,9 @@ impl Op {
             Op::ListDetailed(_) => OpKind::ListDetailed,
             Op::Stat(_) => OpKind::Stat,
             Op::StatAbsent(_) => OpKind::StatAbsent,
+            Op::Overwrite(_, _) => OpKind::Overwrite,
+            Op::Append(_, _) => OpKind::Append,
+            Op::WriteShared(_, _, _) => OpKind::WriteShared,
         }
     }
 }
@@ -74,14 +95,17 @@ impl Op {
 #[derive(Debug, Clone)]
 pub struct TraceMix {
     /// Weights indexed as [mkdir, rmdir, write, read, delete, mv, copy,
-    /// list, list_detailed, stat, stat_absent].
-    pub weights: [f64; 11],
+    /// list, list_detailed, stat, stat_absent, overwrite, append,
+    /// write_shared].
+    pub weights: [f64; 14],
 }
 
 impl Default for TraceMix {
     fn default() -> Self {
         TraceMix {
-            weights: [4.0, 1.0, 18.0, 30.0, 3.0, 2.0, 1.0, 14.0, 7.0, 20.0, 0.0],
+            weights: [
+                4.0, 1.0, 18.0, 30.0, 3.0, 2.0, 1.0, 14.0, 7.0, 20.0, 0.0, 0.0, 0.0, 0.0,
+            ],
         }
     }
 }
@@ -90,7 +114,48 @@ impl TraceMix {
     /// Directory-operation-heavy mix (stresses the paper's headline ops).
     pub fn dir_heavy() -> Self {
         TraceMix {
-            weights: [12.0, 6.0, 8.0, 8.0, 3.0, 10.0, 6.0, 20.0, 12.0, 15.0, 0.0],
+            weights: [
+                12.0, 6.0, 8.0, 8.0, 3.0, 10.0, 6.0, 20.0, 12.0, 15.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        }
+    }
+
+    /// Content-churn mix: in-place overwrites and appends dominate, with
+    /// enough reads to observe the rewritten content. The access shape of
+    /// log shippers and sync clients editing large files in place — the
+    /// regime where content-defined chunking pays (an append re-chunks the
+    /// tail, not the file).
+    pub fn content_churn() -> Self {
+        TraceMix {
+            weights: [
+                1.0, 0.0, 6.0, 20.0, 1.0, 0.0, 0.0, 2.0, 0.0, 5.0, 0.0, 20.0, 25.0, 0.0,
+            ],
+        }
+    }
+
+    /// Streaming-read mix: sequential whole-file READs of a large-file
+    /// corpus dominate, with a trickle of stats, lists and small ingest
+    /// writes. Meant for [`Trace::generate_hot`] over a population of
+    /// multi-part/multi-chunk files, where each READ walks the full
+    /// content path (manifest → branches → leaves).
+    pub fn streaming_read() -> Self {
+        TraceMix {
+            weights: [
+                0.5, 0.0, 1.5, 70.0, 0.0, 0.0, 0.0, 3.0, 0.0, 10.0, 0.0, 0.0, 0.0, 0.0,
+            ],
+        }
+    }
+
+    /// Shared-content mix: most ingest writes content drawn from a small
+    /// pool of shared identities (the same release tarball uploaded by
+    /// every user), plus reads and the occasional delete. On a
+    /// content-addressed store the repeated uploads collapse to refcount
+    /// bumps — see the `dedup_bytes_saved` counter.
+    pub fn shared_content() -> Self {
+        TraceMix {
+            weights: [
+                2.0, 0.0, 5.0, 18.0, 3.0, 0.0, 0.0, 2.0, 0.0, 5.0, 0.0, 0.0, 0.0, 35.0,
+            ],
         }
     }
 
@@ -101,7 +166,9 @@ impl TraceMix {
     /// stat/list probes of an existing corpus, with a trickle of ingest.
     pub fn read_heavy() -> Self {
         TraceMix {
-            weights: [0.2, 0.0, 1.8, 6.0, 0.0, 0.0, 0.0, 9.0, 0.0, 68.0, 15.0],
+            weights: [
+                0.2, 0.0, 1.8, 6.0, 0.0, 0.0, 0.0, 9.0, 0.0, 68.0, 15.0, 0.0, 0.0, 0.0,
+            ],
         }
     }
 }
@@ -110,6 +177,10 @@ impl TraceMix {
 /// stat-before-create anti-pattern re-probes the *same* few names (lock
 /// files, sentinel markers), which is what negative-entry caches absorb.
 const ABSENT_POOL: usize = 4;
+
+/// Distinct shared content identities [`Op::WriteShared`] draws from.
+/// Small on purpose: dedup pays when many uploads carry the *same* bytes.
+const SHARED_POOL: u64 = 4;
 
 /// A deep-path hot set for [`Trace::generate_hot`]: reads hammer a fixed
 /// population of deep files while writes land in disjoint ingest
@@ -215,6 +286,35 @@ impl Trace {
                 }
                 7 => Op::List(pick_dir(rng)),
                 8 => Op::ListDetailed(pick_dir(rng)),
+                11 => {
+                    // In-place rewrite of a live file with a fresh size.
+                    if files.is_empty() {
+                        continue;
+                    }
+                    let (p, _) = &files[rng.gen_range(0..files.len())];
+                    Op::Overwrite(p.clone(), sizes.sample(rng))
+                }
+                12 => {
+                    // Grow a live file: the op records the *total* size so
+                    // replay needs no state. Deltas stay in the small-edit
+                    // regime (≤ 256 KiB) — a log line, not a new file.
+                    if files.is_empty() {
+                        continue;
+                    }
+                    let (p, size) = &files[rng.gen_range(0..files.len())];
+                    let delta = rng.gen_range(1..=256 * 1024u64);
+                    Op::Append(p.clone(), size + delta)
+                }
+                13 => {
+                    // Upload from a small pool of shared content
+                    // identities; the size is a function of the seed, so
+                    // equal seeds mean byte-identical files.
+                    seq += 1;
+                    let parent = pick_dir(rng);
+                    let p = parent.child(&format!("tshare{seq:05}.dat")).expect("valid");
+                    let seed = rng.gen_range(0..SHARED_POOL);
+                    Op::WriteShared(p, (seed + 1) * 192 * 1024, seed)
+                }
                 _ => {
                     // Stat-before-create: probe a name that never exists
                     // (generated names use tdir/tfile/tmv/tcp prefixes, so
@@ -312,6 +412,18 @@ impl Trace {
                     "stat-absent target {p} exists"
                 ))),
             },
+            Op::Overwrite(p, size) => match model.stat(p) {
+                Ok(_) => model.write(p, *size),
+                Err(e) => Err(e),
+            },
+            Op::Append(p, total) => match model.read(p) {
+                Ok(old) if old < *total => model.write(p, *total),
+                Ok(old) => Err(H2Error::Conflict(format!(
+                    "append to {p} would shrink it ({old} -> {total})"
+                ))),
+                Err(e) => Err(e),
+            },
+            Op::WriteShared(p, size, _) => model.write(p, *size),
         }
     }
 
@@ -335,6 +447,20 @@ impl Trace {
                 ))),
                 Err(e) => Err(e),
             },
+            // Overwrite and append replay as plain writes: simulated
+            // content identity is path-seeded, so the appended file shares
+            // its prefix with the old generation by construction.
+            Op::Overwrite(p, size) => fs.write(ctx, account, p, FileContent::Simulated(*size)),
+            Op::Append(p, total) => fs.write(ctx, account, p, FileContent::Simulated(*total)),
+            Op::WriteShared(p, size, seed) => fs.write(
+                ctx,
+                account,
+                p,
+                FileContent::SimulatedShared {
+                    size: *size,
+                    seed: *seed,
+                },
+            ),
         }
     }
 
@@ -464,6 +590,56 @@ mod tests {
             &hot,
         );
         assert_eq!(t.ops, t2.ops);
+    }
+
+    #[test]
+    fn content_churn_mix_replays_cleanly_and_appends_grow() {
+        let mut r = rng(33);
+        let mut model = ModelFs::new();
+        let t = Trace::generate(&mut r, &mut model, 400, &TraceMix::content_churn());
+        assert_eq!(t.ops.len(), 400);
+        let mut fresh = ModelFs::new();
+        for op in &t.ops {
+            Trace::apply_model(&mut fresh, op)
+                .unwrap_or_else(|e| panic!("invalid generated op {op:?}: {e}"));
+        }
+        // The mix actually exercises both in-place shapes.
+        let overwrites = t
+            .ops
+            .iter()
+            .filter(|o| o.kind() == OpKind::Overwrite)
+            .count();
+        let appends = t.ops.iter().filter(|o| o.kind() == OpKind::Append).count();
+        assert!(overwrites > 0, "no overwrites generated");
+        assert!(appends > 0, "no appends generated");
+    }
+
+    #[test]
+    fn shared_content_mix_repeats_seeds_across_files() {
+        let mut r = rng(34);
+        let mut model = ModelFs::new();
+        let t = Trace::generate(&mut r, &mut model, 400, &TraceMix::shared_content());
+        let mut fresh = ModelFs::new();
+        for op in &t.ops {
+            Trace::apply_model(&mut fresh, op)
+                .unwrap_or_else(|e| panic!("invalid generated op {op:?}: {e}"));
+        }
+        // Many distinct files draw from few shared identities, and equal
+        // seeds always mean equal sizes (byte-identical content).
+        use std::collections::HashMap;
+        let mut by_seed: HashMap<u64, (u64, usize)> = HashMap::new();
+        for op in &t.ops {
+            if let Op::WriteShared(_, size, seed) = op {
+                let e = by_seed.entry(*seed).or_insert((*size, 0));
+                assert_eq!(e.0, *size, "seed {seed} used with two sizes");
+                e.1 += 1;
+            }
+        }
+        assert!(!by_seed.is_empty(), "no shared writes generated");
+        assert!(
+            by_seed.values().any(|(_, n)| *n > 1),
+            "no shared identity was reused"
+        );
     }
 
     #[test]

@@ -464,6 +464,7 @@ fn eager_contention_ring_fetches_stay_linear() {
         path_cache: false,
         neg_cache: false,
         hedged_reads: false,
+        cas: false,
     }));
     let mut ctx = OpCtx::for_test();
     fs.create_account(&mut ctx, "team").unwrap();

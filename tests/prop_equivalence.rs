@@ -63,6 +63,7 @@ fn h2_deferred_commit(group_commit: bool) -> H2Cloud {
         path_cache: false,
         neg_cache: false,
         hedged_reads: false,
+        cas: false,
     })
 }
 
@@ -82,7 +83,45 @@ fn h2_deferred_readopt(on: bool) -> H2Cloud {
         path_cache: on,
         neg_cache: on,
         hedged_reads: on,
+        cas: false,
     })
+}
+
+/// Multi-middleware Deferred-mode H2Cloud differing only in the CAS
+/// content-plane knob: one chunks every file into content-addressed,
+/// refcounted blocks, the other stores whole content objects. Storage
+/// layout is the one thing a filesystem client must never observe.
+fn h2_deferred_cas(cas: bool) -> H2Cloud {
+    H2Cloud::new(H2Config {
+        middlewares: 3,
+        mode: MaintenanceMode::Deferred,
+        cluster: ClusterConfig::tiny(),
+        cache_capacity: 0,
+        trace_sample: 0.0,
+        group_commit: false,
+        path_cache: false,
+        neg_cache: false,
+        hedged_reads: false,
+        cas,
+    })
+}
+
+/// The base op universe plus the content-churn ops the CAS plane exists
+/// for: overwrites, growing appends and shared-content uploads. Sizes span
+/// sub-chunk to multi-chunk so both single-leaf and branch-bearing trees
+/// come up.
+fn arb_op_cas() -> impl Strategy<Value = Op> {
+    // The shim's `prop_oneof!` picks uniformly, so the base universe is
+    // listed four times to keep content churn at ~3/7 of the mix.
+    prop_oneof![
+        arb_op(),
+        arb_op(),
+        arb_op(),
+        arb_op(),
+        (arb_path(), 0u64..3_000_000).prop_map(|(p, s)| Op::Overwrite(p, s)),
+        (arb_path(), 1u64..3_000_000).prop_map(|(p, s)| Op::Append(p, s)),
+        (arb_path(), 0u64..4, 1u64..2_000_000).prop_map(|(p, seed, s)| Op::WriteShared(p, s, seed)),
+    ]
 }
 
 /// Flatten the whole tree (paths, kinds, file sizes) into a sorted,
@@ -318,6 +357,61 @@ proptest! {
             "read-path caches changed the observable filesystem"
         );
         let report = fsck(&opt, &mut ctx, "u").unwrap();
+        prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn cas_plane_is_observably_transparent(
+        ops in prop::collection::vec(arb_op_cas(), 1..60)
+    ) {
+        // Same random sequence — including overwrites, appends and
+        // shared-content uploads — against a CAS-chunking and a
+        // whole-object H2Cloud, three middlewares, Deferred maintenance,
+        // gossip pumped with drops and duplicates mid-sequence. The CAS
+        // plane rearranges how bytes live in the cloud (chunked,
+        // deduplicated, refcounted) but must not change anything a client
+        // can observe: every outcome, error class and final tree must
+        // match the whole-object instance's.
+        let cas = h2_deferred_cas(true);
+        let plain = h2_deferred_cas(false);
+        let mut ctx = OpCtx::for_test();
+        cas.create_account(&mut ctx, "u").unwrap();
+        plain.create_account(&mut ctx, "u").unwrap();
+
+        for (i, op) in ops.iter().enumerate() {
+            let with_cas = Trace::apply_fs(&cas, &mut ctx, "u", op);
+            let without = Trace::apply_fs(&plain, &mut ctx, "u", op);
+            match (&with_cas, &without) {
+                (Ok(()), Ok(())) => {}
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.class(), b.class(),
+                    "{:?}: cas={} plain={}", op, a, b
+                ),
+                _ => prop_assert!(
+                    false,
+                    "{:?} diverged: cas={:?} plain={:?}", op, with_cas, without
+                ),
+            }
+            if i % 3 == 2 {
+                for fs in [&cas, &plain] {
+                    fs.layer()
+                        .pump_with_faults(GossipFaults {
+                            drop_every: 3,
+                            duplicate_every: 4,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+
+        cas.quiesce();
+        plain.quiesce();
+        prop_assert_eq!(
+            tree_snapshot(&cas, "u"),
+            tree_snapshot(&plain, "u"),
+            "the CAS plane changed the observable filesystem"
+        );
+        let report = fsck(&cas, &mut ctx, "u").unwrap();
         prop_assert!(report.is_clean(), "fsck violations: {:?}", report.violations);
     }
 
@@ -636,6 +730,99 @@ fn read_path_caches_lose_nothing_under_5pct_faults() {
         "path cache never hit — the chaos leg exercised nothing"
     );
     let report = fsck(&opt, &mut ctx, "u").unwrap();
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn cas_plane_loses_nothing_under_5pct_faults() {
+    use h2util::faults::{FaultPlan, FaultSpec};
+
+    // Chaos leg for the CAS content plane: a chunking and a whole-object
+    // instance build the same tree — including deduplicated shared content
+    // — through all three middlewares, then run gossip maintenance under
+    // 5% transient faults *and* lossy delivery. After the faults clear,
+    // every middleware on both instances must hold the identical tree: a
+    // lost leaf block, a miscounted refcount or a torn manifest would
+    // surface as a diverged snapshot or an fsck violation here.
+    let cas = h2_deferred_cas(true);
+    let plain = h2_deferred_cas(false);
+    let mut ctx = OpCtx::for_test();
+    for fs in [&cas, &plain] {
+        fs.create_account(&mut ctx, "u").unwrap();
+        for (i, d) in ["a", "b", "c"].iter().enumerate() {
+            let view = fs.via(i);
+            let dir = FsPath::parse(&format!("/{d}")).unwrap();
+            view.mkdir(&mut ctx, "u", &dir).unwrap();
+            for f in 0..4 {
+                let file = FsPath::parse(&format!("/{d}/f{f}")).unwrap();
+                // Every middleware uploads the same shared identities, so
+                // the CAS instance dedups across all three front doors.
+                view.write(
+                    &mut ctx,
+                    "u",
+                    &file,
+                    h2fsapi::FileContent::SimulatedShared {
+                        size: 700_000 + f * 100_000,
+                        seed: f,
+                    },
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    let spec = FaultSpec::errors(0.05);
+    for fs in [&cas, &plain] {
+        fs.cluster()
+            .set_fault_plan(Some(FaultPlan::uniform(0xBA7C4ED, spec)));
+    }
+    for _ in 0..6 {
+        let _ = cas.layer().pump_with_faults(GossipFaults {
+            drop_every: 3,
+            duplicate_every: 4,
+        });
+        let _ = plain.layer().pump_with_faults(GossipFaults {
+            drop_every: 3,
+            duplicate_every: 4,
+        });
+    }
+    for fs in [&cas, &plain] {
+        fs.cluster().set_fault_plan(None);
+    }
+    for fs in [&cas, &plain] {
+        fs.layer().resync().unwrap();
+    }
+
+    let want = tree_snapshot(&plain, "u");
+    assert_eq!(want.len(), 3 + 12, "whole-object instance lost writes");
+    assert_eq!(
+        tree_snapshot(&cas, "u"),
+        want,
+        "the CAS plane diverged from the whole-object instance"
+    );
+    for i in 0..3 {
+        assert_eq!(
+            tree_snapshot(&cas.via(i), "u"),
+            want,
+            "CAS middleware {i} diverged"
+        );
+        assert_eq!(
+            tree_snapshot(&plain.via(i), "u"),
+            want,
+            "whole-object middleware {i} diverged"
+        );
+    }
+    // Not vacuous: the CAS instance really chunked, and really deduplicated
+    // the shared identities the three middlewares uploaded.
+    assert!(
+        cas.cluster().cas_blocks_written_count() > 0,
+        "CAS plane never wrote a block"
+    );
+    assert!(
+        cas.cluster().dedup_bytes_saved_count() > 0,
+        "shared uploads deduplicated nothing"
+    );
+    let report = fsck(&cas, &mut ctx, "u").unwrap();
     assert!(report.is_clean(), "{:?}", report.violations);
 }
 

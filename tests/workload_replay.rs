@@ -60,23 +60,37 @@ fn heavy_user_filesystem_hosts_and_operates() {
     spec.populate(&fs, &mut ctx, "heavy").unwrap();
 
     let model = spec.to_model();
-    // One object per small file, manifest + parts per striped file,
-    // 2 per dir (descriptor + NameRing), plus the root ring.
-    let content_objects: u64 = spec
-        .files
-        .iter()
-        .map(|(_, size)| {
-            if *size > h2cloud::middleware::PART_BYTES {
-                1 + size.div_ceil(h2cloud::middleware::PART_BYTES)
-            } else {
-                1
-            }
-        })
-        .sum();
-    assert_eq!(
-        fs.storage_stats().objects,
-        content_objects + 2 * spec.dirs.len() as u64 + 1
-    );
+    if fs.layer().mw(0).cas_active() {
+        // CAS plane: one manifest per file, plus the deduplicated block set
+        // (leaves and branches) that the cluster's refcount index tracks.
+        // Pinning objects against `cas_live_blocks` proves no block leaked
+        // outside the refcount discipline during a bulk import.
+        assert_eq!(
+            fs.storage_stats().objects,
+            spec.files.len() as u64
+                + fs.cluster().cas_live_blocks()
+                + 2 * spec.dirs.len() as u64
+                + 1
+        );
+    } else {
+        // One object per small file, manifest + parts per striped file,
+        // 2 per dir (descriptor + NameRing), plus the root ring.
+        let content_objects: u64 = spec
+            .files
+            .iter()
+            .map(|(_, size)| {
+                if *size > h2cloud::middleware::PART_BYTES {
+                    1 + size.div_ceil(h2cloud::middleware::PART_BYTES)
+                } else {
+                    1
+                }
+            })
+            .sum();
+        assert_eq!(
+            fs.storage_stats().objects,
+            content_objects + 2 * spec.dirs.len() as u64 + 1
+        );
+    }
     // Spot-check twenty files.
     for (path, size) in model.all_files().into_iter().take(20) {
         let st = fs.stat(&mut ctx, "heavy", &path).unwrap();
